@@ -1,0 +1,92 @@
+//! The "R" in RPPM: model speed versus detailed simulation.
+//!
+//! The paper's pitch is that one profiling run (an order of magnitude
+//! faster than simulation) plus near-instant analytical predictions replace
+//! one simulation per design point. These benches measure all three stages
+//! plus the core model components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rppm_core::{execute, predict, ThreadTimeline};
+use rppm_profiler::profile;
+use rppm_sim::simulate;
+use rppm_statstack::{ReuseHistogram, StackDistanceModel};
+use rppm_trace::{DesignPoint, Rng, SyncOp};
+use rppm_workloads::{by_name, Params};
+
+fn pipeline(c: &mut Criterion) {
+    let bench = by_name("hotspot").expect("known benchmark");
+    let params = Params { scale: 0.1, ..Params::full() };
+    let program = bench.build(&params);
+    let config = DesignPoint::Base.config();
+    let prof = profile(&program);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("simulate_hotspot_0.1", |b| {
+        b.iter(|| simulate(std::hint::black_box(&program), &config))
+    });
+    g.bench_function("profile_hotspot_0.1", |b| {
+        b.iter(|| profile(std::hint::black_box(&program)))
+    });
+    g.bench_function("predict_hotspot_0.1", |b| {
+        b.iter(|| predict(std::hint::black_box(&prof), &config))
+    });
+    // The headline workflow: one profile, five design points.
+    g.bench_function("predict_5_design_points", |b| {
+        b.iter(|| {
+            DesignPoint::ALL
+                .iter()
+                .map(|dp| predict(std::hint::black_box(&prof), &dp.config()).total_cycles)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn components(c: &mut Criterion) {
+    // StatStack miss-rate queries.
+    let mut h = ReuseHistogram::new();
+    let mut rng = Rng::new(42);
+    for _ in 0..100_000 {
+        h.record(rng.next_below(1 << 20));
+    }
+    h.record_cold(1000);
+    let model = StackDistanceModel::new(&h);
+    let geom = DesignPoint::Base.config().l2;
+
+    let mut g = c.benchmark_group("components");
+    g.bench_function("statstack_build_100k", |b| {
+        b.iter(|| StackDistanceModel::new(std::hint::black_box(&h)))
+    });
+    g.bench_function("statstack_miss_rate", |b| {
+        b.iter(|| std::hint::black_box(&model).miss_rate_geom(&geom))
+    });
+
+    // Symbolic execution of a 4-thread, 1000-barrier schedule (thread 0
+    // creates the workers first, as a real profile would record).
+    let config = DesignPoint::Base.config();
+    let timelines: Vec<ThreadTimeline> = (0..4u32)
+        .map(|t| {
+            let mut rng = Rng::new(t as u64);
+            let mut events: Vec<SyncOp> = if t == 0 {
+                (1..4).map(|c| SyncOp::Create { child: c.into() }).collect()
+            } else {
+                Vec::new()
+            };
+            events.extend(
+                (0..1000).map(|_| SyncOp::Barrier { id: 0.into(), via_cond: false }),
+            );
+            let epochs: Vec<f64> = (0..events.len() + 1)
+                .map(|_| 1000.0 + rng.next_f64() * 200.0)
+                .collect();
+            ThreadTimeline { epochs, events }
+        })
+        .collect();
+    g.bench_function("symexec_4x1000_barriers", |b| {
+        b.iter(|| execute(std::hint::black_box(&timelines), &config))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipeline, components);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Runs every table/figure harness in sequence and writes the outputs to
+//! `results/` — the one-command reproduction of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p rppm-bench --bin run_all [scale]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "0.5".to_string());
+    let dse_scale = std::env::args().nth(2).unwrap_or_else(|| "0.3".to_string());
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    let jobs: &[(&str, &str)] = &[
+        ("table1", ""),
+        ("table2", "1.0"),
+        ("table3", "1.0"),
+        ("table4", ""),
+        ("fig4", &scale),
+        ("fig5", &scale),
+        ("table5", &dse_scale),
+        ("fig6", &dse_scale),
+    ];
+    for (bin, arg) in jobs {
+        eprintln!("running {bin} {arg}...");
+        let exe = std::env::current_exe().expect("own path");
+        let dir = exe.parent().expect("bin dir");
+        let mut cmd = Command::new(dir.join(bin));
+        if !arg.is_empty() {
+            cmd.arg(arg);
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        let path = format!("results/{bin}.txt");
+        std::fs::write(&path, &out.stdout).expect("write output");
+        eprintln!("  -> {path}");
+    }
+    eprintln!("all experiments regenerated under results/");
+}

@@ -1,0 +1,11 @@
+//! Experiment harness support code for the RPPM reproduction.
+//!
+//! The binaries in this crate regenerate every table and figure of the
+//! paper (see DESIGN.md §5 for the index); this library holds the shared
+//! run/report plumbing they use.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{run_benchmark, BenchmarkRun, Row};

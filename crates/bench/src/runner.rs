@@ -1,0 +1,115 @@
+//! Shared plumbing for the table/figure harness binaries.
+
+use rppm_core::{predict, predict_crit, predict_main, Prediction};
+use rppm_profiler::{profile, ApplicationProfile};
+use rppm_sim::{simulate, SimResult};
+use rppm_trace::{MachineConfig, Program};
+use rppm_workloads::{Benchmark, Params};
+
+/// Everything produced by running one benchmark through the full pipeline
+/// on one configuration: the workload, its one-time profile, the golden
+/// simulation and the three model predictions.
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: String,
+    /// The workload.
+    pub program: Program,
+    /// One-time microarchitecture-independent profile.
+    pub profile: ApplicationProfile,
+    /// Golden-reference simulation.
+    pub sim: SimResult,
+    /// Full RPPM prediction.
+    pub rppm: Prediction,
+    /// MAIN baseline prediction (cycles).
+    pub main_cycles: f64,
+    /// CRIT baseline prediction (cycles).
+    pub crit_cycles: f64,
+}
+
+impl BenchmarkRun {
+    /// Relative error of the RPPM prediction vs. simulation.
+    pub fn rppm_error(&self) -> f64 {
+        rppm_core::abs_pct_error(self.rppm.total_cycles, self.sim.total_cycles)
+    }
+
+    /// Relative error of the MAIN baseline vs. simulation.
+    pub fn main_error(&self) -> f64 {
+        rppm_core::abs_pct_error(self.main_cycles, self.sim.total_cycles)
+    }
+
+    /// Relative error of the CRIT baseline vs. simulation.
+    pub fn crit_error(&self) -> f64 {
+        rppm_core::abs_pct_error(self.crit_cycles, self.sim.total_cycles)
+    }
+}
+
+/// Runs the full pipeline for one benchmark on one configuration.
+pub fn run_benchmark(bench: &Benchmark, params: &Params, config: &MachineConfig) -> BenchmarkRun {
+    let program = bench.build(params);
+    let prof = profile(&program);
+    let sim = simulate(&program, config);
+    let rppm = predict(&prof, config);
+    let main_cycles = predict_main(&prof, config);
+    let crit_cycles = predict_crit(&prof, config);
+    BenchmarkRun {
+        name: bench.name.to_string(),
+        program,
+        profile: prof,
+        sim,
+        rppm,
+        main_cycles,
+        crit_cycles,
+    }
+}
+
+/// A simple aligned-column row printer for harness output.
+#[derive(Debug, Default)]
+pub struct Row {
+    cells: Vec<String>,
+}
+
+impl Row {
+    /// Starts an empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Appends a left-aligned cell of the given width.
+    pub fn cell(mut self, width: usize, s: impl std::fmt::Display) -> Self {
+        self.cells.push(format!("{s:<width$}"));
+        self
+    }
+
+    /// Appends a right-aligned cell of the given width.
+    pub fn rcell(mut self, width: usize, s: impl std::fmt::Display) -> Self {
+        self.cells.push(format!("{s:>width$}"));
+        self
+    }
+
+    /// Renders the row.
+    pub fn print(self) {
+        println!("{}", self.cells.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::DesignPoint;
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let bench = rppm_workloads::by_name("pathfinder").expect("known");
+        let run = run_benchmark(
+            &bench,
+            &Params { scale: 0.02, seed: 1 },
+            &DesignPoint::Base.config(),
+        );
+        assert!(run.sim.total_cycles > 0.0);
+        assert!(run.rppm.total_cycles > 0.0);
+        assert!(run.main_cycles > 0.0);
+        assert!(run.crit_cycles > 0.0);
+        assert!(run.rppm_error().is_finite());
+    }
+}

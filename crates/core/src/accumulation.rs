@@ -1,0 +1,118 @@
+//! The accumulating-error micro-benchmark (Table I).
+//!
+//! A loop of `iterations` identical-duration iterations is parallelized over
+//! `n` threads with a barrier after each round. Suppose the per-thread,
+//! per-epoch prediction is unbiased but noisy: `T̂ = T·(1 + U)` with
+//! `U ~ Uniform(−e, +e)`. A single thread's errors cancel over many epochs,
+//! but with `n` threads each inter-barrier epoch is predicted as the *max*
+//! of `n` noisy values — a positively biased statistic — so the program-level
+//! prediction error accumulates instead of canceling. Analytically the bias
+//! is `e·(n−1)/(n+1)` (the mean of the maximum of `n` centered uniforms),
+//! which reproduces Table I exactly: 0.33% for 2 threads at 1%, 0.60% for
+//! 4, 0.78% for 8, 0.88% for 16.
+
+use rppm_trace::Rng;
+
+/// Simulates the Table I micro-benchmark.
+///
+/// Returns the relative error of the predicted total execution time for a
+/// barrier-synchronized loop of `iterations` unit-time iterations run by
+/// `threads` threads, when each thread's inter-barrier time prediction
+/// carries independent uniform noise of amplitude `error` (e.g. `0.01` for
+/// ±1%).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `iterations == 0`.
+pub fn accumulation_error(threads: u32, error: f64, iterations: u64, seed: u64) -> f64 {
+    assert!(threads > 0, "need at least one thread");
+    assert!(iterations > 0, "need at least one iteration");
+    let n = threads as u64;
+    let epochs = iterations / n;
+    assert!(epochs > 0, "fewer iterations than threads");
+
+    let mut rng = Rng::new(seed);
+    let mut predicted = 0.0f64;
+    for _ in 0..epochs {
+        let mut epoch_max = f64::MIN;
+        for _ in 0..n {
+            let noise = (rng.next_f64() * 2.0 - 1.0) * error;
+            epoch_max = epoch_max.max(1.0 + noise);
+        }
+        predicted += epoch_max;
+    }
+    let actual = epochs as f64;
+    (predicted - actual) / actual
+}
+
+/// The closed-form expectation of the accumulation bias:
+/// `E[max of n Uniform(−e, e)] = e·(n−1)/(n+1)`.
+pub fn accumulation_bias(threads: u32, error: f64) -> f64 {
+    let n = threads as f64;
+    error * (n - 1.0) / (n + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_error_cancels() {
+        let e = accumulation_error(1, 0.10, 1_000_000, 42);
+        assert!(e.abs() < 0.001, "single-thread error {e}");
+    }
+
+    #[test]
+    fn matches_closed_form_for_table_i() {
+        // Reproduce every cell of Table I within Monte-Carlo noise.
+        let cases = [
+            (2u32, 0.01, 0.0033),
+            (4, 0.01, 0.0060),
+            (8, 0.01, 0.0078),
+            (16, 0.01, 0.0088),
+            (2, 0.05, 0.0167),
+            (4, 0.05, 0.0300),
+            (8, 0.05, 0.0389),
+            (16, 0.05, 0.0441),
+            (2, 0.10, 0.0334),
+            (4, 0.10, 0.0601),
+            (8, 0.10, 0.0779),
+            (16, 0.10, 0.0883),
+        ];
+        for (n, e, expected) in cases {
+            let got = accumulation_error(n, e, 1_000_000, 7);
+            assert!(
+                (got - expected).abs() < 0.0015,
+                "n={n} e={e}: got {got}, Table I says {expected}"
+            );
+            let analytic = accumulation_bias(n, e);
+            assert!(
+                (analytic - expected).abs() < 0.0005,
+                "closed form n={n} e={e}: {analytic} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_with_thread_count() {
+        let mut prev = 0.0;
+        for n in [1u32, 2, 4, 8, 16] {
+            let e = accumulation_error(n, 0.05, 1 << 20, 3);
+            assert!(e >= prev - 0.002, "error at n={n} dropped: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn error_scales_linearly_with_noise() {
+        let e1 = accumulation_error(4, 0.01, 1 << 20, 9);
+        let e10 = accumulation_error(4, 0.10, 1 << 20, 9);
+        assert!((e10 / e1 - 10.0).abs() < 0.5, "ratio {}", e10 / e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        accumulation_error(0, 0.01, 100, 1);
+    }
+}

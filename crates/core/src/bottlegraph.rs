@@ -1,0 +1,190 @@
+//! Bottle graphs (Du Bois et al., OOPSLA 2013): visualizing parallelism and
+//! criticality per thread.
+//!
+//! Each thread is a box: its *height* is the thread's share of total
+//! execution time (time integral of `1/k(t)` while the thread is active,
+//! where `k(t)` is the number of active threads — heights therefore sum to
+//! the total execution time), and its *width* is the thread's average
+//! parallelism while active. Stacking boxes widest-at-the-bottom makes the
+//! scalability bottleneck visually pop out at the top.
+
+use serde::{Deserialize, Serialize};
+
+/// One thread's box in a bottlegraph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BottleBox {
+    /// Thread index.
+    pub thread: usize,
+    /// Thread's share of total execution time, normalized to `[0, 1]`.
+    pub height: f64,
+    /// Average number of concurrently active threads while this thread is
+    /// active (including itself); 0 for a thread that never ran.
+    pub parallelism: f64,
+}
+
+/// A bottlegraph: one box per thread, heights summing to ~1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bottlegraph {
+    /// Boxes sorted widest (most parallel) first — bottom-up stacking order.
+    pub boxes: Vec<BottleBox>,
+    /// Total execution time the heights are normalized by (cycles).
+    pub total: f64,
+}
+
+impl Bottlegraph {
+    /// Builds a bottlegraph from per-thread active intervals.
+    ///
+    /// `intervals[t]` lists disjoint, ordered `(start, end)` spans during
+    /// which thread `t` was active. `total` is the end-to-end execution
+    /// time; if zero, it is inferred from the latest interval end.
+    pub fn from_intervals(intervals: &[Vec<(f64, f64)>], total: f64) -> Bottlegraph {
+        let n = intervals.len();
+        let inferred = intervals
+            .iter()
+            .flat_map(|iv| iv.iter().map(|&(_, e)| e))
+            .fold(0.0, f64::max);
+        let total = if total > 0.0 { total } else { inferred };
+
+        // Event sweep over all interval edges.
+        let mut events: Vec<(f64, i32, usize)> = Vec::new();
+        for (t, iv) in intervals.iter().enumerate() {
+            for &(s, e) in iv {
+                if e > s {
+                    events.push((s, 1, t));
+                    events.push((e, -1, t));
+                }
+            }
+        }
+        // At equal timestamps, process interval ends before starts so that
+        // back-to-back intervals of one thread do not look like an overlap.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut active = vec![false; n];
+        let mut k = 0i64;
+        let mut share = vec![0.0f64; n];
+        let mut par_weighted = vec![0.0f64; n];
+        let mut active_time = vec![0.0f64; n];
+        let mut prev = events.first().map(|e| e.0).unwrap_or(0.0);
+
+        for (t, delta, thread) in events {
+            let dt = t - prev;
+            if dt > 0.0 && k > 0 {
+                for (i, &a) in active.iter().enumerate() {
+                    if a {
+                        share[i] += dt / k as f64;
+                        par_weighted[i] += dt * k as f64;
+                        active_time[i] += dt;
+                    }
+                }
+            }
+            prev = t;
+            if delta > 0 {
+                debug_assert!(!active[thread], "overlapping intervals for thread {thread}");
+                active[thread] = true;
+                k += 1;
+            } else {
+                active[thread] = false;
+                k -= 1;
+            }
+        }
+
+        let mut boxes: Vec<BottleBox> = (0..n)
+            .map(|t| BottleBox {
+                thread: t,
+                height: if total > 0.0 { share[t] / total } else { 0.0 },
+                parallelism: if active_time[t] > 0.0 {
+                    par_weighted[t] / active_time[t]
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        boxes.sort_by(|a, b| b.parallelism.total_cmp(&a.parallelism));
+        Bottlegraph { boxes, total }
+    }
+
+    /// Sum of box heights; ≈1 when some thread is active at every instant,
+    /// less when the schedule has fully idle gaps.
+    pub fn covered(&self) -> f64 {
+        self.boxes.iter().map(|b| b.height).sum()
+    }
+
+    /// The bottleneck: the tallest (least parallel) box.
+    pub fn bottleneck(&self) -> Option<&BottleBox> {
+        self.boxes
+            .iter()
+            .max_by(|a, b| a.height.total_cmp(&b.height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_four_threads() {
+        // Four threads active [0,100]: each has height 1/4, parallelism 4.
+        let iv: Vec<Vec<(f64, f64)>> = (0..4).map(|_| vec![(0.0, 100.0)]).collect();
+        let g = Bottlegraph::from_intervals(&iv, 100.0);
+        for b in &g.boxes {
+            assert!((b.height - 0.25).abs() < 1e-9, "{b:?}");
+            assert!((b.parallelism - 4.0).abs() < 1e-9);
+        }
+        assert!((g.covered() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_thread_dominates() {
+        // Thread 0 alone [0,50]; threads 0..2 together [50,100].
+        let iv = vec![vec![(0.0, 100.0)], vec![(50.0, 100.0)]];
+        let g = Bottlegraph::from_intervals(&iv, 100.0);
+        let t0 = g.boxes.iter().find(|b| b.thread == 0).expect("exists");
+        let t1 = g.boxes.iter().find(|b| b.thread == 1).expect("exists");
+        // t0: 50 alone + 25 shared = 75; t1: 25.
+        assert!((t0.height - 0.75).abs() < 1e-9);
+        assert!((t1.height - 0.25).abs() < 1e-9);
+        // t0 parallelism: (50*1 + 50*2)/100 = 1.5; t1: 2.
+        assert!((t0.parallelism - 1.5).abs() < 1e-9);
+        assert!((t1.parallelism - 2.0).abs() < 1e-9);
+        // Stacking: widest first.
+        assert_eq!(g.boxes[0].thread, 1);
+        // Bottleneck is the serial thread.
+        assert_eq!(g.bottleneck().expect("nonempty").thread, 0);
+    }
+
+    #[test]
+    fn idle_gaps_reduce_coverage() {
+        let iv = vec![vec![(0.0, 40.0), (60.0, 100.0)]];
+        let g = Bottlegraph::from_intervals(&iv, 100.0);
+        assert!((g.covered() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_thread_gets_zero_box() {
+        let iv = vec![vec![(0.0, 10.0)], vec![]];
+        let g = Bottlegraph::from_intervals(&iv, 10.0);
+        let t1 = g.boxes.iter().find(|b| b.thread == 1).expect("exists");
+        assert_eq!(t1.height, 0.0);
+        assert_eq!(t1.parallelism, 0.0);
+    }
+
+    #[test]
+    fn total_inferred_when_zero() {
+        let iv = vec![vec![(0.0, 200.0)]];
+        let g = Bottlegraph::from_intervals(&iv, 0.0);
+        assert_eq!(g.total, 200.0);
+        assert!((g.covered() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heights_sum_to_one_for_gapless_schedules() {
+        // Staggered but gapless.
+        let iv = vec![
+            vec![(0.0, 30.0), (30.0, 60.0)],
+            vec![(10.0, 50.0)],
+            vec![(20.0, 60.0)],
+        ];
+        let g = Bottlegraph::from_intervals(&iv, 60.0);
+        assert!((g.covered() - 1.0).abs() < 1e-9, "covered {}", g.covered());
+    }
+}

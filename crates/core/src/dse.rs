@@ -1,0 +1,144 @@
+//! Design-space exploration (the Table V case study).
+//!
+//! RPPM's purpose is fast design-space pruning: predict all design points
+//! from one profile, keep those within a bound of the predicted optimum,
+//! then (optionally) simulate only the survivors. `deficiency` measures the
+//! cost of trusting the model: how much slower the chosen design is than the
+//! true (simulated) optimum.
+
+/// Outcome of a model-guided design choice at one bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseChoice {
+    /// Indices of the design points within the bound of the predicted
+    /// optimum (the candidate set simulation would re-evaluate).
+    pub candidates: Vec<usize>,
+    /// Index of the design chosen: the *simulated*-best candidate.
+    pub chosen: usize,
+    /// Relative slowdown of the chosen design versus the true optimum
+    /// (0 when the model's candidate set contains the true optimum).
+    pub deficiency: f64,
+}
+
+/// Evaluates a model-guided design choice.
+///
+/// `predicted[i]` and `simulated[i]` are execution times of design point
+/// `i`. `bound` is the relative slack around the predicted optimum
+/// (e.g. `0.01` keeps every design predicted within 1% of the best
+/// prediction).
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths.
+pub fn evaluate_choice(predicted: &[f64], simulated: &[f64], bound: f64) -> DseChoice {
+    assert_eq!(predicted.len(), simulated.len(), "mismatched design spaces");
+    assert!(!predicted.is_empty(), "empty design space");
+
+    let best_pred = predicted.iter().cloned().fold(f64::MAX, f64::min);
+    let candidates: Vec<usize> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p <= best_pred * (1.0 + bound) + 1e-12)
+        .map(|(i, _)| i)
+        .collect();
+
+    let chosen = candidates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| simulated[a].total_cmp(&simulated[b]))
+        .expect("candidate set nonempty");
+
+    let true_best = simulated.iter().cloned().fold(f64::MAX, f64::min);
+    let deficiency = (simulated[chosen] - true_best) / true_best;
+
+    DseChoice { candidates, chosen, deficiency: deficiency.max(0.0) }
+}
+
+/// One benchmark's row in Table V: deficiency and candidate count at each
+/// bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseRow {
+    /// Benchmark name.
+    pub name: String,
+    /// `(bound, deficiency, candidate count)` per evaluated bound.
+    pub cells: Vec<(f64, f64, usize)>,
+}
+
+/// Builds a Table V row for one benchmark.
+pub fn dse_row(name: &str, predicted: &[f64], simulated: &[f64], bounds: &[f64]) -> DseRow {
+    let cells = bounds
+        .iter()
+        .map(|&b| {
+            let c = evaluate_choice(predicted, simulated, b);
+            (b, c.deficiency, c.candidates.len())
+        })
+        .collect();
+    DseRow { name: name.to_string(), cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_has_zero_deficiency() {
+        let times = [5.0, 3.0, 4.0];
+        let c = evaluate_choice(&times, &times, 0.0);
+        assert_eq!(c.chosen, 1);
+        assert_eq!(c.deficiency, 0.0);
+        assert_eq!(c.candidates, vec![1]);
+    }
+
+    #[test]
+    fn wrong_model_pays_deficiency() {
+        let predicted = [1.0, 2.0, 3.0]; // model loves design 0
+        let simulated = [2.0, 1.0, 3.0]; // reality prefers design 1
+        let c = evaluate_choice(&predicted, &simulated, 0.0);
+        assert_eq!(c.chosen, 0);
+        assert!((c.deficiency - 1.0).abs() < 1e-12, "100% slower");
+    }
+
+    #[test]
+    fn wider_bound_recovers_true_optimum() {
+        let predicted = [1.0, 1.009, 3.0];
+        let simulated = [2.0, 1.0, 3.0];
+        let tight = evaluate_choice(&predicted, &simulated, 0.0);
+        assert!(tight.deficiency > 0.9);
+        let loose = evaluate_choice(&predicted, &simulated, 0.01);
+        assert_eq!(loose.candidates, vec![0, 1]);
+        assert_eq!(loose.chosen, 1);
+        assert_eq!(loose.deficiency, 0.0);
+    }
+
+    #[test]
+    fn bound_is_relative() {
+        let predicted = [100.0, 104.0, 106.0];
+        let simulated = [1.0, 1.0, 1.0];
+        let c = evaluate_choice(&predicted, &simulated, 0.05);
+        assert_eq!(c.candidates, vec![0, 1]);
+    }
+
+    #[test]
+    fn row_spans_bounds() {
+        let predicted = [1.0, 1.02, 2.0];
+        let simulated = [1.1, 1.0, 2.0];
+        let row = dse_row("bench", &predicted, &simulated, &[0.0, 0.01, 0.03, 0.05]);
+        assert_eq!(row.cells.len(), 4);
+        // Deficiency is non-increasing in the bound.
+        for w in row.cells.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+            assert!(w[1].2 >= w[0].2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        evaluate_choice(&[1.0], &[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_design_space_panics() {
+        evaluate_choice(&[], &[], 0.0);
+    }
+}

@@ -1,0 +1,434 @@
+//! Equation 1: per-epoch active execution time.
+//!
+//! ```text
+//! C = N/Deff                                   (base)
+//!   + m_bpred · (c_res + c_fr)                 (branch)
+//!   + Σ m_IL_i · c_L(i+1)                      (I-cache)
+//!   + m_LLC · c_mem / MLP                      (D-cache)
+//! ```
+//!
+//! All inputs come from the microarchitecture-independent profile; all
+//! machine parameters come from [`MachineConfig`]. Three mechanisms mirror
+//! the structure of the paper's model:
+//!
+//! * **Mid-level cache latencies fold into `Deff`.** The profile carries
+//!   ILP curves parameterized by load latency; at prediction time the
+//!   expected per-load latency (from StatStack's miss rates: L1/L2/L3 hits,
+//!   coherence interventions) selects the effective curve. This is why
+//!   Equation 1 has no explicit L2/L3 terms. For CPI-stack reporting the
+//!   induced slowdown over the nominal-latency curve is attributed to the
+//!   `mem_l2`/`mem_l3` components.
+//! * **Mispredictions truncate the effective window.** The distance to the
+//!   next mispredicted branch bounds the useful instruction window for both
+//!   ILP and MLP (speculation cannot proceed past an unresolved mispredicted
+//!   branch).
+//! * **Branch resolution time is memory-aware.** A mispredicted branch
+//!   whose backward slice contains loads resolves only after those loads
+//!   complete; the profile records the loads on the critical path feeding
+//!   branches, and each contributes its expected cache latency to `c_res`.
+//!   DRAM misses consumed this way are removed from the D-cache component
+//!   (they overlap, as in Eyerman et al.'s interval analysis).
+
+use rppm_profiler::EpochProfile;
+use rppm_statstack::StackDistanceModel;
+use rppm_trace::{CpiStack, MachineConfig, OpClass};
+
+/// Prediction for one epoch of one thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochPrediction {
+    /// Predicted active execution cycles.
+    pub cycles: f64,
+    /// Component breakdown (sync is always 0 here; it is added by the
+    /// symbolic execution).
+    pub stack: CpiStack,
+    /// Effective dispatch rate used for the base component.
+    pub deff: f64,
+    /// Predicted mispredicted branches.
+    pub mispredicts: f64,
+    /// Predicted loads served by DRAM.
+    pub dram_misses: f64,
+    /// Predicted memory-level parallelism for DRAM misses.
+    pub mlp: f64,
+}
+
+/// Predicts the active execution time of one epoch on `config`.
+pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
+    if epoch.ops == 0 {
+        return EpochPrediction { mlp: 1.0, ..Default::default() };
+    }
+    let n = epoch.ops as f64;
+    let loads = epoch.loads() as f64;
+
+    // --- Cache miss rates (StatStack, multi-threaded extension). ---
+    let priv_model = StackDistanceModel::new(&epoch.private_rd);
+    let glob_model = StackDistanceModel::new(&epoch.global_rd);
+    let r1 = priv_model.miss_rate_geom(&config.l1d);
+    let r2 = priv_model.miss_rate_geom(&config.l2).min(r1);
+    // Shared LLC: global (interleaved) reuse distances capture inter-thread
+    // interference, positive and negative. Coherence-invalidated reuses are
+    // "always miss" in the private histograms but typically hit the shared
+    // LLC or a remote cache, so they surface as (r2 - r3) traffic.
+    let r3 = glob_model.miss_rate_geom(&config.l3).min(r2);
+
+    let lat_l1 = OpClass::Load.latency() as f64;
+    let lat_l2 = config.l2.latency as f64;
+    // L2 misses that stay on chip are served by the LLC or, for
+    // coherence-invalidated lines, by a remote private cache (intervention).
+    let inval_frac = {
+        let t = epoch.private_rd.total();
+        if t == 0 { 0.0 } else { epoch.private_rd.invalidated as f64 / t as f64 }
+    };
+    let onchip = (r2 - r3).max(1e-12);
+    let remote_share = (inval_frac / onchip).clamp(0.0, 1.0);
+    let lat_l3 = config.l3.latency as f64
+        + remote_share * config.coherence_latency as f64;
+    let c_mem = config.l3.latency as f64 + config.mem_latency_cycles();
+
+    // Expected on-chip load latency (DRAM handled separately below).
+    let l_eff = lat_l1 + (r1 - r2) * (lat_l2 - lat_l1) + (r2 - r3) * (lat_l3 - lat_l1);
+
+    // --- Branch component (memory-aware resolution). ---
+    let miss_rate = rppm_branch_model::predict_miss_rate(&epoch.branch, &config.bpred);
+    let mispredicts = miss_rate * epoch.branches() as f64;
+    // Loads on the critical path feeding a branch each contribute their
+    // expected extra latency; a DRAM miss on that path stalls resolution for
+    // the full memory latency.
+    let extra_per_load = (r1 - r2) * (lat_l2 - lat_l1)
+        + (r2 - r3) * (lat_l3 - lat_l1)
+        + r3 * (c_mem - lat_l1);
+    // Path-selection factor: the realized critical path to a branch is the
+    // *maximum* over many dependence paths, which systematically exceeds
+    // the single memory-weighted path evaluated at expected latencies
+    // (E[max] > max E). Calibrated once against the reference simulator.
+    let kappa: f64 = std::env::var("RPPM_KAPPA").ok().and_then(|v| v.parse().ok()).unwrap_or(3.0);
+    let c_res = epoch.branch_depth.max(OpClass::Branch.latency() as f64)
+        + kappa * epoch.branch_slice_loads * extra_per_load;
+    let branch = mispredicts * (c_res + config.frontend_depth as f64);
+
+    // --- Effective window. Speculation cannot pass an unresolved
+    // mispredicted branch, but only *memory-bound* resolutions actually
+    // drain the pipeline (short resolutions stall the front-end briefly
+    // while the ROB backlog keeps executing). Scale the truncation by the
+    // probability that a mispredict's slice chains through DRAM. ---
+    let p_long = (epoch.branch_slice_loads * r3).min(1.0);
+    let long_mispredicts = mispredicts * p_long;
+    let ops_per_drain = if long_mispredicts > 0.5 {
+        n / long_mispredicts
+    } else {
+        f64::INFINITY
+    };
+    let w_eff = (config.rob_size as f64).min(ops_per_drain).max(8.0) as u32;
+
+    // --- Base: effective dispatch rate at the effective load latency. ---
+    let width = config.dispatch_width as f64;
+    let ilp_nominal = epoch.ilp_at(w_eff, lat_l1).unwrap_or(f64::INFINITY);
+    let ilp_eff = epoch.ilp_at(w_eff, l_eff).unwrap_or(f64::INFINITY);
+    // Functional-unit throughput limit: the tightest ports/mix ratio,
+    // grouping classes that share an issue-port pool.
+    let mut pool_frac = [0.0f64; rppm_trace::op::NUM_PORT_POOLS];
+    let mut pool_ports = [1.0f64; rppm_trace::op::NUM_PORT_POOLS];
+    for class in OpClass::ALL {
+        pool_frac[class.port_pool()] += epoch.mix_fraction(class);
+        pool_ports[class.port_pool()] = config.ports_for(class) as f64;
+    }
+    let mut fu_limit = f64::INFINITY;
+    for (frac, ports) in pool_frac.iter().zip(&pool_ports) {
+        if *frac > 0.0 {
+            fu_limit = fu_limit.min(ports / frac);
+        }
+    }
+    let deff = width.min(ilp_eff).min(fu_limit).max(0.1);
+    let deff_nominal = width.min(ilp_nominal).min(fu_limit).max(0.1);
+    let cycles_eff = n / deff;
+    let base = n / deff_nominal;
+    // Slowdown induced by on-chip load latencies through dependence chains,
+    // attributed to the memory components for CPI-stack reporting (split by
+    // latency contribution).
+    let mid_extra = (cycles_eff - base).max(0.0);
+    let w_l2 = (r1 - r2) * (lat_l2 - lat_l1);
+    let w_l3 = (r2 - r3) * (lat_l3 - lat_l1);
+    let (chain_l2, chain_l3) = if w_l2 + w_l3 > 0.0 {
+        (
+            mid_extra * w_l2 / (w_l2 + w_l3),
+            mid_extra * w_l3 / (w_l2 + w_l3),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    // In-order retirement exposure: even fully independent loads stall the
+    // window when their latency exceeds what the ROB can buffer
+    // (`w_eff/Deff` cycles of run-ahead). Each window containing at least
+    // one such load pays the exposure once (its peers overlap under it).
+    let loads_per_window = (loads / n) * w_eff as f64;
+    let windows = n / w_eff as f64;
+    let drain = w_eff as f64 / deff_nominal;
+    let expose = |rate: f64, lat: f64| -> f64 {
+        let per_window = rate * loads_per_window;
+        let exposure = (lat - drain).max(0.0);
+        windows * exposure * (1.0 - (-per_window).exp())
+    };
+    // (RPPM_NO_EXPOSURE=1 disables the retirement-exposure term — ablation
+    // harness only.)
+    let no_expose = std::env::var("RPPM_NO_EXPOSURE").is_ok_and(|v| v == "1");
+    let win_l2 = if no_expose { 0.0 } else { expose(r1 - r2, lat_l2) };
+    let win_l3 = if no_expose { 0.0 } else { expose(r2 - r3, lat_l3) };
+    // The chain-induced and retirement-induced stalls overlap; count the
+    // larger per level.
+    let mem_l2 = chain_l2.max(win_l2);
+    let mem_l3 = chain_l3.max(win_l3);
+
+    // --- I-cache component. ---
+    let icache_model = StackDistanceModel::new(&epoch.icache_rd);
+    let l1i_misses = icache_model.miss_rate_geom(&config.l1i) * epoch.code_fetches as f64;
+    let icache = l1i_misses * config.l2.latency as f64;
+
+    // --- D-cache DRAM component with MLP overlap. ---
+    let dram_misses = r3 * loads;
+    // Misses on mispredicted-branch slices are already paid for in the
+    // branch component (the events overlap).
+    let dram_in_branch = mispredicts * epoch.branch_slice_loads * r3;
+    let dram_eff = (dram_misses - dram_in_branch).max(0.0);
+    let p_dram = if loads > 0.0 { (dram_misses / loads).clamp(0.0, 1.0) } else { 0.0 };
+    let indep = epoch.mlp_at(w_eff).unwrap_or(0.0);
+    // Effective MSHR utilization: issue-port and dispatch gaps keep the
+    // overlap below the ideal independent-miss count (calibrated once
+    // against the reference simulator).
+    let gamma: f64 = std::env::var("RPPM_MLP_EFF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.85);
+    let gcap: f64 = std::env::var("RPPM_MLP_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.75);
+    let mlp = (gamma * (1.0 + indep * p_dram)).clamp(1.0, gcap * config.mshrs as f64);
+    let mem_dram_raw = dram_eff * c_mem / mlp;
+    // Misses *independent* of a mispredicted branch's slice still overlap
+    // with its resolution stall (the window keeps servicing them while the
+    // front-end is squashed). Credit that overlap: up to the branch
+    // component's memory portion, scaled by the fraction of window loads
+    // that are independent.
+    let branch_mem_time = mispredicts * epoch.branch_slice_loads * extra_per_load;
+    let f_indep = if loads_per_window > 0.0 {
+        (indep / loads_per_window).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let mem_dram = (mem_dram_raw - branch_mem_time * f_indep).max(0.0);
+
+    let mut stack = CpiStack {
+        base,
+        branch,
+        icache,
+        mem_l2,
+        mem_l3,
+        mem_dram,
+        sync: 0.0,
+    };
+
+    // Chain bound: the epoch can never run faster than its data-dependence
+    // critical path evaluated with the *expected* load latency including
+    // DRAM misses. Pointer-chasing code (serialized misses spanning window
+    // boundaries) is governed by this bound rather than by the additive
+    // components; any excess is memory time. (RPPM_NO_CHAIN_BOUND=1
+    // disables it — ablation harness only.)
+    let l_chain = l_eff + r3 * (c_mem - lat_l1);
+    let no_chain = std::env::var("RPPM_NO_CHAIN_BOUND").is_ok_and(|v| v == "1");
+    if no_chain {
+        return EpochPrediction {
+            cycles: stack.total(),
+            stack,
+            deff,
+            mispredicts,
+            dram_misses,
+            mlp,
+        };
+    }
+    if let Some(ilp_chain) = epoch.ilp_at(w_eff, l_chain) {
+        let chain_cycles = n / ilp_chain.min(deff_nominal).max(0.05);
+        let total = stack.total();
+        if chain_cycles > total {
+            stack.mem_dram += chain_cycles - total;
+        }
+    }
+
+    EpochPrediction {
+        cycles: stack.total(),
+        stack,
+        deff,
+        mispredicts,
+        dram_misses,
+        mlp,
+    }
+}
+
+/// Variant used by the MAIN/CRIT baselines and by the original
+/// single-threaded model: the thread is modeled in isolation, so the
+/// *private* reuse-distance distribution is used for every cache level
+/// (no interference, no coherence awareness beyond what profiling embedded
+/// in the private histogram).
+pub fn predict_epoch_isolated(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
+    let mut iso = epoch.clone();
+    iso.global_rd = epoch.private_rd.clone();
+    predict_epoch(&iso, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_profiler::profile;
+    use rppm_trace::{
+        AddressPattern, BlockSpec, BranchPattern, DesignPoint, ProgramBuilder, Region,
+    };
+
+    fn single_epoch(spec: BlockSpec) -> EpochProfile {
+        let mut b = ProgramBuilder::new("one", 1);
+        b.thread(0u32).block(spec);
+        let prof = profile(&b.build());
+        prof.threads[0].epochs[0].clone()
+    }
+
+    #[test]
+    fn empty_epoch_predicts_zero() {
+        let e = EpochProfile::default();
+        let p = predict_epoch(&e, &DesignPoint::Base.config());
+        assert_eq!(p.cycles, 0.0);
+    }
+
+    #[test]
+    fn ilp_limited_code_predicts_low_ipc() {
+        let e = single_epoch(BlockSpec::new(50_000, 1).deps(1.0, 1.0).deps2(0.0));
+        let p = predict_epoch(&e, &DesignPoint::Base.config());
+        let ipc = e.ops as f64 / p.cycles;
+        assert!(ipc < 1.5, "serial chain ipc {ipc}");
+    }
+
+    #[test]
+    fn wide_code_reaches_width() {
+        let e = single_epoch(BlockSpec::new(50_000, 2).deps(0.0, 1.0).deps2(0.0));
+        let cfg = DesignPoint::Base.config();
+        let p = predict_epoch(&e, &cfg);
+        let ipc = e.ops as f64 / p.cycles;
+        assert!((ipc - cfg.dispatch_width as f64).abs() < 0.5, "ipc {ipc}");
+    }
+
+    #[test]
+    fn fp_heavy_code_hits_fu_limit() {
+        let e = single_epoch(BlockSpec::new(50_000, 3).fp(0.5, 0.4).deps(0.0, 1.0).deps2(0.0));
+        let cfg = DesignPoint::Base.config(); // 2 FP pipes
+        let p = predict_epoch(&e, &cfg);
+        // 90% FP through 2 ports: Deff <= 2/0.9 = 2.22.
+        assert!(p.deff < 2.4, "deff {}", p.deff);
+    }
+
+    #[test]
+    fn random_branches_cost_cycles() {
+        let spec = |pat| {
+            BlockSpec::new(50_000, 4)
+                .branches(0.2)
+                .branch_pattern(pat)
+        };
+        let cfg = DesignPoint::Base.config();
+        let predictable = predict_epoch(&single_epoch(spec(BranchPattern::loop_every(64))), &cfg);
+        let random = predict_epoch(&single_epoch(spec(BranchPattern::bernoulli(0.5))), &cfg);
+        assert!(random.stack.branch > 10.0 * predictable.stack.branch.max(1.0));
+        assert!(random.mispredicts > 3000.0);
+    }
+
+    #[test]
+    fn streaming_loads_cost_dram_time() {
+        let e = single_epoch(
+            BlockSpec::new(50_000, 5)
+                .loads(0.3)
+                .addr(AddressPattern::stream(Region::new(0, 4 << 20)), 1.0),
+        );
+        let cfg = DesignPoint::Base.config();
+        let p = predict_epoch(&e, &cfg);
+        assert!(p.dram_misses > 1000.0);
+        assert!(p.stack.mem_dram > 0.0);
+        assert!(p.mlp > 1.0, "streaming should overlap misses: {}", p.mlp);
+    }
+
+    #[test]
+    fn chained_loads_get_no_mlp() {
+        let mk = |chain| {
+            single_epoch(
+                BlockSpec::new(50_000, 6)
+                    .loads(0.3)
+                    .deps(0.0, 1.0)
+                    .load_chain(chain)
+                    .addr(AddressPattern::random(Region::new(0, 4 << 20)), 1.0),
+            )
+        };
+        let cfg = DesignPoint::Base.config();
+        let indep = predict_epoch(&mk(0.0), &cfg);
+        let chained = predict_epoch(&mk(1.0), &cfg);
+        assert!(chained.mlp < indep.mlp, "{} vs {}", chained.mlp, indep.mlp);
+        assert!(chained.stack.mem_dram > indep.stack.mem_dram);
+    }
+
+    #[test]
+    fn cache_resident_data_is_cheap() {
+        // A long epoch over a tiny working set: only the ~128 cold misses
+        // ever reach DRAM, so the memory component amortizes away.
+        let e = single_epoch(
+            BlockSpec::new(500_000, 7)
+                .loads(0.3)
+                .addr(AddressPattern::random(Region::new(0, 128)), 1.0),
+        );
+        let p = predict_epoch(&e, &DesignPoint::Base.config());
+        assert!(p.dram_misses < 200.0, "{}", p.dram_misses);
+        assert!(p.stack.mem_dram < 0.25 * p.cycles, "{:?}", p.stack);
+    }
+
+    #[test]
+    fn isolated_variant_ignores_global_hist() {
+        let e = single_epoch(
+            BlockSpec::new(20_000, 8)
+                .loads(0.3)
+                .addr(AddressPattern::random(Region::new(0, 1 << 16)), 1.0),
+        );
+        let cfg = DesignPoint::Base.config();
+        let a = predict_epoch_isolated(&e, &cfg);
+        // For a single-threaded profile global == private interleaving, so
+        // both variants agree.
+        let b = predict_epoch(&e, &cfg);
+        assert!((a.cycles - b.cycles).abs() / b.cycles < 0.05);
+    }
+
+    #[test]
+    fn bigger_rob_extracts_more_mlp() {
+        // Partially chained streaming loads: the independent-miss count in
+        // the window grows with the ROB, so bigger designs overlap more.
+        let e = single_epoch(
+            BlockSpec::new(50_000, 20)
+                .loads(0.25)
+                .deps(0.0, 1.0)
+                .load_chain(0.8)
+                .addr(AddressPattern::stream(Region::new(0, 4 << 20)), 1.0),
+        );
+        let small = predict_epoch(&e, &DesignPoint::Smallest.config());
+        let big = predict_epoch(&e, &DesignPoint::Biggest.config());
+        assert!(
+            big.mlp > small.mlp,
+            "ROB 288 should overlap more than ROB 32: {} vs {}",
+            big.mlp,
+            small.mlp
+        );
+    }
+
+    #[test]
+    fn bigger_rob_hides_more_l3_latency() {
+        // Working set between L2 and L3 sizes, long enough that cold misses
+        // are negligible: loads mostly hit the shared L3.
+        let e = single_epoch(
+            BlockSpec::new(400_000, 9)
+                .loads(0.3)
+                .addr(AddressPattern::random(Region::new(0, 20_000)), 1.0),
+        );
+        let small = predict_epoch(&e, &DesignPoint::Smallest.config());
+        let big = predict_epoch(&e, &DesignPoint::Biggest.config());
+        // The larger window extracts more parallelism among the L3-latency
+        // loads, so less of the epoch is attributed to mem-L3.
+        assert!(
+            big.stack.mem_l3 < small.stack.mem_l3,
+            "big window should hide more: {} vs {}",
+            big.stack.mem_l3,
+            small.stack.mem_l3
+        );
+    }
+}

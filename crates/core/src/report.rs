@@ -1,0 +1,65 @@
+//! Error metrics and comparison helpers used across the evaluation.
+
+/// Absolute relative error `|predicted − actual| / actual` (0 when both are
+/// zero; infinite when only `actual` is zero).
+pub fn abs_pct_error(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (predicted - actual).abs() / actual.abs()
+    }
+}
+
+/// Signed relative error `(predicted − actual) / actual`.
+pub fn signed_pct_error(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        0.0
+    } else {
+        (predicted - actual) / actual.abs()
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum of a slice (0 for an empty slice).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_error_basics() {
+        assert!((abs_pct_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((abs_pct_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(abs_pct_error(0.0, 0.0), 0.0);
+        assert!(abs_pct_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn signed_error_keeps_direction() {
+        assert!(signed_pct_error(90.0, 100.0) < 0.0);
+        assert!(signed_pct_error(110.0, 100.0) > 0.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(max(&[0.2, 0.9, 0.5]), 0.9);
+    }
+}

@@ -1,0 +1,598 @@
+//! Algorithm 2: symbolic execution of synchronization.
+//!
+//! Phase 2 of RPPM: given each thread's predicted per-epoch active times and
+//! its synchronization-event sequence, the symbolic execution repeatedly
+//! picks the unblocked thread with the smallest accumulated time and
+//! advances it to its next synchronization event, emulating barrier,
+//! critical-section, condition-variable, creation and join semantics. The
+//! slowest thread determines each event's timing; faster threads accumulate
+//! idle (sync) time. The critical path through this schedule is the
+//! predicted execution time.
+
+use rppm_trace::{MachineConfig, SyncOp};
+use std::collections::{HashMap, VecDeque};
+
+/// One thread's input to the symbolic execution: predicted active cycles per
+/// epoch, and the events separating them (`epochs.len() == events.len() + 1`).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTimeline {
+    /// Predicted active cycles per epoch.
+    pub epochs: Vec<f64>,
+    /// Synchronization events between epochs.
+    pub events: Vec<SyncOp>,
+}
+
+/// Outcome of the symbolic execution for one thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadSchedule {
+    /// Time the thread started (cycles).
+    pub start: f64,
+    /// Time the thread finished (cycles).
+    pub finish: f64,
+    /// Total active cycles (sum of epochs + sync-library overhead).
+    pub active: f64,
+    /// Idle cycles spent waiting on synchronization.
+    pub idle: f64,
+    /// Active intervals for bottlegraph construction.
+    pub intervals: Vec<(f64, f64)>,
+}
+
+/// Result of the symbolic execution.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Predicted end-to-end execution time (cycles).
+    pub total: f64,
+    /// Per-thread schedules.
+    pub threads: Vec<ThreadSchedule>,
+}
+
+impl Schedule {
+    /// Per-thread active intervals (bottlegraph input).
+    pub fn intervals(&self) -> Vec<Vec<(f64, f64)>> {
+        self.threads.iter().map(|t| t.intervals.clone()).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct Thread {
+    epochs: Vec<f64>,
+    events: Vec<SyncOp>,
+    /// Next element to execute: epoch `idx` if `at_epoch`, else event `idx`.
+    idx: usize,
+    at_epoch: bool,
+    time: f64,
+    status: Status,
+    start: f64,
+    active: f64,
+    idle: f64,
+    block_time: f64,
+    intervals: Vec<(f64, f64)>,
+    open: f64,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+    max_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    queue: VecDeque<usize>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<f64>,
+    waiting: VecDeque<usize>,
+}
+
+/// Runs Algorithm 2 over the thread timelines.
+///
+/// `config` supplies the synchronization constants (library overhead per
+/// event, thread-spawn latency) — the same values the simulator uses.
+///
+/// # Panics
+///
+/// Panics on structurally inconsistent timelines
+/// (`epochs.len() != events.len() + 1`) or a deadlocked schedule.
+pub fn execute(timelines: &[ThreadTimeline], config: &MachineConfig) -> Schedule {
+    for (i, tl) in timelines.iter().enumerate() {
+        assert_eq!(
+            tl.epochs.len(),
+            tl.events.len() + 1,
+            "thread {i}: inconsistent timeline"
+        );
+    }
+    SymExec::new(timelines, config).run()
+}
+
+struct SymExec<'a> {
+    overhead: f64,
+    spawn: f64,
+    threads: Vec<Thread>,
+    barriers: HashMap<u32, BarrierState>,
+    participants: HashMap<u32, usize>,
+    mutexes: HashMap<u32, MutexState>,
+    queues: HashMap<u32, QueueState>,
+    joiners: HashMap<usize, Vec<usize>>,
+    finish: Vec<f64>,
+    _cfg: &'a MachineConfig,
+}
+
+impl<'a> SymExec<'a> {
+    fn new(timelines: &[ThreadTimeline], config: &'a MachineConfig) -> Self {
+        let threads = timelines
+            .iter()
+            .enumerate()
+            .map(|(i, tl)| Thread {
+                epochs: tl.epochs.clone(),
+                events: tl.events.clone(),
+                idx: 0,
+                at_epoch: true,
+                time: 0.0,
+                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                start: 0.0,
+                active: 0.0,
+                idle: 0.0,
+                block_time: 0.0,
+                intervals: Vec::new(),
+                open: 0.0,
+            })
+            .collect();
+
+        let mut participants: HashMap<u32, usize> = HashMap::new();
+        for tl in timelines {
+            let mut seen = std::collections::HashSet::new();
+            for ev in &tl.events {
+                if let SyncOp::Barrier { id, .. } = ev {
+                    if seen.insert(id.0) {
+                        *participants.entry(id.0).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        SymExec {
+            overhead: config.sync_overhead_cycles as f64,
+            spawn: config.spawn_latency_cycles as f64,
+            threads,
+            barriers: HashMap::new(),
+            participants,
+            mutexes: HashMap::new(),
+            queues: HashMap::new(),
+            joiners: HashMap::new(),
+            finish: vec![0.0; timelines.len()],
+            _cfg: config,
+        }
+    }
+
+    fn block(&mut self, i: usize) {
+        let th = &mut self.threads[i];
+        th.status = Status::Blocked;
+        th.block_time = th.time;
+        if th.time > th.open {
+            th.intervals.push((th.open, th.time));
+        }
+    }
+
+    fn resume(&mut self, i: usize, t: f64) {
+        let th = &mut self.threads[i];
+        if t > th.time {
+            th.idle += t - th.time;
+            th.time = t;
+        }
+        th.status = Status::Ready;
+        th.open = th.time;
+    }
+
+    /// Thread `i`, while running, waits in place until `t`.
+    fn wait_running(&mut self, i: usize, t: f64) {
+        let th = &mut self.threads[i];
+        if t > th.time {
+            if th.time > th.open {
+                th.intervals.push((th.open, th.time));
+            }
+            th.idle += t - th.time;
+            th.time = t;
+            th.open = t;
+        }
+    }
+
+    fn finish_thread(&mut self, i: usize) {
+        let t = self.threads[i].time;
+        {
+            let th = &mut self.threads[i];
+            th.status = Status::Done;
+            if t > th.open {
+                th.intervals.push((th.open, t));
+            }
+        }
+        self.finish[i] = t;
+        if let Some(ws) = self.joiners.remove(&i) {
+            for w in ws {
+                self.resume(w, t);
+            }
+        }
+    }
+
+    /// Handles the event; returns `true` if the thread blocked.
+    fn handle_event(&mut self, i: usize, ev: SyncOp) -> bool {
+        // Library overhead: active time.
+        {
+            let th = &mut self.threads[i];
+            th.time += self.overhead;
+            th.active += self.overhead;
+        }
+        let t = self.threads[i].time;
+        match ev {
+            SyncOp::Create { child } => {
+                let c = child.index();
+                let start = t + self.spawn;
+                let ch = &mut self.threads[c];
+                debug_assert_eq!(ch.status, Status::NotStarted);
+                ch.status = Status::Ready;
+                ch.time = start;
+                ch.start = start;
+                ch.open = start;
+                false
+            }
+            SyncOp::Join { child } => {
+                let c = child.index();
+                if self.threads[c].status == Status::Done {
+                    let fin = self.finish[c];
+                    self.wait_running(i, fin);
+                    false
+                } else {
+                    self.joiners.entry(c).or_default().push(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Barrier { id, .. } => {
+                let need = *self.participants.get(&id.0).expect("known barrier");
+                let bar = self.barriers.entry(id.0).or_default();
+                bar.arrived.push(i);
+                bar.max_time = bar.max_time.max(t);
+                if bar.arrived.len() >= need {
+                    let release = bar.max_time;
+                    let arrived = std::mem::take(&mut bar.arrived);
+                    bar.max_time = 0.0;
+                    for w in arrived {
+                        if w != i {
+                            self.resume(w, release);
+                        }
+                    }
+                    self.wait_running(i, release);
+                    false
+                } else {
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Lock { id } => {
+                let m = self.mutexes.entry(id.0).or_default();
+                if m.held_by.is_none() && m.queue.is_empty() {
+                    m.held_by = Some(i);
+                    false
+                } else {
+                    m.queue.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Unlock { id } => {
+                let m = self.mutexes.entry(id.0).or_default();
+                m.held_by = None;
+                if let Some(w) = m.queue.pop_front() {
+                    m.held_by = Some(w);
+                    self.resume(w, t);
+                }
+                false
+            }
+            SyncOp::Produce { queue, count } => {
+                let q = self.queues.entry(queue.0).or_default();
+                for _ in 0..count {
+                    q.items.push_back(t);
+                }
+                let mut wake = Vec::new();
+                while !q.items.is_empty() && !q.waiting.is_empty() {
+                    let item = q.items.pop_front().expect("nonempty");
+                    let w = q.waiting.pop_front().expect("nonempty");
+                    wake.push((w, item));
+                }
+                for (w, item) in wake {
+                    let at = item.max(self.threads[w].block_time);
+                    self.resume(w, at);
+                }
+                false
+            }
+            SyncOp::Consume { queue } => {
+                let q = self.queues.entry(queue.0).or_default();
+                if let Some(item) = q.items.pop_front() {
+                    if item > t {
+                        self.wait_running(i, item);
+                    }
+                    false
+                } else {
+                    q.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Schedule {
+        loop {
+            // Algorithm 2 picks the unblocked thread with the shortest
+            // accumulated time. We schedule by *arrival time at the next
+            // synchronization event* (time + pending epoch), the
+            // discrete-event refinement: every synchronization state change
+            // is then processed in globally nondecreasing time order, so
+            // untimed lock/queue state is always consistent with wall-clock
+            // order.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, th) in self.threads.iter().enumerate() {
+                if th.status == Status::Ready {
+                    let eta = if th.at_epoch && th.idx < th.epochs.len() {
+                        th.time + th.epochs[th.idx]
+                    } else {
+                        th.time
+                    };
+                    if best.map_or(true, |(_, bt)| eta < bt) {
+                        best = Some((i, eta));
+                    }
+                }
+            }
+            let Some((i, _)) = best else {
+                if self.threads.iter().all(|t| t.status == Status::Done) {
+                    break;
+                }
+                panic!("symbolic execution deadlocked");
+            };
+
+            // Proceed thread i to its next synchronization event (or end).
+            loop {
+                let th = &mut self.threads[i];
+                if th.at_epoch {
+                    if th.idx >= th.epochs.len() {
+                        self.finish_thread(i);
+                        break;
+                    }
+                    let dur = th.epochs[th.idx];
+                    th.time += dur;
+                    th.active += dur;
+                    th.at_epoch = false;
+                    if th.idx >= th.events.len() {
+                        // Last epoch: thread ends.
+                        th.idx += 1;
+                        self.finish_thread(i);
+                        break;
+                    }
+                } else {
+                    let ev = th.events[th.idx];
+                    th.idx += 1;
+                    th.at_epoch = true;
+                    // Whether or not the thread blocked, reschedule: another
+                    // thread may now have the smallest accumulated time.
+                    self.handle_event(i, ev);
+                    break;
+                }
+            }
+        }
+
+        let total = self.finish.iter().cloned().fold(0.0, f64::max);
+        let threads = self
+            .threads
+            .into_iter()
+            .enumerate()
+            .map(|(i, th)| ThreadSchedule {
+                start: th.start,
+                finish: self.finish[i],
+                active: th.active,
+                idle: th.idle,
+                intervals: th.intervals,
+            })
+            .collect();
+        Schedule { total, threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::{BarrierId, DesignPoint, MutexId, QueueId, ThreadId};
+
+    fn cfg() -> MachineConfig {
+        let mut c = DesignPoint::Base.config();
+        // Zero constants make the arithmetic of tests exact.
+        c.sync_overhead_cycles = 0;
+        c.spawn_latency_cycles = 0;
+        c
+    }
+
+    fn barrier(id: u32) -> SyncOp {
+        SyncOp::Barrier { id: BarrierId(id), via_cond: false }
+    }
+
+    #[test]
+    fn single_thread_sums_epochs() {
+        let tl = vec![ThreadTimeline { epochs: vec![100.0], events: vec![] }];
+        let s = execute(&tl, &cfg());
+        assert_eq!(s.total, 100.0);
+        assert_eq!(s.threads[0].active, 100.0);
+        assert_eq!(s.threads[0].idle, 0.0);
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest() {
+        // Two threads: 100 vs 300 to the barrier, then 50 each.
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 100.0, 50.0],
+                events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
+            },
+            ThreadTimeline { epochs: vec![300.0, 50.0], events: vec![barrier(0)] },
+        ];
+        let s = execute(&tl, &cfg());
+        assert_eq!(s.total, 350.0);
+        assert_eq!(s.threads[0].idle, 200.0, "fast thread waits 200");
+        assert_eq!(s.threads[1].idle, 0.0, "slow thread never waits");
+    }
+
+    #[test]
+    fn inter_barrier_criticality_switches() {
+        // Epoch 1: thread 1 slower; epoch 2: thread 0 slower. Total is the
+        // sum of per-epoch maxima (the paper's Figure 3(c)).
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 100.0, 400.0],
+                events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
+            },
+            ThreadTimeline { epochs: vec![300.0, 100.0], events: vec![barrier(0)] },
+        ];
+        let s = execute(&tl, &cfg());
+        assert_eq!(s.total, 700.0); // max(100,300) + max(400,100)
+    }
+
+    #[test]
+    fn mutex_serializes_and_orders_by_arrival() {
+        // Two threads reach a 100-cycle critical section at times 0 and 10.
+        let mk = |lead: f64| ThreadTimeline {
+            epochs: vec![lead, 100.0, 0.0],
+            events: vec![
+                SyncOp::Lock { id: MutexId(0) },
+                SyncOp::Unlock { id: MutexId(0) },
+            ],
+        };
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 0.0, 100.0, 0.0],
+                events: vec![
+                    SyncOp::Create { child: ThreadId(1) },
+                    SyncOp::Lock { id: MutexId(0) },
+                    SyncOp::Unlock { id: MutexId(0) },
+                ],
+            },
+            mk(10.0),
+        ];
+        let s = execute(&tl, &cfg());
+        // Thread 0 holds [0,100); thread 1 arrives at 10, waits until 100,
+        // leaves at 200.
+        assert_eq!(s.threads[1].idle, 90.0);
+        assert_eq!(s.total, 200.0);
+    }
+
+    #[test]
+    fn producer_consumer_starves_consumer() {
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 500.0, 0.0],
+                events: vec![
+                    SyncOp::Create { child: ThreadId(1) },
+                    SyncOp::Produce { queue: QueueId(0), count: 1 },
+                ],
+            },
+            ThreadTimeline {
+                epochs: vec![0.0, 10.0],
+                events: vec![SyncOp::Consume { queue: QueueId(0) }],
+            },
+        ];
+        let s = execute(&tl, &cfg());
+        assert_eq!(s.threads[1].idle, 500.0);
+        assert_eq!(s.total, 510.0);
+    }
+
+    #[test]
+    fn join_extends_main() {
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 10.0, 0.0],
+                events: vec![
+                    SyncOp::Create { child: ThreadId(1) },
+                    SyncOp::Join { child: ThreadId(1) },
+                ],
+            },
+            ThreadTimeline { epochs: vec![1000.0], events: vec![] },
+        ];
+        let s = execute(&tl, &cfg());
+        assert_eq!(s.total, 1000.0);
+        assert_eq!(s.threads[0].idle, 990.0);
+    }
+
+    #[test]
+    fn spawn_latency_delays_child() {
+        let mut c = cfg();
+        c.spawn_latency_cycles = 500;
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 0.0],
+                events: vec![SyncOp::Create { child: ThreadId(1) }],
+            },
+            ThreadTimeline { epochs: vec![100.0], events: vec![] },
+        ];
+        let s = execute(&tl, &c);
+        assert_eq!(s.threads[1].start, 500.0);
+        assert_eq!(s.total, 600.0);
+    }
+
+    #[test]
+    fn overhead_counts_as_active() {
+        let mut c = cfg();
+        c.sync_overhead_cycles = 40;
+        let tl = vec![ThreadTimeline {
+            epochs: vec![100.0, 100.0],
+            events: vec![barrier(0)],
+        }];
+        let s = execute(&tl, &c);
+        assert_eq!(s.total, 240.0);
+        assert_eq!(s.threads[0].active, 240.0);
+    }
+
+    #[test]
+    fn intervals_partition_active_time() {
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 100.0, 50.0],
+                events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
+            },
+            ThreadTimeline { epochs: vec![300.0, 50.0], events: vec![barrier(0)] },
+        ];
+        let s = execute(&tl, &cfg());
+        for (i, th) in s.threads.iter().enumerate() {
+            let covered: f64 = th.intervals.iter().map(|(a, b)| b - a).sum();
+            assert!(
+                (covered - th.active).abs() < 1e-9,
+                "thread {i}: intervals {covered} vs active {}",
+                th.active
+            );
+            assert!((th.finish - th.start - th.active - th.idle).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent timeline")]
+    fn inconsistent_timeline_panics() {
+        let tl = vec![ThreadTimeline { epochs: vec![1.0, 2.0], events: vec![] }];
+        execute(&tl, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn consume_without_produce_deadlocks() {
+        let tl = vec![ThreadTimeline {
+            epochs: vec![0.0, 0.0],
+            events: vec![SyncOp::Consume { queue: QueueId(0) }],
+        }];
+        execute(&tl, &cfg());
+    }
+}

@@ -1,0 +1,650 @@
+//! The profiling executor.
+//!
+//! The paper's profiler observes a real multi-threaded execution under Pin.
+//! Our trace-driven equivalent replays the workload on a *unit-cost abstract
+//! machine*: every micro-op costs one tick and synchronization has its usual
+//! semantics, so threads interleave the way a timing-agnostic balanced
+//! execution would. This interleaving drives the global reuse-distance
+//! counters (shared-cache locality); all per-thread statistics are
+//! interleaving-independent. Section III-A of the paper argues (and we
+//! verify in integration tests) that predictions are insensitive to the
+//! particular profiling interleaving.
+
+use crate::microtrace::{self, LOAD_LAT_GRID, WINDOWS};
+use crate::profile::{ApplicationProfile, EpochProfile, ThreadProfile};
+use rppm_branch_model::EntropyCollector;
+use rppm_statstack::{MultiThreadCollector, ReuseHistogram};
+use rppm_trace::op::NUM_OP_CLASSES;
+use rppm_trace::{CursorItem, MicroOp, OpClass, Program, SyncOp, ThreadCursor};
+use std::collections::{HashMap, VecDeque};
+
+/// Ops per scheduling chunk of the unit-cost executor.
+const CHUNK: u64 = 256;
+/// A micro-trace of up to this many ops is sampled...
+const MICROTRACE_LEN: u64 = 1000;
+/// ...at the start of every window of this many ops (the paper samples 1000
+/// instructions every 1M; our epochs are ~100-1000x shorter, so the sampling
+/// period shrinks proportionally).
+const SAMPLE_PERIOD: u64 = 10_000;
+
+/// Profiles `program`, producing its microarchitecture-independent
+/// [`ApplicationProfile`].
+///
+/// # Panics
+///
+/// Panics if the program is structurally invalid or deadlocks.
+pub fn profile(program: &Program) -> ApplicationProfile {
+    program.validate().expect("invalid program");
+    Profiler::new(program).run()
+}
+
+/// Accumulates one epoch's statistics for one thread.
+#[derive(Debug)]
+struct EpochCollector {
+    ops: u64,
+    mix: [u64; NUM_OP_CLASSES],
+    entropy: EntropyCollector,
+    microtrace: Vec<MicroOp>,
+    ilp_sum: Vec<Vec<f64>>,
+    mlp_sum: Vec<f64>,
+    curve_weight: f64,
+    branch_depth_sum: f64,
+    branch_slice_loads_sum: f64,
+    branch_depth_weight: f64,
+    icache_rd: ReuseHistogram,
+    code_fetches: u64,
+}
+
+impl EpochCollector {
+    fn new() -> Self {
+        EpochCollector {
+            ops: 0,
+            mix: [0; NUM_OP_CLASSES],
+            entropy: EntropyCollector::new(),
+            microtrace: Vec::with_capacity(MICROTRACE_LEN as usize),
+            ilp_sum: vec![vec![0.0; WINDOWS.len()]; LOAD_LAT_GRID.len()],
+            mlp_sum: vec![0.0; WINDOWS.len()],
+            curve_weight: 0.0,
+            branch_depth_sum: 0.0,
+            branch_slice_loads_sum: 0.0,
+            branch_depth_weight: 0.0,
+            icache_rd: ReuseHistogram::new(),
+            code_fetches: 0,
+        }
+    }
+
+    fn flush_microtrace(&mut self) {
+        if self.microtrace.len() < 16 {
+            self.microtrace.clear();
+            return;
+        }
+        let a = microtrace::analyze(&self.microtrace);
+        for (g, curve) in a.ilp.iter().enumerate() {
+            for (k, &(_, v)) in curve.iter().enumerate() {
+                if k < self.ilp_sum[g].len() {
+                    self.ilp_sum[g][k] += v;
+                }
+            }
+        }
+        for (k, &(_, v)) in a.mlp.iter().enumerate() {
+            if k < self.mlp_sum.len() {
+                self.mlp_sum[k] += v;
+            }
+        }
+        self.curve_weight += 1.0;
+        if a.branch_depth > 0.0 {
+            self.branch_depth_sum += a.branch_depth;
+            self.branch_slice_loads_sum += a.branch_slice_loads;
+            self.branch_depth_weight += 1.0;
+        }
+        self.microtrace.clear();
+    }
+
+    fn finalize(mut self, locality: rppm_statstack::EpochLocality) -> EpochProfile {
+        self.flush_microtrace();
+        let w = self.curve_weight;
+        let ilp = if w > 0.0 {
+            self.ilp_sum
+                .iter()
+                .map(|sums| {
+                    WINDOWS
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &win)| (win, sums[k] / w))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mlp = if w > 0.0 {
+            WINDOWS
+                .iter()
+                .enumerate()
+                .map(|(k, &win)| (win, self.mlp_sum[k] / w))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        EpochProfile {
+            ops: self.ops,
+            mix: self.mix,
+            ilp,
+            mlp,
+            branch: self.entropy.finish(),
+            branch_depth: if self.branch_depth_weight > 0.0 {
+                self.branch_depth_sum / self.branch_depth_weight
+            } else {
+                0.0
+            },
+            branch_slice_loads: if self.branch_depth_weight > 0.0 {
+                self.branch_slice_loads_sum / self.branch_depth_weight
+            } else {
+                0.0
+            },
+            private_rd: locality.private,
+            global_rd: locality.global,
+            accesses: locality.accesses,
+            stores: locality.stores,
+            icache_rd: self.icache_rd,
+            code_fetches: self.code_fetches,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct ThreadState<'p> {
+    cursor: ThreadCursor<'p>,
+    tick: u64,
+    status: Status,
+    epoch: EpochCollector,
+    epoch_op_idx: u64,
+    /// Per-code-line last-fetch counters for I-cache reuse distances.
+    code_last: HashMap<u64, u64>,
+    code_counter: u64,
+    last_code_line: u64,
+    epochs: Vec<EpochProfile>,
+    events: Vec<SyncOp>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+    max_tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    queue: VecDeque<usize>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<u64>,
+    waiting: VecDeque<usize>,
+}
+
+struct Profiler<'p> {
+    program: &'p Program,
+    threads: Vec<ThreadState<'p>>,
+    mem: MultiThreadCollector,
+    barriers: HashMap<u32, BarrierState>,
+    participants: HashMap<u32, usize>,
+    mutexes: HashMap<u32, MutexState>,
+    queues: HashMap<u32, QueueState>,
+    joiners: HashMap<usize, Vec<usize>>,
+    finish_tick: Vec<u64>,
+}
+
+impl<'p> Profiler<'p> {
+    fn new(program: &'p Program) -> Self {
+        let n = program.num_threads();
+        let threads = program
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, script)| ThreadState {
+                cursor: ThreadCursor::new(script),
+                tick: 0,
+                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                epoch: EpochCollector::new(),
+                epoch_op_idx: 0,
+                code_last: HashMap::new(),
+                code_counter: 0,
+                last_code_line: u64::MAX,
+                epochs: Vec::new(),
+                events: Vec::new(),
+            })
+            .collect();
+
+        let mut participants: HashMap<u32, usize> = HashMap::new();
+        for script in &program.threads {
+            let mut seen = std::collections::HashSet::new();
+            for op in script.sync_ops() {
+                if let SyncOp::Barrier { id, .. } = op {
+                    if seen.insert(id.0) {
+                        *participants.entry(id.0).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        Profiler {
+            program,
+            threads,
+            mem: MultiThreadCollector::new(n),
+            barriers: HashMap::new(),
+            participants,
+            mutexes: HashMap::new(),
+            queues: HashMap::new(),
+            joiners: HashMap::new(),
+            finish_tick: vec![0; n],
+        }
+    }
+
+    fn step_op(&mut self, i: usize, op: MicroOp) {
+        let th = &mut self.threads[i];
+        th.tick += 1;
+        let e = &mut th.epoch;
+        e.ops += 1;
+        e.mix[op.class.index()] += 1;
+
+        // Micro-trace sampling.
+        if th.epoch_op_idx % SAMPLE_PERIOD < MICROTRACE_LEN {
+            e.microtrace.push(op);
+            if e.microtrace.len() >= MICROTRACE_LEN as usize {
+                e.flush_microtrace();
+            }
+        }
+        th.epoch_op_idx += 1;
+
+        // Branch entropy.
+        if op.class == OpClass::Branch {
+            e.entropy.record(op.site, op.taken);
+        }
+
+        // Instruction-line reuse (on code-line transitions, like a fetch
+        // engine).
+        if op.code_line != th.last_code_line {
+            th.last_code_line = op.code_line;
+            e.code_fetches += 1;
+            let c = th.code_counter;
+            match th.code_last.insert(op.code_line, c) {
+                Some(prev) => e.icache_rd.record(c - prev - 1),
+                None => e.icache_rd.record_cold(1),
+            }
+            th.code_counter += 1;
+        }
+
+        // Data reuse (private + global counters, coherence detection).
+        if op.is_mem() {
+            self.mem.access(i, op.line, op.is_store());
+        }
+    }
+
+    fn end_epoch(&mut self, i: usize, event: Option<SyncOp>) {
+        let locality = self.mem.end_epoch(i);
+        let th = &mut self.threads[i];
+        let collector = std::mem::replace(&mut th.epoch, EpochCollector::new());
+        th.epochs.push(collector.finalize(locality));
+        th.epoch_op_idx = 0;
+        if let Some(ev) = event {
+            th.events.push(ev);
+        }
+    }
+
+    fn block(&mut self, i: usize) {
+        self.threads[i].status = Status::Blocked;
+    }
+
+    fn resume(&mut self, i: usize, tick: u64) {
+        let th = &mut self.threads[i];
+        th.tick = th.tick.max(tick);
+        th.status = Status::Ready;
+    }
+
+    fn finish_thread(&mut self, i: usize) {
+        self.end_epoch(i, None);
+        self.threads[i].status = Status::Done;
+        self.finish_tick[i] = self.threads[i].tick;
+        if let Some(waiters) = self.joiners.remove(&i) {
+            let t = self.finish_tick[i];
+            for w in waiters {
+                self.resume(w, t);
+            }
+        }
+    }
+
+    /// Returns `true` if the thread blocked.
+    fn handle_sync(&mut self, i: usize, op: SyncOp) -> bool {
+        self.end_epoch(i, Some(op));
+        let t = self.threads[i].tick;
+        match op {
+            SyncOp::Create { child } => {
+                let c = child.index();
+                assert_eq!(self.threads[c].status, Status::NotStarted);
+                self.threads[c].status = Status::Ready;
+                self.threads[c].tick = t;
+                false
+            }
+            SyncOp::Join { child } => {
+                let c = child.index();
+                if self.threads[c].status == Status::Done {
+                    let fin = self.finish_tick[c];
+                    self.threads[i].tick = t.max(fin);
+                    false
+                } else {
+                    self.joiners.entry(c).or_default().push(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Barrier { id, .. } => {
+                let need = *self.participants.get(&id.0).expect("known barrier");
+                let bar = self.barriers.entry(id.0).or_default();
+                bar.arrived.push(i);
+                bar.max_tick = bar.max_tick.max(t);
+                if bar.arrived.len() >= need {
+                    let release = bar.max_tick;
+                    let arrived = std::mem::take(&mut bar.arrived);
+                    bar.max_tick = 0;
+                    for w in arrived {
+                        if w != i {
+                            self.resume(w, release);
+                        }
+                    }
+                    self.threads[i].tick = release;
+                    false
+                } else {
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Lock { id } => {
+                let m = self.mutexes.entry(id.0).or_default();
+                if m.held_by.is_none() && m.queue.is_empty() {
+                    m.held_by = Some(i);
+                    false
+                } else {
+                    m.queue.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Unlock { id } => {
+                let m = self.mutexes.entry(id.0).or_default();
+                m.held_by = None;
+                if let Some(w) = m.queue.pop_front() {
+                    m.held_by = Some(w);
+                    self.resume(w, t);
+                }
+                false
+            }
+            SyncOp::Produce { queue, count } => {
+                let q = self.queues.entry(queue.0).or_default();
+                for _ in 0..count {
+                    q.items.push_back(t);
+                }
+                let mut wakeups = Vec::new();
+                while !q.items.is_empty() && !q.waiting.is_empty() {
+                    let item = q.items.pop_front().expect("nonempty");
+                    let w = q.waiting.pop_front().expect("nonempty");
+                    wakeups.push((w, item));
+                }
+                for (w, item) in wakeups {
+                    self.resume(w, item);
+                }
+                false
+            }
+            SyncOp::Consume { queue } => {
+                let q = self.queues.entry(queue.0).or_default();
+                if let Some(item) = q.items.pop_front() {
+                    self.threads[i].tick = t.max(item);
+                    false
+                } else {
+                    q.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> ApplicationProfile {
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, th) in self.threads.iter().enumerate() {
+                if th.status == Status::Ready {
+                    let t = th.tick;
+                    if best.map_or(true, |(_, bt)| t < bt) {
+                        best = Some((i, t));
+                    }
+                }
+            }
+            let Some((i, t0)) = best else {
+                if self.threads.iter().all(|t| t.status == Status::Done) {
+                    break;
+                }
+                panic!("deadlock during profiling of {}", self.program.name);
+            };
+
+            let limit = t0 + CHUNK;
+            loop {
+                let item = self.threads[i].cursor.item();
+                match item {
+                    None => {
+                        self.finish_thread(i);
+                        break;
+                    }
+                    Some(CursorItem::Sync(op)) => {
+                        self.threads[i].cursor.advance();
+                        if self.handle_sync(i, op) {
+                            break;
+                        }
+                    }
+                    Some(CursorItem::Op(op)) => {
+                        self.threads[i].cursor.advance();
+                        self.step_op(i, op);
+                        if self.threads[i].tick >= limit {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        ApplicationProfile {
+            name: self.program.name.clone(),
+            threads: self
+                .threads
+                .into_iter()
+                .map(|t| {
+                    let tp = ThreadProfile { epochs: t.epochs, events: t.events };
+                    debug_assert!(tp.is_consistent());
+                    tp
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_statstack::StackDistanceModel;
+    use rppm_trace::{AddressPattern, BlockSpec, BranchPattern, ProgramBuilder};
+
+    fn simple_program(ops: u32) -> Program {
+        let mut b = ProgramBuilder::new("prof-test", 2);
+        let bar = b.alloc_barrier();
+        let r = b.alloc_region(256);
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(ops, 11 + t as u64)
+                        .loads(0.25)
+                        .stores(0.05)
+                        .branches(0.1)
+                        .addr(AddressPattern::stream(r.chunk(t as u64, 2)), 1.0)
+                        .branch_pattern(BranchPattern::loop_every(8)),
+                )
+                .barrier(bar)
+                .block(BlockSpec::new(ops / 2, 23 + t as u64));
+        }
+        b.join_workers();
+        b.build()
+    }
+
+    #[test]
+    fn profile_structure_matches_script() {
+        let p = simple_program(20_000);
+        let prof = profile(&p);
+        assert_eq!(prof.num_threads(), 2);
+        assert!(prof.is_consistent());
+        // Thread 0 script: create, block, barrier, block, join
+        // => events: create, barrier, join => 4 epochs.
+        assert_eq!(prof.threads[0].events.len(), 3);
+        assert_eq!(prof.threads[0].epochs.len(), 4);
+        // Thread 1: block barrier block => events: [barrier], 2 epochs.
+        assert_eq!(prof.threads[1].events.len(), 1);
+        assert_eq!(prof.threads[1].epochs.len(), 2);
+    }
+
+    #[test]
+    fn ops_are_fully_accounted() {
+        let p = simple_program(20_000);
+        let prof = profile(&p);
+        assert_eq!(prof.total_ops(), p.total_ops());
+        assert_eq!(prof.threads[1].total_ops(), 30_000);
+    }
+
+    #[test]
+    fn mix_matches_block_spec() {
+        let p = simple_program(40_000);
+        let prof = profile(&p);
+        let big = &prof.threads[1].epochs[0];
+        assert_eq!(big.ops, 40_000);
+        let load_frac = big.mix_fraction(OpClass::Load);
+        assert!((load_frac - 0.25).abs() < 0.02, "load frac {load_frac}");
+        assert!(big.branches() > 3000);
+    }
+
+    #[test]
+    fn ilp_and_mlp_curves_profiled() {
+        let p = simple_program(40_000);
+        let prof = profile(&p);
+        let e = &prof.threads[1].epochs[0];
+        assert!(!e.ilp.is_empty(), "ILP profiled");
+        assert!(!e.mlp.is_empty(), "MLP profiled");
+        let ipc = e.ilp_at(128, 3.0).expect("interpolates");
+        let ipc_slow = e.ilp_at(128, 75.0).expect("interpolates");
+        assert!(ipc_slow <= ipc, "slow loads cannot raise ILP");
+        assert!(ipc > 1.0 && ipc < 20.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn branch_profile_sees_loop_pattern() {
+        let p = simple_program(40_000);
+        let prof = profile(&p);
+        let e = &prof.threads[1].epochs[0];
+        // loop_every(8): 1/8 mispredicted without history, ~0 with.
+        assert!(e.branch.miss_floor(12) < 0.03, "{:?}", e.branch.m);
+        assert!(e.branch.miss_floor(0) > 0.05);
+    }
+
+    #[test]
+    fn private_locality_predicts_small_cache_hit() {
+        let p = simple_program(40_000);
+        let prof = profile(&p);
+        let e = &prof.threads[1].epochs[0];
+        // Streaming over 128 lines: fits in anything >= 128 lines.
+        let model = StackDistanceModel::new(&e.private_rd);
+        assert!(model.miss_rate(512) < 0.05, "{}", model.miss_rate(512));
+        assert!(e.accesses > 10_000);
+    }
+
+    #[test]
+    fn global_rd_sees_interleaving() {
+        // Two threads streaming disjoint data: global distances are longer
+        // than private ones.
+        let p = simple_program(40_000);
+        let prof = profile(&p);
+        let e = &prof.threads[1].epochs[0];
+        let mp = e.private_rd.mean_finite().unwrap_or(0.0);
+        let mg = e.global_rd.mean_finite().unwrap_or(0.0);
+        assert!(mg > mp, "global {mg} should exceed private {mp}");
+    }
+
+    #[test]
+    fn coherence_detected_for_migratory_sharing() {
+        let mut b = ProgramBuilder::new("migratory", 2);
+        let shared = b.alloc_region(64);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(20_000, t as u64)
+                        .loads(0.2)
+                        .stores(0.2)
+                        .addr(AddressPattern::random(shared), 1.0),
+                )
+                .barrier(bar);
+        }
+        b.join_workers();
+        let prof = profile(&b.build());
+        let inval: u64 = prof
+            .threads
+            .iter()
+            .flat_map(|t| &t.epochs)
+            .map(|e| e.private_rd.invalidated)
+            .sum();
+        assert!(inval > 100, "write sharing must be seen as invalidations: {inval}");
+    }
+
+    #[test]
+    fn icache_reuse_profiled() {
+        let p = simple_program(20_000);
+        let prof = profile(&p);
+        let e = &prof.threads[1].epochs[0];
+        assert!(e.code_fetches > 0);
+        // The loop's code footprint is tiny: everything re-fetches quickly.
+        let model = StackDistanceModel::new(&e.icache_rd);
+        assert!(model.miss_rate(512) < 0.05);
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let p1 = profile(&simple_program(20_000));
+        let p2 = profile(&simple_program(20_000));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn producer_consumer_profiles_cleanly() {
+        let mut b = ProgramBuilder::new("pc", 2);
+        let q = b.alloc_queue();
+        b.spawn_workers();
+        for k in 0..5u64 {
+            b.thread(0u32).block(BlockSpec::new(5_000, k)).produce(q, 1);
+            b.thread(1u32).consume(q).block(BlockSpec::new(1_000, 50 + k));
+        }
+        b.join_workers();
+        let prof = profile(&b.build());
+        assert!(prof.is_consistent());
+        let (cs, bar, cond) = prof.sync_event_counts();
+        assert_eq!((cs, bar), (0, 0));
+        assert_eq!(cond, 10);
+        let usage = prof.classify_cond_vars();
+        assert_eq!(usage.len(), 1);
+    }
+}

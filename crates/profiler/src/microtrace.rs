@@ -1,0 +1,400 @@
+//! Micro-trace analysis: ILP, MLP and branch-resolution depth.
+//!
+//! Following Van den Steen et al., fine-grained characteristics are measured
+//! on sampled *micro-traces* (about a thousand consecutive micro-ops):
+//!
+//! * **ILP curve** — for each window size `W`, the IPC an idealized machine
+//!   (infinite fetch/issue bandwidth, window of `W` in-flight ops) can
+//!   sustain given the trace's register dependences and instruction
+//!   latencies: `W / mean(critical path of disjoint W-windows)`.
+//! * **MLP structure** — for each window size `W`, the average number of
+//!   loads within the next `W` ops that are *not* (transitively) data
+//!   dependent on a given load; multiplied by the predicted per-load miss
+//!   probability this yields the expected miss overlap (memory-level
+//!   parallelism).
+//! * **Branch resolution depth** — the average dependence-chain latency from
+//!   window entry to a branch's execution, i.e. the paper's `c_res`.
+
+use rppm_trace::{MicroOp, OpClass};
+
+/// Window sizes (in micro-ops) at which ILP and MLP are profiled.
+pub const WINDOWS: [u32; 6] = [16, 32, 64, 128, 256, 512];
+
+/// Load latencies (cycles) at which the ILP curve is evaluated. The profile
+/// stays microarchitecture-independent by *parameterizing* the critical-path
+/// analysis over the load latency; at prediction time the model interpolates
+/// at the expected per-load latency implied by the cache model (L1 hit …
+/// coherence intervention). This is how mid-level cache latencies fold into
+/// the effective dispatch rate, as in the paper's Equation 1.
+pub const LOAD_LAT_GRID: [u32; 5] = [3, 12, 35, 75, 250];
+
+/// Result of analyzing one micro-trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroTraceAnalysis {
+    /// Per load latency in [`LOAD_LAT_GRID`]: `(window, achievable IPC)`
+    /// per profiled window size.
+    pub ilp: Vec<Vec<(u32, f64)>>,
+    /// `(window, mean independent trailing loads per load)`.
+    pub mlp: Vec<(u32, f64)>,
+    /// Mean dependence-chain latency feeding branches (cycles at nominal
+    /// latencies).
+    pub branch_depth: f64,
+    /// Mean number of loads on the critical dependence path feeding a
+    /// branch — at prediction time each contributes its expected cache
+    /// latency to the branch resolution time.
+    pub branch_slice_loads: f64,
+    /// Micro-ops analyzed.
+    pub ops: usize,
+}
+
+/// Analyzes one micro-trace (typically ~1000 consecutive ops).
+pub fn analyze(trace: &[MicroOp]) -> MicroTraceAnalysis {
+    let (branch_depth, branch_slice_loads) = branch_resolution(trace);
+    MicroTraceAnalysis {
+        ilp: LOAD_LAT_GRID
+            .iter()
+            .map(|&lat| ilp_curve(trace, lat as f64))
+            .collect(),
+        mlp: mlp_curve(trace),
+        branch_depth,
+        branch_slice_loads,
+        ops: trace.len(),
+    }
+}
+
+/// Per-class latency with a parameterized load latency.
+#[inline]
+fn lat_of(op: &MicroOp, load_lat: f64) -> f64 {
+    if op.class == OpClass::Load {
+        load_lat
+    } else {
+        op.class.latency() as f64
+    }
+}
+
+/// Critical path (in latency units) of `ops`, dependences outside the slice
+/// ignored, with loads costing `load_lat` cycles.
+fn critical_path(ops: &[MicroOp], load_lat: f64) -> f64 {
+    let mut depth = vec![0.0f64; ops.len()];
+    let mut max = 0.0f64;
+    for (i, op) in ops.iter().enumerate() {
+        let mut start = 0.0f64;
+        if op.src1 != 0 {
+            if let Some(j) = i.checked_sub(op.src1 as usize) {
+                start = start.max(depth[j]);
+            }
+        }
+        if op.src2 != 0 {
+            if let Some(j) = i.checked_sub(op.src2 as usize) {
+                start = start.max(depth[j]);
+            }
+        }
+        let d = start + lat_of(op, load_lat);
+        depth[i] = d;
+        max = max.max(d);
+    }
+    max
+}
+
+/// ILP at each profiled window size, with loads costing `load_lat` cycles.
+pub fn ilp_curve(trace: &[MicroOp], load_lat: f64) -> Vec<(u32, f64)> {
+    let mut out = Vec::with_capacity(WINDOWS.len());
+    for &w in &WINDOWS {
+        let w_us = w as usize;
+        if trace.len() < w_us {
+            // Use the whole trace as a single (short) window if possible.
+            if trace.len() >= 4 {
+                let cp = critical_path(trace, load_lat).max(1.0);
+                out.push((w, trace.len() as f64 / cp));
+            }
+            continue;
+        }
+        let mut total_cp = 0.0;
+        let mut windows = 0u32;
+        let mut i = 0;
+        while i + w_us <= trace.len() {
+            total_cp += critical_path(&trace[i..i + w_us], load_lat).max(1.0);
+            windows += 1;
+            i += w_us;
+        }
+        if windows > 0 {
+            out.push((w, w as f64 / (total_cp / windows as f64)));
+        }
+    }
+    out
+}
+
+/// Mean number of independent trailing loads per load, at each window size.
+pub fn mlp_curve(trace: &[MicroOp]) -> Vec<(u32, f64)> {
+    let max_w = *WINDOWS.last().expect("nonempty") as usize;
+    let load_positions: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.class == OpClass::Load)
+        .map(|(i, _)| i)
+        .collect();
+    if load_positions.is_empty() {
+        return WINDOWS.iter().map(|&w| (w, 0.0)).collect();
+    }
+
+    let mut sums = [0.0f64; WINDOWS.len()];
+    let mut dep = vec![false; max_w + 1];
+    for &i in &load_positions {
+        // Propagate transitive dependence on load i through the next max_w
+        // ops; count independent loads at each window checkpoint.
+        let end = (i + max_w).min(trace.len() - 1);
+        for d in dep.iter_mut() {
+            *d = false;
+        }
+        dep[0] = true;
+        let mut indep_so_far = 0u32;
+        let mut checkpoint = 0usize;
+        for k in (i + 1)..=end {
+            let rel = k - i;
+            let op = &trace[k];
+            let mut d = false;
+            if op.src1 != 0 && (op.src1 as usize) <= rel && dep[rel - op.src1 as usize] {
+                d = true;
+            }
+            if !d && op.src2 != 0 && (op.src2 as usize) <= rel && dep[rel - op.src2 as usize] {
+                d = true;
+            }
+            dep[rel] = d;
+            if op.class == OpClass::Load && !d {
+                indep_so_far += 1;
+            }
+            // Record counts when crossing each window boundary.
+            while checkpoint < WINDOWS.len() && rel == WINDOWS[checkpoint] as usize {
+                sums[checkpoint] += indep_so_far as f64;
+                checkpoint += 1;
+            }
+        }
+        // Short tail: credit remaining checkpoints with the final count.
+        while checkpoint < WINDOWS.len() {
+            sums[checkpoint] += indep_so_far as f64;
+            checkpoint += 1;
+        }
+    }
+    WINDOWS
+        .iter()
+        .enumerate()
+        .map(|(k, &w)| (w, sums[k] / load_positions.len() as f64))
+        .collect()
+}
+
+/// Mean dependence-chain latency feeding branch instructions (at nominal
+/// latencies) and the mean number of loads on that critical path, measured
+/// in disjoint 64-op windows (the paper's branch resolution time `c_res`;
+/// the load count lets the model add cache-miss latencies at prediction
+/// time).
+pub fn branch_resolution(trace: &[MicroOp]) -> (f64, f64) {
+    // Dependence chains persist through the register file, so the window
+    // here reflects how far back a chain can realistically hold up a branch
+    // (roughly the dispatch backlog), not the issue-queue depth.
+    const W: usize = 64;
+    // Load weight used when tracing the memory-critical path: high enough
+    // that any path through a potentially-missing load dominates. The
+    // *depth* is still reported at nominal latencies; only the load count
+    // uses the memory-weighted path (a load that misses turns its path into
+    // the critical one, so this is the count that matters at prediction
+    // time).
+    const MEM_W: f64 = 75.0;
+    let mut total = 0.0f64;
+    let mut total_loads = 0.0f64;
+    let mut branches = 0u64;
+    let mut i = 0;
+    while i < trace.len() {
+        let end = (i + W).min(trace.len());
+        let slice = &trace[i..end];
+        let mut depth = vec![0.0f64; slice.len()];
+        let mut mem_depth = vec![0.0f64; slice.len()];
+        let mut path_loads = vec![0.0f64; slice.len()];
+        for (k, op) in slice.iter().enumerate() {
+            let mut start = 0.0f64;
+            let mut mstart = 0.0f64;
+            let mut loads = 0.0f64;
+            for src in [op.src1, op.src2] {
+                if src != 0 {
+                    if let Some(j) = k.checked_sub(src as usize) {
+                        start = start.max(depth[j]);
+                        if mem_depth[j] > mstart {
+                            mstart = mem_depth[j];
+                            loads = path_loads[j];
+                        }
+                    }
+                }
+            }
+            depth[k] = start + op.class.latency() as f64;
+            mem_depth[k] = mstart + lat_of(op, MEM_W);
+            path_loads[k] = loads + (op.class == OpClass::Load) as u64 as f64;
+            if op.class == OpClass::Branch {
+                total += depth[k];
+                total_loads += loads;
+                branches += 1;
+            }
+        }
+        i = end;
+    }
+    if branches == 0 {
+        (0.0, 0.0)
+    } else {
+        (total / branches as f64, total_loads / branches as f64)
+    }
+}
+
+/// Mean dependence-chain latency feeding branches (compatibility wrapper
+/// around [`branch_resolution`]).
+pub fn branch_depth(trace: &[MicroOp]) -> f64 {
+    branch_resolution(trace).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::{AddressPattern, BlockSpec, Region};
+
+    #[test]
+    fn independent_ops_have_high_ilp() {
+        let trace = BlockSpec::new(2048, 1).deps(0.0, 1.0).deps2(0.0).expand();
+        let a = analyze(&trace);
+        for &(w, ipc) in &a.ilp[0] {
+            assert!(ipc > w as f64 / 2.0, "window {w}: ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn serial_chain_has_ilp_one() {
+        let trace = BlockSpec::new(2048, 2).deps(1.0, 1.0).deps2(0.0).expand();
+        let a = analyze(&trace);
+        for &(w, ipc) in &a.ilp[0] {
+            assert!(ipc < 1.3, "window {w}: ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn ilp_grows_with_window_for_mixed_code() {
+        let trace = BlockSpec::new(4096, 3).deps(0.6, 12.0).expand();
+        let a = analyze(&trace);
+        let first = a.ilp[0].first().expect("has windows").1;
+        let last = a.ilp[0].last().expect("has windows").1;
+        assert!(last >= first * 0.9, "ILP curve should not collapse: {:?}", a.ilp[0]);
+    }
+
+    #[test]
+    fn higher_load_latency_lowers_ilp() {
+        let trace = BlockSpec::new(4096, 13)
+            .loads(0.3)
+            .deps(0.5, 3.0)
+            .addr(AddressPattern::random(Region::new(0, 4096)), 1.0)
+            .expand();
+        let a = analyze(&trace);
+        // ILP at load latency 75 must be well below ILP at latency 3.
+        let fast = a.ilp[0].last().expect("curve").1;
+        let slow = a.ilp[3].last().expect("curve").1;
+        assert!(slow < fast * 0.6, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn branch_slice_loads_counts_memory_feeding_branches() {
+        // Branches chained directly to loads have loads on their path.
+        let loady = BlockSpec::new(4096, 14)
+            .loads(0.4)
+            .branches(0.2)
+            .deps(1.0, 1.5)
+            .addr(AddressPattern::random(Region::new(0, 4096)), 1.0)
+            .expand();
+        let (_, slice_loads) = branch_resolution(&loady);
+        assert!(slice_loads > 1.0, "loady slice loads {slice_loads}");
+
+        let pure = BlockSpec::new(4096, 15).branches(0.2).deps(1.0, 1.5).expand();
+        let (_, none) = branch_resolution(&pure);
+        assert!(none < 0.2, "pure-compute slice loads {none}");
+    }
+
+    #[test]
+    fn independent_loads_give_mlp() {
+        let region = Region::new(0, 1 << 20);
+        let trace = BlockSpec::new(4096, 4)
+            .loads(0.25)
+            .deps(0.0, 1.0)
+            .addr(AddressPattern::stream(region), 1.0)
+            .expand();
+        let a = analyze(&trace);
+        // In a 128-op window with 25% loads, ~32 trailing loads, all
+        // independent.
+        let (w, v) = a.mlp[3];
+        assert_eq!(w, 128);
+        assert!(v > 20.0, "mlp@128 {v}");
+    }
+
+    #[test]
+    fn chained_loads_have_no_mlp() {
+        let region = Region::new(0, 1 << 20);
+        let trace = BlockSpec::new(4096, 5)
+            .loads(0.25)
+            .deps(0.0, 1.0)
+            .load_chain(1.0)
+            .addr(AddressPattern::random(region), 1.0)
+            .expand();
+        let a = analyze(&trace);
+        for &(w, v) in &a.mlp {
+            assert!(v < 1.0, "window {w}: chained loads should be dependent, got {v}");
+        }
+    }
+
+    #[test]
+    fn mlp_monotone_in_window() {
+        let region = Region::new(0, 1 << 18);
+        let trace = BlockSpec::new(4096, 6)
+            .loads(0.2)
+            .deps(0.3, 6.0)
+            .addr(AddressPattern::random(region), 1.0)
+            .expand();
+        let a = analyze(&trace);
+        let mut prev = -1.0;
+        for &(w, v) in &a.mlp {
+            assert!(v >= prev - 1e-9, "MLP decreased at window {w}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn branch_depth_zero_without_branches() {
+        let trace = BlockSpec::new(512, 7).expand();
+        let no_branch: Vec<_> = trace
+            .iter()
+            .filter(|o| o.class != OpClass::Branch)
+            .cloned()
+            .collect();
+        assert_eq!(branch_depth(&no_branch), 0.0);
+    }
+
+    #[test]
+    fn dependent_branches_resolve_later() {
+        // Branches depending on long chains resolve late.
+        let chained = BlockSpec::new(2048, 8).branches(0.1).deps(1.0, 1.0).expand();
+        let free = BlockSpec::new(2048, 8).branches(0.1).deps(0.0, 1.0).expand();
+        let d_chained = branch_depth(&chained);
+        let d_free = branch_depth(&free);
+        assert!(
+            d_chained > d_free * 2.0,
+            "chained {d_chained} vs free {d_free}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let a = analyze(&[]);
+        assert!(a.ilp.iter().all(|c| c.is_empty()));
+        assert_eq!(a.branch_depth, 0.0);
+        assert_eq!(a.branch_slice_loads, 0.0);
+        assert_eq!(a.ops, 0);
+    }
+
+    #[test]
+    fn short_trace_uses_whole_slice() {
+        let trace = BlockSpec::new(10, 9).expand();
+        let a = analyze(&trace);
+        assert!(!a.ilp.is_empty(), "short traces still yield an ILP point");
+    }
+}

@@ -1,0 +1,410 @@
+//! The application profile: RPPM's "collect once, predict many" artifact.
+
+use rppm_branch_model::BranchProfile;
+use rppm_statstack::ReuseHistogram;
+use rppm_trace::op::NUM_OP_CLASSES;
+use rppm_trace::{OpClass, SyncOp};
+use serde::{Deserialize, Serialize};
+
+/// Microarchitecture-independent statistics of one thread over one
+/// inter-synchronization epoch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochProfile {
+    /// Micro-ops executed in the epoch.
+    pub ops: u64,
+    /// Instruction mix (indexed by [`OpClass::index`]).
+    pub mix: [u64; NUM_OP_CLASSES],
+    /// ILP curves from micro-trace analysis: `ilp[k]` is the
+    /// `(window size, achievable IPC)` curve with loads costing
+    /// [`crate::microtrace::LOAD_LAT_GRID`]`[k]` cycles.
+    pub ilp: Vec<Vec<(u32, f64)>>,
+    /// MLP structure: `(window size, mean independent trailing loads)`.
+    pub mlp: Vec<(u32, f64)>,
+    /// Branch predictability profile.
+    pub branch: BranchProfile,
+    /// Mean dependence-chain latency feeding branches (`c_res`).
+    pub branch_depth: f64,
+    /// Mean loads on the critical dependence path feeding a branch.
+    pub branch_slice_loads: f64,
+    /// Private (per-thread) reuse-distance histogram → L1/L2 miss rates.
+    pub private_rd: ReuseHistogram,
+    /// Global (interleaved) reuse-distance histogram → shared LLC miss rate.
+    pub global_rd: ReuseHistogram,
+    /// Data accesses in the epoch.
+    pub accesses: u64,
+    /// Stores in the epoch.
+    pub stores: u64,
+    /// Instruction-line reuse-distance histogram → L1I miss rate.
+    pub icache_rd: ReuseHistogram,
+    /// Instruction-line fetches (code-line transitions).
+    pub code_fetches: u64,
+}
+
+impl EpochProfile {
+    /// Loads in the epoch.
+    pub fn loads(&self) -> u64 {
+        self.mix[OpClass::Load.index()]
+    }
+
+    /// Dynamic branches in the epoch.
+    pub fn branches(&self) -> u64 {
+        self.mix[OpClass::Branch.index()]
+    }
+
+    /// Fraction of ops in `class`.
+    pub fn mix_fraction(&self, class: OpClass) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.mix[class.index()] as f64 / self.ops as f64
+        }
+    }
+
+    /// Achievable IPC for an instruction window of `window` micro-ops and
+    /// an expected per-load latency of `load_lat` cycles, interpolated
+    /// (log-linearly in both dimensions) on the profiled grid. Returns
+    /// `None` when the epoch was too small to profile ILP.
+    pub fn ilp_at(&self, window: u32, load_lat: f64) -> Option<f64> {
+        use crate::microtrace::LOAD_LAT_GRID;
+        if self.ilp.is_empty() {
+            return None;
+        }
+        let grid = &LOAD_LAT_GRID;
+        let lat = load_lat.clamp(grid[0] as f64, *grid.last().expect("grid") as f64);
+        // Find the surrounding latitude pair.
+        let mut k = 0;
+        while k + 1 < grid.len() && (grid[k + 1] as f64) < lat {
+            k += 1;
+        }
+        let lo = interp_curve(self.ilp.get(k)?, window)?;
+        if k + 1 >= self.ilp.len() {
+            return Some(lo);
+        }
+        let hi = interp_curve(&self.ilp[k + 1], window)?;
+        let l0 = (grid[k] as f64).ln();
+        let l1 = (grid[k + 1] as f64).ln();
+        let t = ((lat.ln() - l0) / (l1 - l0)).clamp(0.0, 1.0);
+        Some(lo + t * (hi - lo))
+    }
+
+    /// Mean independent trailing loads within `window` micro-ops of a load,
+    /// log-linearly interpolated. Returns `None` when unprofiled.
+    pub fn mlp_at(&self, window: u32) -> Option<f64> {
+        interp_curve(&self.mlp, window)
+    }
+}
+
+/// Log-linear interpolation on a `(window, value)` curve.
+fn interp_curve(curve: &[(u32, f64)], window: u32) -> Option<f64> {
+    if curve.is_empty() {
+        return None;
+    }
+    let w = window.max(1) as f64;
+    let first = curve[0];
+    if w <= first.0 as f64 {
+        return Some(first.1);
+    }
+    for pair in curve.windows(2) {
+        let (w0, v0) = pair[0];
+        let (w1, v1) = pair[1];
+        if w <= w1 as f64 {
+            let lw0 = (w0 as f64).ln();
+            let lw1 = (w1 as f64).ln();
+            let t = (w.ln() - lw0) / (lw1 - lw0);
+            return Some(v0 + t * (v1 - v0));
+        }
+    }
+    Some(curve.last().expect("nonempty").1)
+}
+
+/// Profile of one thread: alternating epochs and synchronization events.
+///
+/// The stream structure is `epochs[0], events[0], epochs[1], events[1], …,
+/// events[n-1], epochs[n]` — always `epochs.len() == events.len() + 1`
+/// (epochs may be empty when two events are adjacent).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThreadProfile {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochProfile>,
+    /// Synchronization events separating the epochs.
+    pub events: Vec<SyncOp>,
+}
+
+impl ThreadProfile {
+    /// Total micro-ops across epochs.
+    pub fn total_ops(&self) -> u64 {
+        self.epochs.iter().map(|e| e.ops).sum()
+    }
+
+    /// Structural invariant check.
+    pub fn is_consistent(&self) -> bool {
+        self.epochs.len() == self.events.len() + 1
+    }
+}
+
+/// How a condition variable is used, recognized from the profile
+/// (Section III-A of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CondVarUsage {
+    /// All-but-one threads wait and any thread can release: a barrier.
+    Barrier {
+        /// Barrier identifier.
+        id: u32,
+        /// Number of participating threads.
+        participants: u32,
+    },
+    /// A fixed producer set broadcasts items consumed by a disjoint consumer
+    /// set.
+    ProducerConsumer {
+        /// Queue identifier.
+        queue: u32,
+        /// Producer thread indices.
+        producers: Vec<u32>,
+        /// Consumer thread indices.
+        consumers: Vec<u32>,
+    },
+    /// Producers and consumers overlap or roles are unclear; modeled
+    /// conservatively as producer/consumer.
+    Mixed {
+        /// Queue identifier.
+        queue: u32,
+    },
+}
+
+/// The complete application profile: the one-time-cost artifact from which
+/// performance on any multicore configuration can be predicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    /// Workload name.
+    pub name: String,
+    /// Per-thread profiles (index = thread id; thread 0 is the main thread).
+    pub threads: Vec<ThreadProfile>,
+}
+
+impl ApplicationProfile {
+    /// Number of threads profiled.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total micro-ops across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(ThreadProfile::total_ops).sum()
+    }
+
+    /// Checks structural invariants of every thread profile.
+    pub fn is_consistent(&self) -> bool {
+        self.threads.iter().all(ThreadProfile::is_consistent)
+    }
+
+    /// Dynamic synchronization-event counts by paper category (Table III).
+    pub fn sync_event_counts(&self) -> (u64, u64, u64) {
+        let mut cs = 0;
+        let mut bar = 0;
+        let mut cond = 0;
+        for th in &self.threads {
+            for ev in &th.events {
+                match ev.category() {
+                    rppm_trace::sync::SyncCategory::CriticalSection => {
+                        if matches!(ev, SyncOp::Lock { .. }) {
+                            cs += 1;
+                        }
+                    }
+                    rppm_trace::sync::SyncCategory::Barrier => bar += 1,
+                    rppm_trace::sync::SyncCategory::CondVar => cond += 1,
+                    rppm_trace::sync::SyncCategory::ThreadMgmt => {}
+                }
+            }
+        }
+        (cs, bar, cond)
+    }
+
+    /// Recognizes how each condition variable is used, per the paper's
+    /// classification rules: a condition variable where all-but-one threads
+    /// may wait and any thread releases is a barrier; disjoint producer and
+    /// consumer thread sets form a producer-consumer relationship.
+    pub fn classify_cond_vars(&self) -> Vec<CondVarUsage> {
+        use std::collections::BTreeMap;
+        let mut cond_barriers: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+        let mut producers: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+        let mut consumers: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+        for (tid, th) in self.threads.iter().enumerate() {
+            for ev in &th.events {
+                match ev {
+                    SyncOp::Barrier { id, via_cond: true } => {
+                        cond_barriers.entry(id.0).or_default().insert(tid as u32);
+                    }
+                    SyncOp::Produce { queue, .. } => {
+                        producers.entry(queue.0).or_default().insert(tid as u32);
+                    }
+                    SyncOp::Consume { queue } => {
+                        consumers.entry(queue.0).or_default().insert(tid as u32);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (id, parts) in cond_barriers {
+            out.push(CondVarUsage::Barrier { id, participants: parts.len() as u32 });
+        }
+        let queues: std::collections::BTreeSet<u32> = producers
+            .keys()
+            .chain(consumers.keys())
+            .copied()
+            .collect();
+        for q in queues {
+            let p = producers.get(&q).cloned().unwrap_or_default();
+            let c = consumers.get(&q).cloned().unwrap_or_default();
+            if !p.is_empty() && !c.is_empty() && p.is_disjoint(&c) {
+                out.push(CondVarUsage::ProducerConsumer {
+                    queue: q,
+                    producers: p.into_iter().collect(),
+                    consumers: c.into_iter().collect(),
+                });
+            } else {
+                out.push(CondVarUsage::Mixed { queue: q });
+            }
+        }
+        out
+    }
+
+    /// Serializes the profile to JSON (the on-disk "profile once" artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serialization cannot fail")
+    }
+
+    /// Deserializes a profile from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::{BarrierId, QueueId, ThreadId};
+
+    fn epoch(ops: u64) -> EpochProfile {
+        EpochProfile { ops, ..Default::default() }
+    }
+
+    #[test]
+    fn thread_profile_consistency() {
+        let tp = ThreadProfile {
+            epochs: vec![epoch(10), epoch(20)],
+            events: vec![SyncOp::Barrier { id: BarrierId(0), via_cond: false }],
+        };
+        assert!(tp.is_consistent());
+        assert_eq!(tp.total_ops(), 30);
+
+        let bad = ThreadProfile { epochs: vec![epoch(10)], events: vec![SyncOp::Barrier { id: BarrierId(0), via_cond: false }] };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn interp_curve_basics() {
+        let curve = vec![(16u32, 2.0), (64, 4.0), (256, 4.0)];
+        assert_eq!(interp_curve(&curve, 8), Some(2.0)); // clamp below
+        assert_eq!(interp_curve(&curve, 16), Some(2.0));
+        assert_eq!(interp_curve(&curve, 256), Some(4.0));
+        assert_eq!(interp_curve(&curve, 1024), Some(4.0)); // clamp above
+        let mid = interp_curve(&curve, 32).expect("interpolates");
+        assert!(mid > 2.0 && mid < 4.0, "mid {mid}");
+        assert_eq!(interp_curve(&[], 32), None);
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let mut e = epoch(100);
+        e.mix[OpClass::Load.index()] = 25;
+        e.mix[OpClass::Branch.index()] = 10;
+        assert_eq!(e.loads(), 25);
+        assert_eq!(e.branches(), 10);
+        assert!((e.mix_fraction(OpClass::Load) - 0.25).abs() < 1e-12);
+        assert_eq!(epoch(0).mix_fraction(OpClass::Load), 0.0);
+    }
+
+    #[test]
+    fn sync_event_counts_by_category() {
+        let profile = ApplicationProfile {
+            name: "t".into(),
+            threads: vec![ThreadProfile {
+                epochs: vec![epoch(1); 6],
+                events: vec![
+                    SyncOp::Lock { id: 0.into() },
+                    SyncOp::Unlock { id: 0.into() },
+                    SyncOp::Barrier { id: BarrierId(0), via_cond: false },
+                    SyncOp::Barrier { id: BarrierId(1), via_cond: true },
+                    SyncOp::Produce { queue: QueueId(0), count: 1 },
+                ],
+            }],
+        };
+        let (cs, bar, cond) = profile.sync_event_counts();
+        assert_eq!(cs, 1, "only Lock counts as a critical section");
+        assert_eq!(bar, 1);
+        assert_eq!(cond, 2);
+    }
+
+    #[test]
+    fn classify_producer_consumer() {
+        let mk_events = |evs: Vec<SyncOp>| ThreadProfile {
+            epochs: vec![epoch(1); evs.len() + 1],
+            events: evs,
+        };
+        let profile = ApplicationProfile {
+            name: "t".into(),
+            threads: vec![
+                mk_events(vec![SyncOp::Produce { queue: QueueId(3), count: 2 }]),
+                mk_events(vec![SyncOp::Consume { queue: QueueId(3) }]),
+                mk_events(vec![SyncOp::Barrier { id: BarrierId(7), via_cond: true }]),
+            ],
+        };
+        let usage = profile.classify_cond_vars();
+        assert!(usage.contains(&CondVarUsage::Barrier { id: 7, participants: 1 }));
+        assert!(usage.contains(&CondVarUsage::ProducerConsumer {
+            queue: 3,
+            producers: vec![0],
+            consumers: vec![1],
+        }));
+    }
+
+    #[test]
+    fn classify_mixed_roles() {
+        let profile = ApplicationProfile {
+            name: "t".into(),
+            threads: vec![ThreadProfile {
+                epochs: vec![epoch(1); 3],
+                events: vec![
+                    SyncOp::Produce { queue: QueueId(1), count: 1 },
+                    SyncOp::Consume { queue: QueueId(1) },
+                ],
+            }],
+        };
+        assert_eq!(profile.classify_cond_vars(), vec![CondVarUsage::Mixed { queue: 1 }]);
+        let _ = ThreadId(0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let profile = ApplicationProfile {
+            name: "rt".into(),
+            threads: vec![ThreadProfile {
+                epochs: vec![epoch(42)],
+                events: vec![],
+            }],
+        };
+        let json = profile.to_json();
+        let back = ApplicationProfile::from_json(&json).expect("parses");
+        assert_eq!(profile, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ApplicationProfile::from_json("not json").is_err());
+    }
+}

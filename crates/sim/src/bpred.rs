@@ -1,0 +1,195 @@
+//! Tournament branch predictor (the paper's 4 KB configuration).
+//!
+//! Three tables of 2-bit saturating counters: a bimodal table indexed by the
+//! branch site, a gshare table indexed by site ⊕ global history, and a
+//! chooser table (indexed by site) that learns which component to trust per
+//! branch. This is the classic Alpha 21264-style tournament design Sniper
+//! configures by default.
+
+use rppm_trace::BranchPredictorConfig;
+
+/// 2-bit saturating counter helpers.
+#[inline]
+fn inc(c: &mut u8) {
+    if *c < 3 {
+        *c += 1;
+    }
+}
+
+#[inline]
+fn dec(c: &mut u8) {
+    if *c > 0 {
+        *c -= 1;
+    }
+}
+
+/// Tournament predictor state.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    /// Chooser: ≥2 selects gshare, <2 selects bimodal.
+    chooser: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+    mispredictions: u64,
+    lookups: u64,
+}
+
+impl TournamentPredictor {
+    /// Creates a predictor for the given configuration.
+    pub fn new(config: &BranchPredictorConfig) -> Self {
+        let entries = config.table_entries().max(16) as usize;
+        TournamentPredictor {
+            bimodal: vec![2; entries], // weakly taken
+            gshare: vec![2; entries],
+            chooser: vec![1; entries], // weakly bimodal
+            history: 0,
+            history_mask: (1u64 << config.history_bits.min(63)) - 1,
+            index_mask: entries as u64 - 1,
+            mispredictions: 0,
+            lookups: 0,
+        }
+    }
+
+    #[inline]
+    fn bimodal_idx(&self, site: u32) -> usize {
+        // Multiplicative hash spreads consecutive site ids across the table.
+        ((site as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16 & self.index_mask) as usize
+    }
+
+    #[inline]
+    fn gshare_idx(&self, site: u32) -> usize {
+        let h = self.history & self.history_mask;
+        (((site as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16 ^ h) & self.index_mask) as usize
+    }
+
+    /// Predicts and updates with the actual outcome; returns `true` when the
+    /// branch was mispredicted.
+    pub fn predict_and_update(&mut self, site: u32, taken: bool) -> bool {
+        let bi = self.bimodal_idx(site);
+        let gi = self.gshare_idx(site);
+        let bim_pred = self.bimodal[bi] >= 2;
+        let gsh_pred = self.gshare[gi] >= 2;
+        let use_gshare = self.chooser[bi] >= 2;
+        let pred = if use_gshare { gsh_pred } else { bim_pred };
+
+        // Chooser trains toward whichever component was right (only when
+        // they disagree).
+        if bim_pred != gsh_pred {
+            if gsh_pred == taken {
+                inc(&mut self.chooser[bi]);
+            } else {
+                dec(&mut self.chooser[bi]);
+            }
+        }
+        if taken {
+            inc(&mut self.bimodal[bi]);
+            inc(&mut self.gshare[gi]);
+        } else {
+            dec(&mut self.bimodal[bi]);
+            dec(&mut self.gshare[gi]);
+        }
+        self.history = (self.history << 1) | taken as u64;
+
+        self.lookups += 1;
+        let miss = pred != taken;
+        if miss {
+            self.mispredictions += 1;
+        }
+        miss
+    }
+
+    /// Mispredictions observed so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Lookups observed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Observed misprediction rate (0 when no lookups yet).
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::Rng;
+
+    fn predictor() -> TournamentPredictor {
+        TournamentPredictor::new(&BranchPredictorConfig::tournament_4kb())
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = predictor();
+        for _ in 0..1000 {
+            p.predict_and_update(1, true);
+        }
+        assert!(p.miss_rate() < 0.01, "{}", p.miss_rate());
+    }
+
+    #[test]
+    fn learns_loop_pattern_via_history() {
+        let mut p = predictor();
+        for i in 0..20_000u32 {
+            p.predict_and_update(1, i % 4 != 3);
+        }
+        // After warmup, gshare predicts the loop exit perfectly.
+        assert!(p.miss_rate() < 0.03, "{}", p.miss_rate());
+    }
+
+    #[test]
+    fn cannot_learn_fair_coin() {
+        let mut p = predictor();
+        let mut rng = Rng::new(5);
+        for _ in 0..50_000 {
+            p.predict_and_update(1, rng.chance(0.5));
+        }
+        let mr = p.miss_rate();
+        assert!(mr > 0.45 && mr < 0.55, "{mr}");
+    }
+
+    #[test]
+    fn biased_branch_misses_minority() {
+        let mut p = predictor();
+        let mut rng = Rng::new(6);
+        for _ in 0..50_000 {
+            p.predict_and_update(1, rng.chance(0.9));
+        }
+        let mr = p.miss_rate();
+        assert!(mr > 0.07 && mr < 0.20, "{mr}");
+    }
+
+    #[test]
+    fn distinct_sites_do_not_destructively_alias() {
+        let mut p = predictor();
+        // Two sites with opposite biases.
+        for i in 0..20_000u32 {
+            p.predict_and_update(1, true);
+            p.predict_and_update(2, false);
+            let _ = i;
+        }
+        assert!(p.miss_rate() < 0.02, "{}", p.miss_rate());
+    }
+
+    #[test]
+    fn counters_start_unbiased_enough() {
+        let mut p = predictor();
+        assert_eq!(p.lookups(), 0);
+        assert_eq!(p.mispredictions(), 0);
+        assert_eq!(p.miss_rate(), 0.0);
+        p.predict_and_update(1, true);
+        assert_eq!(p.lookups(), 1);
+    }
+}

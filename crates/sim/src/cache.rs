@@ -1,0 +1,238 @@
+//! Set-associative LRU caches.
+
+use rppm_trace::CacheGeometry;
+
+/// One set-associative LRU cache (line granularity).
+///
+/// Addresses are cache-line indices (the trace IR is line-granular). LRU is
+/// maintained with a per-access stamp; ways are scanned linearly, which is
+/// fast at the associativities in play (4–16).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: u64,
+    assoc: usize,
+    /// `tags[set * assoc + way]`: line index or `EMPTY`.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Dirty bits, parallel to `tags`.
+    dirty: Vec<bool>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        let sets = geom.sets();
+        let assoc = geom.assoc as usize;
+        SetAssocCache {
+            sets,
+            assoc,
+            tags: vec![EMPTY; (sets as usize) * assoc],
+            stamps: vec![0; (sets as usize) * assoc],
+            dirty: vec![false; (sets as usize) * assoc],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    /// Probes for `line` without modifying state (except statistics are not
+    /// touched either). Returns whether the line is present.
+    pub fn probe(&self, line: u64) -> bool {
+        let base = self.set_of(line) * self.assoc;
+        self.tags[base..base + self.assoc].contains(&line)
+    }
+
+    /// Accesses `line`; on a miss, fills it (evicting the LRU way).
+    /// Returns `(hit, evicted)` where `evicted` is the line displaced by the
+    /// fill, if any.
+    pub fn access(&mut self, line: u64, is_write: bool) -> (bool, Option<u64>) {
+        self.clock += 1;
+        let base = self.set_of(line) * self.assoc;
+        // Hit path.
+        for w in 0..self.assoc {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                if is_write {
+                    self.dirty[base + w] = true;
+                }
+                self.hits += 1;
+                return (true, None);
+            }
+        }
+        // Miss: fill into invalid or LRU way.
+        self.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == EMPTY {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        let evicted = match self.tags[base + victim] {
+            EMPTY => None,
+            t => Some(t),
+        };
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.dirty[base + victim] = is_write;
+        (false, evicted)
+    }
+
+    /// Removes `line` if present (coherence invalidation); returns whether
+    /// it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let base = self.set_of(line) * self.assoc;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = EMPTY;
+                self.dirty[base + w] = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Observed miss rate (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rppm_trace::CacheGeometry;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways = 8 lines.
+        SetAssocCache::new(&CacheGeometry::new(8 * 64, 2, 64, 1))
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(5, false).0);
+        assert!(c.access(5, false).0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8, ... (4 sets). Fill ways with 0 and 4.
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 0 most recent
+        let (_, evicted) = c.access(8, false); // evicts 4
+        assert_eq!(evicted, Some(4));
+        assert!(c.probe(0));
+        assert!(c.probe(8));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(3, false);
+        assert!(c.probe(3));
+        assert!(c.invalidate(3));
+        assert!(!c.probe(3));
+        assert!(!c.invalidate(3));
+        assert!(!c.access(3, false).0); // misses again
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let geom = CacheGeometry::new(64 * 64, 4, 64, 1); // 64 lines
+        let mut c = SetAssocCache::new(&geom);
+        for _ in 0..10 {
+            for line in 0..64u64 {
+                c.access(line, false);
+            }
+        }
+        // Only the 64 cold misses.
+        assert_eq!(c.misses(), 64);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let geom = CacheGeometry::new(64 * 64, 4, 64, 1); // 64 lines
+        let mut c = SetAssocCache::new(&geom);
+        for _ in 0..10 {
+            for line in 0..128u64 {
+                c.access(line, false);
+            }
+        }
+        // Sequential sweep over 2x capacity with LRU: every access misses.
+        assert!(c.miss_rate() > 0.99, "{}", c.miss_rate());
+    }
+
+    #[test]
+    fn probe_does_not_affect_lru() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(4, false);
+        assert!(c.probe(0));
+        // LRU order unchanged by probe: 0 is still older.
+        let (_, evicted) = c.access(8, false);
+        assert_eq!(evicted, Some(0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn contents_bounded_by_capacity(lines in proptest::collection::vec(0u64..256, 1..500)) {
+            let geom = CacheGeometry::new(16 * 64, 2, 64, 1); // 16 lines
+            let mut c = SetAssocCache::new(&geom);
+            for &l in &lines {
+                c.access(l, false);
+            }
+            let resident = (0u64..256).filter(|&l| c.probe(l)).count();
+            prop_assert!(resident <= 16);
+        }
+
+        #[test]
+        fn hit_after_access_unless_evicted(lines in proptest::collection::vec(0u64..64, 1..200)) {
+            let geom = CacheGeometry::new(64 * 64, 4, 64, 1);
+            let mut c = SetAssocCache::new(&geom);
+            for &l in &lines {
+                c.access(l, false);
+                prop_assert!(c.probe(l), "line just accessed must be resident");
+            }
+        }
+    }
+}

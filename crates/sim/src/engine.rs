@@ -1,0 +1,771 @@
+//! Multicore execution engine: schedules per-core timing models against the
+//! shared memory system and implements full synchronization semantics
+//! (thread creation/join, barriers, critical sections, producer/consumer
+//! condition variables).
+//!
+//! Cores advance in quantum-sized slices in global-time order (the runnable
+//! thread with the smallest local clock goes next), so shared-cache and
+//! coherence interactions are observed in approximately correct order and
+//! the whole simulation is deterministic.
+
+use crate::core::CoreModel;
+use crate::mem::MemorySystem;
+use rppm_trace::{
+    CpiStack, CursorItem, MachineConfig, Program, SyncOp, ThreadCursor,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Scheduling quantum in cycles.
+const QUANTUM: f64 = 500.0;
+
+/// Dynamic synchronization-event counts by paper category (Table III).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEventCounts {
+    /// Critical sections entered (lock events).
+    pub critical_sections: u64,
+    /// Barrier waits (plain barriers).
+    pub barriers: u64,
+    /// Condition-variable events (cond-implemented barriers, produces,
+    /// consumes).
+    pub cond_vars: u64,
+}
+
+/// Per-thread simulation outcome.
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// Time the thread started executing (cycles).
+    pub start: f64,
+    /// Time the thread finished (cycles).
+    pub finish: f64,
+    /// Cycle breakdown; `base` is the residual after attributing stalls.
+    pub cpi: CpiStack,
+    /// Micro-ops executed.
+    pub ops: u64,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Loads serviced by DRAM.
+    pub dram_loads: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 misses.
+    pub l3_misses: u64,
+    /// Accesses served from a remote private cache.
+    pub remote_hits: u64,
+    /// Coherence invalidations received.
+    pub invalidations: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// Synchronization-library overhead cycles (subset of `cpi.sync` during
+    /// which the thread was active).
+    pub sync_overhead: f64,
+}
+
+impl ThreadResult {
+    /// Total wall-clock cycles from thread start to finish.
+    pub fn total_cycles(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Result of simulating a program on a machine configuration.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Workload name.
+    pub program: String,
+    /// Configuration name.
+    pub config: String,
+    /// End-to-end execution time in cycles (last thread to finish).
+    pub total_cycles: f64,
+    /// End-to-end execution time in seconds.
+    pub total_seconds: f64,
+    /// Per-thread outcomes.
+    pub threads: Vec<ThreadResult>,
+    /// Per-thread active intervals (for bottlegraphs): time ranges during
+    /// which the thread was running (not blocked on synchronization).
+    pub intervals: Vec<Vec<(f64, f64)>>,
+    /// Dynamic synchronization-event counts.
+    pub sync_events: SyncEventCounts,
+}
+
+impl SimResult {
+    /// Total micro-ops executed.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.ops).sum()
+    }
+
+    /// Average per-thread CPI stack (Figure 5 aggregation).
+    pub fn mean_cpi_stack(&self) -> CpiStack {
+        let mut acc = CpiStack::default();
+        for t in &self.threads {
+            acc.add(&t.cpi);
+        }
+        acc.scaled(1.0 / self.threads.len().max(1) as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct ThreadCtx<'p> {
+    cursor: ThreadCursor<'p>,
+    core: CoreModel,
+    status: Status,
+    block_time: f64,
+    start: f64,
+    finish: f64,
+    intervals: Vec<(f64, f64)>,
+    open: f64,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+    max_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    queue: VecDeque<usize>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    /// Availability times of produced-but-unconsumed items.
+    items: VecDeque<f64>,
+    /// Threads blocked waiting for an item.
+    waiting: VecDeque<usize>,
+}
+
+/// Simulates `program` on `config`, returning the golden-reference timing.
+///
+/// # Panics
+///
+/// Panics if the program is structurally invalid (see
+/// [`Program::validate`]), uses more threads than the machine has cores, or
+/// deadlocks (e.g. consuming from a queue nothing ever produces).
+pub fn simulate(program: &Program, config: &MachineConfig) -> SimResult {
+    program.validate().expect("invalid program");
+    config.validate().expect("invalid machine configuration");
+    // RPPM assumes one thread per core. One extra thread is tolerated to
+    // support the common Parsec structure (a main thread that spawns
+    // `cores` workers and then sleeps in join); it gets its own private
+    // hierarchy, which is harmless as long as it stays quiescent.
+    assert!(
+        program.num_threads() <= config.cores as usize + 1,
+        "RPPM assumes one thread per core: {} threads > {} cores",
+        program.num_threads(),
+        config.cores
+    );
+    Engine::new(program, config).run()
+}
+
+struct Engine<'p> {
+    config: &'p MachineConfig,
+    program: &'p Program,
+    threads: Vec<ThreadCtx<'p>>,
+    mem: MemorySystem,
+    barriers: HashMap<u32, BarrierState>,
+    participants: HashMap<u32, usize>,
+    mutexes: HashMap<u32, MutexState>,
+    queues: HashMap<u32, QueueState>,
+    joiners: HashMap<usize, Vec<usize>>,
+    counts: SyncEventCounts,
+}
+
+impl<'p> Engine<'p> {
+    fn new(program: &'p Program, config: &'p MachineConfig) -> Self {
+        let threads = program
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, script)| ThreadCtx {
+                cursor: ThreadCursor::new(script),
+                core: CoreModel::new(config, 0.0),
+                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                block_time: 0.0,
+                start: 0.0,
+                finish: 0.0,
+                intervals: Vec::new(),
+                open: 0.0,
+            })
+            .collect();
+
+        // Barrier participation is static: every thread whose script names
+        // the barrier takes part in each instance.
+        let mut participants: HashMap<u32, usize> = HashMap::new();
+        for script in &program.threads {
+            let mut seen = std::collections::HashSet::new();
+            for op in script.sync_ops() {
+                if let SyncOp::Barrier { id, .. } = op {
+                    if seen.insert(id.0) {
+                        *participants.entry(id.0).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        Engine {
+            config,
+            program,
+            threads,
+            mem: MemorySystem::with_cores(config, program.num_threads().max(1)),
+            barriers: HashMap::new(),
+            participants,
+            mutexes: HashMap::new(),
+            queues: HashMap::new(),
+            joiners: HashMap::new(),
+            counts: SyncEventCounts::default(),
+        }
+    }
+
+    fn block(&mut self, i: usize) {
+        let th = &mut self.threads[i];
+        let t = th.core.time();
+        th.status = Status::Blocked;
+        th.block_time = t;
+        if t > th.open {
+            th.intervals.push((th.open, t));
+        }
+    }
+
+    /// The running thread `i` waits in place until `t` (join of a finished
+    /// thread, barrier release as last arriver, consuming an item produced
+    /// "in the future" relative to this thread's clock). The wait is charged
+    /// to sync and excluded from the active intervals.
+    fn wait_running(&mut self, i: usize, t: f64) {
+        let th = &mut self.threads[i];
+        let now = th.core.time();
+        if t > now {
+            if now > th.open {
+                th.intervals.push((th.open, now));
+            }
+            th.core.resume_at(t);
+            th.open = th.core.time();
+        }
+    }
+
+    fn resume(&mut self, i: usize, t: f64) {
+        let th = &mut self.threads[i];
+        debug_assert_eq!(th.status, Status::Blocked);
+        th.core.resume_at(t);
+        th.status = Status::Ready;
+        th.open = th.core.time();
+    }
+
+    fn finish_thread(&mut self, i: usize) {
+        let t = self.threads[i].core.finish();
+        {
+            let th = &mut self.threads[i];
+            th.status = Status::Done;
+            th.finish = t;
+            if t > th.open {
+                th.intervals.push((th.open, t));
+            }
+        }
+        if let Some(waiters) = self.joiners.remove(&i) {
+            for w in waiters {
+                self.resume(w, t);
+            }
+        }
+    }
+
+    /// Handles one synchronization event for thread `i`. Returns `true` if
+    /// the thread blocked.
+    fn handle_sync(&mut self, i: usize, op: SyncOp) -> bool {
+        let overhead = self.config.sync_overhead_cycles as f64;
+        self.threads[i].core.charge_sync_overhead(overhead);
+        let t = self.threads[i].core.time();
+
+        match op {
+            SyncOp::Create { child } => {
+                let c = child.index();
+                let start = t + self.config.spawn_latency_cycles as f64;
+                let th = &mut self.threads[c];
+                assert_eq!(th.status, Status::NotStarted, "thread created twice");
+                th.core.set_start_time(start);
+                th.status = Status::Ready;
+                th.start = start;
+                th.open = start;
+                false
+            }
+            SyncOp::Join { child } => {
+                let c = child.index();
+                if self.threads[c].status == Status::Done {
+                    let fin = self.threads[c].finish;
+                    self.wait_running(i, fin);
+                    false
+                } else {
+                    self.joiners.entry(c).or_default().push(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Barrier { id, via_cond } => {
+                if via_cond {
+                    self.counts.cond_vars += 1;
+                } else {
+                    self.counts.barriers += 1;
+                }
+                let need = *self
+                    .participants
+                    .get(&id.0)
+                    .expect("barrier with no participants");
+                let bar = self.barriers.entry(id.0).or_default();
+                bar.arrived.push(i);
+                bar.max_time = bar.max_time.max(t);
+                if bar.arrived.len() >= need {
+                    let release = bar.max_time;
+                    let arrived = std::mem::take(&mut bar.arrived);
+                    bar.max_time = 0.0;
+                    for w in arrived {
+                        if w != i {
+                            self.resume(w, release);
+                        }
+                    }
+                    self.wait_running(i, release);
+                    false
+                } else {
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Lock { id } => {
+                self.counts.critical_sections += 1;
+                let m = self.mutexes.entry(id.0).or_default();
+                if m.held_by.is_none() && m.queue.is_empty() {
+                    m.held_by = Some(i);
+                    false
+                } else {
+                    m.queue.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::Unlock { id } => {
+                let m = self.mutexes.entry(id.0).or_default();
+                m.held_by = None;
+                if let Some(w) = m.queue.pop_front() {
+                    m.held_by = Some(w);
+                    self.resume(w, t);
+                }
+                false
+            }
+            SyncOp::Produce { queue, count } => {
+                self.counts.cond_vars += 1;
+                let q = self.queues.entry(queue.0).or_default();
+                for _ in 0..count {
+                    q.items.push_back(t);
+                }
+                let mut wakeups = Vec::new();
+                while !q.items.is_empty() && !q.waiting.is_empty() {
+                    let item = q.items.pop_front().expect("nonempty");
+                    let w = q.waiting.pop_front().expect("nonempty");
+                    wakeups.push((w, item));
+                }
+                for (w, item) in wakeups {
+                    self.resume(w, item.max(self.threads[w].block_time));
+                }
+                false
+            }
+            SyncOp::Consume { queue } => {
+                self.counts.cond_vars += 1;
+                let q = self.queues.entry(queue.0).or_default();
+                if let Some(item) = q.items.pop_front() {
+                    if item > t {
+                        self.wait_running(i, item);
+                    }
+                    false
+                } else {
+                    q.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        loop {
+            // Pick the runnable thread with the smallest local clock.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, th) in self.threads.iter().enumerate() {
+                if th.status == Status::Ready {
+                    let t = th.core.time();
+                    if best.map_or(true, |(_, bt)| t < bt) {
+                        best = Some((i, t));
+                    }
+                }
+            }
+            let Some((i, t0)) = best else {
+                if self.threads.iter().all(|t| t.status == Status::Done) {
+                    break;
+                }
+                let stuck: Vec<usize> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Blocked)
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!("deadlock: threads {stuck:?} blocked forever in {}", self.program.name);
+            };
+
+            let limit = t0 + QUANTUM;
+            loop {
+                let item = self.threads[i].cursor.item();
+                match item {
+                    None => {
+                        self.finish_thread(i);
+                        break;
+                    }
+                    Some(CursorItem::Sync(op)) => {
+                        self.threads[i].cursor.advance();
+                        if self.handle_sync(i, op) {
+                            break;
+                        }
+                        if self.threads[i].core.time() > limit {
+                            break;
+                        }
+                    }
+                    Some(CursorItem::Op(op)) => {
+                        self.threads[i].cursor.advance();
+                        let th = &mut self.threads[i];
+                        th.core.process(&op, &mut self.mem, i);
+                        if th.core.time() > limit {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.collect()
+    }
+
+    fn collect(self) -> SimResult {
+        let mut threads = Vec::with_capacity(self.threads.len());
+        let mut intervals = Vec::with_capacity(self.threads.len());
+        let mut total_cycles: f64 = 0.0;
+        for (i, th) in self.threads.iter().enumerate() {
+            total_cycles = total_cycles.max(th.finish);
+            let counters = th.core.counters();
+            let stalls = th.core.stalls();
+            let total = th.finish - th.start;
+            let attributed = stalls.branch
+                + stalls.icache
+                + stalls.mem_l2
+                + stalls.mem_l3
+                + stalls.mem_dram
+                + stalls.sync;
+            let cpi = CpiStack {
+                base: (total - attributed).max(0.0),
+                ..*stalls
+            };
+            let ms = self.mem.stats(i);
+            threads.push(ThreadResult {
+                start: th.start,
+                finish: th.finish,
+                cpi,
+                ops: counters.ops,
+                branches: counters.branches,
+                mispredicts: counters.mispredicts,
+                loads: counters.loads,
+                stores: counters.stores,
+                dram_loads: counters.dram_loads,
+                l1d_misses: ms.l1d_misses,
+                l2_misses: ms.l2_misses,
+                l3_misses: ms.l3_misses,
+                remote_hits: ms.remote_hits,
+                invalidations: ms.invalidations,
+                l1i_misses: ms.l1i_misses,
+                sync_overhead: th.core.sync_overhead_charged(),
+            });
+            intervals.push(th.intervals.clone());
+        }
+        SimResult {
+            program: self.program.name.clone(),
+            config: self.config.name.clone(),
+            total_cycles,
+            total_seconds: self.config.cycles_to_seconds(total_cycles),
+            threads,
+            intervals,
+            sync_events: self.counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::{
+        AddressPattern, BlockSpec, DesignPoint, ProgramBuilder, Region, ThreadId,
+    };
+
+    fn base() -> MachineConfig {
+        DesignPoint::Base.config()
+    }
+
+    fn compute_block(ops: u32, seed: u64) -> BlockSpec {
+        BlockSpec::new(ops, seed).deps(0.3, 4.0)
+    }
+
+    #[test]
+    fn single_thread_program_runs() {
+        let mut b = ProgramBuilder::new("single", 1);
+        b.thread(0u32).block(compute_block(10_000, 1));
+        let p = b.build();
+        let r = simulate(&p, &base());
+        assert_eq!(r.threads.len(), 1);
+        assert!(r.total_cycles > 0.0);
+        assert_eq!(r.threads[0].ops, 10_000);
+        assert!(r.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn fork_join_waits_for_workers() {
+        let mut b = ProgramBuilder::new("forkjoin", 4);
+        b.spawn_workers();
+        for t in 1..4u32 {
+            b.thread(t).block(compute_block(50_000, t as u64));
+        }
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // Main finishes after every worker.
+        let main_fin = r.threads[0].finish;
+        for t in 1..4 {
+            assert!(r.threads[t].finish <= main_fin + 1e-6);
+        }
+        // Main accumulated join wait.
+        assert!(r.threads[0].cpi.sync > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_epochs() {
+        let mut b = ProgramBuilder::new("barrier", 2);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        // Thread 0: short work. Thread 1: long work. Barrier between.
+        b.thread(0u32).block(compute_block(1_000, 1)).barrier(bar).block(compute_block(1_000, 2));
+        b.thread(1u32).block(compute_block(100_000, 3)).barrier(bar).block(compute_block(1_000, 4));
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // Thread 0 must have waited for thread 1 at the barrier.
+        assert!(
+            r.threads[0].cpi.sync > 1000.0,
+            "sync wait {}",
+            r.threads[0].cpi.sync
+        );
+        assert_eq!(r.sync_events.barriers, 2);
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        let mut b = ProgramBuilder::new("mutex", 3);
+        let m = b.alloc_mutex();
+        let shared = b.alloc_region(64);
+        b.spawn_workers();
+        for t in 0..3u32 {
+            let mut tb = b.thread(t);
+            for k in 0..20 {
+                tb.lock(m)
+                    .block(
+                        BlockSpec::new(2_000, (t as u64) << 8 | k)
+                            .loads(0.2)
+                            .stores(0.2)
+                            .addr(AddressPattern::stream(Region::new(shared.base, 64)), 1.0),
+                    )
+                    .unlock(m);
+            }
+        }
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        assert_eq!(r.sync_events.critical_sections, 60);
+        // With 3 threads contending, at least one accumulated lock wait.
+        let total_sync: f64 = r.threads.iter().map(|t| t.cpi.sync).sum();
+        assert!(total_sync > 1000.0, "total sync {total_sync}");
+    }
+
+    #[test]
+    fn producer_consumer_pipeline() {
+        let mut b = ProgramBuilder::new("pipeline", 2);
+        let q = b.alloc_queue();
+        b.spawn_workers();
+        // Worker consumes 10 items; main produces them slowly.
+        for k in 0..10u64 {
+            b.thread(0u32).block(compute_block(20_000, k)).produce(q, 1);
+        }
+        for k in 0..10u64 {
+            b.thread(1u32).consume(q).block(compute_block(1_000, 100 + k));
+        }
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // The consumer is starved: most of its time is sync wait.
+        assert!(
+            r.threads[1].cpi.sync > r.threads[1].cpi.base,
+            "consumer should be starved: {:?}",
+            r.threads[1].cpi
+        );
+        assert_eq!(r.sync_events.cond_vars, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unproduced_consume_deadlocks() {
+        let mut b = ProgramBuilder::new("deadlock", 1);
+        let q = b.alloc_queue();
+        b.thread(0u32).consume(q);
+        let p = b.build();
+        simulate(&p, &base());
+    }
+
+    #[test]
+    fn coherence_visible_in_sharing_workload() {
+        let mut b = ProgramBuilder::new("sharing", 2);
+        let shared = b.alloc_region(512);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(50_000, t as u64)
+                        .loads(0.3)
+                        .stores(0.1)
+                        .addr(AddressPattern::random(shared), 1.0),
+                )
+                .barrier(bar);
+        }
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        let inval: u64 = r.threads.iter().map(|t| t.invalidations).sum();
+        assert!(inval > 0, "write sharing must invalidate");
+    }
+
+    #[test]
+    fn intervals_cover_active_time() {
+        let mut b = ProgramBuilder::new("intervals", 2);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        b.thread(0u32).block(compute_block(1_000, 1)).barrier(bar);
+        b.thread(1u32).block(compute_block(50_000, 2)).barrier(bar);
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        for (t, iv) in r.intervals.iter().enumerate() {
+            assert!(!iv.is_empty(), "thread {t} has no intervals");
+            // Intervals are ordered and disjoint.
+            for w in iv.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9);
+            }
+            let active: f64 = iv.iter().map(|(s, e)| e - s).sum();
+            let th = &r.threads[t];
+            // Library overhead is active time charged to sync.
+            let expected = th.finish - th.start - th.cpi.sync + th.sync_overhead;
+            assert!(
+                (active - expected).abs() / expected.max(1.0) < 0.05,
+                "thread {t}: active {active} vs finish-start-sync {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mk = || {
+            let mut b = ProgramBuilder::new("det", 2);
+            let bar = b.alloc_barrier();
+            let r = b.alloc_region(4096);
+            b.spawn_workers();
+            for t in 0..2u32 {
+                b.thread(t)
+                    .block(
+                        BlockSpec::new(20_000, t as u64)
+                            .loads(0.25)
+                            .branches(0.1)
+                            .addr(AddressPattern::random(r), 1.0),
+                    )
+                    .barrier(bar);
+            }
+            b.join_workers();
+            b.build()
+        };
+        let r1 = simulate(&mk(), &base());
+        let r2 = simulate(&mk(), &base());
+        assert_eq!(r1.total_cycles, r2.total_cycles);
+        assert_eq!(r1.threads[0].cpi.mem_dram, r2.threads[0].cpi.mem_dram);
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_total() {
+        let mut b = ProgramBuilder::new("stack", 2);
+        let bar = b.alloc_barrier();
+        let reg = b.alloc_region(1 << 18);
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(30_000, t as u64 + 7)
+                        .loads(0.3)
+                        .branches(0.15)
+                        .branch_pattern(rppm_trace::BranchPattern::bernoulli(0.7))
+                        .addr(AddressPattern::stream(reg), 1.0),
+                )
+                .barrier(bar);
+        }
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        for t in &r.threads {
+            let total = t.finish - t.start;
+            assert!(
+                (t.cpi.total() - total).abs() / total < 1e-6,
+                "stack {} vs total {}",
+                t.cpi.total(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one thread per core")]
+    fn too_many_threads_rejected() {
+        let mut b = ProgramBuilder::new("toomany", 8);
+        b.spawn_workers();
+        for t in 0..8u32 {
+            b.thread(t).block(compute_block(10, t as u64));
+        }
+        b.join_workers();
+        let p = b.build();
+        simulate(&p, &base());
+    }
+
+    #[test]
+    fn join_of_finished_thread_does_not_block() {
+        let mut b = ProgramBuilder::new("fastchild", 2);
+        b.thread(0u32).create(ThreadId(1));
+        b.thread(1u32).block(compute_block(100, 1));
+        // Main does a lot of work, then joins the long-finished child.
+        b.thread(0u32).block(compute_block(200_000, 2)).join(ThreadId(1));
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // Join wait should be ~0 (child done long ago).
+        assert!(r.threads[0].cpi.sync < 5000.0, "{}", r.threads[0].cpi.sync);
+    }
+}

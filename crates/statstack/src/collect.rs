@@ -1,0 +1,368 @@
+//! Reuse-distance collectors.
+//!
+//! [`SingleThreadCollector`] reproduces the original StatStack measurement:
+//! a per-location counter yields the reuse distance of every access in one
+//! thread's stream.
+//!
+//! [`MultiThreadCollector`] implements the multi-threaded extension RPPM
+//! relies on (Section III-A, "Memory Behavior"): every thread's accesses are
+//! measured against *two* counters — the thread's private access counter
+//! (private L1/L2 locality) and a single global counter shared by all
+//! threads (shared LLC locality, capturing positive interference from data
+//! sharing and negative interference from capacity contention). A reuse
+//! broken by a remote write is recorded as an infinite private distance
+//! (write invalidation ⇒ coherence miss).
+
+use crate::hist::ReuseHistogram;
+use std::collections::HashMap;
+
+/// Locality statistics of one thread over one inter-synchronization epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochLocality {
+    /// Private (per-thread counter) reuse-distance histogram. Predicts the
+    /// private L1/L2 miss rates.
+    pub private: ReuseHistogram,
+    /// Global (interleaved counter) reuse-distance histogram. Predicts the
+    /// shared LLC miss rate.
+    pub global: ReuseHistogram,
+    /// Data accesses observed in the epoch.
+    pub accesses: u64,
+    /// Store accesses observed in the epoch.
+    pub stores: u64,
+}
+
+/// Single-threaded reuse-distance collector (classic StatStack).
+#[derive(Debug, Default)]
+pub struct SingleThreadCollector {
+    count: u64,
+    last: HashMap<u64, u64>,
+    hist: ReuseHistogram,
+}
+
+impl SingleThreadCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access to `line`.
+    pub fn access(&mut self, line: u64) {
+        match self.last.insert(line, self.count) {
+            Some(prev) => self.hist.record(self.count - prev - 1),
+            None => self.hist.record_cold(1),
+        }
+        self.count += 1;
+    }
+
+    /// Finishes collection, returning the histogram.
+    pub fn into_histogram(self) -> ReuseHistogram {
+        self.hist
+    }
+
+    /// Accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.count
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LineState {
+    /// Per-thread private counter value at that thread's last access.
+    priv_last: Box<[u64]>,
+    /// Global counter value at each thread's last access.
+    glob_last: Box<[u64]>,
+    /// Whether each thread has touched the line.
+    seen: Box<[bool]>,
+    /// Global counter value of the most recent write.
+    last_write_glob: u64,
+    /// Thread that performed the most recent write.
+    last_writer: u32,
+    /// Whether the line has ever been written.
+    written: bool,
+}
+
+impl LineState {
+    fn new(n: usize) -> Self {
+        LineState {
+            priv_last: vec![0; n].into_boxed_slice(),
+            glob_last: vec![0; n].into_boxed_slice(),
+            seen: vec![false; n].into_boxed_slice(),
+            last_write_glob: 0,
+            last_writer: u32::MAX,
+            written: false,
+        }
+    }
+}
+
+/// Multi-threaded reuse-distance collector with coherence detection.
+///
+/// The caller feeds an interleaved access stream via
+/// [`MultiThreadCollector::access`]; per-thread epoch boundaries are marked
+/// with [`MultiThreadCollector::end_epoch`], which returns the
+/// [`EpochLocality`] accumulated for that thread since its previous
+/// boundary. Line state persists across epochs (reuse distances legitimately
+/// span synchronization events).
+#[derive(Debug)]
+pub struct MultiThreadCollector {
+    n_threads: usize,
+    global_count: u64,
+    priv_count: Vec<u64>,
+    lines: HashMap<u64, LineState>,
+    current: Vec<EpochLocality>,
+}
+
+impl MultiThreadCollector {
+    /// Creates a collector for `n_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0);
+        MultiThreadCollector {
+            n_threads,
+            global_count: 0,
+            priv_count: vec![0; n_threads],
+            lines: HashMap::new(),
+            current: vec![EpochLocality::default(); n_threads],
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Records an access by `thread` to `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn access(&mut self, thread: usize, line: u64, is_write: bool) {
+        assert!(thread < self.n_threads);
+        let n = self.n_threads;
+        let g = self.global_count;
+        let p = self.priv_count[thread];
+        let epoch = &mut self.current[thread];
+        epoch.accesses += 1;
+        if is_write {
+            epoch.stores += 1;
+        }
+
+        let state = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| LineState::new(n));
+
+        if state.seen[thread] {
+            let glob_dist = g - state.glob_last[thread] - 1;
+            // Write invalidation: a remote write after our last access breaks
+            // the private reuse (the line was invalidated in our private
+            // hierarchy), but the shared LLC still holds it.
+            let invalidated = state.written
+                && state.last_writer != thread as u32
+                && state.last_write_glob > state.glob_last[thread];
+            if invalidated {
+                epoch.private.record_invalidated(1);
+            } else {
+                let priv_dist = p - state.priv_last[thread] - 1;
+                epoch.private.record(priv_dist);
+            }
+            epoch.global.record(glob_dist);
+        } else {
+            // First touch by this thread. For the *shared* cache the line may
+            // have been brought in by another thread (positive interference):
+            // measure against the most recent access by anyone.
+            let mut last_any: Option<u64> = None;
+            for t in 0..n {
+                if state.seen[t] {
+                    let v = state.glob_last[t];
+                    last_any = Some(last_any.map_or(v, |x: u64| x.max(v)));
+                }
+            }
+            epoch.private.record_cold(1);
+            match last_any {
+                Some(v) => epoch.global.record(g - v - 1),
+                None => epoch.global.record_cold(1),
+            }
+            state.seen[thread] = true;
+        }
+
+        state.priv_last[thread] = p;
+        state.glob_last[thread] = g;
+        if is_write {
+            state.last_write_glob = g;
+            state.last_writer = thread as u32;
+            state.written = true;
+        }
+        self.priv_count[thread] += 1;
+        self.global_count += 1;
+    }
+
+    /// Ends the current epoch of `thread`, returning its locality statistics
+    /// and starting a fresh accumulation.
+    pub fn end_epoch(&mut self, thread: usize) -> EpochLocality {
+        std::mem::take(&mut self.current[thread])
+    }
+
+    /// Total accesses recorded across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.global_count
+    }
+
+    /// Number of distinct lines touched so far (by anyone).
+    pub fn unique_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_loop_distances() {
+        let mut c = SingleThreadCollector::new();
+        for _ in 0..3 {
+            for line in 0..4u64 {
+                c.access(line);
+            }
+        }
+        let h = c.into_histogram();
+        assert_eq!(h.cold, 4);
+        assert_eq!(h.total_finite(), 8);
+        // All finite distances are 3.
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(3, 8)]);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        let mut c = SingleThreadCollector::new();
+        c.access(7);
+        c.access(7);
+        let h = c.into_histogram();
+        assert_eq!(h.iter().next(), Some((0, 1)));
+    }
+
+    #[test]
+    fn multithread_private_matches_single_when_disjoint() {
+        // Two threads touching disjoint lines: private distances unaffected
+        // by interleaving.
+        let mut m = MultiThreadCollector::new(2);
+        for _ in 0..3 {
+            for line in 0..4u64 {
+                m.access(0, line, false);
+                m.access(1, 100 + line, false);
+            }
+        }
+        let e0 = m.end_epoch(0);
+        assert_eq!(e0.private.cold, 4);
+        let buckets: Vec<(u64, u64)> = e0.private.iter().collect();
+        assert_eq!(buckets, vec![(3, 8)]);
+        // Global distances are doubled (+1) by interleaving: 2*3+1 = 7.
+        let gbuckets: Vec<(u64, u64)> = e0.global.iter().collect();
+        assert_eq!(gbuckets, vec![(7, 8)]);
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // Thread 1: D E F F D — second D: private rd 3, global rd 7 after
+        // interleaving with thread 2's A B B D A... Reproduce the figure's
+        // interleaving: D A B E F B F D D A (t1 accesses D E F F D,
+        // t2 accesses A B B D A).
+        let mut m = MultiThreadCollector::new(2);
+        // interleave exactly as drawn
+        m.access(0, 'D' as u64, false); // t1 D
+        m.access(1, 'A' as u64, false); // t2 A
+        m.access(1, 'B' as u64, false); // t2 B
+        m.access(0, 'E' as u64, false); // t1 E
+        m.access(0, 'F' as u64, false); // t1 F
+        m.access(1, 'B' as u64, false); // t2 B
+        m.access(0, 'F' as u64, false); // t1 F
+        m.access(1, 'D' as u64, false); // t2 D  (shares D with t1!)
+        m.access(0, 'D' as u64, false); // t1 D  (second access)
+        m.access(1, 'A' as u64, false); // t2 A
+
+        let e0 = m.end_epoch(0);
+        let e1 = m.end_epoch(1);
+        // t1's second D: private distance = 3 (E F F in between).
+        let d_priv: Vec<(u64, u64)> = e0.private.iter().collect();
+        assert!(d_priv.contains(&(3, 1)), "{d_priv:?}");
+        // t1's second F: private distance 0; global distance 1 (B between).
+        assert!(e0.global.iter().any(|(d, _)| d == 1));
+        // t2's D was brought in new for t2 but t1 accessed it at global 0:
+        // positive interference — global distance finite (6), not cold.
+        assert_eq!(e1.global.cold, 2, "only A and B are globally cold");
+        assert!(e1.global.iter().any(|(d, _)| d == 6));
+    }
+
+    #[test]
+    fn write_invalidation_detected() {
+        let mut m = MultiThreadCollector::new(2);
+        m.access(0, 5, false); // t0 reads line 5
+        m.access(1, 5, true); // t1 writes line 5
+        m.access(0, 5, false); // t0 re-reads: invalidated
+        let e0 = m.end_epoch(0);
+        assert_eq!(e0.private.invalidated, 1);
+        assert_eq!(e0.private.cold, 1); // the first access
+        // Global reuse still finite (LLC keeps the line).
+        assert_eq!(e0.global.total_finite(), 1);
+    }
+
+    #[test]
+    fn own_writes_do_not_invalidate() {
+        let mut m = MultiThreadCollector::new(2);
+        m.access(0, 5, true);
+        m.access(0, 5, true);
+        m.access(0, 5, false);
+        let e0 = m.end_epoch(0);
+        assert_eq!(e0.private.invalidated, 0);
+        assert_eq!(e0.private.total_finite(), 2);
+    }
+
+    #[test]
+    fn remote_write_before_first_access_is_positive_interference() {
+        let mut m = MultiThreadCollector::new(2);
+        m.access(0, 9, true); // t0 writes (producer)
+        m.access(1, 9, false); // t1 first touch: globally warm
+        let e1 = m.end_epoch(1);
+        assert_eq!(e1.private.cold, 1);
+        assert_eq!(e1.global.cold, 0);
+        assert_eq!(e1.global.total_finite(), 1);
+    }
+
+    #[test]
+    fn epochs_reset_accumulation_but_not_line_state() {
+        let mut m = MultiThreadCollector::new(1);
+        m.access(0, 1, false);
+        let e1 = m.end_epoch(0);
+        assert_eq!(e1.accesses, 1);
+        m.access(0, 1, false); // reuse across epoch boundary
+        let e2 = m.end_epoch(0);
+        assert_eq!(e2.accesses, 1);
+        assert_eq!(e2.private.cold, 0, "line state persists across epochs");
+        assert_eq!(e2.private.total_finite(), 1);
+    }
+
+    #[test]
+    fn store_counting() {
+        let mut m = MultiThreadCollector::new(1);
+        m.access(0, 1, true);
+        m.access(0, 2, false);
+        m.access(0, 3, true);
+        let e = m.end_epoch(0);
+        assert_eq!(e.stores, 2);
+        assert_eq!(e.accesses, 3);
+    }
+
+    #[test]
+    fn unique_lines_counts_distinct() {
+        let mut m = MultiThreadCollector::new(2);
+        m.access(0, 1, false);
+        m.access(1, 1, false);
+        m.access(0, 2, false);
+        assert_eq!(m.unique_lines(), 2);
+        assert_eq!(m.total_accesses(), 3);
+    }
+}

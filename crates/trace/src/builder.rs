@@ -1,0 +1,346 @@
+//! Ergonomic construction of multi-threaded workloads.
+
+use crate::block::BlockSpec;
+use crate::pattern::Region;
+use crate::program::{Program, ProgramError, Segment};
+use crate::sync::{BarrierId, MutexId, QueueId, SyncOp, ThreadId};
+
+/// Builder for [`Program`]s.
+///
+/// The builder owns the shared-resource allocators: data regions, barriers,
+/// mutexes, queues, branch-site identifiers and instruction-line space. The
+/// benchmark analogs in `rppm-workloads` are written entirely against this
+/// API.
+///
+/// # Example
+///
+/// ```
+/// use rppm_trace::{ProgramBuilder, BlockSpec, AddressPattern};
+///
+/// let mut b = ProgramBuilder::new("example", 3);
+/// let shared = b.alloc_region(4096);
+/// let bar = b.alloc_barrier();
+/// b.spawn_workers();
+/// for t in 0..3u32 {
+///     b.thread(t)
+///         .block(
+///             BlockSpec::new(1000, 7 + t as u64)
+///                 .loads(0.3)
+///                 .addr(AddressPattern::stream(shared.chunk(t as u64, 3)), 1.0),
+///         )
+///         .barrier(bar);
+/// }
+/// b.join_workers();
+/// let p = b.build();
+/// assert_eq!(p.num_threads(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    next_data_line: u64,
+    next_barrier: u32,
+    next_mutex: u32,
+    next_queue: u32,
+    next_site: u32,
+    next_code_line: u64,
+}
+
+/// Gap left between allocated data regions (lines) so that streams over
+/// adjacent regions do not accidentally blend.
+const REGION_GAP: u64 = 64;
+
+impl ProgramBuilder {
+    /// Starts building a program named `name` with `n_threads` threads
+    /// (thread 0 is the main thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    pub fn new(name: impl Into<String>, n_threads: usize) -> Self {
+        assert!(n_threads > 0, "a program needs at least one thread");
+        ProgramBuilder {
+            program: Program::new(name, n_threads),
+            next_data_line: 0,
+            next_barrier: 0,
+            next_mutex: 0,
+            next_queue: 0,
+            next_site: 1,
+            next_code_line: 1,
+        }
+    }
+
+    /// Number of threads in the program under construction.
+    pub fn num_threads(&self) -> usize {
+        self.program.num_threads()
+    }
+
+    /// Allocates a fresh data region of `lines` cache lines.
+    pub fn alloc_region(&mut self, lines: u64) -> Region {
+        let r = Region::new(self.next_data_line, lines.max(1));
+        self.next_data_line += lines.max(1) + REGION_GAP;
+        r
+    }
+
+    /// Allocates a fresh barrier.
+    pub fn alloc_barrier(&mut self) -> BarrierId {
+        let id = BarrierId(self.next_barrier);
+        self.next_barrier += 1;
+        id
+    }
+
+    /// Allocates a fresh mutex.
+    pub fn alloc_mutex(&mut self) -> MutexId {
+        let id = MutexId(self.next_mutex);
+        self.next_mutex += 1;
+        id
+    }
+
+    /// Allocates a fresh producer/consumer queue.
+    pub fn alloc_queue(&mut self) -> QueueId {
+        let id = QueueId(self.next_queue);
+        self.next_queue += 1;
+        id
+    }
+
+    /// Registers a block template: assigns it static branch-site identifiers
+    /// and an instruction-line range. Re-using the returned template (with
+    /// [`BlockSpec::with_seed`] / [`BlockSpec::with_ops`]) across epochs
+    /// models the same static code executing repeatedly — the instruction
+    /// footprint and branch sites stay put, as they would in a real binary.
+    pub fn template(&mut self, mut spec: BlockSpec) -> BlockSpec {
+        spec.site_base = self.next_site;
+        self.next_site += spec.n_sites;
+        spec.code_base = self.next_code_line;
+        self.next_code_line += spec.code_lines;
+        spec
+    }
+
+    /// Returns the script builder for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread index is out of range.
+    pub fn thread(&mut self, thread: impl Into<ThreadId>) -> ThreadBuilder<'_> {
+        let t = thread.into();
+        assert!(
+            t.index() < self.program.num_threads(),
+            "thread {t} out of range"
+        );
+        ThreadBuilder { owner: self, thread: t }
+    }
+
+    /// Convenience: the main thread creates every worker (threads `1..n`).
+    pub fn spawn_workers(&mut self) {
+        for t in 1..self.program.num_threads() as u32 {
+            self.thread(0u32).create(ThreadId(t));
+        }
+    }
+
+    /// Convenience: the main thread joins every worker (threads `1..n`).
+    pub fn join_workers(&mut self) {
+        for t in 1..self.program.num_threads() as u32 {
+            self.thread(0u32).join(ThreadId(t));
+        }
+    }
+
+    /// Finishes construction, validating structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is structurally invalid (see
+    /// [`Program::validate`]); builder misuse is a programming error.
+    pub fn build(self) -> Program {
+        match self.try_build() {
+            Ok(p) => p,
+            Err(e) => panic!("invalid program: {e}"),
+        }
+    }
+
+    /// Finishes construction, returning an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation found, if any.
+    pub fn try_build(self) -> Result<Program, ProgramError> {
+        self.program.validate()?;
+        Ok(self.program)
+    }
+}
+
+impl BlockSpec {
+    /// Returns a copy with a different expansion seed (same static code).
+    pub fn with_seed(&self, seed: u64) -> BlockSpec {
+        let mut b = self.clone();
+        b.seed = seed;
+        b
+    }
+
+    /// Returns a copy with a different op count (same static code).
+    pub fn with_ops(&self, ops: u32) -> BlockSpec {
+        let mut b = self.clone();
+        b.ops = ops;
+        b
+    }
+}
+
+/// Script builder for one thread; obtained from [`ProgramBuilder::thread`].
+#[derive(Debug)]
+pub struct ThreadBuilder<'b> {
+    owner: &'b mut ProgramBuilder,
+    thread: ThreadId,
+}
+
+impl ThreadBuilder<'_> {
+    fn push(&mut self, seg: Segment) -> &mut Self {
+        self.owner.program.threads[self.thread.index()].segments.push(seg);
+        self
+    }
+
+    /// Appends an instruction block. If the block has not been registered as
+    /// a template (site/code bases unassigned), it is registered now.
+    pub fn block(&mut self, spec: BlockSpec) -> &mut Self {
+        let spec = if spec.site_base == 0 || spec.code_base == 0 {
+            self.owner.template(spec)
+        } else {
+            spec
+        };
+        self.push(Segment::Block(spec))
+    }
+
+    /// Appends a barrier wait.
+    pub fn barrier(&mut self, id: BarrierId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Barrier { id, via_cond: false }))
+    }
+
+    /// Appends a barrier implemented via a condition variable (classified as
+    /// a condition-variable event in Table III accounting).
+    pub fn cond_barrier(&mut self, id: BarrierId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Barrier { id, via_cond: true }))
+    }
+
+    /// Appends a mutex acquire (critical-section entry).
+    pub fn lock(&mut self, id: MutexId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Lock { id }))
+    }
+
+    /// Appends a mutex release (critical-section exit).
+    pub fn unlock(&mut self, id: MutexId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Unlock { id }))
+    }
+
+    /// Appends a producer operation making `count` items available.
+    pub fn produce(&mut self, queue: QueueId, count: u32) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Produce { queue, count }))
+    }
+
+    /// Appends a consumer operation (may wait for an item).
+    pub fn consume(&mut self, queue: QueueId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Consume { queue }))
+    }
+
+    /// Appends a thread-creation event.
+    pub fn create(&mut self, child: ThreadId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Create { child }))
+    }
+
+    /// Appends a join on `child`.
+    pub fn join(&mut self, child: ThreadId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::Join { child }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AddressPattern;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let r1 = b.alloc_region(100);
+        let r2 = b.alloc_region(50);
+        assert!(r1.base + r1.lines <= r2.base);
+    }
+
+    #[test]
+    fn ids_are_fresh() {
+        let mut b = ProgramBuilder::new("t", 1);
+        assert_ne!(b.alloc_barrier(), b.alloc_barrier());
+        assert_ne!(b.alloc_mutex(), b.alloc_mutex());
+        assert_ne!(b.alloc_queue(), b.alloc_queue());
+    }
+
+    #[test]
+    fn template_assigns_disjoint_code_and_sites() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let t1 = b.template(BlockSpec::new(10, 1).sites(3).code_footprint(16));
+        let t2 = b.template(BlockSpec::new(10, 2).sites(2).code_footprint(4));
+        assert!(t1.site_base >= 1);
+        assert!(t2.site_base >= t1.site_base + 3);
+        assert!(t2.code_base >= t1.code_base + 16);
+    }
+
+    #[test]
+    fn with_seed_and_ops_preserve_static_identity() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let tpl = b.template(BlockSpec::new(10, 1));
+        let v = tpl.with_seed(99).with_ops(20);
+        assert_eq!(v.site_base, tpl.site_base);
+        assert_eq!(v.code_base, tpl.code_base);
+        assert_eq!(v.seed, 99);
+        assert_eq!(v.ops, 20);
+    }
+
+    #[test]
+    fn builds_valid_fork_join_program() {
+        let mut b = ProgramBuilder::new("t", 4);
+        let r = b.alloc_region(1024);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        for t in 0..4u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(100, t as u64)
+                        .loads(0.2)
+                        .addr(AddressPattern::stream(r.chunk(t as u64, 4)), 1.0),
+                )
+                .barrier(bar);
+        }
+        b.join_workers();
+        let p = b.build();
+        assert_eq!(p.num_threads(), 4);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.total_ops(), 400);
+    }
+
+    #[test]
+    fn try_build_reports_orphans() {
+        let mut b = ProgramBuilder::new("t", 2);
+        b.thread(1u32).block(BlockSpec::new(10, 1));
+        assert!(b.try_build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn build_panics_on_invalid() {
+        let mut b = ProgramBuilder::new("t", 2);
+        b.thread(1u32).block(BlockSpec::new(10, 1));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thread_index_checked() {
+        let mut b = ProgramBuilder::new("t", 1);
+        b.thread(3u32);
+    }
+
+    #[test]
+    fn lock_unlock_chain() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let m = b.alloc_mutex();
+        b.thread(0u32).lock(m).block(BlockSpec::new(10, 1)).unlock(m);
+        let p = b.build();
+        assert_eq!(p.threads[0].sync_count(), 2);
+    }
+}

@@ -1,0 +1,387 @@
+//! Target multicore machine description.
+//!
+//! [`MachineConfig`] is shared by the golden-reference simulator
+//! (`rppm-sim`) and the analytical model (`rppm-core`): both consume exactly
+//! the same architectural parameters, and nothing else, mirroring the paper's
+//! methodology where Sniper and RPPM are configured from the same tables.
+//!
+//! The five design points of Table IV (constant peak throughput of
+//! 10 billion operations per second) are provided via [`DesignPoint`].
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access (hit) latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry; sizes in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or the configuration has no sets.
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32, latency: u32) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0);
+        let g = CacheGeometry { size_bytes, assoc, line_bytes, latency };
+        assert!(g.sets() > 0, "cache must have at least one set");
+        g
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)
+    }
+
+    /// Total capacity in lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+}
+
+/// Functional-unit (issue-port) counts per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuConfig {
+    /// Simple integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul: u32,
+    /// Floating-point units (add + mul pipes).
+    pub fp: u32,
+    /// Load/store ports.
+    pub mem: u32,
+    /// Branch units.
+    pub branch: u32,
+}
+
+/// Branch predictor specification (a 4 KB tournament predictor in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPredictorConfig {
+    /// Total 2-bit-counter budget in bytes (split across tables).
+    pub size_bytes: u32,
+    /// Global-history length in bits used by the gshare component.
+    pub history_bits: u32,
+}
+
+impl BranchPredictorConfig {
+    /// The paper's 4 KB tournament predictor.
+    pub fn tournament_4kb() -> Self {
+        BranchPredictorConfig { size_bytes: 4096, history_bits: 12 }
+    }
+
+    /// Entries per component table (three tables: bimodal, gshare, chooser;
+    /// 2-bit counters, so 4 counters per byte).
+    pub fn table_entries(&self) -> u32 {
+        ((self.size_bytes * 4) / 3).next_power_of_two() / 2
+    }
+}
+
+/// Full multicore machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Core count (RPPM assumes one thread per core).
+    pub cores: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Dispatch (front-end) width in micro-ops per cycle.
+    pub dispatch_width: u32,
+    /// Reorder-buffer capacity in micro-ops.
+    pub rob_size: u32,
+    /// Issue-queue capacity in micro-ops.
+    pub issue_queue: u32,
+    /// Front-end pipeline depth: refill penalty after a mispredicted branch,
+    /// in cycles.
+    pub frontend_depth: u32,
+    /// Functional-unit counts.
+    pub fu: FuConfig,
+    /// Branch predictor.
+    pub bpred: BranchPredictorConfig,
+    /// Private L1 instruction cache.
+    pub l1i: CacheGeometry,
+    /// Private L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Private unified L2.
+    pub l2: CacheGeometry,
+    /// Shared last-level cache.
+    pub l3: CacheGeometry,
+    /// Main-memory access latency in nanoseconds (frequency-independent;
+    /// the cycle cost scales with `freq_ghz`).
+    pub mem_latency_ns: f64,
+    /// Miss-status-holding registers per core: bound on overlapping memory
+    /// misses (memory-level parallelism).
+    pub mshrs: u32,
+    /// Extra latency in cycles for a cache line transferred from another
+    /// core's private cache (coherence intervention).
+    pub coherence_latency: u32,
+    /// Fixed cost in cycles of executing a synchronization library call
+    /// (lock, unlock, barrier arrival, condition-variable operation).
+    pub sync_overhead_cycles: u32,
+    /// Latency in cycles from a `pthread_create`-style call to the child
+    /// thread starting to execute.
+    pub spawn_latency_cycles: u32,
+}
+
+impl MachineConfig {
+    /// Main-memory latency in cycles at this configuration's frequency.
+    pub fn mem_latency_cycles(&self) -> f64 {
+        self.mem_latency_ns * self.freq_ghz
+    }
+
+    /// Converts a cycle count into seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9)
+    }
+
+    /// Peak throughput in micro-ops per second.
+    pub fn peak_ops_per_second(&self) -> f64 {
+        self.dispatch_width as f64 * self.freq_ghz * 1e9
+    }
+
+    /// FU ports available for the given op class.
+    pub fn ports_for(&self, class: crate::op::OpClass) -> u32 {
+        use crate::op::OpClass;
+        match class {
+            OpClass::IntAlu => self.fu.int_alu,
+            OpClass::IntMul | OpClass::IntDiv => self.fu.int_mul,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => self.fu.fp,
+            OpClass::Load | OpClass::Store => self.fu.mem,
+            OpClass::Branch => self.fu.branch,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("core count must be positive".into());
+        }
+        if self.dispatch_width == 0 {
+            return Err("dispatch width must be positive".into());
+        }
+        if self.rob_size < self.dispatch_width {
+            return Err("ROB must hold at least one dispatch group".into());
+        }
+        if self.freq_ghz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.mshrs == 0 {
+            return Err("at least one MSHR is required".into());
+        }
+        if self.l1d.line_bytes != self.l2.line_bytes
+            || self.l2.line_bytes != self.l3.line_bytes
+        {
+            return Err("cache levels must share a line size".into());
+        }
+        Ok(())
+    }
+}
+
+/// The five design points of Table IV.
+///
+/// All five deliver the same peak performance (10 billion operations per
+/// second): frequency shrinks as the pipeline widens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignPoint {
+    /// 5.00 GHz, 2-wide, 32-entry ROB.
+    Smallest,
+    /// 3.33 GHz, 3-wide, 72-entry ROB.
+    Small,
+    /// 2.50 GHz, 4-wide, 128-entry ROB (the paper's base configuration).
+    Base,
+    /// 2.00 GHz, 5-wide, 200-entry ROB.
+    Big,
+    /// 1.66 GHz, 6-wide, 288-entry ROB.
+    Biggest,
+}
+
+impl DesignPoint {
+    /// All design points, smallest to biggest.
+    pub const ALL: [DesignPoint; 5] = [
+        DesignPoint::Smallest,
+        DesignPoint::Small,
+        DesignPoint::Base,
+        DesignPoint::Big,
+        DesignPoint::Biggest,
+    ];
+
+    /// Materializes the configuration for a quad-core machine (the paper's
+    /// evaluation setup).
+    pub fn config(self) -> MachineConfig {
+        self.config_with_cores(4)
+    }
+
+    /// Materializes the configuration with an arbitrary core count.
+    pub fn config_with_cores(self, cores: u32) -> MachineConfig {
+        let (name, freq, width, rob, iq) = match self {
+            DesignPoint::Smallest => ("smallest", 5.00, 2u32, 32u32, 16u32),
+            DesignPoint::Small => ("small", 3.33, 3, 72, 36),
+            DesignPoint::Base => ("base", 2.50, 4, 128, 64),
+            DesignPoint::Big => ("big", 2.00, 5, 200, 100),
+            DesignPoint::Biggest => ("biggest", 1.66, 6, 288, 144),
+        };
+        MachineConfig {
+            name: name.to_string(),
+            cores,
+            freq_ghz: freq,
+            dispatch_width: width,
+            rob_size: rob,
+            issue_queue: iq,
+            frontend_depth: 6,
+            fu: FuConfig {
+                int_alu: width,
+                int_mul: (width / 3).max(1),
+                fp: (width / 2).max(1),
+                mem: (width / 2).max(1),
+                branch: (width / 2).max(1),
+            },
+            bpred: BranchPredictorConfig::tournament_4kb(),
+            l1i: CacheGeometry::new(32 * 1024, 4, 64, 3),
+            l1d: CacheGeometry::new(32 * 1024, 4, 64, 3),
+            l2: CacheGeometry::new(256 * 1024, 8, 64, 12),
+            l3: CacheGeometry::new(8 * 1024 * 1024, 16, 64, 35),
+            mem_latency_ns: 80.0,
+            mshrs: 10,
+            coherence_latency: 40,
+            sync_overhead_cycles: 40,
+            spawn_latency_cycles: 1500,
+        }
+    }
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DesignPoint::Smallest => "smallest",
+            DesignPoint::Small => "small",
+            DesignPoint::Base => "base",
+            DesignPoint::Big => "big",
+            DesignPoint::Biggest => "biggest",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_design_points_validate() {
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            assert!(c.validate().is_ok(), "{dp} invalid");
+        }
+    }
+
+    #[test]
+    fn peak_throughput_is_constant_across_design_points() {
+        // Table IV: every configuration can execute 10 G ops/s (±1% for the
+        // rounded 3.33/1.66 GHz figures).
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            let peak = c.peak_ops_per_second();
+            assert!(
+                (peak - 1e10).abs() / 1e10 < 0.01,
+                "{dp}: peak {peak}"
+            );
+        }
+    }
+
+    #[test]
+    fn base_matches_table_iv() {
+        let c = DesignPoint::Base.config();
+        assert_eq!(c.dispatch_width, 4);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.issue_queue, 64);
+        assert!((c.freq_ghz - 2.5).abs() < 1e-9);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.assoc, 4);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.assoc, 8);
+        assert_eq!(c.l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l3.assoc, 16);
+        assert_eq!(c.bpred.size_bytes, 4096);
+        assert_eq!(c.cores, 4);
+    }
+
+    #[test]
+    fn mem_latency_scales_with_frequency() {
+        let fast = DesignPoint::Smallest.config();
+        let slow = DesignPoint::Biggest.config();
+        assert!(fast.mem_latency_cycles() > slow.mem_latency_cycles());
+        assert!((fast.mem_latency_cycles() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_seconds_inverts_frequency() {
+        let c = DesignPoint::Base.config();
+        let s = c.cycles_to_seconds(2.5e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_geometry_sets_and_lines() {
+        let g = CacheGeometry::new(32 * 1024, 4, 64, 3);
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.lines(), 512);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_cache_panics() {
+        CacheGeometry::new(0, 4, 64, 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = DesignPoint::Base.config();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DesignPoint::Base.config();
+        c.rob_size = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = DesignPoint::Base.config();
+        c.l2.line_bytes = 32;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn predictor_tables_are_pow2() {
+        let b = BranchPredictorConfig::tournament_4kb();
+        let e = b.table_entries();
+        assert!(e.is_power_of_two());
+        assert!(e >= 1024);
+    }
+
+    #[test]
+    fn ports_for_covers_all_classes() {
+        use crate::op::OpClass;
+        let c = DesignPoint::Base.config();
+        for class in OpClass::ALL {
+            assert!(c.ports_for(class) >= 1);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = DesignPoint::Big.config();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

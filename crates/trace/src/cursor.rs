@@ -1,0 +1,261 @@
+//! Streaming traversal of a thread's dynamic instruction stream.
+
+use crate::op::MicroOp;
+use crate::program::{Segment, ThreadScript};
+use crate::sync::SyncOp;
+
+/// The item currently under a [`ThreadCursor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CursorItem {
+    /// A micro-op (copied out of the lazily expanded block).
+    Op(MicroOp),
+    /// A synchronization event.
+    Sync(SyncOp),
+}
+
+/// Streaming cursor over one thread's dynamic stream.
+///
+/// Blocks are expanded one at a time into an internal buffer, so traversing a
+/// multi-million-op thread costs O(largest block) memory. Both the profiler
+/// and the simulator drive the same cursor type, guaranteeing they observe
+/// the identical stream.
+///
+/// # Example
+///
+/// ```
+/// use rppm_trace::{BlockSpec, Program, Segment, ThreadCursor, CursorItem};
+///
+/// let mut p = Program::new("demo", 1);
+/// p.threads[0].segments = vec![Segment::Block(BlockSpec::new(3, 1))];
+/// let mut cur = ThreadCursor::new(&p.threads[0]);
+/// let mut ops = 0;
+/// while let Some(item) = cur.item() {
+///     if let CursorItem::Op(_) = item { ops += 1; }
+///     cur.advance();
+/// }
+/// assert_eq!(ops, 3);
+/// ```
+#[derive(Debug)]
+pub struct ThreadCursor<'p> {
+    script: &'p ThreadScript,
+    seg: usize,
+    buf: Vec<MicroOp>,
+    buf_pos: usize,
+    /// Whether `buf` holds the expansion of `segments[seg]`.
+    filled: bool,
+    ops_consumed: u64,
+}
+
+impl<'p> ThreadCursor<'p> {
+    /// Creates a cursor positioned at the start of `script`.
+    pub fn new(script: &'p ThreadScript) -> Self {
+        ThreadCursor {
+            script,
+            seg: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            filled: false,
+            ops_consumed: 0,
+        }
+    }
+
+    /// Skips empty blocks and materializes the current block if needed.
+    fn ensure(&mut self) {
+        loop {
+            match self.script.segments.get(self.seg) {
+                Some(Segment::Block(b)) => {
+                    if b.ops == 0 {
+                        self.seg += 1;
+                        self.filled = false;
+                        continue;
+                    }
+                    if !self.filled {
+                        self.buf.clear();
+                        b.expand_into(&mut self.buf);
+                        self.buf_pos = 0;
+                        self.filled = true;
+                    }
+                    return;
+                }
+                Some(Segment::Sync(_)) | None => return,
+            }
+        }
+    }
+
+    /// Returns the current item, or `None` at end of stream.
+    pub fn item(&mut self) -> Option<CursorItem> {
+        self.ensure();
+        match self.script.segments.get(self.seg) {
+            Some(Segment::Block(_)) => Some(CursorItem::Op(self.buf[self.buf_pos])),
+            Some(Segment::Sync(op)) => Some(CursorItem::Sync(*op)),
+            None => None,
+        }
+    }
+
+    /// Advances past the current item.
+    pub fn advance(&mut self) {
+        self.ensure();
+        match self.script.segments.get(self.seg) {
+            Some(Segment::Block(_)) => {
+                self.ops_consumed += 1;
+                self.buf_pos += 1;
+                if self.buf_pos >= self.buf.len() {
+                    self.seg += 1;
+                    self.filled = false;
+                }
+            }
+            Some(Segment::Sync(_)) => {
+                self.seg += 1;
+                self.filled = false;
+            }
+            None => {}
+        }
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn at_end(&mut self) -> bool {
+        self.ensure();
+        self.seg >= self.script.segments.len()
+    }
+
+    /// Number of micro-ops consumed so far.
+    pub fn ops_consumed(&self) -> u64 {
+        self.ops_consumed
+    }
+
+    /// Consumes the remainder of the current block (if positioned inside
+    /// one), returning the micro-ops as a slice valid until the next method
+    /// call. Returns an empty slice when positioned at a sync event or at
+    /// the end.
+    ///
+    /// This is the bulk API used by the profiler, which consumes whole
+    /// epochs at a time.
+    pub fn take_block(&mut self) -> &[MicroOp] {
+        self.ensure();
+        match self.script.segments.get(self.seg) {
+            Some(Segment::Block(_)) => {
+                let start = self.buf_pos;
+                let len = self.buf.len() - start;
+                self.ops_consumed += len as u64;
+                self.buf_pos = self.buf.len();
+                self.seg += 1;
+                self.filled = false;
+                &self.buf[start..]
+            }
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSpec;
+    use crate::sync::{BarrierId, SyncOp};
+
+    fn script(items: Vec<Segment>) -> ThreadScript {
+        ThreadScript { segments: items }
+    }
+
+    fn barrier() -> Segment {
+        Segment::Sync(SyncOp::Barrier { id: BarrierId(0), via_cond: false })
+    }
+
+    #[test]
+    fn walks_ops_then_sync() {
+        let s = script(vec![
+            Segment::Block(BlockSpec::new(2, 1)),
+            barrier(),
+            Segment::Block(BlockSpec::new(1, 2)),
+        ]);
+        let mut c = ThreadCursor::new(&s);
+        let mut ops = 0;
+        let mut syncs = 0;
+        while let Some(item) = c.item() {
+            match item {
+                CursorItem::Op(_) => ops += 1,
+                CursorItem::Sync(_) => syncs += 1,
+            }
+            c.advance();
+        }
+        assert_eq!(ops, 3);
+        assert_eq!(syncs, 1);
+        assert!(c.at_end());
+        assert_eq!(c.ops_consumed(), 3);
+    }
+
+    #[test]
+    fn empty_script_is_at_end() {
+        let s = script(vec![]);
+        let mut c = ThreadCursor::new(&s);
+        assert!(c.at_end());
+        assert_eq!(c.item(), None);
+    }
+
+    #[test]
+    fn zero_op_blocks_are_skipped() {
+        let s = script(vec![Segment::Block(BlockSpec::new(0, 1)), barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        assert!(matches!(c.item(), Some(CursorItem::Sync(_))));
+        c.advance();
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn trailing_zero_block_still_ends() {
+        let s = script(vec![barrier(), Segment::Block(BlockSpec::new(0, 1))]);
+        let mut c = ThreadCursor::new(&s);
+        c.advance();
+        assert!(c.at_end());
+        assert_eq!(c.item(), None);
+    }
+
+    #[test]
+    fn take_block_consumes_remaining_ops() {
+        let s = script(vec![Segment::Block(BlockSpec::new(5, 1)), barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        c.advance();
+        c.advance();
+        let rest = c.take_block().len();
+        assert_eq!(rest, 3);
+        assert!(matches!(c.item(), Some(CursorItem::Sync(_))));
+        assert_eq!(c.ops_consumed(), 5);
+    }
+
+    #[test]
+    fn take_block_at_sync_is_empty() {
+        let s = script(vec![barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        assert!(c.take_block().is_empty());
+        assert!(matches!(c.item(), Some(CursorItem::Sync(_))));
+    }
+
+    #[test]
+    fn stream_matches_direct_expansion() {
+        let b = BlockSpec::new(100, 9).loads(0.2).branches(0.1);
+        let direct = b.expand();
+        let s = script(vec![Segment::Block(b)]);
+        let mut c = ThreadCursor::new(&s);
+        let mut streamed = Vec::new();
+        while let Some(CursorItem::Op(op)) = c.item() {
+            streamed.push(op);
+            c.advance();
+        }
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn consecutive_blocks_both_stream() {
+        let s = script(vec![
+            Segment::Block(BlockSpec::new(10, 1)),
+            Segment::Block(BlockSpec::new(20, 2)),
+        ]);
+        let mut c = ThreadCursor::new(&s);
+        let mut n = 0;
+        while let Some(CursorItem::Op(_)) = c.item() {
+            n += 1;
+            c.advance();
+        }
+        assert_eq!(n, 30);
+    }
+}

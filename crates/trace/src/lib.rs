@@ -1,0 +1,74 @@
+//! Workload trace intermediate representation for RPPM.
+//!
+//! This crate provides the *microarchitecture-independent* representation of
+//! a multi-threaded workload used throughout the RPPM reproduction:
+//!
+//! * [`MicroOp`] / [`OpClass`] — dynamic micro-operations with register
+//!   dependence distances, cache-line addresses and branch outcomes. This is
+//!   the same information a Pin-based profiler observes from a native
+//!   execution; here it is produced by a deterministic generator.
+//! * [`SyncOp`] — synchronization events (thread creation/join, barriers,
+//!   critical sections, condition-variable producer/consumer operations)
+//!   mirroring the pthread/OpenMP library calls the paper's profiler hooks.
+//! * [`Program`] / [`ThreadScript`] — a whole multi-threaded workload: one
+//!   script per thread, each a sequence of parametric instruction
+//!   [`BlockSpec`]s interleaved with synchronization events. Blocks are
+//!   expanded lazily and deterministically, so multi-million-instruction
+//!   workloads occupy almost no memory.
+//! * [`ProgramBuilder`] — an ergonomic DSL used by `rppm-workloads` to define
+//!   the Rodinia/Parsec benchmark analogs.
+//! * [`MachineConfig`] — the target multicore description shared by the
+//!   golden-reference simulator (`rppm-sim`) and the analytical model
+//!   (`rppm-core`). Includes the five design points of Table IV.
+//!
+//! # Example
+//!
+//! ```
+//! use rppm_trace::{ProgramBuilder, BlockSpec, AddressPattern, BranchPattern};
+//!
+//! let mut b = ProgramBuilder::new("demo", 2);
+//! let region = b.alloc_region(1024); // 1024 cache lines
+//! let barrier = b.alloc_barrier();
+//! for t in 0..2 {
+//!     b.thread(t)
+//!         .block(
+//!             BlockSpec::new(10_000, 0xC0FFEE + t as u64)
+//!                 .loads(0.25)
+//!                 .stores(0.05)
+//!                 .branches(0.1)
+//!                 .addr(AddressPattern::stream(region), 1.0)
+//!                 .branch_pattern(BranchPattern::loop_every(16)),
+//!         )
+//!         .barrier(barrier);
+//! }
+//! b.thread(0).create(1.into());
+//! let program = b.build();
+//! assert_eq!(program.num_threads(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod block;
+pub mod builder;
+pub mod config;
+pub mod cpi;
+pub mod cursor;
+pub mod op;
+pub mod pattern;
+pub mod program;
+pub mod rng;
+pub mod sync;
+
+pub use block::BlockSpec;
+pub use builder::{ProgramBuilder, ThreadBuilder};
+pub use config::{
+    BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig,
+};
+pub use cpi::CpiStack;
+pub use cursor::{CursorItem, ThreadCursor};
+pub use op::{MicroOp, OpClass};
+pub use pattern::{AddressPattern, BranchPattern, Region};
+pub use program::{Program, Segment, ThreadScript};
+pub use rng::Rng;
+pub use sync::{BarrierId, CondId, MutexId, QueueId, SyncOp, ThreadId};

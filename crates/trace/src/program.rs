@@ -1,0 +1,328 @@
+//! Whole-program representation.
+
+use crate::block::BlockSpec;
+use crate::sync::{SyncOp, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// One element of a thread's script: either a parametric instruction block or
+/// a synchronization event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A block of micro-ops (expanded lazily).
+    Block(BlockSpec),
+    /// A synchronization event.
+    Sync(SyncOp),
+}
+
+/// The full (static) script of one thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScript {
+    /// Ordered segments executed by the thread.
+    pub segments: Vec<Segment>,
+}
+
+impl ThreadScript {
+    /// Total micro-ops across all blocks.
+    pub fn total_ops(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Block(b) => b.ops as u64,
+                Segment::Sync(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Number of synchronization events.
+    pub fn sync_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Sync(_)))
+            .count()
+    }
+
+    /// Iterates over the synchronization events in order.
+    pub fn sync_ops(&self) -> impl Iterator<Item = &SyncOp> {
+        self.segments.iter().filter_map(|s| match s {
+            Segment::Sync(op) => Some(op),
+            Segment::Block(_) => None,
+        })
+    }
+}
+
+/// A multi-threaded workload: one [`ThreadScript`] per thread.
+///
+/// Thread 0 is the main thread (it exists at program start); every other
+/// thread starts executing only after a [`SyncOp::Create`] event for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Workload name (benchmark identifier).
+    pub name: String,
+    /// Per-thread scripts, indexed by [`ThreadId`].
+    pub threads: Vec<ThreadScript>,
+}
+
+impl Program {
+    /// Creates an empty program with `n_threads` empty scripts.
+    pub fn new(name: impl Into<String>, n_threads: usize) -> Self {
+        Program {
+            name: name.into(),
+            threads: vec![ThreadScript::default(); n_threads],
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The script of `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not exist.
+    pub fn script(&self, thread: ThreadId) -> &ThreadScript {
+        &self.threads[thread.index()]
+    }
+
+    /// Total dynamic micro-ops across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(ThreadScript::total_ops).sum()
+    }
+
+    /// Validates structural invariants:
+    ///
+    /// * every non-main thread is created exactly once, by an earlier thread;
+    /// * lock/unlock events are balanced and well-nested per thread;
+    /// * barrier, queue and mutex identifiers are used consistently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let n = self.threads.len();
+        let mut created = vec![0usize; n];
+        for (tid, script) in self.threads.iter().enumerate() {
+            let mut held: Vec<u32> = Vec::new();
+            for seg in &script.segments {
+                if let Segment::Sync(op) = seg {
+                    match op {
+                        SyncOp::Create { child } => {
+                            if child.index() >= n {
+                                return Err(ProgramError::UnknownThread {
+                                    by: ThreadId(tid as u32),
+                                    target: *child,
+                                });
+                            }
+                            if child.index() == 0 {
+                                return Err(ProgramError::MainThreadCreated);
+                            }
+                            created[child.index()] += 1;
+                        }
+                        SyncOp::Join { child } => {
+                            if child.index() >= n {
+                                return Err(ProgramError::UnknownThread {
+                                    by: ThreadId(tid as u32),
+                                    target: *child,
+                                });
+                            }
+                        }
+                        SyncOp::Lock { id } => held.push(id.0),
+                        SyncOp::Unlock { id } => {
+                            if held.pop() != Some(id.0) {
+                                return Err(ProgramError::UnbalancedLock {
+                                    thread: ThreadId(tid as u32),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !held.is_empty() {
+                return Err(ProgramError::UnbalancedLock { thread: ThreadId(tid as u32) });
+            }
+        }
+        for (t, &c) in created.iter().enumerate().skip(1) {
+            if self.threads[t].segments.is_empty() {
+                continue; // unused slot is fine
+            }
+            if c == 0 {
+                return Err(ProgramError::NeverCreated { thread: ThreadId(t as u32) });
+            }
+            if c > 1 {
+                return Err(ProgramError::CreatedTwice { thread: ThreadId(t as u32) });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural validation error for a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A create/join referenced a thread index that does not exist.
+    UnknownThread {
+        /// Thread issuing the event.
+        by: ThreadId,
+        /// Missing target thread.
+        target: ThreadId,
+    },
+    /// Something tried to create the main thread.
+    MainThreadCreated,
+    /// A thread has work but no creating event.
+    NeverCreated {
+        /// The orphan thread.
+        thread: ThreadId,
+    },
+    /// A thread is created more than once.
+    CreatedTwice {
+        /// The doubly-created thread.
+        thread: ThreadId,
+    },
+    /// Mismatched or badly nested lock/unlock events.
+    UnbalancedLock {
+        /// Offending thread.
+        thread: ThreadId,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnknownThread { by, target } => {
+                write!(f, "thread {by} references unknown thread {target}")
+            }
+            ProgramError::MainThreadCreated => write!(f, "main thread cannot be created"),
+            ProgramError::NeverCreated { thread } => {
+                write!(f, "thread {thread} has work but is never created")
+            }
+            ProgramError::CreatedTwice { thread } => {
+                write!(f, "thread {thread} is created more than once")
+            }
+            ProgramError::UnbalancedLock { thread } => {
+                write!(f, "unbalanced or badly nested lock/unlock in thread {thread}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{BarrierId, MutexId};
+
+    fn block(ops: u32) -> Segment {
+        Segment::Block(BlockSpec::new(ops, 1))
+    }
+
+    #[test]
+    fn total_ops_sums_blocks() {
+        let mut p = Program::new("t", 2);
+        p.threads[0].segments = vec![block(100), Segment::Sync(SyncOp::Create { child: ThreadId(1) }), block(50)];
+        p.threads[1].segments = vec![block(25)];
+        assert_eq!(p.total_ops(), 175);
+        assert_eq!(p.threads[0].total_ops(), 150);
+        assert_eq!(p.threads[0].sync_count(), 1);
+    }
+
+    #[test]
+    fn validate_ok_for_simple_program() {
+        let mut p = Program::new("t", 2);
+        p.threads[0].segments = vec![
+            block(10),
+            Segment::Sync(SyncOp::Create { child: ThreadId(1) }),
+            Segment::Sync(SyncOp::Join { child: ThreadId(1) }),
+        ];
+        p.threads[1].segments = vec![block(10)];
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_orphan_thread() {
+        let mut p = Program::new("t", 2);
+        p.threads[0].segments = vec![block(10)];
+        p.threads[1].segments = vec![block(10)];
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::NeverCreated { thread: ThreadId(1) })
+        );
+    }
+
+    #[test]
+    fn validate_catches_double_create() {
+        let mut p = Program::new("t", 2);
+        p.threads[0].segments = vec![
+            Segment::Sync(SyncOp::Create { child: ThreadId(1) }),
+            Segment::Sync(SyncOp::Create { child: ThreadId(1) }),
+        ];
+        p.threads[1].segments = vec![block(10)];
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::CreatedTwice { thread: ThreadId(1) })
+        );
+    }
+
+    #[test]
+    fn validate_catches_unbalanced_locks() {
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![Segment::Sync(SyncOp::Lock { id: MutexId(0) })];
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::UnbalancedLock { thread: ThreadId(0) })
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_nesting() {
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![
+            Segment::Sync(SyncOp::Lock { id: MutexId(0) }),
+            Segment::Sync(SyncOp::Lock { id: MutexId(1) }),
+            Segment::Sync(SyncOp::Unlock { id: MutexId(0) }),
+            Segment::Sync(SyncOp::Unlock { id: MutexId(1) }),
+        ];
+        assert!(matches!(p.validate(), Err(ProgramError::UnbalancedLock { .. })));
+    }
+
+    #[test]
+    fn validate_catches_unknown_thread() {
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![Segment::Sync(SyncOp::Create { child: ThreadId(5) })];
+        assert!(matches!(p.validate(), Err(ProgramError::UnknownThread { .. })));
+    }
+
+    #[test]
+    fn sync_ops_iterates_in_order() {
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![
+            Segment::Sync(SyncOp::Barrier { id: BarrierId(0), via_cond: false }),
+            block(5),
+            Segment::Sync(SyncOp::Barrier { id: BarrierId(1), via_cond: false }),
+        ];
+        let ids: Vec<u32> = p.threads[0]
+            .sync_ops()
+            .map(|op| match op {
+                SyncOp::Barrier { id, .. } => id.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors: Vec<ProgramError> = vec![
+            ProgramError::UnknownThread { by: ThreadId(0), target: ThreadId(9) },
+            ProgramError::MainThreadCreated,
+            ProgramError::NeverCreated { thread: ThreadId(1) },
+            ProgramError::CreatedTwice { thread: ThreadId(1) },
+            ProgramError::UnbalancedLock { thread: ThreadId(0) },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

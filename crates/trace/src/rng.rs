@@ -1,0 +1,194 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! Workload expansion must be bit-for-bit reproducible across runs, platforms
+//! and crate versions (the whole "profile once, predict many" workflow depends
+//! on the profiler and the simulator observing the *same* dynamic
+//! instruction stream). We therefore use a self-contained splitmix64/
+//! xoshiro256** generator instead of an external crate whose stream might
+//! change between releases.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Seeded via splitmix64 so that nearby seeds produce uncorrelated streams.
+///
+/// # Example
+///
+/// ```
+/// use rppm_trace::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift; bias is negligible for our bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples a geometric distribution with success probability `p`,
+    /// returning a value `>= 1`. Used for register dependence distances.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        let p = p.clamp(1e-9, 1.0);
+        let u = self.next_f64().max(1e-300);
+        (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u64 + 1
+    }
+
+    /// Derives an independent generator for a sub-stream.
+    pub fn fork(&mut self, tag: u64) -> Rng {
+        Rng::new(self.next_u64() ^ tag.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Rng::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(12345);
+        let mut b = Rng::new(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng::new(99);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_centered() {
+        let mut r = Rng::new(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut r = Rng::new(11);
+        let p = 0.5;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        // E[X] = 1/p = 2.
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = Rng::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut base = Rng::new(3);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        let same = (0..100).filter(|_| f1.next_u64() == f2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = Rng::new(17);
+        r.next_u64();
+        let json = serde_json::to_string(&r).unwrap();
+        let mut back: Rng = serde_json::from_str(&json).unwrap();
+        let mut orig = r.clone();
+        assert_eq!(orig.next_u64(), back.next_u64());
+    }
+}

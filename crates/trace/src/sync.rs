@@ -1,0 +1,264 @@
+//! Synchronization events.
+//!
+//! RPPM's profiler hooks the pthread/OpenMP library calls that delimit
+//! inter-synchronization epochs (Section III-A of the paper). Our trace IR
+//! carries the same events as first-class items in each thread's stream.
+//!
+//! Condition variables deserve care: in the paper, whether a thread actually
+//! calls `pthread_cond_wait` is timing-dependent, so source-level *markers*
+//! flag every point where a thread *may* wait. Our IR takes the equivalent
+//! route: condition-variable synchronization appears as semantic operations
+//! ([`SyncOp::Produce`], [`SyncOp::Consume`], and barriers flagged
+//! `via_cond`), i.e. the trace records the marker — the possibility of
+//! waiting — and the timing domains (simulator / symbolic execution) decide
+//! who actually waits.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap_or('#'), self.0)
+            }
+        }
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a thread within a [`crate::Program`] (0 is the main thread).
+    ThreadId
+);
+id_newtype!(
+    /// Identifies a barrier object.
+    BarrierId
+);
+id_newtype!(
+    /// Identifies a mutex object (critical section).
+    MutexId
+);
+id_newtype!(
+    /// Identifies a condition-variable object.
+    CondId
+);
+id_newtype!(
+    /// Identifies a producer/consumer queue implemented with a condition
+    /// variable.
+    QueueId
+);
+
+/// A synchronization event in a thread's dynamic stream.
+///
+/// Each variant corresponds to a library call the paper's profiler tracks
+/// (`pthread_create`, `pthread_join`, `pthread_mutex_lock`/`unlock`,
+/// `gomp_team_barrier_wait`, `pthread_cond_wait`/`broadcast` + manual
+/// markers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncOp {
+    /// The executing thread creates (unblocks) `child`.
+    Create {
+        /// Thread being created.
+        child: ThreadId,
+    },
+    /// The executing thread waits until `child` has finished its stream.
+    Join {
+        /// Thread being joined.
+        child: ThreadId,
+    },
+    /// All participating threads wait for each other at barrier `id`.
+    Barrier {
+        /// Barrier object.
+        id: BarrierId,
+        /// Whether the barrier is implemented with a condition variable
+        /// (recognized via markers, Section III-A); affects only how the
+        /// profiler classifies the event for Table III, not its semantics.
+        via_cond: bool,
+    },
+    /// Enter the critical section guarded by mutex `id`.
+    Lock {
+        /// Mutex object.
+        id: MutexId,
+    },
+    /// Leave the critical section guarded by mutex `id`.
+    Unlock {
+        /// Mutex object.
+        id: MutexId,
+    },
+    /// Producer side of a condition variable: make `count` items available in
+    /// `queue` and broadcast.
+    Produce {
+        /// Queue (condition variable) identifier.
+        queue: QueueId,
+        /// Number of items produced.
+        count: u32,
+    },
+    /// Consumer side of a condition variable: take one item from `queue`,
+    /// waiting if none is available (this is the paper's `CondMarker` — the
+    /// *possibility* of waiting).
+    Consume {
+        /// Queue (condition variable) identifier.
+        queue: QueueId,
+    },
+}
+
+impl SyncOp {
+    /// Whether this event can block the executing thread.
+    pub fn may_block(&self) -> bool {
+        !matches!(self, SyncOp::Create { .. } | SyncOp::Unlock { .. } | SyncOp::Produce { .. })
+    }
+
+    /// Paper-taxonomy category used for Table III accounting.
+    pub fn category(&self) -> SyncCategory {
+        match self {
+            SyncOp::Lock { .. } | SyncOp::Unlock { .. } => SyncCategory::CriticalSection,
+            SyncOp::Barrier { via_cond: false, .. } => SyncCategory::Barrier,
+            SyncOp::Barrier { via_cond: true, .. } => SyncCategory::CondVar,
+            SyncOp::Produce { .. } | SyncOp::Consume { .. } => SyncCategory::CondVar,
+            SyncOp::Create { .. } | SyncOp::Join { .. } => SyncCategory::ThreadMgmt,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncOp::Create { child } => write!(f, "create({child})"),
+            SyncOp::Join { child } => write!(f, "join({child})"),
+            SyncOp::Barrier { id, via_cond } => {
+                if *via_cond {
+                    write!(f, "barrier({id}, cond)")
+                } else {
+                    write!(f, "barrier({id})")
+                }
+            }
+            SyncOp::Lock { id } => write!(f, "lock({id})"),
+            SyncOp::Unlock { id } => write!(f, "unlock({id})"),
+            SyncOp::Produce { queue, count } => write!(f, "produce({queue}, {count})"),
+            SyncOp::Consume { queue } => write!(f, "consume({queue})"),
+        }
+    }
+}
+
+/// Synchronization categories as reported in Table III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncCategory {
+    /// Critical sections (`pthread_mutex_lock`/`unlock` pairs).
+    CriticalSection,
+    /// Barriers (`gomp_team_barrier_wait`, `pthread_barrier_wait`).
+    Barrier,
+    /// Condition variables (waits/broadcasts/markers).
+    CondVar,
+    /// Thread creation and joining (not reported in Table III).
+    ThreadMgmt,
+}
+
+impl std::fmt::Display for SyncCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SyncCategory::CriticalSection => "critical section",
+            SyncCategory::Barrier => "barrier",
+            SyncCategory::CondVar => "condition variable",
+            SyncCategory::ThreadMgmt => "thread management",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_conversions_round_trip() {
+        let t: ThreadId = 3u32.into();
+        assert_eq!(u32::from(t), 3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(format!("{t}"), "T3");
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(SyncOp::Join { child: ThreadId(1) }.may_block());
+        assert!(SyncOp::Barrier { id: BarrierId(0), via_cond: false }.may_block());
+        assert!(SyncOp::Lock { id: MutexId(0) }.may_block());
+        assert!(SyncOp::Consume { queue: QueueId(0) }.may_block());
+        assert!(!SyncOp::Unlock { id: MutexId(0) }.may_block());
+        assert!(!SyncOp::Create { child: ThreadId(1) }.may_block());
+        assert!(!SyncOp::Produce { queue: QueueId(0), count: 1 }.may_block());
+    }
+
+    #[test]
+    fn table3_categories() {
+        assert_eq!(
+            SyncOp::Lock { id: MutexId(0) }.category(),
+            SyncCategory::CriticalSection
+        );
+        assert_eq!(
+            SyncOp::Barrier { id: BarrierId(0), via_cond: false }.category(),
+            SyncCategory::Barrier
+        );
+        assert_eq!(
+            SyncOp::Barrier { id: BarrierId(0), via_cond: true }.category(),
+            SyncCategory::CondVar
+        );
+        assert_eq!(
+            SyncOp::Consume { queue: QueueId(0) }.category(),
+            SyncCategory::CondVar
+        );
+        assert_eq!(
+            SyncOp::Create { child: ThreadId(1) }.category(),
+            SyncCategory::ThreadMgmt
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let ops = [
+            SyncOp::Create { child: ThreadId(1) },
+            SyncOp::Join { child: ThreadId(1) },
+            SyncOp::Barrier { id: BarrierId(2), via_cond: true },
+            SyncOp::Lock { id: MutexId(3) },
+            SyncOp::Unlock { id: MutexId(3) },
+            SyncOp::Produce { queue: QueueId(4), count: 2 },
+            SyncOp::Consume { queue: QueueId(4) },
+        ];
+        for op in ops {
+            assert!(!format!("{op}").is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let op = SyncOp::Produce { queue: QueueId(9), count: 3 };
+        let json = serde_json::to_string(&op).unwrap();
+        let back: SyncOp = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

@@ -1,0 +1,641 @@
+//! Parsec v3.0 analogs (pthread execution model).
+//!
+//! The ten pthread benchmarks the paper evaluates, with their Table III
+//! synchronization signatures (dynamic counts scaled down ~10-350× to keep
+//! golden-reference simulation tractable; the Table III harness prints the
+//! achieved counts) and their Figure 6 balance categories:
+//!
+//! * well-balanced, idle main (main + 4 workers): `blackscholes`,
+//!   `canneal`, `fluidanimate`, `raytrace`, `swaptions`;
+//! * main performs real work (4 threads): `facesim`, `freqmine`,
+//!   `bodytrack`;
+//! * highly imbalanced, idle main + 3 workers: `streamcluster_p`, `vips`.
+
+use crate::Params;
+use rppm_trace::{
+    AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder,
+};
+
+/// `blackscholes`: embarrassingly parallel option pricing. No
+/// synchronization at all besides fork/join (Table III row is empty);
+/// main + 4 workers, main idle.
+pub fn blackscholes(p: &Params) -> Program {
+    const ID: u64 = 21;
+    let mut b = ProgramBuilder::new("blackscholes", 5);
+    let options = b.alloc_region(500_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.20)
+            .stores(0.04)
+            .branches(0.05)
+            .fp(0.32, 0.24)
+            .fp_div(0.02)
+            .deps(0.30, 5.0)
+            .branch_pattern(BranchPattern::bernoulli(0.95))
+            .code_footprint(28),
+    );
+    b.spawn_workers();
+    for t in 1..5u32 {
+        let mut s = tpl.with_ops(p.ops(220_000)).with_seed(p.seed_for(ID, t, 0));
+        s.addr = vec![(
+            AddressPattern::stream(options.chunk((t - 1) as u64, 4)),
+            1.0,
+        )];
+        b.thread(t).block(s);
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `bodytrack`: particle-filter body tracking. Per frame: the main thread
+/// hands work out through a condition variable, workers mix compute with
+/// frequent short critical sections (weight accumulation) and synchronize
+/// at barriers (Table III: CS ≫ barriers > cond. vars). Main works too.
+pub fn bodytrack(p: &Params) -> Program {
+    const ID: u64 = 22;
+    let mut b = ProgramBuilder::new("bodytrack", 4);
+    let frames_data = b.alloc_region(200_000);
+    let weights = b.alloc_region(1_024);
+    let q = b.alloc_queue();
+    let m = b.alloc_mutex();
+    let bar = b.alloc_barrier();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.24)
+            .stores(0.06)
+            .branches(0.10)
+            .fp(0.22, 0.12)
+            .deps(0.35, 4.0)
+            .branch_pattern(BranchPattern::bernoulli(0.75))
+            .sites(2)
+            .code_footprint(120),
+    );
+    let cs_tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.3)
+            .stores(0.25)
+            .deps(0.5, 2.0)
+            .code_footprint(4),
+    );
+    b.spawn_workers();
+    let frames = p.rounds(6);
+    let locks_per_stage = p.rounds(14);
+    for f in 0..frames {
+        // Main prepares the frame and releases the workers.
+        let mut prep = tpl.with_ops(p.ops(12_000)).with_seed(p.seed_for(ID, 0, f * 7));
+        prep.addr = vec![(AddressPattern::stream_from(frames_data, f as u64 * 9_000), 1.0)];
+        b.thread(0u32).block(prep).produce(q, 3);
+        for t in 1..4u32 {
+            b.thread(t).consume(q);
+        }
+        // Two stages: compute + accumulation critical sections + barrier.
+        for stage in 0..2u32 {
+            for t in 0..4u32 {
+                let e = f * 2 + stage;
+                let mut s = tpl.with_ops(p.ops(18_000)).with_seed(p.seed_for(ID, t, e));
+                s.addr = vec![(
+                    AddressPattern::hot(frames_data, 20_000, 0.8),
+                    1.0,
+                )];
+                b.thread(t).block(s);
+                for k in 0..locks_per_stage {
+                    let mut cs = cs_tpl
+                        .with_ops(120)
+                        .with_seed(p.seed_for(ID ^ 0xCC, t, e * 100 + k));
+                    cs.addr = vec![(AddressPattern::random(weights), 1.0)];
+                    b.thread(t).lock(m).block(cs).unlock(m);
+                }
+                b.thread(t).barrier(bar);
+            }
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `canneal`: simulated annealing of a netlist. Random accesses over a
+/// huge working set (the suite's MPKI champion) with migratory writes
+/// (element swaps → coherence traffic); a handful of critical sections and
+/// temperature-step barriers. Main idle.
+pub fn canneal(p: &Params) -> Program {
+    const ID: u64 = 23;
+    let mut b = ProgramBuilder::new("canneal", 5);
+    let netlist = b.alloc_region(1 << 20); // 64 MB
+    let shared_elems = b.alloc_region(50_000);
+    let m = b.alloc_mutex();
+    let bar = b.alloc_barrier();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.08)
+            .branches(0.11)
+            .deps(0.40, 3.0)
+            .load_chain(0.15)
+            .branch_pattern(BranchPattern::bernoulli(0.5))
+            .code_footprint(32),
+    );
+    b.spawn_workers();
+    let steps = p.rounds(16);
+    for t in 1..5u32 {
+        // One global-lock acquisition per worker (netlist setup): the
+        // paper's 4 dynamic critical sections.
+        b.thread(t)
+            .lock(m)
+            .block(tpl.with_ops(256).with_seed(p.seed_for(ID ^ 0xAA, t, 0)))
+            .unlock(m);
+    }
+    for step in 0..steps {
+        for t in 1..5u32 {
+            let mut s = tpl.with_ops(p.ops(26_000)).with_seed(p.seed_for(ID, t, step));
+            s.addr = vec![
+                (AddressPattern::random(netlist), 0.8),
+                (AddressPattern::random(shared_elems), 0.2),
+            ];
+            s.store_addr = vec![(AddressPattern::random(shared_elems), 1.0)];
+            b.thread(t).block(s).barrier(bar);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `facesim`: physics-based face simulation. Condition-variable task
+/// queue: the main thread partitions work and dispatches tasks each frame,
+/// doing a little more work than the workers (Figure 6: fairly balanced,
+/// main slightly heavier).
+pub fn facesim(p: &Params) -> Program {
+    const ID: u64 = 24;
+    let mut b = ProgramBuilder::new("facesim", 4);
+    let mesh = b.alloc_region(180_000);
+    let shared_state = b.alloc_region(2_048);
+    let tasks = b.alloc_queue();
+    let done = b.alloc_queue();
+    let m = b.alloc_mutex();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.24)
+            .stores(0.08)
+            .branches(0.06)
+            .fp(0.30, 0.16)
+            .fp_div(0.01)
+            .deps(0.35, 4.5)
+            .branch_pattern(BranchPattern::loop_every(36))
+            .code_footprint(200),
+    );
+    b.spawn_workers();
+    let frames = p.rounds(10);
+    for f in 0..frames {
+        // Main: assembles the system (heavier), then dispatches 3 tasks.
+        let mut main_work = tpl.with_ops(p.ops(30_000)).with_seed(p.seed_for(ID, 0, f));
+        main_work.addr = vec![(AddressPattern::stream_dense(mesh.chunk(0, 4), 2), 1.0)];
+        b.thread(0u32).block(main_work).produce(tasks, 3);
+        for t in 1..4u32 {
+            let mut s = tpl.with_ops(p.ops(24_000)).with_seed(p.seed_for(ID, t, f));
+            s.addr = vec![(
+                AddressPattern::stream_dense(mesh.chunk(t as u64, 4), 2),
+                1.0,
+            )];
+            b.thread(t).consume(tasks).block(s);
+            // Short critical sections on the shared solver state (the paper
+            // counts 10,472 of these; ~8.5 per cond-var event).
+            for k in 0..p.rounds(8) {
+                let mut cs = tpl
+                    .with_ops(96)
+                    .with_seed(p.seed_for(ID ^ 0xFA, t, f * 100 + k));
+                cs.addr = vec![(AddressPattern::random(shared_state), 1.0)];
+                b.thread(t).lock(m).block(cs).unlock(m);
+            }
+            b.thread(t).produce(done, 1);
+        }
+        for _ in 0..3 {
+            b.thread(0u32).consume(done);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `fluidanimate`: SPH fluid simulation. The suite's critical-section
+/// monster (Table III: 2.1M dynamic CS; ours are scaled ~350×): per frame,
+/// workers interleave short per-cell critical sections (striped mutexes)
+/// with private compute, plus a frame barrier. Main idle.
+pub fn fluidanimate(p: &Params) -> Program {
+    const ID: u64 = 25;
+    const STRIPES: u32 = 8;
+    let mut b = ProgramBuilder::new("fluidanimate", 5);
+    let cells = b.alloc_region(120_000);
+    let boundary = b.alloc_region(4_000);
+    let mutexes: Vec<_> = (0..STRIPES).map(|_| b.alloc_mutex()).collect();
+    let bar = b.alloc_barrier();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.26)
+            .stores(0.09)
+            .branches(0.06)
+            .fp(0.26, 0.14)
+            .deps(0.32, 4.5)
+            .branch_pattern(BranchPattern::loop_every(18))
+            .code_footprint(60),
+    );
+    let cs_tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.3)
+            .stores(0.3)
+            .fp(0.2, 0.0)
+            .deps(0.5, 2.0)
+            .code_footprint(6),
+    );
+    b.spawn_workers();
+    let frames = p.rounds(5);
+    let cs_per_frame = p.rounds(300);
+    for f in 0..frames {
+        for t in 1..5u32 {
+            for k in 0..cs_per_frame {
+                let e = f * 1000 + k;
+                let mut out = tpl.with_ops(p.ops(700)).with_seed(p.seed_for(ID, t, e));
+                out.addr = vec![(
+                    AddressPattern::random(cells.chunk((t - 1) as u64, 4)),
+                    1.0,
+                )];
+                b.thread(t).block(out);
+                let mut cs = cs_tpl
+                    .with_ops(48)
+                    .with_seed(p.seed_for(ID ^ 0xF1, t, e));
+                cs.addr = vec![(AddressPattern::random(boundary), 1.0)];
+                let mtx = mutexes[((t * 31 + k) % STRIPES) as usize];
+                b.thread(t).lock(mtx).block(cs).unlock(mtx);
+            }
+            b.thread(t).barrier(bar);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `freqmine`: FP-growth frequent itemset mining. Join-only
+/// synchronization; the main thread is the clear bottleneck (Figure 6): it
+/// mines the largest conditional trees itself while workers handle smaller
+/// ones. Integer- and branch-heavy pointer chasing.
+pub fn freqmine(p: &Params) -> Program {
+    const ID: u64 = 26;
+    let mut b = ProgramBuilder::new("freqmine", 4);
+    let tree = b.alloc_region(350_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.05)
+            .branches(0.15)
+            .int_muldiv(0.01, 0.0)
+            .deps(0.45, 3.0)
+            .load_chain(0.25)
+            .branch_pattern(BranchPattern::bernoulli(0.7))
+            .sites(3)
+            .code_footprint(80),
+    );
+    // Main builds the FP-tree serially first.
+    let mut build = tpl.with_ops(p.ops(70_000)).with_seed(p.seed_for(ID, 0, 0));
+    build.addr = vec![(AddressPattern::hot(tree, 40_000, 0.6), 1.0)];
+    b.thread(0u32).block(build);
+    b.spawn_workers();
+    // Mining: main takes the big items, workers the small ones.
+    for phase in 0..3u32 {
+        let mut main_mine = tpl.with_ops(p.ops(60_000)).with_seed(p.seed_for(ID, 0, phase + 1));
+        main_mine.addr = vec![(AddressPattern::random(tree), 1.0)];
+        b.thread(0u32).block(main_mine);
+    }
+    for t in 1..4u32 {
+        for phase in 0..2u32 {
+            let mut s = tpl.with_ops(p.ops(45_000)).with_seed(p.seed_for(ID, t, phase));
+            s.addr = vec![(AddressPattern::random(tree), 1.0)];
+            b.thread(t).block(s);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `raytrace`: real-time ray tracing. The main thread publishes the tile
+/// queue once; workers pull tiles (condition variable) and trace rays over
+/// a hot BVH with occasional work-stealing locks. Balanced workers, idle
+/// main.
+pub fn raytrace(p: &Params) -> Program {
+    const ID: u64 = 27;
+    let mut b = ProgramBuilder::new("raytrace", 5);
+    let bvh = b.alloc_region(60_000);
+    let framebuf = b.alloc_region(40_000);
+    let q = b.alloc_queue();
+    let m = b.alloc_mutex();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.26)
+            .stores(0.05)
+            .branches(0.09)
+            .fp(0.30, 0.20)
+            .deps(0.38, 3.5)
+            .load_chain(0.20)
+            .branch_pattern(BranchPattern::bernoulli(0.8))
+            .sites(2)
+            .code_footprint(150),
+    );
+    b.spawn_workers();
+    let tiles_per_worker = p.rounds(12);
+    b.thread(0u32).produce(q, 4 * tiles_per_worker);
+    for t in 1..5u32 {
+        for k in 0..tiles_per_worker {
+            let mut s = tpl.with_ops(p.ops(18_000)).with_seed(p.seed_for(ID, t, k));
+            s.addr = vec![
+                (AddressPattern::hot(bvh, 6_000, 0.75), 0.85),
+                (AddressPattern::stream(framebuf.chunk((t - 1) as u64, 4)), 0.15),
+            ];
+            b.thread(t).consume(q).block(s);
+            // Work-stealing lock after each tile (Table III: 47 CS).
+            b.thread(t)
+                .lock(m)
+                .block(tpl.with_ops(96).with_seed(p.seed_for(ID ^ 0x77, t, k)))
+                .unlock(m);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `streamcluster` (Parsec pthread version): the barrier storm of the
+/// suite (Table III: 13k dynamic barriers; ours scaled ~25×). Main + 3
+/// workers, main passive after setup — Figure 6's "highly imbalanced"
+/// category (worker parallelism 3, main parallelism 1).
+pub fn streamcluster_p(p: &Params) -> Program {
+    const ID: u64 = 28;
+    let mut b = ProgramBuilder::new("streamcluster_p", 4);
+    let points = b.alloc_region(220_000);
+    let centers = b.alloc_region(96);
+    let bar = b.alloc_barrier();
+    let phase_bar = b.alloc_barrier();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.03)
+            .branches(0.10)
+            .fp(0.18, 0.10)
+            .deps(0.28, 5.0)
+            .branch_pattern(BranchPattern::bernoulli(0.8))
+            .code_footprint(20),
+    );
+    // Main does brief setup then only coordinates.
+    b.thread(0u32)
+        .block(tpl.with_ops(p.ops(8_000)).with_seed(p.seed_for(ID, 0, 0)));
+    b.spawn_workers();
+    let rounds = p.rounds(160);
+    for r in 0..rounds {
+        for t in 1..4u32 {
+            let skew = 1.0 + 0.1 * ((t + r) % 3) as f64;
+            let ops = (p.ops(1_800) as f64 * skew) as u32;
+            let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, r));
+            s.addr = vec![
+                (AddressPattern::stream_from(points.chunk((t - 1) as u64, 3), r as u64 * 600), 0.72),
+                (AddressPattern::random(centers), 0.28),
+            ];
+            b.thread(t).block(s).barrier(bar);
+        }
+        // Occasional phase change implemented with a condition variable.
+        if r % (rounds / 8).max(1) == 0 {
+            for t in 1..4u32 {
+                b.thread(t).cond_barrier(phase_bar);
+            }
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `swaptions`: Monte-Carlo swaption pricing. Join-only, embarrassingly
+/// parallel, tiny cache-resident state per worker; idle main.
+pub fn swaptions(p: &Params) -> Program {
+    const ID: u64 = 29;
+    let mut b = ProgramBuilder::new("swaptions", 5);
+    let curves = b.alloc_region(3_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.18)
+            .stores(0.04)
+            .branches(0.07)
+            .fp(0.30, 0.25)
+            .fp_div(0.015)
+            .deps(0.30, 4.0)
+            .branch_pattern(BranchPattern::loop_every(25))
+            .code_footprint(40),
+    );
+    b.spawn_workers();
+    for t in 1..5u32 {
+        let mut s = tpl.with_ops(p.ops(230_000)).with_seed(p.seed_for(ID, t, 0));
+        s.addr = vec![(AddressPattern::hot(curves, 500, 0.8), 1.0)];
+        b.thread(t).block(s);
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `vips`: image-processing pipeline over condition variables. Thread 1 is
+/// the heavier producer stage feeding two consumer stages; the main thread
+/// only orchestrates — Figure 6's imbalanced category.
+pub fn vips(p: &Params) -> Program {
+    const ID: u64 = 30;
+    let mut b = ProgramBuilder::new("vips", 4);
+    let image = b.alloc_region(260_000);
+    let out = b.alloc_region(260_000);
+    let bufmeta = b.alloc_region(512);
+    let q = b.alloc_queue();
+    let m = b.alloc_mutex();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.26)
+            .stores(0.10)
+            .branches(0.07)
+            .fp(0.18, 0.10)
+            .deps(0.30, 5.0)
+            .branch_pattern(BranchPattern::loop_every(40))
+            .code_footprint(90),
+    );
+    b.spawn_workers();
+    let strips = p.rounds(35);
+    for k in 0..strips {
+        // Producer stage: decode + first filter (heavier).
+        let mut prod = tpl.with_ops(p.ops(9_000)).with_seed(p.seed_for(ID, 1, k));
+        prod.addr = vec![(
+            AddressPattern::stream_from(image, k as u64 * 7_000),
+            1.0,
+        )];
+        b.thread(1u32).block(prod).produce(q, 2);
+        // Two consumer stages; buffer-tracking critical sections around
+        // each strip (the paper counts 8,973 CS vs 1,433 cond events).
+        for t in 2..4u32 {
+            let mut cons = tpl.with_ops(p.ops(6_000)).with_seed(p.seed_for(ID, t, k));
+            cons.addr = vec![(
+                AddressPattern::stream_from(image, k as u64 * 7_000 + (t as u64) * 1_500),
+                0.7,
+            ), (
+                AddressPattern::stream_from(out, k as u64 * 7_000),
+                0.3,
+            )];
+            b.thread(t).consume(q).block(cons);
+            for j in 0..3u32 {
+                let mut cs = tpl
+                    .with_ops(64)
+                    .with_seed(p.seed_for(ID ^ 0xB0F, t, k * 10 + j));
+                cs.addr = vec![(AddressPattern::random(bufmeta), 1.0)];
+                b.thread(t).lock(m).block(cs).unlock(m);
+            }
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Params;
+    use rppm_trace::SyncOp;
+
+    fn quick() -> Params {
+        Params { scale: 0.05, seed: 3 }
+    }
+
+    fn count_events(prog: &Program) -> (u64, u64, u64) {
+        let mut cs = 0;
+        let mut bar = 0;
+        let mut cond = 0;
+        for th in &prog.threads {
+            for op in th.sync_ops() {
+                match op {
+                    SyncOp::Lock { .. } => cs += 1,
+                    SyncOp::Barrier { via_cond: false, .. } => bar += 1,
+                    SyncOp::Barrier { via_cond: true, .. }
+                    | SyncOp::Produce { .. }
+                    | SyncOp::Consume { .. } => cond += 1,
+                    _ => {}
+                }
+            }
+        }
+        (cs, bar, cond)
+    }
+
+    #[test]
+    fn blackscholes_has_no_sync_besides_join() {
+        let (cs, bar, cond) = count_events(&blackscholes(&quick()));
+        assert_eq!((cs, bar, cond), (0, 0, 0));
+    }
+
+    #[test]
+    fn swaptions_and_freqmine_are_join_only() {
+        for prog in [swaptions(&quick()), freqmine(&quick())] {
+            let (cs, bar, cond) = count_events(&prog);
+            assert_eq!((cs, bar, cond), (0, 0, 0), "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn fluidanimate_is_cs_dominated() {
+        let (cs, bar, cond) = count_events(&fluidanimate(&Params::full()));
+        assert!(cs > 40 * bar.max(1), "cs {cs} vs barriers {bar}");
+        assert_eq!(cond, 0);
+        assert!(cs >= 4_000, "cs {cs}");
+    }
+
+    #[test]
+    fn streamcluster_p_is_barrier_dominated() {
+        let (cs, bar, cond) = count_events(&streamcluster_p(&Params::full()));
+        assert_eq!(cs, 0);
+        assert!(bar > 300, "barriers {bar}");
+        assert!(cond > 0 && cond < bar / 4, "cond {cond}");
+    }
+
+    #[test]
+    fn facesim_and_vips_are_condvar_heavy_with_cs() {
+        // Table III: both use condition variables heavily plus many short
+        // critical sections, and no barriers.
+        for prog in [facesim(&Params::full()), vips(&Params::full())] {
+            let (cs, bar, cond) = count_events(&prog);
+            assert_eq!(bar, 0, "{}", prog.name);
+            assert!(cs > cond, "{}: cs {cs} should outnumber cond {cond}", prog.name);
+            assert!(cond > 50, "{}: cond {cond}", prog.name);
+        }
+    }
+
+    #[test]
+    fn bodytrack_mixes_all_three() {
+        let (cs, bar, cond) = count_events(&bodytrack(&Params::full()));
+        assert!(cs > bar && bar > cond / 4, "cs {cs} bar {bar} cond {cond}");
+        assert!(cs > 300 && bar > 20 && cond > 10);
+    }
+
+    #[test]
+    fn canneal_has_four_critical_sections() {
+        let (cs, _, _) = count_events(&canneal(&quick()));
+        assert_eq!(cs, 4);
+    }
+
+    #[test]
+    fn raytrace_matches_table_iii_shape() {
+        let (cs, bar, cond) = count_events(&raytrace(&Params::full()));
+        assert_eq!(bar, 0);
+        assert!(cs > 10 && cs < 100, "cs {cs}");
+        assert!(cond > 10, "cond {cond}");
+    }
+
+    #[test]
+    fn idle_main_benchmarks_have_light_thread_zero() {
+        for prog in [
+            blackscholes(&quick()),
+            canneal(&quick()),
+            swaptions(&quick()),
+            vips(&quick()),
+        ] {
+            let main_ops = prog.threads[0].total_ops();
+            let worker_ops: u64 =
+                (1..prog.num_threads()).map(|t| prog.threads[t].total_ops()).sum();
+            assert!(
+                main_ops * 20 < worker_ops.max(1),
+                "{}: main {main_ops} vs workers {worker_ops}",
+                prog.name
+            );
+        }
+    }
+
+    #[test]
+    fn freqmine_main_is_the_bottleneck() {
+        let prog = freqmine(&quick());
+        let main_ops = prog.threads[0].total_ops();
+        for t in 1..4 {
+            assert!(main_ops > prog.threads[t].total_ops(), "main must dominate");
+        }
+    }
+
+    #[test]
+    fn produce_counts_cover_consumes() {
+        use std::collections::HashMap;
+        for prog in [facesim(&quick()), vips(&quick()), raytrace(&quick()), bodytrack(&quick())] {
+            let mut produced: HashMap<u32, i64> = HashMap::new();
+            for th in &prog.threads {
+                for op in th.sync_ops() {
+                    match op {
+                        SyncOp::Produce { queue, count } => {
+                            *produced.entry(queue.0).or_default() += *count as i64;
+                        }
+                        SyncOp::Consume { queue } => {
+                            *produced.entry(queue.0).or_default() -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (q, balance) in produced {
+                assert!(
+                    balance >= 0,
+                    "{}: queue {q} consumes {} more than produced",
+                    prog.name,
+                    -balance
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Rodinia v3.1 analogs (OpenMP execution model).
+//!
+//! Every Rodinia benchmark follows the OpenMP team pattern the paper
+//! describes: the main thread initializes, a team of main + 3 workers
+//! executes barrier-delimited parallel regions, and the main thread
+//! finalizes. Synchronization is barrier-only (Section IV). Each generator
+//! dials in its namesake's documented character: working-set size
+//! (LLC MPKI up to ~40), memory-level parallelism (up to ~5 for
+//! `backprop`), instruction mix, branch behaviour and per-epoch balance.
+
+use crate::Params;
+use rppm_trace::{
+    AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder,
+};
+
+/// Threads in the OpenMP team (main + 3 workers, matching the paper's
+/// quad-core setup).
+const TEAM: u32 = 4;
+
+/// Deterministic per-(thread, epoch) work-imbalance factor in
+/// `[1-spread, 1+spread]`.
+fn imbalance(p: &Params, bench: u64, t: u32, e: u32, spread: f64) -> f64 {
+    let h = p.seed_for(bench ^ 0xBA1A, t, e);
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + spread * (2.0 * u - 1.0)
+}
+
+/// Common OpenMP-style team loop: `epochs` barrier-delimited parallel
+/// regions on a pre-configured builder, with per-(thread, epoch) blocks
+/// provided by `body`.
+fn team_loop(
+    mut b: ProgramBuilder,
+    epochs: u32,
+    mut body: impl FnMut(u32, u32) -> BlockSpec,
+) -> Program {
+    let bar = b.alloc_barrier();
+    b.spawn_workers();
+    for e in 0..epochs {
+        for t in 0..TEAM {
+            let spec = body(t, e);
+            b.thread(t).block(spec);
+        }
+        for t in 0..TEAM {
+            b.thread(t).barrier(bar);
+        }
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `backprop`: neural-network training. Streaming, memory-bound, the
+/// suite's MLP champion (~5 in the paper): wide independent loads sweeping
+/// a layer per epoch, plus a shared read-mostly weight matrix.
+pub fn backprop(p: &Params) -> Program {
+    const ID: u64 = 1;
+    let mut b = ProgramBuilder::new("backprop", TEAM as usize);
+    let input = b.alloc_region(1 << 21); // 128 MB of layer data
+    let weights = b.alloc_region(24_000); // shared weights (L3-resident)
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.28)
+            .stores(0.07)
+            .branches(0.08)
+            .fp(0.20, 0.12)
+            .deps(0.22, 7.0)
+            .branch_pattern(BranchPattern::loop_every(32))
+            .code_footprint(24),
+    );
+    team_loop(b, p.rounds(12), |t, e| {
+        let mut s = tpl.with_ops(p.ops(38_000)).with_seed(p.seed_for(ID, t, e));
+        let slice = input.chunk(t as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_from(slice, e as u64 * 12_000), 0.75),
+            (AddressPattern::hot(weights, 2_000, 0.6), 0.25),
+        ];
+        s
+    })
+}
+
+/// `bfs`: level-synchronized breadth-first search. Irregular pointer-chasing
+/// loads, data-dependent branches, frontier size that swells and shrinks
+/// across levels, per-thread imbalance.
+pub fn bfs(p: &Params) -> Program {
+    const ID: u64 = 2;
+    let levels = p.rounds(16);
+    let mut b = ProgramBuilder::new("bfs", TEAM as usize);
+    let graph = b.alloc_region(700_000);
+    let frontier = b.alloc_region(120_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.05)
+            .branches(0.15)
+            .deps(0.5, 2.5)
+            .load_chain(0.30)
+            .branch_pattern(BranchPattern::bernoulli(0.65))
+            .sites(3)
+            .code_footprint(16),
+    );
+    team_loop(b, levels, |t, e| {
+        // Frontier swells toward the middle levels.
+        let mid = levels as f64 / 2.0;
+        let wave = 1.0 - ((e as f64 - mid).abs() / mid).min(0.8);
+        let base = p.ops(30_000) as f64 * (0.2 + wave);
+        let ops = (base * imbalance(p, ID, t, e, 0.25)) as u32;
+        let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![
+            (AddressPattern::random(graph), 0.7),
+            (AddressPattern::random(frontier), 0.3),
+        ];
+        s
+    })
+}
+
+/// `cfd`: unstructured-grid finite-volume solver. FP-heavy with an
+/// L3-resident working set re-swept every iteration.
+pub fn cfd(p: &Params) -> Program {
+    const ID: u64 = 3;
+    let mut b = ProgramBuilder::new("cfd", TEAM as usize);
+    let mesh = b.alloc_region(90_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.22)
+            .stores(0.06)
+            .branches(0.06)
+            .fp(0.30, 0.18)
+            .fp_div(0.01)
+            .deps(0.35, 5.0)
+            .branch_pattern(BranchPattern::loop_every(24))
+            .code_footprint(48),
+    );
+    team_loop(b, p.rounds(20), |t, e| {
+        let mut s = tpl.with_ops(p.ops(42_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(
+            AddressPattern::stream_dense(mesh.chunk(t as u64, TEAM as u64), 2),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `heartwall`: image tracking. Compute-bound, L2-resident per-thread
+/// windows, long well-balanced epochs.
+pub fn heartwall(p: &Params) -> Program {
+    const ID: u64 = 4;
+    let mut b = ProgramBuilder::new("heartwall", TEAM as usize);
+    let frames = b.alloc_region(12_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.18)
+            .stores(0.04)
+            .branches(0.08)
+            .fp(0.28, 0.14)
+            .deps(0.30, 4.0)
+            .branch_pattern(BranchPattern::loop_every(50))
+            .code_footprint(96),
+    );
+    team_loop(b, p.rounds(10), |t, e| {
+        let mut s = tpl.with_ops(p.ops(60_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(AddressPattern::random(frames.chunk(t as u64, TEAM as u64)), 1.0)];
+        s
+    })
+}
+
+/// `hotspot`: thermal stencil over a grid. Dense spatial locality on the
+/// thread's own rows plus read-only sharing of neighbour rows; the grid is
+/// re-swept every time step (L3 reuse).
+pub fn hotspot(p: &Params) -> Program {
+    const ID: u64 = 5;
+    let mut b = ProgramBuilder::new("hotspot", TEAM as usize);
+    let grid = b.alloc_region(110_000);
+    let next = b.alloc_region(110_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.10)
+            .branches(0.05)
+            .fp(0.22, 0.10)
+            .deps(0.28, 5.0)
+            .branch_pattern(BranchPattern::loop_every(64))
+            .code_footprint(20),
+    );
+    team_loop(b, p.rounds(30), |t, e| {
+        let mut s = tpl.with_ops(p.ops(22_000)).with_seed(p.seed_for(ID, t, e));
+        let own = grid.chunk(t as u64, TEAM as u64);
+        let neighbour = grid.chunk(((t + 1) % TEAM) as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_dense(own, 2), 0.72),
+            (AddressPattern::stream(neighbour.window(0, 4_000)), 0.28),
+        ];
+        s.store_addr = vec![(
+            AddressPattern::stream(next.chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `kmeans`: clustering. Streams the point set while hammering a tiny,
+/// hot, shared centroid table; near-perfect balance.
+pub fn kmeans(p: &Params) -> Program {
+    const ID: u64 = 6;
+    let mut b = ProgramBuilder::new("kmeans", TEAM as usize);
+    let points = b.alloc_region(600_000);
+    let centroids = b.alloc_region(64);
+    let accum = b.alloc_region(512);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.04)
+            .branches(0.10)
+            .fp(0.15, 0.10)
+            .int_muldiv(0.02, 0.0)
+            .deps(0.20, 8.0)
+            .branch_pattern(BranchPattern::loop_every(16))
+            .code_footprint(18),
+    );
+    team_loop(b, p.rounds(18), |t, e| {
+        let mut s = tpl.with_ops(p.ops(34_000)).with_seed(p.seed_for(ID, t, e));
+        let slice = points.chunk(t as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_from(slice, e as u64 * 9_000), 0.72),
+            (AddressPattern::random(centroids), 0.28),
+        ];
+        s.store_addr = vec![(
+            AddressPattern::random(accum.chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `lavamd`: N-body within boxes. FP-dense, cache-resident per-thread
+/// boxes, high ILP, few barriers.
+pub fn lavamd(p: &Params) -> Program {
+    const ID: u64 = 7;
+    let mut b = ProgramBuilder::new("lavamd", TEAM as usize);
+    let boxes = b.alloc_region(6_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.25)
+            .stores(0.05)
+            .branches(0.04)
+            .fp(0.35, 0.20)
+            .deps(0.25, 6.0)
+            .branch_pattern(BranchPattern::loop_every(100))
+            .code_footprint(30),
+    );
+    team_loop(b, p.rounds(8), |t, e| {
+        let mut s = tpl.with_ops(p.ops(50_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(AddressPattern::random(boxes.chunk(t as u64, TEAM as u64)), 1.0)];
+        s
+    })
+}
+
+/// `leukocyte`: cell tracking. Compute-heavy with a large instruction
+/// footprint (the suite's I-cache stressor) and long epochs.
+pub fn leukocyte(p: &Params) -> Program {
+    const ID: u64 = 8;
+    let mut b = ProgramBuilder::new("leukocyte", TEAM as usize);
+    let image = b.alloc_region(16_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.20)
+            .stores(0.04)
+            .branches(0.09)
+            .fp(0.30, 0.15)
+            .deps(0.32, 4.5)
+            .branch_pattern(BranchPattern::loop_every(40))
+            .sites(4)
+            // 1500 code lines >> 512-line L1I: real I-cache pressure.
+            .code_footprint(1_500),
+    );
+    team_loop(b, p.rounds(6), |t, e| {
+        let mut s = tpl.with_ops(p.ops(80_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(
+            AddressPattern::hot(image.chunk(t as u64, TEAM as u64), 400, 0.7),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `lud`: LU decomposition. Triangular work: every barrier epoch shrinks,
+/// and the epoch's "diagonal owner" thread carries extra work — growing
+/// relative imbalance toward the end.
+pub fn lud(p: &Params) -> Program {
+    const ID: u64 = 9;
+    let epochs = p.rounds(24);
+    let mut b = ProgramBuilder::new("lud", TEAM as usize);
+    let matrix = b.alloc_region(65_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.25)
+            .stores(0.08)
+            .branches(0.07)
+            .fp(0.30, 0.15)
+            .deps(0.40, 4.0)
+            .branch_pattern(BranchPattern::loop_every(20))
+            .code_footprint(26),
+    );
+    team_loop(b, epochs, |t, e| {
+        let remaining = (epochs - e) as f64 / epochs as f64;
+        let owner_boost = if t == e % TEAM { 1.6 } else { 1.0 };
+        let ops = (p.ops(36_000) as f64 * remaining * owner_boost) as u32;
+        let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, e));
+        // The active trailing sub-matrix shrinks with every epoch.
+        let active = ((matrix.lines as f64 * remaining) as u64).max(1_024);
+        s.addr = vec![(
+            AddressPattern::stream(matrix.window(e as u64 * 512, active)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `myocyte`: cardiac ODE solver. Tiny and nearly serial: the main thread
+/// integrates the stiff system while workers only help with short
+/// evaluation bursts. Heavy FP divide usage.
+pub fn myocyte(p: &Params) -> Program {
+    const ID: u64 = 10;
+    let mut b = ProgramBuilder::new("myocyte", TEAM as usize);
+    let state = b.alloc_region(800);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.20)
+            .stores(0.06)
+            .branches(0.08)
+            .fp(0.28, 0.18)
+            .fp_div(0.03)
+            .deps(0.50, 2.5)
+            .branch_pattern(BranchPattern::loop_every(12))
+            .code_footprint(64),
+    );
+    team_loop(b, p.rounds(4), |t, e| {
+        let ops = if t == 0 { p.ops(44_000) } else { p.ops(5_000) };
+        let mut s = tpl.with_ops(ops).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(AddressPattern::random(state), 1.0)];
+        s
+    })
+}
+
+/// `nn`: nearest-neighbour search. Short, streaming scan of the record
+/// file with a running-minimum branch; essentially one parallel pass.
+pub fn nn(p: &Params) -> Program {
+    const ID: u64 = 11;
+    let mut b = ProgramBuilder::new("nn", TEAM as usize);
+    let records = b.alloc_region(900_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.34)
+            .stores(0.02)
+            .branches(0.10)
+            .fp(0.16, 0.10)
+            .deps(0.18, 8.0)
+            // The "new minimum" branch is rarely taken.
+            .branch_pattern(BranchPattern::bernoulli(0.04))
+            .code_footprint(12),
+    );
+    team_loop(b, 2, |t, e| {
+        let mut s = tpl.with_ops(p.ops(55_000)).with_seed(p.seed_for(ID, t, e));
+        let slice = records.chunk(t as u64, TEAM as u64);
+        s.addr = vec![(AddressPattern::stream_from(slice, e as u64 * 60_000), 1.0)];
+        s
+    })
+}
+
+/// `nw`: Needleman-Wunsch wavefront alignment. Diagonal work ramps up then
+/// down across barriers; threads at the wavefront edges get less work —
+/// the benchmark the paper calls out in Table V.
+pub fn nw(p: &Params) -> Program {
+    const ID: u64 = 12;
+    let epochs = p.rounds(20);
+    let mut b = ProgramBuilder::new("nw", TEAM as usize);
+    let score = b.alloc_region(60_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.28)
+            .stores(0.10)
+            .branches(0.09)
+            .int_muldiv(0.01, 0.0)
+            .deps(0.45, 3.0)
+            .branch_pattern(BranchPattern::periodic(0b0111_0111, 8))
+            .code_footprint(14),
+    );
+    team_loop(b, epochs, |t, e| {
+        let mid = epochs as f64 / 2.0;
+        let diag = 1.0 - ((e as f64 - mid).abs() / mid).min(0.9);
+        let skew = imbalance(p, ID, t, e, 0.45);
+        let ops = (p.ops(34_000) as f64 * (0.1 + diag) * skew) as u32;
+        let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(
+            AddressPattern::stream(score.window(e as u64 * 2_800, 12_000)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `particlefilter`: sequential Monte-Carlo tracking. Random particle
+/// accesses, unpredictable resampling branches, a little integer divide.
+pub fn particlefilter(p: &Params) -> Program {
+    const ID: u64 = 13;
+    let mut b = ProgramBuilder::new("particlefilter", TEAM as usize);
+    let particles = b.alloc_region(160_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.25)
+            .stores(0.06)
+            .branches(0.12)
+            .fp(0.20, 0.10)
+            .int_muldiv(0.01, 0.005)
+            .deps(0.35, 4.0)
+            .branch_pattern(BranchPattern::bernoulli(0.5))
+            .sites(2)
+            .code_footprint(40),
+    );
+    team_loop(b, p.rounds(14), |t, e| {
+        let mut s = tpl.with_ops(p.ops(30_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(AddressPattern::random(particles), 1.0)];
+        s
+    })
+}
+
+/// `pathfinder`: dynamic programming over grid rows. Many cheap barriers
+/// with small, perfectly balanced epochs — pure synchronization stress.
+pub fn pathfinder(p: &Params) -> Program {
+    const ID: u64 = 14;
+    let mut b = ProgramBuilder::new("pathfinder", TEAM as usize);
+    let rows = b.alloc_region(32_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.08)
+            .branches(0.08)
+            .deps(0.30, 5.0)
+            .branch_pattern(BranchPattern::loop_every(30))
+            .code_footprint(10),
+    );
+    team_loop(b, p.rounds(40), |t, e| {
+        let mut s = tpl.with_ops(p.ops(6_000)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![(
+            AddressPattern::stream(rows.window(e as u64 * 800, 8_000).chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `srad`: speckle-reducing anisotropic diffusion. FP stencil whose grid
+/// slightly exceeds the shared LLC — measurable DRAM traffic every sweep.
+pub fn srad(p: &Params) -> Program {
+    const ID: u64 = 15;
+    let mut b = ProgramBuilder::new("srad", TEAM as usize);
+    let grid = b.alloc_region(150_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.28)
+            .stores(0.08)
+            .branches(0.05)
+            .fp(0.32, 0.16)
+            .fp_div(0.01)
+            .deps(0.30, 5.5)
+            .branch_pattern(BranchPattern::loop_every(48))
+            .code_footprint(22),
+    );
+    team_loop(b, p.rounds(16), |t, e| {
+        let mut s = tpl.with_ops(p.ops(36_000)).with_seed(p.seed_for(ID, t, e));
+        let own = grid.chunk(t as u64, TEAM as u64);
+        let neighbour = grid.chunk(((t + 3) % TEAM) as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_dense(own, 2), 0.8),
+            (AddressPattern::stream(neighbour.window(0, 3_000)), 0.2),
+        ];
+        s
+    })
+}
+
+/// `streamcluster` (Rodinia OpenMP version): online clustering dominated by
+/// frequent barriers around small epochs, streaming points against a tiny
+/// hot candidate-centre table. The Table V outlier.
+pub fn streamcluster(p: &Params) -> Program {
+    const ID: u64 = 16;
+    let mut b = ProgramBuilder::new("streamcluster", TEAM as usize);
+    let points = b.alloc_region(280_000);
+    let centers = b.alloc_region(128);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.30)
+            .stores(0.03)
+            .branches(0.10)
+            .fp(0.18, 0.10)
+            .deps(0.28, 5.0)
+            .branch_pattern(BranchPattern::bernoulli(0.8))
+            .code_footprint(16),
+    );
+    team_loop(b, p.rounds(60), |t, e| {
+        let skew = imbalance(p, ID, t, e, 0.12);
+        let ops = (p.ops(8_000) as f64 * skew) as u32;
+        let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, e));
+        let slice = points.chunk(t as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_from(slice, e as u64 * 2_000), 0.7),
+            (AddressPattern::random(centers), 0.3),
+        ];
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Params;
+
+    fn quick() -> Params {
+        Params { scale: 0.05, seed: 7 }
+    }
+
+    #[test]
+    fn all_use_four_threads() {
+        for f in [
+            backprop,
+            bfs,
+            cfd,
+            heartwall,
+            hotspot,
+            kmeans,
+            lavamd,
+            leukocyte,
+            lud,
+            myocyte,
+            nn,
+            nw,
+            particlefilter,
+            pathfinder,
+            srad,
+            streamcluster,
+        ] {
+            let prog = f(&quick());
+            assert_eq!(prog.num_threads(), 4, "{}", prog.name);
+            assert!(prog.validate().is_ok(), "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn myocyte_is_main_heavy() {
+        let prog = myocyte(&quick());
+        let main_ops = prog.threads[0].total_ops();
+        let worker_ops = prog.threads[1].total_ops();
+        assert!(main_ops > 4 * worker_ops, "{main_ops} vs {worker_ops}");
+    }
+
+    #[test]
+    fn lud_work_shrinks() {
+        let prog = lud(&Params { scale: 0.2, seed: 1 });
+        // Compare thread 1's first and last compute blocks.
+        use rppm_trace::Segment;
+        let blocks: Vec<u32> = prog.threads[1]
+            .segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Block(b) => Some(b.ops),
+                _ => None,
+            })
+            .collect();
+        assert!(blocks.first().unwrap() > blocks.last().unwrap());
+    }
+
+    #[test]
+    fn pathfinder_has_many_barriers() {
+        let prog = pathfinder(&Params { scale: 1.0, seed: 1 });
+        let barriers = prog.threads[1].sync_count();
+        assert!(barriers >= 40, "barriers {barriers}");
+    }
+
+    #[test]
+    fn leukocyte_has_large_code_footprint() {
+        use rppm_trace::Segment;
+        let prog = leukocyte(&quick());
+        let max_code = prog
+            .threads
+            .iter()
+            .flat_map(|t| &t.segments)
+            .filter_map(|s| match s {
+                Segment::Block(b) => Some(b.code_lines),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_code >= 1_000);
+    }
+
+    #[test]
+    fn streamcluster_epochs_are_small() {
+        use rppm_trace::Segment;
+        let prog = streamcluster(&Params { scale: 1.0, seed: 1 });
+        let mean_block: f64 = {
+            let blocks: Vec<u32> = prog.threads[1]
+                .segments
+                .iter()
+                .filter_map(|s| match s {
+                    Segment::Block(b) => Some(b.ops),
+                    _ => None,
+                })
+                .collect();
+            blocks.iter().map(|&o| o as f64).sum::<f64>() / blocks.len() as f64
+        };
+        assert!(mean_block < 12_000.0, "mean epoch {mean_block}");
+    }
+}

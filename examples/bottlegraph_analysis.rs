@@ -1,0 +1,45 @@
+//! The Figure 6 case study: bottlegraphs visualize each thread's share of
+//! execution time (box height) against its parallelism (box width) — the
+//! tallest box is the scalability bottleneck.
+//!
+//! ```text
+//! cargo run --release --example bottlegraph_analysis
+//! ```
+
+use rppm::core::Bottlegraph;
+use rppm::prelude::*;
+
+fn analyze(name: &str) {
+    let bench = rppm::workloads::by_name(name).expect("known benchmark");
+    let program = bench.build(&WorkloadParams { scale: 0.15, seed: 9 });
+    let profile = profile(&program);
+    let prediction = predict(&profile, &DesignPoint::Base.config());
+
+    let graph = Bottlegraph::from_intervals(&prediction.intervals, prediction.total_cycles);
+    println!("\n{name}: predicted bottlegraph");
+    for b in graph.boxes.iter().rev() {
+        if b.height < 0.005 {
+            continue;
+        }
+        let bar = "#".repeat((b.parallelism * 10.0).round().max(1.0) as usize);
+        println!(
+            "  thread {}: {:>5.1}% of time  |{bar:<50}| parallelism {:.2}",
+            b.thread,
+            b.height * 100.0,
+            b.parallelism
+        );
+    }
+    let bottleneck = graph.bottleneck().expect("nonempty");
+    println!(
+        "  bottleneck: thread {} (runs at parallelism {:.2})",
+        bottleneck.thread, bottleneck.parallelism
+    );
+}
+
+fn main() {
+    // One benchmark per Figure 6 category: balanced with idle main,
+    // main-does-work, and highly imbalanced.
+    for name in ["swaptions", "freqmine", "vips"] {
+        analyze(name);
+    }
+}

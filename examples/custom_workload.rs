@@ -1,0 +1,78 @@
+//! Building your own workload with the trace DSL: a producer/consumer
+//! pipeline with a critical section, profiled and predicted end to end.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use rppm::prelude::*;
+use rppm::trace::{AddressPattern, BranchPattern};
+
+fn main() {
+    // Three threads: a producer decodes items; two consumers process them,
+    // updating a shared histogram under a mutex.
+    let mut b = ProgramBuilder::new("my-pipeline", 3);
+    let input = b.alloc_region(200_000); // streamed input (12.8 MB)
+    let hist = b.alloc_region(256); // hot shared histogram
+    let queue = b.alloc_queue();
+    let lock = b.alloc_mutex();
+
+    let decode = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.3)
+            .stores(0.05)
+            .branches(0.08)
+            .deps(0.3, 5.0)
+            .branch_pattern(BranchPattern::loop_every(24)),
+    );
+    let process = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.25)
+            .fp(0.2, 0.1)
+            .branches(0.1)
+            .deps(0.35, 4.0)
+            .branch_pattern(BranchPattern::bernoulli(0.8)),
+    );
+    let update = b.template(BlockSpec::new(0, 0).loads(0.3).stores(0.3).deps(0.5, 2.0));
+
+    b.spawn_workers();
+    for item in 0..20u32 {
+        let mut d = decode.with_ops(6_000).with_seed(item as u64);
+        d.addr = vec![(AddressPattern::stream_from(input, item as u64 * 5_000), 1.0)];
+        b.thread(0u32).block(d).produce(queue, 2);
+
+        for t in 1..3u32 {
+            let mut p = process.with_ops(4_000).with_seed((item + 100 * t) as u64);
+            p.addr = vec![(AddressPattern::stream_from(input, item as u64 * 5_000), 1.0)];
+            let mut u = update.with_ops(300).with_seed((item + 200 * t) as u64);
+            u.addr = vec![(AddressPattern::random(hist), 1.0)];
+            b.thread(t).consume(queue).block(p).lock(lock).block(u).unlock(lock);
+        }
+    }
+    b.join_workers();
+    let program = b.build();
+
+    // The full pipeline: profile once, predict, verify.
+    let prof = profile(&program);
+    let (cs, bar, cond) = prof.sync_event_counts();
+    println!("profiled: {} ops, {cs} critical sections, {bar} barriers, {cond} cond-var events", prof.total_ops());
+    for usage in prof.classify_cond_vars() {
+        println!("  recognized: {usage:?}");
+    }
+
+    let config = DesignPoint::Base.config();
+    let pred = predict(&prof, &config);
+    let sim = simulate(&program, &config);
+    println!(
+        "predicted {:.0} cycles, simulated {:.0} cycles (error {:.1}%)",
+        pred.total_cycles,
+        sim.total_cycles,
+        abs_pct_error(pred.total_cycles, sim.total_cycles) * 100.0
+    );
+    for (t, th) in pred.threads.iter().enumerate() {
+        println!(
+            "  thread {t}: active {:.0} cycles, sync wait {:.0} cycles",
+            th.active_cycles, th.sync_cycles
+        );
+    }
+}

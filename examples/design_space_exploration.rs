@@ -1,0 +1,52 @@
+//! The Table V case study: use RPPM to prune a design space, then simulate
+//! only the surviving candidates.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use rppm::core::evaluate_choice;
+use rppm::prelude::*;
+
+fn main() {
+    let bench = rppm::workloads::by_name("cfd").expect("known benchmark");
+    let program = bench.build(&WorkloadParams { scale: 0.15, seed: 3 });
+    let profile = profile(&program);
+
+    // Predict every design point from the single profile (fast)...
+    let predicted: Vec<f64> = DesignPoint::ALL
+        .iter()
+        .map(|dp| predict(&profile, &dp.config()).total_seconds)
+        .collect();
+    // ...and simulate them all for ground truth (slow; in a real DSE you
+    // would only simulate the model's candidate set).
+    let simulated: Vec<f64> = DesignPoint::ALL
+        .iter()
+        .map(|dp| simulate(&program, &dp.config()).total_seconds)
+        .collect();
+
+    println!("{:<10} {:>14} {:>14}", "design", "predicted (ms)", "simulated (ms)");
+    for (k, dp) in DesignPoint::ALL.iter().enumerate() {
+        println!(
+            "{:<10} {:>14.4} {:>14.4}",
+            dp.to_string(),
+            predicted[k] * 1e3,
+            simulated[k] * 1e3
+        );
+    }
+
+    for bound in [0.0, 0.01, 0.03, 0.05] {
+        let choice = evaluate_choice(&predicted, &simulated, bound);
+        println!(
+            "bound {:>3.0}%: candidates {:?} -> chose '{}', deficiency {:.2}%",
+            bound * 100.0,
+            choice
+                .candidates
+                .iter()
+                .map(|&i| DesignPoint::ALL[i].to_string())
+                .collect::<Vec<_>>(),
+            DesignPoint::ALL[choice.chosen],
+            choice.deficiency * 100.0
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The headline RPPM workflow: collect ONE microarchitecture-independent
+//! profile, serialize it, then predict a whole design space from it —
+//! no re-profiling, no simulation.
+//!
+//! ```text
+//! cargo run --release --example profile_once_predict_many
+//! ```
+
+use rppm::prelude::*;
+
+fn main() {
+    let bench = rppm::workloads::by_name("kmeans").expect("known benchmark");
+    let program = bench.build(&WorkloadParams { scale: 0.2, seed: 7 });
+
+    // Profile once...
+    let profile = profile(&program);
+
+    // ...serialize to the on-disk artifact (what you would archive)...
+    let json = profile.to_json();
+    println!("profile serialized: {} bytes of JSON", json.len());
+
+    // ...deserialize (e.g. weeks later, on another machine)...
+    let restored = ApplicationProfile::from_json(&json).expect("round-trips");
+    assert_eq!(profile, restored);
+
+    // ...and sweep the whole Table IV design space analytically.
+    println!("\n{:<10} {:>10} {:>12} {:>12}", "design", "freq", "cycles", "time (ms)");
+    let mut best: Option<(String, f64)> = None;
+    for dp in DesignPoint::ALL {
+        let config = dp.config();
+        let p = predict(&restored, &config);
+        println!(
+            "{:<10} {:>7.2}GHz {:>12.0} {:>12.4}",
+            config.name,
+            config.freq_ghz,
+            p.total_cycles,
+            p.total_seconds * 1e3
+        );
+        if best.as_ref().is_none_or(|(_, t)| p.total_seconds < *t) {
+            best = Some((config.name.clone(), p.total_seconds));
+        }
+    }
+    let (name, secs) = best.expect("nonempty design space");
+    println!("\npredicted optimum: '{name}' at {:.4} ms", secs * 1e3);
+}

@@ -1,0 +1,55 @@
+//! Quickstart: profile a workload once, predict a machine, sanity-check
+//! against detailed simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rppm::prelude::*;
+
+fn main() {
+    // 1. Pick a benchmark analog (or build your own with ProgramBuilder —
+    //    see the custom_workload example).
+    let bench = rppm::workloads::by_name("hotspot").expect("known benchmark");
+    let program = bench.build(&WorkloadParams { scale: 0.2, seed: 42 });
+    println!(
+        "workload: {} ({} threads, {} micro-ops)",
+        program.name,
+        program.num_threads(),
+        program.total_ops()
+    );
+
+    // 2. Profile once. The profile is microarchitecture-independent: it can
+    //    be serialized and reused for any number of target machines.
+    let profile = profile(&program);
+    println!("profiled {} ops across {} threads", profile.total_ops(), profile.num_threads());
+
+    // 3. Predict the base quad-core configuration (Table IV).
+    let config = DesignPoint::Base.config();
+    let prediction = predict(&profile, &config);
+    println!(
+        "RPPM predicts {:.0} cycles ({:.3} ms) on '{}'",
+        prediction.total_cycles,
+        prediction.total_seconds * 1e3,
+        config.name
+    );
+
+    // 4. Validate against the golden-reference simulator.
+    let reference = simulate(&program, &config);
+    println!(
+        "simulation:    {:.0} cycles ({:.3} ms)",
+        reference.total_cycles,
+        reference.total_seconds * 1e3
+    );
+    println!(
+        "prediction error: {:.1}%",
+        abs_pct_error(prediction.total_cycles, reference.total_cycles) * 100.0
+    );
+
+    // 5. Per-thread CPI stacks tell you *why* time is spent.
+    println!("\npredicted mean CPI stack (cycles):");
+    let stack = prediction.mean_cpi_stack();
+    for (label, value) in rppm::trace::CpiStack::LABELS.iter().zip(stack.values()) {
+        println!("  {label:<10} {value:>12.0}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # RPPM — Rapid Performance Prediction of Multithreaded Workloads
+//!
+//! Umbrella crate for the RPPM reproduction (De Pestel, Van den Steen,
+//! Akram & Eeckhout, ISPASS 2019): a mechanistic analytical model that
+//! profiles a multi-threaded workload **once**, collecting only
+//! microarchitecture-independent characteristics, and then predicts its
+//! execution time on **any** multicore configuration.
+//!
+//! The pieces (each re-exported as a module here):
+//!
+//! * [`trace`] — workload IR, generator DSL, machine configurations
+//!   (Table IV design points).
+//! * [`workloads`] — synthetic Rodinia + Parsec benchmark analogs.
+//! * [`profiler`] — the one-time profiler (instruction mix, ILP/MLP
+//!   structure, branch entropy, reuse distances, synchronization events).
+//! * [`statstack`] — the StatStack cache model with the multi-threaded
+//!   extension (shared caches, coherence).
+//! * [`branch_model`] — entropy-based branch misprediction prediction.
+//! * [`core`] — the RPPM model: Equation 1 + Algorithm 2, the MAIN/CRIT
+//!   baselines, bottlegraphs, design-space exploration.
+//! * [`sim`] — the detailed multicore simulator used as golden reference.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rppm::prelude::*;
+//!
+//! // 1. Pick a workload (or build your own with ProgramBuilder).
+//! let bench = rppm::workloads::by_name("hotspot").expect("known");
+//! let program = bench.build(&WorkloadParams { scale: 0.02, seed: 1 });
+//!
+//! // 2. Profile once (microarchitecture-independent).
+//! let profile = profile(&program);
+//!
+//! // 3. Predict any machine configuration...
+//! let prediction = predict(&profile, &DesignPoint::Base.config());
+//!
+//! // 4. ...and compare against detailed simulation when desired.
+//! let reference = simulate(&program, &DesignPoint::Base.config());
+//! let err = abs_pct_error(prediction.total_cycles, reference.total_cycles);
+//! assert!(err < 1.0, "prediction within 2x of simulation: {err}");
+//! ```
+
+pub use rppm_branch_model as branch_model;
+pub use rppm_core as core;
+pub use rppm_profiler as profiler;
+pub use rppm_sim as sim;
+pub use rppm_statstack as statstack;
+pub use rppm_trace as trace;
+pub use rppm_workloads as workloads;
+
+/// Convenient glob-import surface for the common workflow.
+pub mod prelude {
+    pub use rppm_core::{
+        abs_pct_error, predict, predict_crit, predict_main, Bottlegraph, Prediction,
+    };
+    pub use rppm_profiler::{profile, ApplicationProfile};
+    pub use rppm_sim::{simulate, SimResult};
+    pub use rppm_trace::{
+        BlockSpec, DesignPoint, MachineConfig, Program, ProgramBuilder,
+    };
+    pub use rppm_workloads::Params as WorkloadParams;
+}

@@ -1,0 +1,77 @@
+//! Property-style integration tests on model invariants, spanning crates.
+
+use proptest::prelude::*;
+use rppm::prelude::*;
+use rppm::trace::{AddressPattern, BlockSpec};
+
+fn tiny_program(ops: u32, loads: f64, seed: u64) -> Program {
+    let mut b = ProgramBuilder::new("prop", 2);
+    let r = b.alloc_region(4096);
+    let bar = b.alloc_barrier();
+    b.spawn_workers();
+    for t in 0..2u32 {
+        b.thread(t)
+            .block(
+                BlockSpec::new(ops, seed + t as u64)
+                    .loads(loads)
+                    .branches(0.1)
+                    .addr(AddressPattern::random(r), 1.0),
+            )
+            .barrier(bar);
+    }
+    b.join_workers();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Predictions are positive, finite, and at least as long as the
+    /// slowest thread's active time.
+    #[test]
+    fn prediction_is_well_formed(ops in 2_000u32..20_000, loads in 0.05f64..0.4) {
+        let program = tiny_program(ops, loads, 77);
+        let prof = profile(&program);
+        let pred = predict(&prof, &DesignPoint::Base.config());
+        prop_assert!(pred.total_cycles.is_finite() && pred.total_cycles > 0.0);
+        let max_active = pred.threads.iter().map(|t| t.active_cycles).fold(0.0, f64::max);
+        prop_assert!(pred.total_cycles >= max_active - 1e-6);
+        // CPI stacks are non-negative in every component.
+        for t in &pred.threads {
+            for v in t.cpi.values() {
+                prop_assert!(v >= 0.0, "negative CPI component {v}");
+            }
+        }
+    }
+
+    /// More work means more predicted (and simulated) time.
+    #[test]
+    fn time_is_monotone_in_work(ops in 2_000u32..10_000) {
+        let config = DesignPoint::Base.config();
+        let small = tiny_program(ops, 0.2, 5);
+        let large = tiny_program(ops * 2, 0.2, 5);
+        let p_small = predict(&profile(&small), &config).total_cycles;
+        let p_large = predict(&profile(&large), &config).total_cycles;
+        prop_assert!(p_large > p_small);
+        let s_small = simulate(&small, &config).total_cycles;
+        let s_large = simulate(&large, &config).total_cycles;
+        prop_assert!(s_large > s_small);
+    }
+}
+
+/// The accumulation study (Table I) and the full pipeline agree on the
+/// qualitative point: a balanced barrier workload's prediction error stays
+/// bounded rather than accumulating, because RPPM predicts per-epoch times
+/// rather than relying on error cancellation.
+#[test]
+fn barrier_heavy_workload_stays_accurate() {
+    let bench = rppm::workloads::by_name("pathfinder").expect("known");
+    let program = bench.build(&WorkloadParams { scale: 0.1, seed: 2 });
+    let prof = profile(&program);
+    let config = DesignPoint::Base.config();
+    let err = abs_pct_error(
+        predict(&prof, &config).total_cycles,
+        simulate(&program, &config).total_cycles,
+    );
+    assert!(err < 0.5, "barrier-heavy error {:.0}%", err * 100.0);
+}
