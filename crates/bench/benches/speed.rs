@@ -15,7 +15,10 @@ use rppm_workloads::{by_name, Params};
 
 fn pipeline(c: &mut Criterion) {
     let bench = by_name("hotspot").expect("known benchmark");
-    let params = Params { scale: 0.1, ..Params::full() };
+    let params = Params {
+        scale: 0.1,
+        ..Params::full()
+    };
     let program = bench.build(&params);
     let config = DesignPoint::Base.config();
     let prof = profile(&program);
@@ -73,9 +76,10 @@ fn components(c: &mut Criterion) {
             } else {
                 Vec::new()
             };
-            events.extend(
-                (0..1000).map(|_| SyncOp::Barrier { id: 0.into(), via_cond: false }),
-            );
+            events.extend((0..1000).map(|_| SyncOp::Barrier {
+                id: 0.into(),
+                via_cond: false,
+            }));
             let epochs: Vec<f64> = (0..events.len() + 1)
                 .map(|_| 1000.0 + rng.next_f64() * 200.0)
                 .collect();

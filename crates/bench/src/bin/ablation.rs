@@ -14,7 +14,10 @@ use rppm_trace::DesignPoint;
 use rppm_workloads::Params;
 
 fn suite_error(scale: f64) -> (f64, f64) {
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
     let config = DesignPoint::Base.config();
     let errs: Vec<f64> = rppm_workloads::all()
         .iter()
@@ -38,15 +41,25 @@ fn main() {
 
     let variants: &[(&str, &[(&str, &str)])] = &[
         ("full model", &[]),
-        ("no path-selection factor (kappa=1)", &[("RPPM_KAPPA", "1.0")]),
-        ("no MLP efficiency (gamma=cap=1)", &[("RPPM_MLP_EFF", "1.0"), ("RPPM_MLP_CAP", "1.0")]),
+        (
+            "no path-selection factor (kappa=1)",
+            &[("RPPM_KAPPA", "1.0")],
+        ),
+        (
+            "no MLP efficiency (gamma=cap=1)",
+            &[("RPPM_MLP_EFF", "1.0"), ("RPPM_MLP_CAP", "1.0")],
+        ),
         ("no chain bound", &[("RPPM_NO_CHAIN_BOUND", "1")]),
         ("no retirement exposure", &[("RPPM_NO_EXPOSURE", "1")]),
     ];
 
     println!("Ablation: RPPM suite error (all 26 benchmarks, base config, scale {scale})");
     println!();
-    Row::new().cell(38, "variant").rcell(10, "avg err").rcell(10, "max err").print();
+    Row::new()
+        .cell(38, "variant")
+        .rcell(10, "avg err")
+        .rcell(10, "max err")
+        .print();
     println!("{}", "-".repeat(60));
     let exe = std::env::current_exe().expect("own path");
     for (name, env) in variants {

@@ -18,7 +18,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
     let config = DesignPoint::Base.config();
 
     println!("Figure 4: prediction error vs. simulation (base config, scale {scale})");
@@ -44,7 +47,11 @@ fn main() {
         }
         let run = run_benchmark(&bench, &params, &config);
         let (m, c, r) = (run.main_error(), run.crit_error(), run.rppm_error());
-        let sign = if run.rppm.total_cycles >= run.sim.total_cycles { '+' } else { '-' };
+        let sign = if run.rppm.total_cycles >= run.sim.total_cycles {
+            '+'
+        } else {
+            '-'
+        };
         Row::new()
             .cell(16, bench.name)
             .cell(8, bench.suite.to_string())

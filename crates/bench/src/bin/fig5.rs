@@ -26,7 +26,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
     let only: Option<String> = std::env::args().nth(2);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
     let config = DesignPoint::Base.config();
 
     println!("Figure 5: normalized per-thread CPI stacks (RPPM vs simulation), scale {scale}");
@@ -49,7 +52,10 @@ fn main() {
         let sim_stack = run.sim.mean_cpi_stack();
         let rppm_stack = run.rppm.mean_cpi_stack();
         let norm = sim_stack.total();
-        println!("\n{} (sim {:.0} cycles total):", bench.name, run.sim.total_cycles);
+        println!(
+            "\n{} (sim {:.0} cycles total):",
+            bench.name, run.sim.total_cycles
+        );
         print_stack("  RPPM", &rppm_stack, norm);
         print_stack("  sim", &sim_stack, norm);
     }

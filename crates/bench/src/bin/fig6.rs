@@ -36,7 +36,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
     let config = DesignPoint::Base.config();
 
     println!("Figure 6: bottlegraphs, RPPM (left/top) vs simulation (right/bottom), scale {scale}");

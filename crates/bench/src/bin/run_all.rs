@@ -30,8 +30,14 @@ fn main() {
         if !arg.is_empty() {
             cmd.arg(arg);
         }
-        let out = cmd.output().unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let path = format!("results/{bin}.txt");
         std::fs::write(&path, &out.stdout).expect("write output");
         eprintln!("  -> {path}");

@@ -13,9 +13,14 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
 
-    println!("Table II: Rodinia analogs at scale {scale} (paper uses native inputs; see Table II there)");
+    println!(
+        "Table II: Rodinia analogs at scale {scale} (paper uses native inputs; see Table II there)"
+    );
     println!();
     Row::new()
         .cell(16, "benchmark")

@@ -33,7 +33,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
 
     println!("Table III: dynamic synchronization events (Parsec analogs, scale {scale})");
     println!();
@@ -50,7 +53,13 @@ fn main() {
         let prog = bench.build(&params);
         let prof = profile(&prog);
         let (cs, bar, cond) = prof.sync_event_counts();
-        let fmt = |v: u64| if v == 0 { "-".to_string() } else { v.to_string() };
+        let fmt = |v: u64| {
+            if v == 0 {
+                "-".to_string()
+            } else {
+                v.to_string()
+            }
+        };
         Row::new()
             .cell(16, bench.name)
             .rcell(10, fmt(cs))

@@ -30,13 +30,33 @@ fn main() {
     row("dispatch width", &|c| c.dispatch_width.to_string());
     row("ROB size", &|c| c.rob_size.to_string());
     row("issue queue size", &|c| c.issue_queue.to_string());
-    row("peak Gops/s", &|c| format!("{:.1}", c.peak_ops_per_second() / 1e9));
-    row("mem latency [cyc]", &|c| format!("{:.0}", c.mem_latency_cycles()));
+    row("peak Gops/s", &|c| {
+        format!("{:.1}", c.peak_ops_per_second() / 1e9)
+    });
+    row("mem latency [cyc]", &|c| {
+        format!("{:.0}", c.mem_latency_cycles())
+    });
     println!();
     let base = &configs[2];
     println!("branch predictor   {} B tournament", base.bpred.size_bytes);
-    println!("L1-I               {} KB, {}-way, private", base.l1i.size_bytes / 1024, base.l1i.assoc);
-    println!("L1-D               {} KB, {}-way, private", base.l1d.size_bytes / 1024, base.l1d.assoc);
-    println!("L2                 {} KB, {}-way, private", base.l2.size_bytes / 1024, base.l2.assoc);
-    println!("LLC                {} MB, {}-way, shared", base.l3.size_bytes / 1024 / 1024, base.l3.assoc);
+    println!(
+        "L1-I               {} KB, {}-way, private",
+        base.l1i.size_bytes / 1024,
+        base.l1i.assoc
+    );
+    println!(
+        "L1-D               {} KB, {}-way, private",
+        base.l1d.size_bytes / 1024,
+        base.l1d.assoc
+    );
+    println!(
+        "L2                 {} KB, {}-way, private",
+        base.l2.size_bytes / 1024,
+        base.l2.assoc
+    );
+    println!(
+        "LLC                {} MB, {}-way, shared",
+        base.l3.size_bytes / 1024 / 1024,
+        base.l3.assoc
+    );
 }

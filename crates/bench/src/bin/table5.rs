@@ -19,7 +19,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
-    let params = Params { scale, ..Params::full() };
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
     let bounds = [0.0, 0.01, 0.03, 0.05];
 
     println!("Table V: predicting the optimum design point (bounds 0/1/3/5%, scale {scale})");

@@ -103,7 +103,10 @@ mod tests {
         let bench = rppm_workloads::by_name("pathfinder").expect("known");
         let run = run_benchmark(
             &bench,
-            &Params { scale: 0.02, seed: 1 },
+            &Params {
+                scale: 0.02,
+                seed: 1,
+            },
             &DesignPoint::Base.config(),
         );
         assert!(run.sim.total_cycles > 0.0);

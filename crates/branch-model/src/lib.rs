@@ -124,7 +124,11 @@ impl SiteCollector {
 
     fn record(&mut self, taken: bool) {
         for (k, &h) in HIST_LENGTHS.iter().enumerate() {
-            let key = if h == 0 { 0 } else { self.history & ((1u64 << h) - 1) };
+            let key = if h == 0 {
+                0
+            } else {
+                self.history & ((1u64 << h) - 1)
+            };
             let e = self.tables[k].entry(key).or_default();
             // Online majority vote: this is what an ideal table predictor
             // achieves *including training transients*, and it converges to
@@ -170,7 +174,10 @@ impl EntropyCollector {
 
     /// Records the outcome of one dynamic branch at static site `site`.
     pub fn record(&mut self, site: u32, taken: bool) {
-        self.sites.entry(site).or_insert_with(SiteCollector::new).record(taken);
+        self.sites
+            .entry(site)
+            .or_insert_with(SiteCollector::new)
+            .record(taken);
         self.branches += 1;
     }
 
@@ -256,7 +263,11 @@ mod tests {
     fn loop_branch_needs_history() {
         // TTTF repeating.
         let p = collect((0..10_000).map(|i| i % 4 != 3));
-        assert!((p.miss_floor(0) - 0.25).abs() < 0.01, "m0 {}", p.miss_floor(0));
+        assert!(
+            (p.miss_floor(0) - 0.25).abs() < 0.01,
+            "m0 {}",
+            p.miss_floor(0)
+        );
         assert!(p.miss_floor(4) < 0.01, "m4 {}", p.miss_floor(4));
     }
 
@@ -323,7 +334,10 @@ mod tests {
         let mut p = collect((0..10_000).map(|i| i % 4 != 3));
         // Pretend the workload exhibits an enormous pattern footprint.
         p.patterns = 10_000_000;
-        let small = BranchPredictorConfig { size_bytes: 128, history_bits: 12 };
+        let small = BranchPredictorConfig {
+            size_bytes: 128,
+            history_bits: 12,
+        };
         let miss = predict_miss_rate(&p, &small);
         assert!(miss > 0.15, "aliased miss {miss}");
     }
@@ -331,7 +345,10 @@ mod tests {
     #[test]
     fn empty_profile_predicts_zero() {
         let p = BranchProfile::default();
-        assert_eq!(predict_miss_rate(&p, &BranchPredictorConfig::tournament_4kb()), 0.0);
+        assert_eq!(
+            predict_miss_rate(&p, &BranchPredictorConfig::tournament_4kb()),
+            0.0
+        );
         assert_eq!(p.miss_floor(12), 0.0);
     }
 

@@ -50,7 +50,11 @@ pub fn evaluate_choice(predicted: &[f64], simulated: &[f64], bound: f64) -> DseC
     let true_best = simulated.iter().cloned().fold(f64::MAX, f64::min);
     let deficiency = (simulated[chosen] - true_best) / true_best;
 
-    DseChoice { candidates, chosen, deficiency: deficiency.max(0.0) }
+    DseChoice {
+        candidates,
+        chosen,
+        deficiency: deficiency.max(0.0),
+    }
 }
 
 /// One benchmark's row in Table V: deficiency and candidate count at each
@@ -72,7 +76,10 @@ pub fn dse_row(name: &str, predicted: &[f64], simulated: &[f64], bounds: &[f64])
             (b, c.deficiency, c.candidates.len())
         })
         .collect();
-    DseRow { name: name.to_string(), cells }
+    DseRow {
+        name: name.to_string(),
+        cells,
+    }
 }
 
 #[cfg(test)]

@@ -54,7 +54,10 @@ pub struct EpochPrediction {
 /// Predicts the active execution time of one epoch on `config`.
 pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
     if epoch.ops == 0 {
-        return EpochPrediction { mlp: 1.0, ..Default::default() };
+        return EpochPrediction {
+            mlp: 1.0,
+            ..Default::default()
+        };
     }
     let n = epoch.ops as f64;
     let loads = epoch.loads() as f64;
@@ -76,12 +79,15 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // coherence-invalidated lines, by a remote private cache (intervention).
     let inval_frac = {
         let t = epoch.private_rd.total();
-        if t == 0 { 0.0 } else { epoch.private_rd.invalidated as f64 / t as f64 }
+        if t == 0 {
+            0.0
+        } else {
+            epoch.private_rd.invalidated as f64 / t as f64
+        }
     };
     let onchip = (r2 - r3).max(1e-12);
     let remote_share = (inval_frac / onchip).clamp(0.0, 1.0);
-    let lat_l3 = config.l3.latency as f64
-        + remote_share * config.coherence_latency as f64;
+    let lat_l3 = config.l3.latency as f64 + remote_share * config.coherence_latency as f64;
     let c_mem = config.l3.latency as f64 + config.mem_latency_cycles();
 
     // Expected on-chip load latency (DRAM handled separately below).
@@ -93,14 +99,16 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // Loads on the critical path feeding a branch each contribute their
     // expected extra latency; a DRAM miss on that path stalls resolution for
     // the full memory latency.
-    let extra_per_load = (r1 - r2) * (lat_l2 - lat_l1)
-        + (r2 - r3) * (lat_l3 - lat_l1)
-        + r3 * (c_mem - lat_l1);
+    let extra_per_load =
+        (r1 - r2) * (lat_l2 - lat_l1) + (r2 - r3) * (lat_l3 - lat_l1) + r3 * (c_mem - lat_l1);
     // Path-selection factor: the realized critical path to a branch is the
     // *maximum* over many dependence paths, which systematically exceeds
     // the single memory-weighted path evaluated at expected latencies
     // (E[max] > max E). Calibrated once against the reference simulator.
-    let kappa: f64 = std::env::var("RPPM_KAPPA").ok().and_then(|v| v.parse().ok()).unwrap_or(3.0);
+    let kappa: f64 = std::env::var("RPPM_KAPPA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
     let c_res = epoch.branch_depth.max(OpClass::Branch.latency() as f64)
         + kappa * epoch.branch_slice_loads * extra_per_load;
     let branch = mispredicts * (c_res + config.frontend_depth as f64);
@@ -170,8 +178,16 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // (RPPM_NO_EXPOSURE=1 disables the retirement-exposure term — ablation
     // harness only.)
     let no_expose = std::env::var("RPPM_NO_EXPOSURE").is_ok_and(|v| v == "1");
-    let win_l2 = if no_expose { 0.0 } else { expose(r1 - r2, lat_l2) };
-    let win_l3 = if no_expose { 0.0 } else { expose(r2 - r3, lat_l3) };
+    let win_l2 = if no_expose {
+        0.0
+    } else {
+        expose(r1 - r2, lat_l2)
+    };
+    let win_l3 = if no_expose {
+        0.0
+    } else {
+        expose(r2 - r3, lat_l3)
+    };
     // The chain-induced and retirement-induced stalls overlap; count the
     // larger per level.
     let mem_l2 = chain_l2.max(win_l2);
@@ -188,13 +204,23 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // branch component (the events overlap).
     let dram_in_branch = mispredicts * epoch.branch_slice_loads * r3;
     let dram_eff = (dram_misses - dram_in_branch).max(0.0);
-    let p_dram = if loads > 0.0 { (dram_misses / loads).clamp(0.0, 1.0) } else { 0.0 };
+    let p_dram = if loads > 0.0 {
+        (dram_misses / loads).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let indep = epoch.mlp_at(w_eff).unwrap_or(0.0);
     // Effective MSHR utilization: issue-port and dispatch gaps keep the
     // overlap below the ideal independent-miss count (calibrated once
     // against the reference simulator).
-    let gamma: f64 = std::env::var("RPPM_MLP_EFF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.85);
-    let gcap: f64 = std::env::var("RPPM_MLP_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.75);
+    let gamma: f64 = std::env::var("RPPM_MLP_EFF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.85);
+    let gcap: f64 = std::env::var("RPPM_MLP_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.75);
     let mlp = (gamma * (1.0 + indep * p_dram)).clamp(1.0, gcap * config.mshrs as f64);
     let mem_dram_raw = dram_eff * c_mem / mlp;
     // Misses *independent* of a mispredicted branch's slice still overlap
@@ -308,7 +334,12 @@ mod tests {
 
     #[test]
     fn fp_heavy_code_hits_fu_limit() {
-        let e = single_epoch(BlockSpec::new(50_000, 3).fp(0.5, 0.4).deps(0.0, 1.0).deps2(0.0));
+        let e = single_epoch(
+            BlockSpec::new(50_000, 3)
+                .fp(0.5, 0.4)
+                .deps(0.0, 1.0)
+                .deps2(0.0),
+        );
         let cfg = DesignPoint::Base.config(); // 2 FP pipes
         let p = predict_epoch(&e, &cfg);
         // 90% FP through 2 ports: Deff <= 2/0.9 = 2.22.
@@ -317,11 +348,7 @@ mod tests {
 
     #[test]
     fn random_branches_cost_cycles() {
-        let spec = |pat| {
-            BlockSpec::new(50_000, 4)
-                .branches(0.2)
-                .branch_pattern(pat)
-        };
+        let spec = |pat| BlockSpec::new(50_000, 4).branches(0.2).branch_pattern(pat);
         let cfg = DesignPoint::Base.config();
         let predictable = predict_epoch(&single_epoch(spec(BranchPattern::loop_every(64))), &cfg);
         let random = predict_epoch(&single_epoch(spec(BranchPattern::bernoulli(0.5))), &cfg);

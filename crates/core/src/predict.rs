@@ -143,9 +143,7 @@ pub fn predict_crit(profile: &ApplicationProfile, config: &MachineConfig) -> f64
 mod tests {
     use super::*;
     use rppm_profiler::profile as run_profiler;
-    use rppm_trace::{
-        AddressPattern, BlockSpec, DesignPoint, ProgramBuilder, Region,
-    };
+    use rppm_trace::{AddressPattern, BlockSpec, DesignPoint, ProgramBuilder, Region};
 
     fn balanced_program() -> rppm_trace::Program {
         let mut b = ProgramBuilder::new("balanced", 4);
@@ -170,8 +168,10 @@ mod tests {
         let mut b = ProgramBuilder::new("imbalanced", 3);
         b.spawn_workers();
         // Main does nothing; worker 1 does 10x the work of worker 2.
-        b.thread(1u32).block(BlockSpec::new(100_000, 1).deps(0.3, 4.0));
-        b.thread(2u32).block(BlockSpec::new(10_000, 2).deps(0.3, 4.0));
+        b.thread(1u32)
+            .block(BlockSpec::new(100_000, 1).deps(0.3, 4.0));
+        b.thread(2u32)
+            .block(BlockSpec::new(10_000, 2).deps(0.3, 4.0));
         b.join_workers();
         b.build()
     }
@@ -221,7 +221,10 @@ mod tests {
         assert!(crit > main, "crit picks the heavy worker");
         // CRIT ignores spawn/join structure but captures the critical
         // thread; it should be within 2x of RPPM here.
-        assert!(crit <= rppm * 1.5 && crit >= rppm * 0.3, "crit {crit} rppm {rppm}");
+        assert!(
+            crit <= rppm * 1.5 && crit >= rppm * 0.3,
+            "crit {crit} rppm {rppm}"
+        );
     }
 
     #[test]
@@ -229,7 +232,8 @@ mod tests {
         // Same cycle behaviour, different frequency: compute-bound work
         // takes proportionally less wall time at higher frequency.
         let mut b = ProgramBuilder::new("freq", 1);
-        b.thread(0u32).block(BlockSpec::new(50_000, 5).deps(0.2, 6.0));
+        b.thread(0u32)
+            .block(BlockSpec::new(50_000, 5).deps(0.2, 6.0));
         let prof = run_profiler(&b.build());
 
         let base = DesignPoint::Base.config();
@@ -284,7 +288,8 @@ mod tests {
     fn single_epoch_profile_predicts() {
         // A profile with one thread and one epoch (no sync at all).
         let mut b = ProgramBuilder::new("solo", 1);
-        b.thread(0u32).block(BlockSpec::new(5_000, 3).deps(0.3, 4.0));
+        b.thread(0u32)
+            .block(BlockSpec::new(5_000, 3).deps(0.3, 4.0));
         let prof = run_profiler(&b.build());
         let p = predict(&prof, &DesignPoint::Base.config());
         assert_eq!(p.threads.len(), 1);
@@ -297,10 +302,11 @@ mod tests {
         // With one thread and no synchronization, MAIN == CRIT and RPPM's
         // active time matches them (phase 2 adds nothing).
         let mut b = ProgramBuilder::new("solo", 1);
-        b.thread(0u32).block(BlockSpec::new(20_000, 9).loads(0.2).addr(
-            AddressPattern::random(Region::new(0, 2_000)),
-            1.0,
-        ));
+        b.thread(0u32).block(
+            BlockSpec::new(20_000, 9)
+                .loads(0.2)
+                .addr(AddressPattern::random(Region::new(0, 2_000)), 1.0),
+        );
         let prof = run_profiler(&b.build());
         let cfg = DesignPoint::Base.config();
         let main = predict_main(&prof, &cfg);

@@ -139,7 +139,11 @@ impl<'a> SymExec<'a> {
                 idx: 0,
                 at_epoch: true,
                 time: 0.0,
-                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                status: if i == 0 {
+                    Status::Ready
+                } else {
+                    Status::NotStarted
+                },
                 start: 0.0,
                 active: 0.0,
                 idle: 0.0,
@@ -421,12 +425,18 @@ mod tests {
     }
 
     fn barrier(id: u32) -> SyncOp {
-        SyncOp::Barrier { id: BarrierId(id), via_cond: false }
+        SyncOp::Barrier {
+            id: BarrierId(id),
+            via_cond: false,
+        }
     }
 
     #[test]
     fn single_thread_sums_epochs() {
-        let tl = vec![ThreadTimeline { epochs: vec![100.0], events: vec![] }];
+        let tl = vec![ThreadTimeline {
+            epochs: vec![100.0],
+            events: vec![],
+        }];
         let s = execute(&tl, &cfg());
         assert_eq!(s.total, 100.0);
         assert_eq!(s.threads[0].active, 100.0);
@@ -441,7 +451,10 @@ mod tests {
                 epochs: vec![0.0, 100.0, 50.0],
                 events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
             },
-            ThreadTimeline { epochs: vec![300.0, 50.0], events: vec![barrier(0)] },
+            ThreadTimeline {
+                epochs: vec![300.0, 50.0],
+                events: vec![barrier(0)],
+            },
         ];
         let s = execute(&tl, &cfg());
         assert_eq!(s.total, 350.0);
@@ -458,7 +471,10 @@ mod tests {
                 epochs: vec![0.0, 100.0, 400.0],
                 events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
             },
-            ThreadTimeline { epochs: vec![300.0, 100.0], events: vec![barrier(0)] },
+            ThreadTimeline {
+                epochs: vec![300.0, 100.0],
+                events: vec![barrier(0)],
+            },
         ];
         let s = execute(&tl, &cfg());
         assert_eq!(s.total, 700.0); // max(100,300) + max(400,100)
@@ -499,7 +515,10 @@ mod tests {
                 epochs: vec![0.0, 500.0, 0.0],
                 events: vec![
                     SyncOp::Create { child: ThreadId(1) },
-                    SyncOp::Produce { queue: QueueId(0), count: 1 },
+                    SyncOp::Produce {
+                        queue: QueueId(0),
+                        count: 1,
+                    },
                 ],
             },
             ThreadTimeline {
@@ -522,7 +541,10 @@ mod tests {
                     SyncOp::Join { child: ThreadId(1) },
                 ],
             },
-            ThreadTimeline { epochs: vec![1000.0], events: vec![] },
+            ThreadTimeline {
+                epochs: vec![1000.0],
+                events: vec![],
+            },
         ];
         let s = execute(&tl, &cfg());
         assert_eq!(s.total, 1000.0);
@@ -538,7 +560,10 @@ mod tests {
                 epochs: vec![0.0, 0.0],
                 events: vec![SyncOp::Create { child: ThreadId(1) }],
             },
-            ThreadTimeline { epochs: vec![100.0], events: vec![] },
+            ThreadTimeline {
+                epochs: vec![100.0],
+                events: vec![],
+            },
         ];
         let s = execute(&tl, &c);
         assert_eq!(s.threads[1].start, 500.0);
@@ -565,7 +590,10 @@ mod tests {
                 epochs: vec![0.0, 100.0, 50.0],
                 events: vec![SyncOp::Create { child: ThreadId(1) }, barrier(0)],
             },
-            ThreadTimeline { epochs: vec![300.0, 50.0], events: vec![barrier(0)] },
+            ThreadTimeline {
+                epochs: vec![300.0, 50.0],
+                events: vec![barrier(0)],
+            },
         ];
         let s = execute(&tl, &cfg());
         for (i, th) in s.threads.iter().enumerate() {
@@ -582,7 +610,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent timeline")]
     fn inconsistent_timeline_panics() {
-        let tl = vec![ThreadTimeline { epochs: vec![1.0, 2.0], events: vec![] }];
+        let tl = vec![ThreadTimeline {
+            epochs: vec![1.0, 2.0],
+            events: vec![],
+        }];
         execute(&tl, &cfg());
     }
 

@@ -214,7 +214,11 @@ impl<'p> Profiler<'p> {
             .map(|(i, script)| ThreadState {
                 cursor: ThreadCursor::new(script),
                 tick: 0,
-                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                status: if i == 0 {
+                    Status::Ready
+                } else {
+                    Status::NotStarted
+                },
                 epoch: EpochCollector::new(),
                 epoch_op_idx: 0,
                 code_last: HashMap::new(),
@@ -467,7 +471,10 @@ impl<'p> Profiler<'p> {
                 .threads
                 .into_iter()
                 .map(|t| {
-                    let tp = ThreadProfile { epochs: t.epochs, events: t.events };
+                    let tp = ThreadProfile {
+                        epochs: t.epochs,
+                        events: t.events,
+                    };
                     debug_assert!(tp.is_consistent());
                     tp
                 })
@@ -608,7 +615,10 @@ mod tests {
             .flat_map(|t| &t.epochs)
             .map(|e| e.private_rd.invalidated)
             .sum();
-        assert!(inval > 100, "write sharing must be seen as invalidations: {inval}");
+        assert!(
+            inval > 100,
+            "write sharing must be seen as invalidations: {inval}"
+        );
     }
 
     #[test]
@@ -636,7 +646,9 @@ mod tests {
         b.spawn_workers();
         for k in 0..5u64 {
             b.thread(0u32).block(BlockSpec::new(5_000, k)).produce(q, 1);
-            b.thread(1u32).consume(q).block(BlockSpec::new(1_000, 50 + k));
+            b.thread(1u32)
+                .consume(q)
+                .block(BlockSpec::new(1_000, 50 + k));
         }
         b.join_workers();
         let prof = profile(&b.build());

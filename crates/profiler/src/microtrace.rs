@@ -277,7 +277,11 @@ mod tests {
         let a = analyze(&trace);
         let first = a.ilp[0].first().expect("has windows").1;
         let last = a.ilp[0].last().expect("has windows").1;
-        assert!(last >= first * 0.9, "ILP curve should not collapse: {:?}", a.ilp[0]);
+        assert!(
+            last >= first * 0.9,
+            "ILP curve should not collapse: {:?}",
+            a.ilp[0]
+        );
     }
 
     #[test]
@@ -306,7 +310,10 @@ mod tests {
         let (_, slice_loads) = branch_resolution(&loady);
         assert!(slice_loads > 1.0, "loady slice loads {slice_loads}");
 
-        let pure = BlockSpec::new(4096, 15).branches(0.2).deps(1.0, 1.5).expand();
+        let pure = BlockSpec::new(4096, 15)
+            .branches(0.2)
+            .deps(1.0, 1.5)
+            .expand();
         let (_, none) = branch_resolution(&pure);
         assert!(none < 0.2, "pure-compute slice loads {none}");
     }
@@ -338,7 +345,10 @@ mod tests {
             .expand();
         let a = analyze(&trace);
         for &(w, v) in &a.mlp {
-            assert!(v < 1.0, "window {w}: chained loads should be dependent, got {v}");
+            assert!(
+                v < 1.0,
+                "window {w}: chained loads should be dependent, got {v}"
+            );
         }
     }
 
@@ -372,8 +382,14 @@ mod tests {
     #[test]
     fn dependent_branches_resolve_later() {
         // Branches depending on long chains resolve late.
-        let chained = BlockSpec::new(2048, 8).branches(0.1).deps(1.0, 1.0).expand();
-        let free = BlockSpec::new(2048, 8).branches(0.1).deps(0.0, 1.0).expand();
+        let chained = BlockSpec::new(2048, 8)
+            .branches(0.1)
+            .deps(1.0, 1.0)
+            .expand();
+        let free = BlockSpec::new(2048, 8)
+            .branches(0.1)
+            .deps(0.0, 1.0)
+            .expand();
         let d_chained = branch_depth(&chained);
         let d_free = branch_depth(&free);
         assert!(

@@ -246,13 +246,13 @@ impl ApplicationProfile {
         }
         let mut out = Vec::new();
         for (id, parts) in cond_barriers {
-            out.push(CondVarUsage::Barrier { id, participants: parts.len() as u32 });
+            out.push(CondVarUsage::Barrier {
+                id,
+                participants: parts.len() as u32,
+            });
         }
-        let queues: std::collections::BTreeSet<u32> = producers
-            .keys()
-            .chain(consumers.keys())
-            .copied()
-            .collect();
+        let queues: std::collections::BTreeSet<u32> =
+            producers.keys().chain(consumers.keys()).copied().collect();
         for q in queues {
             let p = producers.get(&q).cloned().unwrap_or_default();
             let c = consumers.get(&q).cloned().unwrap_or_default();
@@ -290,19 +290,31 @@ mod tests {
     use rppm_trace::{BarrierId, QueueId, ThreadId};
 
     fn epoch(ops: u64) -> EpochProfile {
-        EpochProfile { ops, ..Default::default() }
+        EpochProfile {
+            ops,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn thread_profile_consistency() {
         let tp = ThreadProfile {
             epochs: vec![epoch(10), epoch(20)],
-            events: vec![SyncOp::Barrier { id: BarrierId(0), via_cond: false }],
+            events: vec![SyncOp::Barrier {
+                id: BarrierId(0),
+                via_cond: false,
+            }],
         };
         assert!(tp.is_consistent());
         assert_eq!(tp.total_ops(), 30);
 
-        let bad = ThreadProfile { epochs: vec![epoch(10)], events: vec![SyncOp::Barrier { id: BarrierId(0), via_cond: false }] };
+        let bad = ThreadProfile {
+            epochs: vec![epoch(10)],
+            events: vec![SyncOp::Barrier {
+                id: BarrierId(0),
+                via_cond: false,
+            }],
+        };
         assert!(!bad.is_consistent());
     }
 
@@ -338,9 +350,18 @@ mod tests {
                 events: vec![
                     SyncOp::Lock { id: 0.into() },
                     SyncOp::Unlock { id: 0.into() },
-                    SyncOp::Barrier { id: BarrierId(0), via_cond: false },
-                    SyncOp::Barrier { id: BarrierId(1), via_cond: true },
-                    SyncOp::Produce { queue: QueueId(0), count: 1 },
+                    SyncOp::Barrier {
+                        id: BarrierId(0),
+                        via_cond: false,
+                    },
+                    SyncOp::Barrier {
+                        id: BarrierId(1),
+                        via_cond: true,
+                    },
+                    SyncOp::Produce {
+                        queue: QueueId(0),
+                        count: 1,
+                    },
                 ],
             }],
         };
@@ -359,13 +380,22 @@ mod tests {
         let profile = ApplicationProfile {
             name: "t".into(),
             threads: vec![
-                mk_events(vec![SyncOp::Produce { queue: QueueId(3), count: 2 }]),
+                mk_events(vec![SyncOp::Produce {
+                    queue: QueueId(3),
+                    count: 2,
+                }]),
                 mk_events(vec![SyncOp::Consume { queue: QueueId(3) }]),
-                mk_events(vec![SyncOp::Barrier { id: BarrierId(7), via_cond: true }]),
+                mk_events(vec![SyncOp::Barrier {
+                    id: BarrierId(7),
+                    via_cond: true,
+                }]),
             ],
         };
         let usage = profile.classify_cond_vars();
-        assert!(usage.contains(&CondVarUsage::Barrier { id: 7, participants: 1 }));
+        assert!(usage.contains(&CondVarUsage::Barrier {
+            id: 7,
+            participants: 1
+        }));
         assert!(usage.contains(&CondVarUsage::ProducerConsumer {
             queue: 3,
             producers: vec![0],
@@ -380,12 +410,18 @@ mod tests {
             threads: vec![ThreadProfile {
                 epochs: vec![epoch(1); 3],
                 events: vec![
-                    SyncOp::Produce { queue: QueueId(1), count: 1 },
+                    SyncOp::Produce {
+                        queue: QueueId(1),
+                        count: 1,
+                    },
                     SyncOp::Consume { queue: QueueId(1) },
                 ],
             }],
         };
-        assert_eq!(profile.classify_cond_vars(), vec![CondVarUsage::Mixed { queue: 1 }]);
+        assert_eq!(
+            profile.classify_cond_vars(),
+            vec![CondVarUsage::Mixed { queue: 1 }]
+        );
         let _ = ThreadId(0);
     }
 

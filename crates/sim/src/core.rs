@@ -190,7 +190,11 @@ impl CoreModel {
 
         // Front-end stall (misprediction redirect or I-cache refill).
         if self.fe_stall_until > self.cycle {
-            Self::attribute(&mut self.stalls, self.fe_cause, self.fe_stall_until - self.cycle);
+            Self::attribute(
+                &mut self.stalls,
+                self.fe_cause,
+                self.fe_stall_until - self.cycle,
+            );
             self.cycle = self.fe_stall_until;
             self.dispatched = 0;
         }
@@ -290,7 +294,11 @@ impl CoreModel {
             _ => (start + class.latency() as f64, Cause::Base),
         };
 
-        fu[port] = if class.pipelined() { issue + 1.0 } else { complete };
+        fu[port] = if class.pipelined() {
+            issue + 1.0
+        } else {
+            complete
+        };
 
         // In-order retirement.
         let retire = complete.max(self.last_retire);
@@ -368,7 +376,10 @@ mod tests {
     #[test]
     fn fu_contention_limits_throughput() {
         let cfg = DesignPoint::Base.config(); // 2 FP pipes at width 4
-        let spec = BlockSpec::new(50_000, 3).fp(1.0, 0.0).deps(0.0, 1.0).deps2(0.0);
+        let spec = BlockSpec::new(50_000, 3)
+            .fp(1.0, 0.0)
+            .deps(0.0, 1.0)
+            .deps2(0.0);
         let (core, _) = run_block(spec, &cfg);
         let ipc = core.counters().ops as f64 / core.drain_time();
         assert!(ipc < 2.3, "fp-bound ipc {ipc} must respect 2 FP ports");

@@ -10,9 +10,7 @@
 
 use crate::core::CoreModel;
 use crate::mem::MemorySystem;
-use rppm_trace::{
-    CpiStack, CursorItem, MachineConfig, Program, SyncOp, ThreadCursor,
-};
+use rppm_trace::{CpiStack, CursorItem, MachineConfig, Program, SyncOp, ThreadCursor};
 use std::collections::{HashMap, VecDeque};
 
 /// Scheduling quantum in cycles.
@@ -195,7 +193,11 @@ impl<'p> Engine<'p> {
             .map(|(i, script)| ThreadCtx {
                 cursor: ThreadCursor::new(script),
                 core: CoreModel::new(config, 0.0),
-                status: if i == 0 { Status::Ready } else { Status::NotStarted },
+                status: if i == 0 {
+                    Status::Ready
+                } else {
+                    Status::NotStarted
+                },
                 block_time: 0.0,
                 start: 0.0,
                 finish: 0.0,
@@ -421,7 +423,10 @@ impl<'p> Engine<'p> {
                     .filter(|(_, t)| t.status == Status::Blocked)
                     .map(|(i, _)| i)
                     .collect();
-                panic!("deadlock: threads {stuck:?} blocked forever in {}", self.program.name);
+                panic!(
+                    "deadlock: threads {stuck:?} blocked forever in {}",
+                    self.program.name
+                );
             };
 
             let limit = t0 + QUANTUM;
@@ -511,9 +516,7 @@ impl<'p> Engine<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rppm_trace::{
-        AddressPattern, BlockSpec, DesignPoint, ProgramBuilder, Region, ThreadId,
-    };
+    use rppm_trace::{AddressPattern, BlockSpec, DesignPoint, ProgramBuilder, Region, ThreadId};
 
     fn base() -> MachineConfig {
         DesignPoint::Base.config()
@@ -560,8 +563,14 @@ mod tests {
         let bar = b.alloc_barrier();
         b.spawn_workers();
         // Thread 0: short work. Thread 1: long work. Barrier between.
-        b.thread(0u32).block(compute_block(1_000, 1)).barrier(bar).block(compute_block(1_000, 2));
-        b.thread(1u32).block(compute_block(100_000, 3)).barrier(bar).block(compute_block(1_000, 4));
+        b.thread(0u32)
+            .block(compute_block(1_000, 1))
+            .barrier(bar)
+            .block(compute_block(1_000, 2));
+        b.thread(1u32)
+            .block(compute_block(100_000, 3))
+            .barrier(bar)
+            .block(compute_block(1_000, 4));
         b.join_workers();
         let p = b.build();
         let r = simulate(&p, &base());
@@ -612,7 +621,9 @@ mod tests {
             b.thread(0u32).block(compute_block(20_000, k)).produce(q, 1);
         }
         for k in 0..10u64 {
-            b.thread(1u32).consume(q).block(compute_block(1_000, 100 + k));
+            b.thread(1u32)
+                .consume(q)
+                .block(compute_block(1_000, 100 + k));
         }
         b.join_workers();
         let p = b.build();
@@ -762,7 +773,9 @@ mod tests {
         b.thread(0u32).create(ThreadId(1));
         b.thread(1u32).block(compute_block(100, 1));
         // Main does a lot of work, then joins the long-finished child.
-        b.thread(0u32).block(compute_block(200_000, 2)).join(ThreadId(1));
+        b.thread(0u32)
+            .block(compute_block(200_000, 2))
+            .join(ThreadId(1));
         let p = b.build();
         let r = simulate(&p, &base());
         // Join wait should be ~0 (child done long ago).

@@ -149,10 +149,7 @@ impl MultiThreadCollector {
             epoch.stores += 1;
         }
 
-        let state = self
-            .lines
-            .entry(line)
-            .or_insert_with(|| LineState::new(n));
+        let state = self.lines.entry(line).or_insert_with(|| LineState::new(n));
 
         if state.seen[thread] {
             let glob_dist = g - state.glob_last[thread] - 1;
@@ -306,7 +303,7 @@ mod tests {
         let e0 = m.end_epoch(0);
         assert_eq!(e0.private.invalidated, 1);
         assert_eq!(e0.private.cold, 1); // the first access
-        // Global reuse still finite (LLC keeps the line).
+                                        // Global reuse still finite (LLC keeps the line).
         assert_eq!(e0.global.total_finite(), 1);
     }
 

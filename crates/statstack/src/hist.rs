@@ -41,7 +41,11 @@ fn bucket_mid(i: usize) -> u64 {
     if i < EXACT as usize {
         lo
     } else {
-        let hi = if i + 1 < BUCKETS { bucket_lo(i + 1) } else { lo * 2 };
+        let hi = if i + 1 < BUCKETS {
+            bucket_lo(i + 1)
+        } else {
+            lo * 2
+        };
         lo + (hi - lo) / 2
     }
 }

@@ -282,7 +282,15 @@ impl BlockSpec {
                     }
                     last_load_at = Some(i);
                     let line = Self::pick_addr(&mut load_samplers, &mut addr_rng);
-                    MicroOp { class, src1, src2, line, code_line, site: 0, taken: false }
+                    MicroOp {
+                        class,
+                        src1,
+                        src2,
+                        line,
+                        code_line,
+                        site: 0,
+                        taken: false,
+                    }
                 }
                 OpClass::Store => {
                     let line = if store_samplers.is_empty() {
@@ -290,7 +298,15 @@ impl BlockSpec {
                     } else {
                         Self::pick_addr(&mut store_samplers, &mut addr_rng)
                     };
-                    MicroOp { class, src1, src2, line, code_line, site: 0, taken: false }
+                    MicroOp {
+                        class,
+                        src1,
+                        src2,
+                        line,
+                        code_line,
+                        site: 0,
+                        taken: false,
+                    }
                 }
                 OpClass::Branch => {
                     let k = next_site;
@@ -306,7 +322,15 @@ impl BlockSpec {
                         taken,
                     }
                 }
-                _ => MicroOp { class, src1, src2, line: 0, code_line, site: 0, taken: false },
+                _ => MicroOp {
+                    class,
+                    src1,
+                    src2,
+                    line: 0,
+                    code_line,
+                    site: 0,
+                    taken: false,
+                },
             };
             out.push(op);
         }
@@ -469,7 +493,10 @@ mod tests {
             .addr(AddressPattern::random(c), 1.0);
         let ops = b.expand();
         let in_a = ops.iter().filter(|o| o.is_mem() && o.line < 100).count() as f64;
-        let in_c = ops.iter().filter(|o| o.is_mem() && o.line >= 10_000).count() as f64;
+        let in_c = ops
+            .iter()
+            .filter(|o| o.is_mem() && o.line >= 10_000)
+            .count() as f64;
         let frac = in_a / (in_a + in_c);
         assert!((frac - 0.75).abs() < 0.03, "region split {frac}");
     }

@@ -126,7 +126,10 @@ impl ProgramBuilder {
             t.index() < self.program.num_threads(),
             "thread {t} out of range"
         );
-        ThreadBuilder { owner: self, thread: t }
+        ThreadBuilder {
+            owner: self,
+            thread: t,
+        }
     }
 
     /// Convenience: the main thread creates every worker (threads `1..n`).
@@ -192,7 +195,9 @@ pub struct ThreadBuilder<'b> {
 
 impl ThreadBuilder<'_> {
     fn push(&mut self, seg: Segment) -> &mut Self {
-        self.owner.program.threads[self.thread.index()].segments.push(seg);
+        self.owner.program.threads[self.thread.index()]
+            .segments
+            .push(seg);
         self
     }
 
@@ -209,7 +214,10 @@ impl ThreadBuilder<'_> {
 
     /// Appends a barrier wait.
     pub fn barrier(&mut self, id: BarrierId) -> &mut Self {
-        self.push(Segment::Sync(SyncOp::Barrier { id, via_cond: false }))
+        self.push(Segment::Sync(SyncOp::Barrier {
+            id,
+            via_cond: false,
+        }))
     }
 
     /// Appends a barrier implemented via a condition variable (classified as
@@ -339,7 +347,10 @@ mod tests {
     fn lock_unlock_chain() {
         let mut b = ProgramBuilder::new("t", 1);
         let m = b.alloc_mutex();
-        b.thread(0u32).lock(m).block(BlockSpec::new(10, 1)).unlock(m);
+        b.thread(0u32)
+            .lock(m)
+            .block(BlockSpec::new(10, 1))
+            .unlock(m);
         let p = b.build();
         assert_eq!(p.threads[0].sync_count(), 2);
     }

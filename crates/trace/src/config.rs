@@ -31,7 +31,12 @@ impl CacheGeometry {
     /// Panics if any parameter is zero or the configuration has no sets.
     pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32, latency: u32) -> Self {
         assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0);
-        let g = CacheGeometry { size_bytes, assoc, line_bytes, latency };
+        let g = CacheGeometry {
+            size_bytes,
+            assoc,
+            line_bytes,
+            latency,
+        };
         assert!(g.sets() > 0, "cache must have at least one set");
         g
     }
@@ -74,7 +79,10 @@ pub struct BranchPredictorConfig {
 impl BranchPredictorConfig {
     /// The paper's 4 KB tournament predictor.
     pub fn tournament_4kb() -> Self {
-        BranchPredictorConfig { size_bytes: 4096, history_bits: 12 }
+        BranchPredictorConfig {
+            size_bytes: 4096,
+            history_bits: 12,
+        }
     }
 
     /// Entries per component table (three tables: bimodal, gshare, chooser;
@@ -180,9 +188,7 @@ impl MachineConfig {
         if self.mshrs == 0 {
             return Err("at least one MSHR is required".into());
         }
-        if self.l1d.line_bytes != self.l2.line_bytes
-            || self.l2.line_bytes != self.l3.line_bytes
-        {
+        if self.l1d.line_bytes != self.l2.line_bytes || self.l2.line_bytes != self.l3.line_bytes {
             return Err("cache levels must share a line size".into());
         }
         Ok(())
@@ -293,10 +299,7 @@ mod tests {
         for dp in DesignPoint::ALL {
             let c = dp.config();
             let peak = c.peak_ops_per_second();
-            assert!(
-                (peak - 1e10).abs() / 1e10 < 0.01,
-                "{dp}: peak {peak}"
-            );
+            assert!((peak - 1e10).abs() / 1e10 < 0.01, "{dp}: peak {peak}");
         }
     }
 

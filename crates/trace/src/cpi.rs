@@ -29,7 +29,12 @@ pub struct CpiStack {
 impl CpiStack {
     /// Sum of every component.
     pub fn total(&self) -> f64 {
-        self.base + self.branch + self.icache + self.mem_l2 + self.mem_l3 + self.mem_dram
+        self.base
+            + self.branch
+            + self.icache
+            + self.mem_l2
+            + self.mem_l3
+            + self.mem_dram
             + self.sync
     }
 
@@ -63,8 +68,9 @@ impl CpiStack {
     }
 
     /// Component labels in display order (matches [`CpiStack::values`]).
-    pub const LABELS: [&'static str; 7] =
-        ["base", "branch", "icache", "mem-L2", "mem-L3", "mem-DRAM", "sync"];
+    pub const LABELS: [&'static str; 7] = [
+        "base", "branch", "icache", "mem-L2", "mem-L3", "mem-DRAM", "sync",
+    ];
 
     /// Component values in display order (matches [`CpiStack::LABELS`]).
     pub fn values(&self) -> [f64; 7] {
@@ -101,8 +107,15 @@ mod tests {
 
     #[test]
     fn add_is_componentwise() {
-        let mut a = CpiStack { base: 1.0, ..Default::default() };
-        let b = CpiStack { branch: 2.0, sync: 3.0, ..Default::default() };
+        let mut a = CpiStack {
+            base: 1.0,
+            ..Default::default()
+        };
+        let b = CpiStack {
+            branch: 2.0,
+            sync: 3.0,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.base, 1.0);
         assert_eq!(a.branch, 2.0);
@@ -111,7 +124,11 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_everything() {
-        let s = CpiStack { base: 2.0, mem_dram: 4.0, ..Default::default() };
+        let s = CpiStack {
+            base: 2.0,
+            mem_dram: 4.0,
+            ..Default::default()
+        };
         let t = s.scaled(0.5);
         assert_eq!(t.base, 1.0);
         assert_eq!(t.mem_dram, 2.0);

@@ -158,7 +158,10 @@ mod tests {
     }
 
     fn barrier() -> Segment {
-        Segment::Sync(SyncOp::Barrier { id: BarrierId(0), via_cond: false })
+        Segment::Sync(SyncOp::Barrier {
+            id: BarrierId(0),
+            via_cond: false,
+        })
     }
 
     #[test]

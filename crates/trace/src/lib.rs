@@ -62,9 +62,7 @@ pub mod sync;
 
 pub use block::BlockSpec;
 pub use builder::{ProgramBuilder, ThreadBuilder};
-pub use config::{
-    BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig,
-};
+pub use config::{BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig};
 pub use cpi::CpiStack;
 pub use cursor::{CursorItem, ThreadCursor};
 pub use op::{MicroOp, OpClass};

@@ -44,7 +44,11 @@ impl Region {
         assert!(self.lines >= n, "region too small for {n} chunks");
         let per = self.lines / n;
         let base = self.base + i * per;
-        let lines = if i == n - 1 { self.lines - per * (n - 1) } else { per };
+        let lines = if i == n - 1 {
+            self.lines - per * (n - 1)
+        } else {
+            per
+        };
         Region { base, lines }
     }
 
@@ -96,22 +100,42 @@ pub enum AddressPattern {
 impl AddressPattern {
     /// Sequential scan of `region` with unit stride.
     pub fn stream(region: Region) -> Self {
-        AddressPattern::Stream { region, stride: 1, repeats_per_line: 1, start: 0 }
+        AddressPattern::Stream {
+            region,
+            stride: 1,
+            repeats_per_line: 1,
+            start: 0,
+        }
     }
 
     /// Sequential scan of `region` starting at `start` lines in.
     pub fn stream_from(region: Region, start: u64) -> Self {
-        AddressPattern::Stream { region, stride: 1, repeats_per_line: 1, start }
+        AddressPattern::Stream {
+            region,
+            stride: 1,
+            repeats_per_line: 1,
+            start,
+        }
     }
 
     /// Sequential scan touching each line `repeats` times (spatial locality).
     pub fn stream_dense(region: Region, repeats: u32) -> Self {
-        AddressPattern::Stream { region, stride: 1, repeats_per_line: repeats.max(1), start: 0 }
+        AddressPattern::Stream {
+            region,
+            stride: 1,
+            repeats_per_line: repeats.max(1),
+            start: 0,
+        }
     }
 
     /// Strided scan of `region`.
     pub fn strided(region: Region, stride: u64) -> Self {
-        AddressPattern::Stream { region, stride: stride.max(1), repeats_per_line: 1, start: 0 }
+        AddressPattern::Stream {
+            region,
+            stride: stride.max(1),
+            repeats_per_line: 1,
+            start: 0,
+        }
     }
 
     /// Uniformly random accesses over `region`.
@@ -121,12 +145,20 @@ impl AddressPattern {
 
     /// Hot/cold working-set mixture.
     pub fn hot(region: Region, hot_lines: u64, p_hot: f64) -> Self {
-        AddressPattern::Hot { region, hot_lines: hot_lines.max(1), p_hot: p_hot.clamp(0.0, 1.0) }
+        AddressPattern::Hot {
+            region,
+            hot_lines: hot_lines.max(1),
+            p_hot: p_hot.clamp(0.0, 1.0),
+        }
     }
 
     /// Instantiates the stateful sampler for one block expansion.
     pub(crate) fn sampler(&self) -> AddrSampler {
-        AddrSampler { pattern: self.clone(), pos: 0, rep: 0 }
+        AddrSampler {
+            pattern: self.clone(),
+            pos: 0,
+            rep: 0,
+        }
     }
 }
 
@@ -141,7 +173,12 @@ pub(crate) struct AddrSampler {
 impl AddrSampler {
     pub(crate) fn next(&mut self, rng: &mut Rng) -> u64 {
         match &self.pattern {
-            AddressPattern::Stream { region, stride, repeats_per_line, start } => {
+            AddressPattern::Stream {
+                region,
+                stride,
+                repeats_per_line,
+                start,
+            } => {
                 let line = region.base + (start + self.pos * stride) % region.lines;
                 self.rep += 1;
                 if self.rep >= *repeats_per_line {
@@ -151,7 +188,11 @@ impl AddrSampler {
                 line
             }
             AddressPattern::Random { region } => region.base + rng.next_below(region.lines),
-            AddressPattern::Hot { region, hot_lines, p_hot } => {
+            AddressPattern::Hot {
+                region,
+                hot_lines,
+                p_hot,
+            } => {
                 let hot = (*hot_lines).min(region.lines);
                 if rng.chance(*p_hot) || hot == region.lines {
                     region.base + rng.next_below(hot)
@@ -197,12 +238,16 @@ pub enum BranchPattern {
 impl BranchPattern {
     /// Loop branch taken `period - 1` out of `period` times.
     pub fn loop_every(period: u32) -> Self {
-        BranchPattern::Loop { period: period.max(2) }
+        BranchPattern::Loop {
+            period: period.max(2),
+        }
     }
 
     /// Bernoulli outcomes with the given taken probability.
     pub fn bernoulli(p_taken: f64) -> Self {
-        BranchPattern::Bernoulli { p_taken: p_taken.clamp(0.0, 1.0) }
+        BranchPattern::Bernoulli {
+            p_taken: p_taken.clamp(0.0, 1.0),
+        }
     }
 
     /// Repeating `len`-bit pattern.
@@ -216,7 +261,10 @@ impl BranchPattern {
     }
 
     pub(crate) fn sampler(&self, phase: u32) -> BranchSampler {
-        BranchSampler { pattern: self.clone(), pos: phase }
+        BranchSampler {
+            pattern: self.clone(),
+            pos: phase,
+        }
     }
 }
 
@@ -338,7 +386,10 @@ mod tests {
         let mut s = BranchPattern::periodic(0b0110, 4).sampler(0);
         let mut rng = Rng::new(0);
         let seq: Vec<bool> = (0..8).map(|_| s.next(&mut rng)).collect();
-        assert_eq!(seq, vec![false, true, true, false, false, true, true, false]);
+        assert_eq!(
+            seq,
+            vec![false, true, true, false, false, true, true, false]
+        );
     }
 
     #[test]

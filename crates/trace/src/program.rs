@@ -140,7 +140,9 @@ impl Program {
                 }
             }
             if !held.is_empty() {
-                return Err(ProgramError::UnbalancedLock { thread: ThreadId(tid as u32) });
+                return Err(ProgramError::UnbalancedLock {
+                    thread: ThreadId(tid as u32),
+                });
             }
         }
         for (t, &c) in created.iter().enumerate().skip(1) {
@@ -148,10 +150,14 @@ impl Program {
                 continue; // unused slot is fine
             }
             if c == 0 {
-                return Err(ProgramError::NeverCreated { thread: ThreadId(t as u32) });
+                return Err(ProgramError::NeverCreated {
+                    thread: ThreadId(t as u32),
+                });
             }
             if c > 1 {
-                return Err(ProgramError::CreatedTwice { thread: ThreadId(t as u32) });
+                return Err(ProgramError::CreatedTwice {
+                    thread: ThreadId(t as u32),
+                });
             }
         }
         Ok(())
@@ -201,7 +207,10 @@ impl std::fmt::Display for ProgramError {
                 write!(f, "thread {thread} is created more than once")
             }
             ProgramError::UnbalancedLock { thread } => {
-                write!(f, "unbalanced or badly nested lock/unlock in thread {thread}")
+                write!(
+                    f,
+                    "unbalanced or badly nested lock/unlock in thread {thread}"
+                )
             }
         }
     }
@@ -221,7 +230,11 @@ mod tests {
     #[test]
     fn total_ops_sums_blocks() {
         let mut p = Program::new("t", 2);
-        p.threads[0].segments = vec![block(100), Segment::Sync(SyncOp::Create { child: ThreadId(1) }), block(50)];
+        p.threads[0].segments = vec![
+            block(100),
+            Segment::Sync(SyncOp::Create { child: ThreadId(1) }),
+            block(50),
+        ];
         p.threads[1].segments = vec![block(25)];
         assert_eq!(p.total_ops(), 175);
         assert_eq!(p.threads[0].total_ops(), 150);
@@ -247,7 +260,9 @@ mod tests {
         p.threads[1].segments = vec![block(10)];
         assert_eq!(
             p.validate(),
-            Err(ProgramError::NeverCreated { thread: ThreadId(1) })
+            Err(ProgramError::NeverCreated {
+                thread: ThreadId(1)
+            })
         );
     }
 
@@ -261,7 +276,9 @@ mod tests {
         p.threads[1].segments = vec![block(10)];
         assert_eq!(
             p.validate(),
-            Err(ProgramError::CreatedTwice { thread: ThreadId(1) })
+            Err(ProgramError::CreatedTwice {
+                thread: ThreadId(1)
+            })
         );
     }
 
@@ -271,7 +288,9 @@ mod tests {
         p.threads[0].segments = vec![Segment::Sync(SyncOp::Lock { id: MutexId(0) })];
         assert_eq!(
             p.validate(),
-            Err(ProgramError::UnbalancedLock { thread: ThreadId(0) })
+            Err(ProgramError::UnbalancedLock {
+                thread: ThreadId(0)
+            })
         );
     }
 
@@ -284,23 +303,35 @@ mod tests {
             Segment::Sync(SyncOp::Unlock { id: MutexId(0) }),
             Segment::Sync(SyncOp::Unlock { id: MutexId(1) }),
         ];
-        assert!(matches!(p.validate(), Err(ProgramError::UnbalancedLock { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnbalancedLock { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_unknown_thread() {
         let mut p = Program::new("t", 1);
         p.threads[0].segments = vec![Segment::Sync(SyncOp::Create { child: ThreadId(5) })];
-        assert!(matches!(p.validate(), Err(ProgramError::UnknownThread { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnknownThread { .. })
+        ));
     }
 
     #[test]
     fn sync_ops_iterates_in_order() {
         let mut p = Program::new("t", 1);
         p.threads[0].segments = vec![
-            Segment::Sync(SyncOp::Barrier { id: BarrierId(0), via_cond: false }),
+            Segment::Sync(SyncOp::Barrier {
+                id: BarrierId(0),
+                via_cond: false,
+            }),
             block(5),
-            Segment::Sync(SyncOp::Barrier { id: BarrierId(1), via_cond: false }),
+            Segment::Sync(SyncOp::Barrier {
+                id: BarrierId(1),
+                via_cond: false,
+            }),
         ];
         let ids: Vec<u32> = p.threads[0]
             .sync_ops()
@@ -315,11 +346,20 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         let errors: Vec<ProgramError> = vec![
-            ProgramError::UnknownThread { by: ThreadId(0), target: ThreadId(9) },
+            ProgramError::UnknownThread {
+                by: ThreadId(0),
+                target: ThreadId(9),
+            },
             ProgramError::MainThreadCreated,
-            ProgramError::NeverCreated { thread: ThreadId(1) },
-            ProgramError::CreatedTwice { thread: ThreadId(1) },
-            ProgramError::UnbalancedLock { thread: ThreadId(0) },
+            ProgramError::NeverCreated {
+                thread: ThreadId(1),
+            },
+            ProgramError::CreatedTwice {
+                thread: ThreadId(1),
+            },
+            ProgramError::UnbalancedLock {
+                thread: ThreadId(0),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

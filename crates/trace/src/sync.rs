@@ -131,14 +131,19 @@ pub enum SyncOp {
 impl SyncOp {
     /// Whether this event can block the executing thread.
     pub fn may_block(&self) -> bool {
-        !matches!(self, SyncOp::Create { .. } | SyncOp::Unlock { .. } | SyncOp::Produce { .. })
+        !matches!(
+            self,
+            SyncOp::Create { .. } | SyncOp::Unlock { .. } | SyncOp::Produce { .. }
+        )
     }
 
     /// Paper-taxonomy category used for Table III accounting.
     pub fn category(&self) -> SyncCategory {
         match self {
             SyncOp::Lock { .. } | SyncOp::Unlock { .. } => SyncCategory::CriticalSection,
-            SyncOp::Barrier { via_cond: false, .. } => SyncCategory::Barrier,
+            SyncOp::Barrier {
+                via_cond: false, ..
+            } => SyncCategory::Barrier,
             SyncOp::Barrier { via_cond: true, .. } => SyncCategory::CondVar,
             SyncOp::Produce { .. } | SyncOp::Consume { .. } => SyncCategory::CondVar,
             SyncOp::Create { .. } | SyncOp::Join { .. } => SyncCategory::ThreadMgmt,
@@ -206,12 +211,20 @@ mod tests {
     #[test]
     fn blocking_classification() {
         assert!(SyncOp::Join { child: ThreadId(1) }.may_block());
-        assert!(SyncOp::Barrier { id: BarrierId(0), via_cond: false }.may_block());
+        assert!(SyncOp::Barrier {
+            id: BarrierId(0),
+            via_cond: false
+        }
+        .may_block());
         assert!(SyncOp::Lock { id: MutexId(0) }.may_block());
         assert!(SyncOp::Consume { queue: QueueId(0) }.may_block());
         assert!(!SyncOp::Unlock { id: MutexId(0) }.may_block());
         assert!(!SyncOp::Create { child: ThreadId(1) }.may_block());
-        assert!(!SyncOp::Produce { queue: QueueId(0), count: 1 }.may_block());
+        assert!(!SyncOp::Produce {
+            queue: QueueId(0),
+            count: 1
+        }
+        .may_block());
     }
 
     #[test]
@@ -221,11 +234,19 @@ mod tests {
             SyncCategory::CriticalSection
         );
         assert_eq!(
-            SyncOp::Barrier { id: BarrierId(0), via_cond: false }.category(),
+            SyncOp::Barrier {
+                id: BarrierId(0),
+                via_cond: false
+            }
+            .category(),
             SyncCategory::Barrier
         );
         assert_eq!(
-            SyncOp::Barrier { id: BarrierId(0), via_cond: true }.category(),
+            SyncOp::Barrier {
+                id: BarrierId(0),
+                via_cond: true
+            }
+            .category(),
             SyncCategory::CondVar
         );
         assert_eq!(
@@ -243,10 +264,16 @@ mod tests {
         let ops = [
             SyncOp::Create { child: ThreadId(1) },
             SyncOp::Join { child: ThreadId(1) },
-            SyncOp::Barrier { id: BarrierId(2), via_cond: true },
+            SyncOp::Barrier {
+                id: BarrierId(2),
+                via_cond: true,
+            },
             SyncOp::Lock { id: MutexId(3) },
             SyncOp::Unlock { id: MutexId(3) },
-            SyncOp::Produce { queue: QueueId(4), count: 2 },
+            SyncOp::Produce {
+                queue: QueueId(4),
+                count: 2,
+            },
             SyncOp::Consume { queue: QueueId(4) },
         ];
         for op in ops {
@@ -256,7 +283,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let op = SyncOp::Produce { queue: QueueId(9), count: 3 };
+        let op = SyncOp::Produce {
+            queue: QueueId(9),
+            count: 3,
+        };
         let json = serde_json::to_string(&op).unwrap();
         let back: SyncOp = serde_json::from_str(&json).unwrap();
         assert_eq!(op, back);

@@ -67,12 +67,18 @@ pub struct Params {
 impl Params {
     /// Full evaluation size.
     pub fn full() -> Self {
-        Params { scale: 1.0, seed: 0x5EED }
+        Params {
+            scale: 1.0,
+            seed: 0x5EED,
+        }
     }
 
     /// Reduced size for fast tests (~10% of full).
     pub fn quick() -> Self {
-        Params { scale: 0.1, seed: 0x5EED }
+        Params {
+            scale: 0.1,
+            seed: 0x5EED,
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -223,7 +229,10 @@ mod tests {
 
     #[test]
     fn every_benchmark_builds_and_validates() {
-        let p = Params { scale: 0.02, seed: 1 };
+        let p = Params {
+            scale: 0.02,
+            seed: 1,
+        };
         for b in all() {
             let prog = b.build(&p);
             assert!(prog.validate().is_ok(), "{} invalid", b.name);
@@ -252,15 +261,28 @@ mod tests {
     #[test]
     fn scale_shrinks_work() {
         let b = by_name("cfd").unwrap();
-        let small = b.build(&Params { scale: 0.05, seed: 1 }).total_ops();
-        let big = b.build(&Params { scale: 0.5, seed: 1 }).total_ops();
+        let small = b
+            .build(&Params {
+                scale: 0.05,
+                seed: 1,
+            })
+            .total_ops();
+        let big = b
+            .build(&Params {
+                scale: 0.5,
+                seed: 1,
+            })
+            .total_ops();
         assert!(big > small * 3, "big {big} small {small}");
     }
 
     #[test]
     fn rodinia_is_barrier_only() {
         use rppm_trace::SyncOp;
-        let p = Params { scale: 0.02, seed: 1 };
+        let p = Params {
+            scale: 0.02,
+            seed: 1,
+        };
         for b in RODINIA {
             let prog = b.build(&p);
             for script in &prog.threads {
@@ -268,8 +290,10 @@ mod tests {
                     assert!(
                         matches!(
                             op,
-                            SyncOp::Barrier { via_cond: false, .. }
-                                | SyncOp::Create { .. }
+                            SyncOp::Barrier {
+                                via_cond: false,
+                                ..
+                            } | SyncOp::Create { .. }
                                 | SyncOp::Join { .. }
                         ),
                         "{}: unexpected sync op {op}",
@@ -282,7 +306,10 @@ mod tests {
 
     #[test]
     fn params_helpers_clamp() {
-        let p = Params { scale: 0.0001, seed: 0 };
+        let p = Params {
+            scale: 0.0001,
+            seed: 0,
+        };
         assert!(p.ops(100_000) >= 64);
         assert!(p.rounds(10) >= 2);
         assert_ne!(p.seed_for(1, 0, 0), p.seed_for(1, 0, 1));

@@ -12,9 +12,7 @@
 //! * highly imbalanced, idle main + 3 workers: `streamcluster_p`, `vips`.
 
 use crate::Params;
-use rppm_trace::{
-    AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder,
-};
+use rppm_trace::{AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder};
 
 /// `blackscholes`: embarrassingly parallel option pricing. No
 /// synchronization at all besides fork/join (Table III row is empty);
@@ -82,8 +80,13 @@ pub fn bodytrack(p: &Params) -> Program {
     let locks_per_stage = p.rounds(14);
     for f in 0..frames {
         // Main prepares the frame and releases the workers.
-        let mut prep = tpl.with_ops(p.ops(12_000)).with_seed(p.seed_for(ID, 0, f * 7));
-        prep.addr = vec![(AddressPattern::stream_from(frames_data, f as u64 * 9_000), 1.0)];
+        let mut prep = tpl
+            .with_ops(p.ops(12_000))
+            .with_seed(p.seed_for(ID, 0, f * 7));
+        prep.addr = vec![(
+            AddressPattern::stream_from(frames_data, f as u64 * 9_000),
+            1.0,
+        )];
         b.thread(0u32).block(prep).produce(q, 3);
         for t in 1..4u32 {
             b.thread(t).consume(q);
@@ -93,15 +96,13 @@ pub fn bodytrack(p: &Params) -> Program {
             for t in 0..4u32 {
                 let e = f * 2 + stage;
                 let mut s = tpl.with_ops(p.ops(18_000)).with_seed(p.seed_for(ID, t, e));
-                s.addr = vec![(
-                    AddressPattern::hot(frames_data, 20_000, 0.8),
-                    1.0,
-                )];
+                s.addr = vec![(AddressPattern::hot(frames_data, 20_000, 0.8), 1.0)];
                 b.thread(t).block(s);
                 for k in 0..locks_per_stage {
-                    let mut cs = cs_tpl
-                        .with_ops(120)
-                        .with_seed(p.seed_for(ID ^ 0xCC, t, e * 100 + k));
+                    let mut cs =
+                        cs_tpl
+                            .with_ops(120)
+                            .with_seed(p.seed_for(ID ^ 0xCC, t, e * 100 + k));
                     cs.addr = vec![(AddressPattern::random(weights), 1.0)];
                     b.thread(t).lock(m).block(cs).unlock(m);
                 }
@@ -146,7 +147,9 @@ pub fn canneal(p: &Params) -> Program {
     }
     for step in 0..steps {
         for t in 1..5u32 {
-            let mut s = tpl.with_ops(p.ops(26_000)).with_seed(p.seed_for(ID, t, step));
+            let mut s = tpl
+                .with_ops(p.ops(26_000))
+                .with_seed(p.seed_for(ID, t, step));
             s.addr = vec![
                 (AddressPattern::random(netlist), 0.8),
                 (AddressPattern::random(shared_elems), 0.2),
@@ -253,14 +256,9 @@ pub fn fluidanimate(p: &Params) -> Program {
             for k in 0..cs_per_frame {
                 let e = f * 1000 + k;
                 let mut out = tpl.with_ops(p.ops(700)).with_seed(p.seed_for(ID, t, e));
-                out.addr = vec![(
-                    AddressPattern::random(cells.chunk((t - 1) as u64, 4)),
-                    1.0,
-                )];
+                out.addr = vec![(AddressPattern::random(cells.chunk((t - 1) as u64, 4)), 1.0)];
                 b.thread(t).block(out);
-                let mut cs = cs_tpl
-                    .with_ops(48)
-                    .with_seed(p.seed_for(ID ^ 0xF1, t, e));
+                let mut cs = cs_tpl.with_ops(48).with_seed(p.seed_for(ID ^ 0xF1, t, e));
                 cs.addr = vec![(AddressPattern::random(boundary), 1.0)];
                 let mtx = mutexes[((t * 31 + k) % STRIPES) as usize];
                 b.thread(t).lock(mtx).block(cs).unlock(mtx);
@@ -299,13 +297,17 @@ pub fn freqmine(p: &Params) -> Program {
     b.spawn_workers();
     // Mining: main takes the big items, workers the small ones.
     for phase in 0..3u32 {
-        let mut main_mine = tpl.with_ops(p.ops(60_000)).with_seed(p.seed_for(ID, 0, phase + 1));
+        let mut main_mine = tpl
+            .with_ops(p.ops(60_000))
+            .with_seed(p.seed_for(ID, 0, phase + 1));
         main_mine.addr = vec![(AddressPattern::random(tree), 1.0)];
         b.thread(0u32).block(main_mine);
     }
     for t in 1..4u32 {
         for phase in 0..2u32 {
-            let mut s = tpl.with_ops(p.ops(45_000)).with_seed(p.seed_for(ID, t, phase));
+            let mut s = tpl
+                .with_ops(p.ops(45_000))
+                .with_seed(p.seed_for(ID, t, phase));
             s.addr = vec![(AddressPattern::random(tree), 1.0)];
             b.thread(t).block(s);
         }
@@ -345,7 +347,10 @@ pub fn raytrace(p: &Params) -> Program {
             let mut s = tpl.with_ops(p.ops(18_000)).with_seed(p.seed_for(ID, t, k));
             s.addr = vec![
                 (AddressPattern::hot(bvh, 6_000, 0.75), 0.85),
-                (AddressPattern::stream(framebuf.chunk((t - 1) as u64, 4)), 0.15),
+                (
+                    AddressPattern::stream(framebuf.chunk((t - 1) as u64, 4)),
+                    0.15,
+                ),
             ];
             b.thread(t).consume(q).block(s);
             // Work-stealing lock after each tile (Table III: 47 CS).
@@ -391,7 +396,10 @@ pub fn streamcluster_p(p: &Params) -> Program {
             let ops = (p.ops(1_800) as f64 * skew) as u32;
             let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, r));
             s.addr = vec![
-                (AddressPattern::stream_from(points.chunk((t - 1) as u64, 3), r as u64 * 600), 0.72),
+                (
+                    AddressPattern::stream_from(points.chunk((t - 1) as u64, 3), r as u64 * 600),
+                    0.72,
+                ),
                 (AddressPattern::random(centers), 0.28),
             ];
             b.thread(t).block(s).barrier(bar);
@@ -460,22 +468,19 @@ pub fn vips(p: &Params) -> Program {
     for k in 0..strips {
         // Producer stage: decode + first filter (heavier).
         let mut prod = tpl.with_ops(p.ops(9_000)).with_seed(p.seed_for(ID, 1, k));
-        prod.addr = vec![(
-            AddressPattern::stream_from(image, k as u64 * 7_000),
-            1.0,
-        )];
+        prod.addr = vec![(AddressPattern::stream_from(image, k as u64 * 7_000), 1.0)];
         b.thread(1u32).block(prod).produce(q, 2);
         // Two consumer stages; buffer-tracking critical sections around
         // each strip (the paper counts 8,973 CS vs 1,433 cond events).
         for t in 2..4u32 {
             let mut cons = tpl.with_ops(p.ops(6_000)).with_seed(p.seed_for(ID, t, k));
-            cons.addr = vec![(
-                AddressPattern::stream_from(image, k as u64 * 7_000 + (t as u64) * 1_500),
-                0.7,
-            ), (
-                AddressPattern::stream_from(out, k as u64 * 7_000),
-                0.3,
-            )];
+            cons.addr = vec![
+                (
+                    AddressPattern::stream_from(image, k as u64 * 7_000 + (t as u64) * 1_500),
+                    0.7,
+                ),
+                (AddressPattern::stream_from(out, k as u64 * 7_000), 0.3),
+            ];
             b.thread(t).consume(q).block(cons);
             for j in 0..3u32 {
                 let mut cs = tpl
@@ -497,7 +502,10 @@ mod tests {
     use rppm_trace::SyncOp;
 
     fn quick() -> Params {
-        Params { scale: 0.05, seed: 3 }
+        Params {
+            scale: 0.05,
+            seed: 3,
+        }
     }
 
     fn count_events(prog: &Program) -> (u64, u64, u64) {
@@ -508,7 +516,9 @@ mod tests {
             for op in th.sync_ops() {
                 match op {
                     SyncOp::Lock { .. } => cs += 1,
-                    SyncOp::Barrier { via_cond: false, .. } => bar += 1,
+                    SyncOp::Barrier {
+                        via_cond: false, ..
+                    } => bar += 1,
                     SyncOp::Barrier { via_cond: true, .. }
                     | SyncOp::Produce { .. }
                     | SyncOp::Consume { .. } => cond += 1,
@@ -556,7 +566,11 @@ mod tests {
         for prog in [facesim(&Params::full()), vips(&Params::full())] {
             let (cs, bar, cond) = count_events(&prog);
             assert_eq!(bar, 0, "{}", prog.name);
-            assert!(cs > cond, "{}: cs {cs} should outnumber cond {cond}", prog.name);
+            assert!(
+                cs > cond,
+                "{}: cs {cs} should outnumber cond {cond}",
+                prog.name
+            );
             assert!(cond > 50, "{}: cond {cond}", prog.name);
         }
     }
@@ -591,8 +605,9 @@ mod tests {
             vips(&quick()),
         ] {
             let main_ops = prog.threads[0].total_ops();
-            let worker_ops: u64 =
-                (1..prog.num_threads()).map(|t| prog.threads[t].total_ops()).sum();
+            let worker_ops: u64 = (1..prog.num_threads())
+                .map(|t| prog.threads[t].total_ops())
+                .sum();
             assert!(
                 main_ops * 20 < worker_ops.max(1),
                 "{}: main {main_ops} vs workers {worker_ops}",
@@ -613,7 +628,12 @@ mod tests {
     #[test]
     fn produce_counts_cover_consumes() {
         use std::collections::HashMap;
-        for prog in [facesim(&quick()), vips(&quick()), raytrace(&quick()), bodytrack(&quick())] {
+        for prog in [
+            facesim(&quick()),
+            vips(&quick()),
+            raytrace(&quick()),
+            bodytrack(&quick()),
+        ] {
             let mut produced: HashMap<u32, i64> = HashMap::new();
             for th in &prog.threads {
                 for op in th.sync_ops() {

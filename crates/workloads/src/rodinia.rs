@@ -9,9 +9,7 @@
 //! `backprop`), instruction mix, branch behaviour and per-epoch balance.
 
 use crate::Params;
-use rppm_trace::{
-    AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder,
-};
+use rppm_trace::{AddressPattern, BlockSpec, BranchPattern, Program, ProgramBuilder};
 
 /// Threads in the OpenMP team (main + 3 workers, matching the paper's
 /// quad-core setup).
@@ -157,7 +155,10 @@ pub fn heartwall(p: &Params) -> Program {
     );
     team_loop(b, p.rounds(10), |t, e| {
         let mut s = tpl.with_ops(p.ops(60_000)).with_seed(p.seed_for(ID, t, e));
-        s.addr = vec![(AddressPattern::random(frames.chunk(t as u64, TEAM as u64)), 1.0)];
+        s.addr = vec![(
+            AddressPattern::random(frames.chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
         s
     })
 }
@@ -248,7 +249,10 @@ pub fn lavamd(p: &Params) -> Program {
     );
     team_loop(b, p.rounds(8), |t, e| {
         let mut s = tpl.with_ops(p.ops(50_000)).with_seed(p.seed_for(ID, t, e));
-        s.addr = vec![(AddressPattern::random(boxes.chunk(t as u64, TEAM as u64)), 1.0)];
+        s.addr = vec![(
+            AddressPattern::random(boxes.chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
         s
     })
 }
@@ -440,7 +444,10 @@ pub fn pathfinder(p: &Params) -> Program {
     team_loop(b, p.rounds(40), |t, e| {
         let mut s = tpl.with_ops(p.ops(6_000)).with_seed(p.seed_for(ID, t, e));
         s.addr = vec![(
-            AddressPattern::stream(rows.window(e as u64 * 800, 8_000).chunk(t as u64, TEAM as u64)),
+            AddressPattern::stream(
+                rows.window(e as u64 * 800, 8_000)
+                    .chunk(t as u64, TEAM as u64),
+            ),
             1.0,
         )];
         s
@@ -513,7 +520,10 @@ mod tests {
     use crate::Params;
 
     fn quick() -> Params {
-        Params { scale: 0.05, seed: 7 }
+        Params {
+            scale: 0.05,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -552,7 +562,10 @@ mod tests {
 
     #[test]
     fn lud_work_shrinks() {
-        let prog = lud(&Params { scale: 0.2, seed: 1 });
+        let prog = lud(&Params {
+            scale: 0.2,
+            seed: 1,
+        });
         // Compare thread 1's first and last compute blocks.
         use rppm_trace::Segment;
         let blocks: Vec<u32> = prog.threads[1]
@@ -568,7 +581,10 @@ mod tests {
 
     #[test]
     fn pathfinder_has_many_barriers() {
-        let prog = pathfinder(&Params { scale: 1.0, seed: 1 });
+        let prog = pathfinder(&Params {
+            scale: 1.0,
+            seed: 1,
+        });
         let barriers = prog.threads[1].sync_count();
         assert!(barriers >= 40, "barriers {barriers}");
     }
@@ -593,7 +609,10 @@ mod tests {
     #[test]
     fn streamcluster_epochs_are_small() {
         use rppm_trace::Segment;
-        let prog = streamcluster(&Params { scale: 1.0, seed: 1 });
+        let prog = streamcluster(&Params {
+            scale: 1.0,
+            seed: 1,
+        });
         let mean_block: f64 = {
             let blocks: Vec<u32> = prog.threads[1]
                 .segments

@@ -11,7 +11,10 @@ use rppm::prelude::*;
 
 fn analyze(name: &str) {
     let bench = rppm::workloads::by_name(name).expect("known benchmark");
-    let program = bench.build(&WorkloadParams { scale: 0.15, seed: 9 });
+    let program = bench.build(&WorkloadParams {
+        scale: 0.15,
+        seed: 9,
+    });
     let profile = profile(&program);
     let prediction = predict(&profile, &DesignPoint::Base.config());
 

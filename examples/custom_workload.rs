@@ -46,7 +46,12 @@ fn main() {
             p.addr = vec![(AddressPattern::stream_from(input, item as u64 * 5_000), 1.0)];
             let mut u = update.with_ops(300).with_seed((item + 200 * t) as u64);
             u.addr = vec![(AddressPattern::random(hist), 1.0)];
-            b.thread(t).consume(queue).block(p).lock(lock).block(u).unlock(lock);
+            b.thread(t)
+                .consume(queue)
+                .block(p)
+                .lock(lock)
+                .block(u)
+                .unlock(lock);
         }
     }
     b.join_workers();
@@ -55,7 +60,10 @@ fn main() {
     // The full pipeline: profile once, predict, verify.
     let prof = profile(&program);
     let (cs, bar, cond) = prof.sync_event_counts();
-    println!("profiled: {} ops, {cs} critical sections, {bar} barriers, {cond} cond-var events", prof.total_ops());
+    println!(
+        "profiled: {} ops, {cs} critical sections, {bar} barriers, {cond} cond-var events",
+        prof.total_ops()
+    );
     for usage in prof.classify_cond_vars() {
         println!("  recognized: {usage:?}");
     }

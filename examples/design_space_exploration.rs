@@ -10,7 +10,10 @@ use rppm::prelude::*;
 
 fn main() {
     let bench = rppm::workloads::by_name("cfd").expect("known benchmark");
-    let program = bench.build(&WorkloadParams { scale: 0.15, seed: 3 });
+    let program = bench.build(&WorkloadParams {
+        scale: 0.15,
+        seed: 3,
+    });
     let profile = profile(&program);
 
     // Predict every design point from the single profile (fast)...
@@ -25,7 +28,10 @@ fn main() {
         .map(|dp| simulate(&program, &dp.config()).total_seconds)
         .collect();
 
-    println!("{:<10} {:>14} {:>14}", "design", "predicted (ms)", "simulated (ms)");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "design", "predicted (ms)", "simulated (ms)"
+    );
     for (k, dp) in DesignPoint::ALL.iter().enumerate() {
         println!(
             "{:<10} {:>14.4} {:>14.4}",

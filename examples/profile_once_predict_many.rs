@@ -10,7 +10,10 @@ use rppm::prelude::*;
 
 fn main() {
     let bench = rppm::workloads::by_name("kmeans").expect("known benchmark");
-    let program = bench.build(&WorkloadParams { scale: 0.2, seed: 7 });
+    let program = bench.build(&WorkloadParams {
+        scale: 0.2,
+        seed: 7,
+    });
 
     // Profile once...
     let profile = profile(&program);
@@ -24,7 +27,10 @@ fn main() {
     assert_eq!(profile, restored);
 
     // ...and sweep the whole Table IV design space analytically.
-    println!("\n{:<10} {:>10} {:>12} {:>12}", "design", "freq", "cycles", "time (ms)");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12}",
+        "design", "freq", "cycles", "time (ms)"
+    );
     let mut best: Option<(String, f64)> = None;
     for dp in DesignPoint::ALL {
         let config = dp.config();

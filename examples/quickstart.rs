@@ -11,7 +11,10 @@ fn main() {
     // 1. Pick a benchmark analog (or build your own with ProgramBuilder —
     //    see the custom_workload example).
     let bench = rppm::workloads::by_name("hotspot").expect("known benchmark");
-    let program = bench.build(&WorkloadParams { scale: 0.2, seed: 42 });
+    let program = bench.build(&WorkloadParams {
+        scale: 0.2,
+        seed: 42,
+    });
     println!(
         "workload: {} ({} threads, {} micro-ops)",
         program.name,
@@ -22,7 +25,11 @@ fn main() {
     // 2. Profile once. The profile is microarchitecture-independent: it can
     //    be serialized and reused for any number of target machines.
     let profile = profile(&program);
-    println!("profiled {} ops across {} threads", profile.total_ops(), profile.num_threads());
+    println!(
+        "profiled {} ops across {} threads",
+        profile.total_ops(),
+        profile.num_threads()
+    );
 
     // 3. Predict the base quad-core configuration (Table IV).
     let config = DesignPoint::Base.config();

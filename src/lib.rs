@@ -38,8 +38,10 @@
 //! // 4. ...and compare against detailed simulation when desired.
 //! let reference = simulate(&program, &DesignPoint::Base.config());
 //! let err = abs_pct_error(prediction.total_cycles, reference.total_cycles);
-//! assert!(err < 1.0, "prediction within 2x of simulation: {err}");
+//! assert!(err < 0.5, "prediction within 50% of simulation, got {:.0}%", err * 100.0);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use rppm_branch_model as branch_model;
 pub use rppm_core as core;
@@ -56,8 +58,6 @@ pub mod prelude {
     };
     pub use rppm_profiler::{profile, ApplicationProfile};
     pub use rppm_sim::{simulate, SimResult};
-    pub use rppm_trace::{
-        BlockSpec, DesignPoint, MachineConfig, Program, ProgramBuilder,
-    };
+    pub use rppm_trace::{BlockSpec, DesignPoint, MachineConfig, Program, ProgramBuilder};
     pub use rppm_workloads::Params as WorkloadParams;
 }

@@ -4,7 +4,10 @@
 use rppm::prelude::*;
 
 fn quick() -> WorkloadParams {
-    WorkloadParams { scale: 0.05, seed: 11 }
+    WorkloadParams {
+        scale: 0.05,
+        seed: 11,
+    }
 }
 
 /// RPPM predictions land within a sane band of simulation for every
@@ -31,7 +34,11 @@ fn rppm_tracks_simulation_for_all_benchmarks() {
         errors.push(err);
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    assert!(mean < 0.35, "suite mean error {:.1}% too high", mean * 100.0);
+    assert!(
+        mean < 0.35,
+        "suite mean error {:.1}% too high",
+        mean * 100.0
+    );
 }
 
 /// The three models keep the paper's ordering on the suite average:
@@ -96,11 +103,18 @@ fn predictions_insensitive_to_profiling_run() {
         predict(&profile(&prog), &config).total_cycles
     };
     let p2 = {
-        let prog = bench.build(&WorkloadParams { scale: 0.05, seed: 999 });
+        let prog = bench.build(&WorkloadParams {
+            scale: 0.05,
+            seed: 999,
+        });
         predict(&profile(&prog), &config).total_cycles
     };
     let diff = (p1 - p2).abs() / p1;
-    assert!(diff < 0.10, "seed changed prediction by {:.1}%", diff * 100.0);
+    assert!(
+        diff < 0.10,
+        "seed changed prediction by {:.1}%",
+        diff * 100.0
+    );
 }
 
 /// The predicted critical thread matters: for an imbalanced workload the
@@ -150,7 +164,10 @@ fn profiler_and_simulator_count_the_same_events() {
         let prof = profile(&program);
         let sim = simulate(&program, &DesignPoint::Base.config());
         let (cs, bar, cond) = prof.sync_event_counts();
-        assert_eq!(cs, sim.sync_events.critical_sections, "{name}: critical sections");
+        assert_eq!(
+            cs, sim.sync_events.critical_sections,
+            "{name}: critical sections"
+        );
         assert_eq!(bar, sim.sync_events.barriers, "{name}: barriers");
         assert_eq!(cond, sim.sync_events.cond_vars, "{name}: cond vars");
     }

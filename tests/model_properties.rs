@@ -66,7 +66,10 @@ proptest! {
 #[test]
 fn barrier_heavy_workload_stays_accurate() {
     let bench = rppm::workloads::by_name("pathfinder").expect("known");
-    let program = bench.build(&WorkloadParams { scale: 0.1, seed: 2 });
+    let program = bench.build(&WorkloadParams {
+        scale: 0.1,
+        seed: 2,
+    });
     let prof = profile(&program);
     let config = DesignPoint::Base.config();
     let err = abs_pct_error(
