@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rppm_core::{execute, predict, ThreadTimeline};
 use rppm_profiler::profile;
 use rppm_sim::simulate;
-use rppm_statstack::{ReuseHistogram, StackDistanceModel};
+use rppm_statstack::{MultiThreadCollector, ReuseHistogram, StackDistanceModel};
 use rppm_trace::{DesignPoint, Rng, SyncOp};
 use rppm_workloads::{by_name, Params};
 
@@ -63,6 +63,25 @@ fn components(c: &mut Criterion) {
     });
     g.bench_function("statstack_miss_rate", |b| {
         b.iter(|| std::hint::black_box(&model).miss_rate_geom(&geom))
+    });
+
+    // The profiling hot path: the multi-threaded reuse-distance collector
+    // fed a 4-thread interleaved mix of streaming and random accesses.
+    g.bench_function("mt_collector_100k_accesses", |b| {
+        b.iter(|| {
+            let mut c = MultiThreadCollector::new(4);
+            let mut rng = Rng::new(7);
+            for i in 0..100_000u64 {
+                let t = (i & 3) as usize;
+                let line = if i & 4 == 0 {
+                    (i >> 3) & 0xFFF
+                } else {
+                    rng.next_below(1 << 16)
+                };
+                c.access(t, line, i & 15 == 0);
+            }
+            std::hint::black_box(c.total_accesses())
+        })
     });
 
     // Symbolic execution of a 4-thread, 1000-barrier schedule (thread 0

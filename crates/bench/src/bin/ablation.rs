@@ -1,86 +1,17 @@
-//! Ablation study: re-run the Figure 4 accuracy suite with each model
-//! refinement (DESIGN.md §7) disabled in turn, quantifying what every
-//! mechanism contributes to RPPM's accuracy.
+//! Ablation binary: see [`rppm_bench::reports::ablation`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin ablation [scale]
 //! ```
-//!
-//! Spawns itself as a subprocess per variant so the env-var knobs in
-//! `rppm-core::eq1` stay process-wide constants.
 
-use rppm_bench::{run_benchmark, Row};
-use rppm_trace::DesignPoint;
-use rppm_workloads::Params;
-
-fn suite_error(scale: f64) -> (f64, f64) {
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-    let config = DesignPoint::Base.config();
-    let errs: Vec<f64> = rppm_workloads::all()
-        .iter()
-        .map(|b| run_benchmark(b, &params, &config).rppm_error())
-        .collect();
-    (rppm_core::mean(&errs), rppm_core::max(&errs))
-}
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.2);
-
-    // Child mode: compute one variant and print csv.
-    if let Ok(_tag) = std::env::var("RPPM_ABLATION_CHILD") {
-        let (mean, max) = suite_error(scale);
-        println!("{mean},{max}");
-        return;
-    }
-
-    let variants: &[(&str, &[(&str, &str)])] = &[
-        ("full model", &[]),
-        (
-            "no path-selection factor (kappa=1)",
-            &[("RPPM_KAPPA", "1.0")],
-        ),
-        (
-            "no MLP efficiency (gamma=cap=1)",
-            &[("RPPM_MLP_EFF", "1.0"), ("RPPM_MLP_CAP", "1.0")],
-        ),
-        ("no chain bound", &[("RPPM_NO_CHAIN_BOUND", "1")]),
-        ("no retirement exposure", &[("RPPM_NO_EXPOSURE", "1")]),
-    ];
-
-    println!("Ablation: RPPM suite error (all 26 benchmarks, base config, scale {scale})");
-    println!();
-    Row::new()
-        .cell(38, "variant")
-        .rcell(10, "avg err")
-        .rcell(10, "max err")
-        .print();
-    println!("{}", "-".repeat(60));
-    let exe = std::env::current_exe().expect("own path");
-    for (name, env) in variants {
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.arg(scale.to_string()).env("RPPM_ABLATION_CHILD", "1");
-        for (k, v) in *env {
-            cmd.env(k, v);
-        }
-        let out = cmd.output().expect("child runs");
-        assert!(out.status.success(), "variant '{name}' failed");
-        let text = String::from_utf8_lossy(&out.stdout);
-        let mut it = text.trim().split(',');
-        let mean: f64 = it.next().unwrap().parse().unwrap();
-        let max: f64 = it.next().unwrap().parse().unwrap();
-        Row::new()
-            .cell(38, *name)
-            .rcell(10, format!("{:.1}%", mean * 100.0))
-            .rcell(10, format!("{:.1}%", max * 100.0))
-            .print();
-    }
-    println!();
-    println!("Each row disables one DESIGN.md §7 refinement; deltas vs. the first row");
-    println!("quantify that mechanism's contribution to RPPM's accuracy.");
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!("{}", rppm_bench::reports::ablation(scale, &ctx).text);
 }

@@ -1,82 +1,17 @@
-//! Figure 4: prediction error of MAIN, CRIT and RPPM versus cycle-level
-//! simulation, for all Rodinia and Parsec analogs on the base quad-core
-//! configuration.
-//!
-//! Paper result: MAIN averages ~45% error (outliers >100% on Parsec), CRIT
-//! ~28%, RPPM 11.2% with a 23% maximum. Usage:
+//! Figure 4 binary: see [`rppm_bench::reports::fig4`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin fig4 [scale]
 //! ```
 
-use rppm_bench::{run_benchmark, Row};
-use rppm_trace::DesignPoint;
-use rppm_workloads::{Params, Suite};
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-    let config = DesignPoint::Base.config();
-
-    println!("Figure 4: prediction error vs. simulation (base config, scale {scale})");
-    println!();
-    Row::new()
-        .cell(16, "benchmark")
-        .cell(8, "suite")
-        .rcell(9, "MAIN")
-        .rcell(9, "CRIT")
-        .rcell(9, "RPPM")
-        .print();
-    println!("{}", "-".repeat(58));
-
-    let mut main_errs = Vec::new();
-    let mut crit_errs = Vec::new();
-    let mut rppm_errs = Vec::new();
-    let mut rodinia_done = false;
-
-    for bench in rppm_workloads::all() {
-        if bench.suite == Suite::Parsec && !rodinia_done {
-            println!("{}", "-".repeat(58));
-            rodinia_done = true;
-        }
-        let run = run_benchmark(&bench, &params, &config);
-        let (m, c, r) = (run.main_error(), run.crit_error(), run.rppm_error());
-        let sign = if run.rppm.total_cycles >= run.sim.total_cycles {
-            '+'
-        } else {
-            '-'
-        };
-        Row::new()
-            .cell(16, bench.name)
-            .cell(8, bench.suite.to_string())
-            .rcell(9, format!("{:.1}%", m * 100.0))
-            .rcell(9, format!("{:.1}%", c * 100.0))
-            .rcell(9, format!("{sign}{:.1}%", r * 100.0))
-            .print();
-        main_errs.push(m);
-        crit_errs.push(c);
-        rppm_errs.push(r);
-    }
-
-    println!("{}", "-".repeat(58));
-    Row::new()
-        .cell(25, "average")
-        .rcell(9, format!("{:.1}%", rppm_core::mean(&main_errs) * 100.0))
-        .rcell(9, format!("{:.1}%", rppm_core::mean(&crit_errs) * 100.0))
-        .rcell(9, format!("{:.1}%", rppm_core::mean(&rppm_errs) * 100.0))
-        .print();
-    Row::new()
-        .cell(25, "max")
-        .rcell(9, format!("{:.1}%", rppm_core::max(&main_errs) * 100.0))
-        .rcell(9, format!("{:.1}%", rppm_core::max(&crit_errs) * 100.0))
-        .rcell(9, format!("{:.1}%", rppm_core::max(&rppm_errs) * 100.0))
-        .print();
-    println!();
-    println!("Paper: MAIN avg 45% (max >110%), CRIT avg 28%, RPPM avg 11.2% (max 23%).");
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!("{}", rppm_bench::reports::fig4(scale, &ctx).text);
 }

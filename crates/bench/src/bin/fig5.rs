@@ -1,24 +1,10 @@
-//! Figure 5: average per-thread CPI stacks, RPPM (left) versus simulation
-//! (right), normalized to the simulated total.
-//!
-//! The paper attributes RPPM's residual error chiefly to the base and
-//! data-memory components. Usage:
+//! Figure 5 binary: see [`rppm_bench::reports::fig5`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin fig5 [scale] [benchmark]
 //! ```
 
-use rppm_bench::{run_benchmark, Row};
-use rppm_trace::{CpiStack, DesignPoint};
-use rppm_workloads::Params;
-
-fn print_stack(label: &str, s: &CpiStack, norm: f64) {
-    let mut row = Row::new().cell(10, label);
-    for v in s.values() {
-        row = row.rcell(8, format!("{:.3}", v / norm));
-    }
-    row.rcell(8, format!("{:.3}", s.total() / norm)).print();
-}
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -26,37 +12,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
     let only: Option<String> = std::env::args().nth(2);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-    let config = DesignPoint::Base.config();
-
-    println!("Figure 5: normalized per-thread CPI stacks (RPPM vs simulation), scale {scale}");
-    println!();
-    let mut header = Row::new().cell(10, "");
-    for l in CpiStack::LABELS {
-        header = header.rcell(8, l);
-    }
-    header.rcell(8, "total").print();
-
-    for bench in rppm_workloads::all() {
-        if let Some(f) = &only {
-            if bench.name != f {
-                continue;
-            }
-        }
-        let run = run_benchmark(&bench, &params, &config);
-        // Per-thread mean stacks, normalized to the simulated mean total
-        // (the paper normalizes both bars to simulation).
-        let sim_stack = run.sim.mean_cpi_stack();
-        let rppm_stack = run.rppm.mean_cpi_stack();
-        let norm = sim_stack.total();
-        println!(
-            "\n{} (sim {:.0} cycles total):",
-            bench.name, run.sim.total_cycles
-        );
-        print_stack("  RPPM", &rppm_stack, norm);
-        print_stack("  sim", &sim_stack, norm);
-    }
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!(
+        "{}",
+        rppm_bench::reports::fig5(scale, only.as_deref(), &ctx).text
+    );
 }

@@ -1,58 +1,17 @@
-//! Figure 6: bottlegraphs for the Parsec analogs — RPPM's predicted
-//! parallelism/criticality per thread versus simulation.
-//!
-//! Each thread is a box: height = share of execution time, width = average
-//! parallelism while active. ASCII rendering, widest box at the bottom.
+//! Figure 6 binary: see [`rppm_bench::reports::fig6`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin fig6 [scale]
 //! ```
 
-use rppm_bench::run_benchmark;
-use rppm_core::Bottlegraph;
-use rppm_trace::DesignPoint;
-use rppm_workloads::{Params, PARSEC};
-
-fn render(g: &Bottlegraph, label: &str) {
-    println!("  {label}:");
-    // Stack top-down: tallest (least parallel) first, like the paper's plot.
-    for b in g.boxes.iter().rev() {
-        if b.height < 0.005 {
-            continue;
-        }
-        let width = (b.parallelism * 8.0).round() as usize;
-        println!(
-            "    T{} {:>5.1}% |{}| parallelism {:.2}",
-            b.thread,
-            b.height * 100.0,
-            "#".repeat(width.max(1)),
-            b.parallelism
-        );
-    }
-}
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-    let config = DesignPoint::Base.config();
-
-    println!("Figure 6: bottlegraphs, RPPM (left/top) vs simulation (right/bottom), scale {scale}");
-    for bench in PARSEC {
-        let run = run_benchmark(&bench, &params, &config);
-        println!("\n{}", bench.name);
-        let pred = Bottlegraph::from_intervals(&run.rppm.intervals, run.rppm.total_cycles);
-        let sim = Bottlegraph::from_intervals(&run.sim.intervals, run.sim.total_cycles);
-        render(&pred, "RPPM");
-        render(&sim, "simulation");
-    }
-    println!();
-    println!("Paper categories: balanced idle-main (blackscholes, canneal, fluidanimate,");
-    println!("raytrace, swaptions); working main (facesim, freqmine, bodytrack);");
-    println!("imbalanced (streamcluster, vips).");
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!("{}", rppm_bench::reports::fig6(scale, &ctx).text);
 }

@@ -1,46 +1,78 @@
-//! Runs every table/figure harness in sequence and writes the outputs to
+//! Runs every table/figure report in-process and writes the outputs to
 //! `results/` — the one-command reproduction of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p rppm-bench --bin run_all [scale]
+//! cargo run --release -p rppm-bench --bin run_all [scale] [dse_scale] [--jobs N]
 //! ```
+//!
+//! Reports share one [`rppm_bench::ProfileCache`], so each (workload,
+//! params) pair is profiled exactly once per invocation no matter how many
+//! reports use it (fig4 and fig5, for example, share all 26 profiles), and
+//! each report fans its (workload × config) cells out over `--jobs` worker
+//! threads. Every report writes both a text table (`results/<name>.txt`)
+//! and its machine-readable twin (`results/<name>.json`).
 
-use std::process::Command;
+use rppm_bench::reports::{self, Report};
+use rppm_bench::{ProfileCache, RunCtx};
+
+/// A named, deferred report job.
+type ReportJob<'a> = (&'a str, Box<dyn FnOnce() -> Report + 'a>);
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "0.5".to_string());
-    let dse_scale = std::env::args().nth(2).unwrap_or_else(|| "0.3".to_string());
-    std::fs::create_dir_all("results").expect("create results dir");
-
-    let jobs: &[(&str, &str)] = &[
-        ("table1", ""),
-        ("table2", "1.0"),
-        ("table3", "1.0"),
-        ("table4", ""),
-        ("fig4", &scale),
-        ("fig5", &scale),
-        ("table5", &dse_scale),
-        ("fig6", &dse_scale),
-    ];
-    for (bin, arg) in jobs {
-        eprintln!("running {bin} {arg}...");
-        let exe = std::env::current_exe().expect("own path");
-        let dir = exe.parent().expect("bin dir");
-        let mut cmd = Command::new(dir.join(bin));
-        if !arg.is_empty() {
-            cmd.arg(arg);
+    let mut positional = Vec::new();
+    let mut jobs = rppm_bench::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = args.next().expect("--jobs needs a value");
+            jobs = v.parse().expect("--jobs needs an integer");
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().expect("--jobs needs an integer");
+        } else {
+            positional.push(a);
         }
-        let out = cmd
-            .output()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(
-            out.status.success(),
-            "{bin} failed: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        let path = format!("results/{bin}.txt");
-        std::fs::write(&path, &out.stdout).expect("write output");
-        eprintln!("  -> {path}");
     }
-    eprintln!("all experiments regenerated under results/");
+    let scale: f64 = positional
+        .first()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.5);
+    let dse_scale: f64 = positional
+        .get(1)
+        .map(|s| s.parse().expect("dse_scale must be a number"))
+        .unwrap_or(0.3);
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, jobs);
+    let t0 = std::time::Instant::now();
+    let profiles_before = rppm_profiler::profile_call_count();
+
+    let jobs_list: Vec<ReportJob<'_>> = vec![
+        ("table1", Box::new(|| reports::table1(1_000_000))),
+        ("table2", Box::new(|| reports::table2(1.0))),
+        ("table3", Box::new(|| reports::table3(1.0, &ctx))),
+        ("table4", Box::new(reports::table4)),
+        ("fig4", Box::new(|| reports::fig4(scale, &ctx))),
+        ("fig5", Box::new(|| reports::fig5(scale, None, &ctx))),
+        ("table5", Box::new(|| reports::table5(dse_scale, &ctx))),
+        ("fig6", Box::new(|| reports::fig6(dse_scale, &ctx))),
+        ("ablation", Box::new(|| reports::ablation(dse_scale, &ctx))),
+    ];
+    for (name, job) in jobs_list {
+        eprintln!("running {name} ({jobs} jobs)...");
+        let report = job();
+        assert_eq!(report.name, name, "report name matches job list");
+        report.write_into(dir).expect("write report outputs");
+        eprintln!("  -> results/{name}.txt + results/{name}.json");
+    }
+
+    eprintln!(
+        "all experiments regenerated under results/ in {:.1?} \
+         ({} workloads profiled once each, {} profile() calls)",
+        t0.elapsed(),
+        cache.len(),
+        rppm_profiler::profile_call_count() - profiles_before,
+    );
 }

@@ -1,52 +1,13 @@
-//! Table I: accumulating prediction errors in barrier-synchronized
-//! applications.
-//!
-//! A 1M-iteration loop is parallelized over `n` threads with a barrier per
-//! round; per-thread inter-barrier predictions carry unbiased uniform noise
-//! of ±1/5/10%. Single-threaded errors cancel; multi-threaded errors
-//! accumulate as `E[max of n uniforms] = e·(n−1)/(n+1)`.
+//! Table I binary: see [`rppm_bench::reports::table1`].
 //!
 //! ```text
-//! cargo run --release -p rppm-bench --bin table1
+//! cargo run --release -p rppm-bench --bin table1 [iterations]
 //! ```
-
-use rppm_bench::Row;
-use rppm_core::{accumulation_bias, accumulation_error};
 
 fn main() {
     let iterations: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
-    let errors = [0.01, 0.05, 0.10];
-
-    println!("Table I: accumulating prediction errors (loop of {iterations} iterations)");
-    println!();
-    Row::new()
-        .cell(9, "#Threads")
-        .rcell(12, "1%")
-        .rcell(12, "5%")
-        .rcell(12, "10%")
-        .print();
-    println!("{}", "-".repeat(48));
-    for threads in [1u32, 2, 4, 8, 16] {
-        let mut row = Row::new().cell(9, threads);
-        for (k, &e) in errors.iter().enumerate() {
-            let measured = accumulation_error(threads, e, iterations, 0xACC + k as u64);
-            row = row.rcell(12, format!("{:.2}%", measured * 100.0));
-        }
-        row.print();
-    }
-    println!();
-    println!("Closed form e(n-1)/(n+1) for comparison:");
-    for threads in [1u32, 2, 4, 8, 16] {
-        let mut row = Row::new().cell(9, threads);
-        for &e in &errors {
-            row = row.rcell(12, format!("{:.2}%", accumulation_bias(threads, e) * 100.0));
-        }
-        row.print();
-    }
-    println!();
-    println!("Paper Table I: 2 threads: 0.33/1.67/3.34%; 4: 0.60/3.00/6.01%;");
-    println!("               8: 0.78/3.89/7.79%; 16: 0.88/4.41/8.83%.");
+    print!("{}", rppm_bench::reports::table1(iterations).text);
 }

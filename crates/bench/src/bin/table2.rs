@@ -1,50 +1,13 @@
-//! Table II: Rodinia benchmark analogs and their generation parameters —
-//! the reproduction's equivalent of the paper's input-set table.
+//! Table II binary: see [`rppm_bench::reports::table2`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin table2 [scale]
 //! ```
-
-use rppm_bench::Row;
-use rppm_workloads::{Params, RODINIA};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-
-    println!(
-        "Table II: Rodinia analogs at scale {scale} (paper uses native inputs; see Table II there)"
-    );
-    println!();
-    Row::new()
-        .cell(16, "benchmark")
-        .rcell(10, "threads")
-        .rcell(12, "ops (ROI)")
-        .rcell(10, "barriers")
-        .print();
-    println!("{}", "-".repeat(52));
-    for bench in RODINIA {
-        let prog = bench.build(&params);
-        let barriers: usize = prog
-            .threads
-            .iter()
-            .map(|t| {
-                t.sync_ops()
-                    .filter(|op| matches!(op, rppm_trace::SyncOp::Barrier { .. }))
-                    .count()
-            })
-            .sum();
-        Row::new()
-            .cell(16, bench.name)
-            .rcell(10, prog.num_threads())
-            .rcell(12, prog.total_ops())
-            .rcell(10, barriers)
-            .print();
-    }
+    print!("{}", rppm_bench::reports::table2(scale).text);
 }

@@ -1,81 +1,17 @@
-//! Table III: dynamic synchronization events in the Parsec benchmarks,
-//! counted by the profiler from the one-time profile (critical sections,
-//! barriers, condition-variable events).
-//!
-//! Our analogs scale the dynamic counts down (10-350x depending on the
-//! benchmark) to keep golden-reference simulation fast; the shape — which
-//! benchmark is dominated by which primitive — is the reproduced result.
+//! Table III binary: see [`rppm_bench::reports::table3`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin table3 [scale]
 //! ```
 
-use rppm_bench::Row;
-use rppm_profiler::profile;
-use rppm_workloads::{Params, PARSEC};
-
-/// Paper's Table III rows for reference (CS, barriers, cond. vars).
-const PAPER: [(&str, &str, &str, &str); 10] = [
-    ("blackscholes", "-", "-", "-"),
-    ("bodytrack", "6,700", "98", "25"),
-    ("canneal", "4", "64", "-"),
-    ("facesim", "10,472", "-", "1,232"),
-    ("fluidanimate", "2,140,206", "50", "-"),
-    ("freqmine", "-", "-", "-"),
-    ("raytrace", "47", "-", "15"),
-    ("streamcluster", "68", "13,003", "34"),
-    ("swaptions", "-", "-", "-"),
-    ("vips", "8,973", "-", "1,433"),
-];
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-
-    println!("Table III: dynamic synchronization events (Parsec analogs, scale {scale})");
-    println!();
-    Row::new()
-        .cell(16, "benchmark")
-        .rcell(10, "CS")
-        .rcell(10, "barriers")
-        .rcell(10, "cond.var")
-        .cell(3, "")
-        .cell(30, "paper (CS / barrier / cond)")
-        .print();
-    println!("{}", "-".repeat(84));
-    for (bench, paper) in PARSEC.iter().zip(PAPER) {
-        let prog = bench.build(&params);
-        let prof = profile(&prog);
-        let (cs, bar, cond) = prof.sync_event_counts();
-        let fmt = |v: u64| {
-            if v == 0 {
-                "-".to_string()
-            } else {
-                v.to_string()
-            }
-        };
-        Row::new()
-            .cell(16, bench.name)
-            .rcell(10, fmt(cs))
-            .rcell(10, fmt(bar))
-            .rcell(10, fmt(cond))
-            .cell(3, "")
-            .cell(30, format!("{} / {} / {}", paper.1, paper.2, paper.3))
-            .print();
-
-        // Bonus: the profiler's condition-variable usage recognition
-        // (Section III-A of the paper).
-        for usage in prof.classify_cond_vars() {
-            println!("    cond-var usage: {usage:?}");
-        }
-    }
-    println!();
-    println!("Counts are scaled down vs. the paper (10-350x) to keep simulation fast;");
-    println!("the dominance pattern per benchmark is the reproduced result.");
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!("{}", rppm_bench::reports::table3(scale, &ctx).text);
 }

@@ -1,62 +1,9 @@
-//! Table IV: the five simulated architecture configurations (equal peak
-//! throughput of 10 G ops/s).
+//! Table IV binary: see [`rppm_bench::reports::table4`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin table4
 //! ```
 
-use rppm_bench::Row;
-use rppm_trace::DesignPoint;
-
 fn main() {
-    println!("Table IV: simulated architecture configurations");
-    println!();
-    let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
-    let mut header = Row::new().cell(22, "");
-    for c in &configs {
-        header = header.rcell(9, &c.name);
-    }
-    header.print();
-    println!("{}", "-".repeat(22 + 11 * configs.len()));
-
-    let row = |label: &str, f: &dyn Fn(&rppm_trace::MachineConfig) -> String| {
-        let mut r = Row::new().cell(22, label);
-        for c in &configs {
-            r = r.rcell(9, f(c));
-        }
-        r.print();
-    };
-    row("frequency [GHz]", &|c| format!("{:.2}", c.freq_ghz));
-    row("dispatch width", &|c| c.dispatch_width.to_string());
-    row("ROB size", &|c| c.rob_size.to_string());
-    row("issue queue size", &|c| c.issue_queue.to_string());
-    row("peak Gops/s", &|c| {
-        format!("{:.1}", c.peak_ops_per_second() / 1e9)
-    });
-    row("mem latency [cyc]", &|c| {
-        format!("{:.0}", c.mem_latency_cycles())
-    });
-    println!();
-    let base = &configs[2];
-    println!("branch predictor   {} B tournament", base.bpred.size_bytes);
-    println!(
-        "L1-I               {} KB, {}-way, private",
-        base.l1i.size_bytes / 1024,
-        base.l1i.assoc
-    );
-    println!(
-        "L1-D               {} KB, {}-way, private",
-        base.l1d.size_bytes / 1024,
-        base.l1d.assoc
-    );
-    println!(
-        "L2                 {} KB, {}-way, private",
-        base.l2.size_bytes / 1024,
-        base.l2.assoc
-    );
-    println!(
-        "LLC                {} MB, {}-way, shared",
-        base.l3.size_bytes / 1024 / 1024,
-        base.l3.assoc
-    );
+    print!("{}", rppm_bench::reports::table4().text);
 }

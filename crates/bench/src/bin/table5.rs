@@ -1,66 +1,17 @@
-//! Table V: design-space exploration. For each Rodinia analog, RPPM
-//! predicts all five Table IV design points from one profile; design points
-//! within a bound of the predicted optimum are candidates; the chosen
-//! design's slowdown versus the true (simulated) optimum is the deficiency.
+//! Table V binary: see [`rppm_bench::reports::table5`].
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin table5 [scale]
 //! ```
 
-use rppm_bench::Row;
-use rppm_core::{dse_row, predict};
-use rppm_profiler::profile;
-use rppm_sim::simulate;
-use rppm_trace::DesignPoint;
-use rppm_workloads::{Params, RODINIA};
+use rppm_bench::{ProfileCache, RunCtx};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
-    let params = Params {
-        scale,
-        ..Params::full()
-    };
-    let bounds = [0.0, 0.01, 0.03, 0.05];
-
-    println!("Table V: predicting the optimum design point (bounds 0/1/3/5%, scale {scale})");
-    println!();
-    let mut header = Row::new().cell(16, "benchmark");
-    for b in bounds {
-        header = header.rcell(12, format!("<{:.0}%", b * 100.0));
-    }
-    header.print();
-    println!("{}", "-".repeat(16 + 14 * bounds.len()));
-
-    let mut sums = vec![0.0; bounds.len()];
-    for bench in RODINIA {
-        let program = bench.build(&params);
-        let prof = profile(&program);
-        // One profile, five predictions; five simulations as ground truth.
-        let mut predicted = Vec::new();
-        let mut simulated = Vec::new();
-        for dp in DesignPoint::ALL {
-            let cfg = dp.config();
-            predicted.push(predict(&prof, &cfg).total_seconds);
-            simulated.push(simulate(&program, &cfg).total_seconds);
-        }
-        let row = dse_row(bench.name, &predicted, &simulated, &bounds);
-        let mut r = Row::new().cell(16, bench.name);
-        for (k, &(_, deficiency, candidates)) in row.cells.iter().enumerate() {
-            sums[k] += deficiency;
-            r = r.rcell(12, format!("{:.2}% {}", deficiency * 100.0, candidates));
-        }
-        r.print();
-    }
-    println!("{}", "-".repeat(16 + 14 * bounds.len()));
-    let mut r = Row::new().cell(16, "average");
-    for s in &sums {
-        r = r.rcell(12, format!("{:.2}%", s / RODINIA.len() as f64 * 100.0));
-    }
-    r.print();
-    println!();
-    println!("Cells: deficiency vs. true optimum, and number of candidate designs.");
-    println!("Paper: average deficiency 1.95% at 0% bound, 0.76% at 1%, 0.12% at 5%.");
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, rppm_bench::default_jobs());
+    print!("{}", rppm_bench::reports::table5(scale, &ctx).text);
 }

@@ -1,11 +1,22 @@
 //! Experiment harness support code for the RPPM reproduction.
 //!
 //! The binaries in this crate regenerate every table and figure of the
-//! paper (see DESIGN.md §5 for the index); this library holds the shared
-//! run/report plumbing they use.
+//! paper (see DESIGN.md §5 for the index). This library holds:
+//!
+//! * [`runner`] — the profile-once experiment engine: [`ExperimentPlan`]
+//!   fans (workload × config) cells out over a thread pool while each
+//!   workload is profiled exactly once through the shared [`ProfileCache`];
+//! * [`reports`] — one function per table/figure, each returning the
+//!   rendered text and a machine-readable JSON value, used by both the
+//!   thin per-report binaries and the in-process `run_all` driver.
 
 #![warn(missing_docs)]
 
+pub mod reports;
 pub mod runner;
 
-pub use runner::{run_benchmark, BenchmarkRun, Row};
+pub use reports::{Report, RunCtx};
+pub use runner::{
+    default_jobs, parallel_for, CellRun, ExperimentPlan, ProfileCache, ProfiledWorkload, Row,
+    WorkloadRuns,
+};

@@ -1,0 +1,83 @@
+//! Figure 5: average per-thread CPI stacks, RPPM (left) versus simulation
+//! (right), normalized to the simulated total.
+//!
+//! The paper attributes RPPM's residual error chiefly to the base and
+//! data-memory components.
+
+use super::{arr, obj, Report, RunCtx};
+use crate::runner::{ExperimentPlan, Row};
+use rppm_trace::{CpiStack, DesignPoint};
+use rppm_workloads::Params;
+use serde_json::Value;
+
+fn print_stack(label: &str, s: &CpiStack, norm: f64, out: &mut String) {
+    let mut row = Row::new().cell(10, label);
+    for v in s.values() {
+        row = row.rcell(8, format!("{:.3}", v / norm));
+    }
+    row.rcell(8, format!("{:.3}", s.total() / norm)).line(out);
+}
+
+fn stack_json(s: &CpiStack, norm: f64) -> Value {
+    Value::Object(
+        CpiStack::LABELS
+            .iter()
+            .zip(s.values())
+            .map(|(l, v)| (l.to_string(), Value::F64(v / norm)))
+            .chain([("total".to_string(), Value::F64(s.total() / norm))])
+            .collect(),
+    )
+}
+
+/// Renders Figure 5 at the given work scale; `only` restricts the output to
+/// one benchmark.
+pub fn fig5(scale: f64, only: Option<&str>, ctx: &RunCtx<'_>) -> Report {
+    let params = Params {
+        scale,
+        ..Params::full()
+    };
+    let benches: Vec<_> = rppm_workloads::all()
+        .into_iter()
+        .filter(|b| only.is_none_or(|f| b.name == f))
+        .collect();
+    let runs = ExperimentPlan::single_config(benches, params, DesignPoint::Base.config())
+        .run(ctx.cache, ctx.jobs);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 5: normalized per-thread CPI stacks (RPPM vs simulation), scale {scale}\n\n"
+    ));
+    let mut header = Row::new().cell(10, "");
+    for l in CpiStack::LABELS {
+        header = header.rcell(8, l);
+    }
+    header.rcell(8, "total").line(&mut out);
+
+    let mut rows = Vec::new();
+    for run in &runs {
+        let cell = run.only();
+        // Per-thread mean stacks, normalized to the simulated mean total
+        // (the paper normalizes both bars to simulation).
+        let sim_stack = cell.sim.mean_cpi_stack();
+        let rppm_stack = cell.rppm.mean_cpi_stack();
+        let norm = sim_stack.total();
+        out.push_str(&format!(
+            "\n{} (sim {:.0} cycles total):\n",
+            run.bench.name, cell.sim.total_cycles
+        ));
+        print_stack("  RPPM", &rppm_stack, norm, &mut out);
+        print_stack("  sim", &sim_stack, norm, &mut out);
+        rows.push(obj([
+            ("benchmark", Value::String(run.bench.name.to_string())),
+            ("sim_total_cycles", Value::F64(cell.sim.total_cycles)),
+            ("rppm_stack", stack_json(&rppm_stack, norm)),
+            ("sim_stack", stack_json(&sim_stack, norm)),
+        ]));
+    }
+
+    Report {
+        name: "fig5",
+        text: out,
+        json: obj([("scale", Value::F64(scale)), ("benchmarks", arr(rows))]),
+    }
+}

@@ -1,0 +1,125 @@
+//! One function per table/figure of the paper.
+//!
+//! Each report renders the same text the standalone binaries print *and* a
+//! machine-readable [`serde_json::Value`] twin, so `run_all` can emit
+//! `results/<name>.txt` and `results/<name>.json` side by side without
+//! spawning child processes. Reports that run workloads take a [`RunCtx`]:
+//! the shared [`ProfileCache`] guarantees each (workload, params) pair is
+//! profiled exactly once per invocation even across reports, and `jobs`
+//! sets the worker-thread fan-out.
+
+mod ablation;
+mod fig4;
+mod fig5;
+mod fig6;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+mod table5;
+
+pub use ablation::ablation;
+pub use fig4::fig4;
+pub use fig5::fig5;
+pub use fig6::fig6;
+pub use table1::table1;
+pub use table2::table2;
+pub use table3::table3;
+pub use table4::table4;
+pub use table5::table5;
+
+use crate::runner::ProfileCache;
+use serde_json::Value;
+
+/// Shared execution context for workload-running reports.
+#[derive(Debug)]
+pub struct RunCtx<'a> {
+    /// Profile store shared across reports: each workload is profiled once
+    /// per cache lifetime, not once per report.
+    pub cache: &'a ProfileCache,
+    /// Worker threads for the experiment fan-out.
+    pub jobs: usize,
+}
+
+impl<'a> RunCtx<'a> {
+    /// Creates a context over `cache` with `jobs` worker threads.
+    pub fn new(cache: &'a ProfileCache, jobs: usize) -> Self {
+        RunCtx { cache, jobs }
+    }
+}
+
+/// A rendered report: the text table plus its machine-readable twin.
+#[derive(Debug)]
+pub struct Report {
+    /// Report name (`table1` … `fig6`, `ablation`) — the `results/` stem.
+    pub name: &'static str,
+    /// The text rendering (what the standalone binary prints).
+    pub text: String,
+    /// Machine-readable content, written to `results/<name>.json`.
+    pub json: Value,
+}
+
+impl Report {
+    /// Writes `results/<name>.txt` and `results/<name>.json` under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing either file.
+    pub fn write_into(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text)?;
+        let json = serde_json::to_string(&self.json).expect("report JSON serializes");
+        std::fs::write(dir.join(format!("{}.json", self.name)), json)
+    }
+}
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub(crate) fn obj<const N: usize>(entries: [(&str, Value); N]) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds a JSON array.
+pub(crate) fn arr(items: impl IntoIterator<Item = Value>) -> Value {
+    Value::Array(items.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_and_arr_build_json() {
+        let v = obj([
+            ("a", Value::U64(1)),
+            ("b", arr([Value::F64(0.5), Value::Null])),
+        ]);
+        assert_eq!(
+            serde_json::to_string(&v).unwrap(),
+            r#"{"a":1,"b":[0.5,null]}"#
+        );
+    }
+
+    #[test]
+    fn report_writes_both_files() {
+        let dir = std::env::temp_dir().join("rppm-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = Report {
+            name: "table1",
+            text: "hello\n".into(),
+            json: Value::U64(7),
+        };
+        r.write_into(&dir).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("table1.txt")).unwrap(),
+            "hello\n"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("table1.json")).unwrap(),
+            "7"
+        );
+    }
+}

@@ -1,22 +1,105 @@
-//! Shared plumbing for the table/figure harness binaries.
+//! The profile-once experiment engine.
+//!
+//! RPPM's headline workflow is "profile once, predict many": one
+//! microarchitecture-independent profile per workload, amortized over every
+//! design point it is evaluated on. [`ExperimentPlan`] is that workflow as
+//! an API — a set of (workload, params) jobs crossed with machine
+//! configurations, where profiling happens exactly once per workload (the
+//! shared [`ProfileCache`]) and the per-cell work (golden simulation +
+//! model predictions) fans out over a scoped thread pool.
+//!
+//! Results are placed by (workload, config) index, so output is
+//! byte-identical no matter how many worker threads run the plan.
 
 use rppm_core::{predict, predict_crit, predict_main, Prediction};
 use rppm_profiler::{profile, ApplicationProfile};
 use rppm_sim::{simulate, SimResult};
 use rppm_trace::{MachineConfig, Program};
 use rppm_workloads::{Benchmark, Params};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Everything produced by running one benchmark through the full pipeline
-/// on one configuration: the workload, its one-time profile, the golden
-/// simulation and the three model predictions.
+/// Cache key: a workload is identified by its name and generation
+/// parameters (same key ⇒ bit-identical program and profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct JobKey {
+    name: &'static str,
+    scale_bits: u64,
+    seed: u64,
+}
+
+impl JobKey {
+    fn of(bench: &Benchmark, params: &Params) -> Self {
+        JobKey {
+            name: bench.name,
+            scale_bits: params.scale.to_bits(),
+            seed: params.seed,
+        }
+    }
+}
+
+/// A workload built and profiled once, shared (via [`Arc`]) by every
+/// configuration cell that predicts or simulates it.
+#[derive(Debug, Clone)]
+pub struct ProfiledWorkload {
+    /// The generated program (needed for golden-reference simulation).
+    pub program: Arc<Program>,
+    /// The one-time microarchitecture-independent profile.
+    pub profile: Arc<ApplicationProfile>,
+}
+
+/// Shared profile store: each (workload, params) pair is built and profiled
+/// exactly once per cache, no matter how many experiments, configurations,
+/// or worker threads ask for it.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: Mutex<HashMap<JobKey, Arc<OnceLock<ProfiledWorkload>>>>,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the profiled workload, building and profiling it on first
+    /// use. Concurrent callers for the same key block until the single
+    /// profiling run finishes; callers for different keys proceed in
+    /// parallel.
+    pub fn get(&self, bench: &Benchmark, params: &Params) -> ProfiledWorkload {
+        let slot = {
+            let mut map = self.map.lock().expect("cache lock");
+            Arc::clone(map.entry(JobKey::of(bench, params)).or_default())
+        };
+        slot.get_or_init(|| {
+            let program = Arc::new(bench.build(params));
+            let prof = Arc::new(profile(&program));
+            ProfiledWorkload {
+                program,
+                profile: prof,
+            }
+        })
+        .clone()
+    }
+
+    /// Number of distinct workloads profiled so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Returns whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One (workload, configuration) cell: the golden simulation and the three
+/// model predictions, all derived from the workload's shared profile.
 #[derive(Debug)]
-pub struct BenchmarkRun {
-    /// Benchmark name.
-    pub name: String,
-    /// The workload.
-    pub program: Program,
-    /// One-time microarchitecture-independent profile.
-    pub profile: ApplicationProfile,
+pub struct CellRun {
+    /// The configuration this cell was evaluated on.
+    pub config: MachineConfig,
     /// Golden-reference simulation.
     pub sim: SimResult,
     /// Full RPPM prediction.
@@ -27,7 +110,7 @@ pub struct BenchmarkRun {
     pub crit_cycles: f64,
 }
 
-impl BenchmarkRun {
+impl CellRun {
     /// Relative error of the RPPM prediction vs. simulation.
     pub fn rppm_error(&self) -> f64 {
         rppm_core::abs_pct_error(self.rppm.total_cycles, self.sim.total_cycles)
@@ -44,26 +127,158 @@ impl BenchmarkRun {
     }
 }
 
-/// Runs the full pipeline for one benchmark on one configuration.
-pub fn run_benchmark(bench: &Benchmark, params: &Params, config: &MachineConfig) -> BenchmarkRun {
-    let program = bench.build(params);
-    let prof = profile(&program);
-    let sim = simulate(&program, config);
-    let rppm = predict(&prof, config);
-    let main_cycles = predict_main(&prof, config);
-    let crit_cycles = predict_crit(&prof, config);
-    BenchmarkRun {
-        name: bench.name.to_string(),
-        program,
-        profile: prof,
-        sim,
-        rppm,
-        main_cycles,
-        crit_cycles,
+/// All results for one workload job: the shared profile plus one [`CellRun`]
+/// per planned configuration (in plan order).
+#[derive(Debug)]
+pub struct WorkloadRuns {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Generation parameters.
+    pub params: Params,
+    /// The workload's shared program + profile.
+    pub workload: ProfiledWorkload,
+    /// One cell per configuration, in [`ExperimentPlan::configs`] order.
+    pub cells: Vec<CellRun>,
+}
+
+impl WorkloadRuns {
+    /// The cell for the single-config common case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan had more than one configuration.
+    pub fn only(&self) -> &CellRun {
+        assert_eq!(self.cells.len(), 1, "plan has multiple configs");
+        &self.cells[0]
     }
 }
 
-/// A simple aligned-column row printer for harness output.
+/// A set of (workload, params) jobs crossed with machine configurations.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    /// Workload jobs (profiled once each).
+    pub workloads: Vec<(Benchmark, Params)>,
+    /// Configurations every workload is simulated and predicted on.
+    pub configs: Vec<MachineConfig>,
+}
+
+impl ExperimentPlan {
+    /// Plans `benches` × `configs` with uniform `params`.
+    pub fn cross(
+        benches: impl IntoIterator<Item = Benchmark>,
+        params: Params,
+        configs: Vec<MachineConfig>,
+    ) -> Self {
+        ExperimentPlan {
+            workloads: benches.into_iter().map(|b| (b, params)).collect(),
+            configs,
+        }
+    }
+
+    /// Plans `benches` on a single configuration.
+    pub fn single_config(
+        benches: impl IntoIterator<Item = Benchmark>,
+        params: Params,
+        config: MachineConfig,
+    ) -> Self {
+        Self::cross(benches, params, vec![config])
+    }
+
+    /// Runs the plan on `jobs` worker threads, sharing `cache` for
+    /// profiles. Two phases, each fanned out over a [`std::thread::scope`]
+    /// pool: first every distinct workload is built + profiled (exactly
+    /// once, even if it appears in several jobs or was already cached),
+    /// then every (workload, config) cell simulates and predicts against
+    /// the shared profile. Results are ordered by plan position —
+    /// independent of `jobs` and of scheduling.
+    pub fn run(&self, cache: &ProfileCache, jobs: usize) -> Vec<WorkloadRuns> {
+        // Phase 1: profile each distinct workload once.
+        let mut seen = HashMap::new();
+        for (b, p) in &self.workloads {
+            seen.entry(JobKey::of(b, p)).or_insert((b, p));
+        }
+        let unique: Vec<_> = seen.into_values().collect();
+        parallel_for(jobs, unique.len(), |i| {
+            let (b, p) = unique[i];
+            cache.get(b, p);
+        });
+
+        // Phase 2: one job per (workload, config) cell.
+        let profiled: Vec<ProfiledWorkload> = self
+            .workloads
+            .iter()
+            .map(|(b, p)| cache.get(b, p))
+            .collect();
+        let n_cfg = self.configs.len();
+        let cells: Vec<Mutex<Option<CellRun>>> = (0..self.workloads.len() * n_cfg)
+            .map(|_| Mutex::new(None))
+            .collect();
+        parallel_for(jobs, cells.len(), |i| {
+            let (wi, ci) = (i / n_cfg, i % n_cfg);
+            let config = &self.configs[ci];
+            let w = &profiled[wi];
+            let sim = simulate(&w.program, config);
+            let rppm = predict(&w.profile, config);
+            let main_cycles = predict_main(&w.profile, config);
+            let crit_cycles = predict_crit(&w.profile, config);
+            *cells[i].lock().expect("cell lock") = Some(CellRun {
+                config: config.clone(),
+                sim,
+                rppm,
+                main_cycles,
+                crit_cycles,
+            });
+        });
+
+        let mut cells = cells.into_iter();
+        self.workloads
+            .iter()
+            .zip(profiled)
+            .map(|(&(bench, params), workload)| WorkloadRuns {
+                bench,
+                params,
+                workload,
+                cells: cells
+                    .by_ref()
+                    .take(n_cfg)
+                    .map(|c| c.into_inner().expect("cell lock").expect("cell filled"))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// Default worker count: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0..n)` on up to `jobs` scoped worker threads, dynamically
+/// load-balanced. With `jobs <= 1` (or `n <= 1`) runs inline on the caller
+/// thread. Panics in `f` propagate to the caller.
+pub fn parallel_for(jobs: usize, n: usize, f: impl Fn(usize) + Sync) {
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// A simple aligned-column row builder for harness output.
 #[derive(Debug, Default)]
 pub struct Row {
     cells: Vec<String>,
@@ -87,9 +302,15 @@ impl Row {
         self
     }
 
-    /// Renders the row.
-    pub fn print(self) {
-        println!("{}", self.cells.join("  "));
+    /// Renders the row (no trailing newline).
+    pub fn render(self) -> String {
+        self.cells.join("  ")
+    }
+
+    /// Appends the rendered row plus newline to `out`.
+    pub fn line(self, out: &mut String) {
+        out.push_str(&self.render());
+        out.push('\n');
     }
 }
 
@@ -100,19 +321,64 @@ mod tests {
 
     #[test]
     fn pipeline_runs_end_to_end() {
+        let cache = ProfileCache::new();
         let bench = rppm_workloads::by_name("pathfinder").expect("known");
-        let run = run_benchmark(
-            &bench,
-            &Params {
+        let plan = ExperimentPlan::single_config(
+            [bench],
+            Params {
                 scale: 0.02,
                 seed: 1,
             },
-            &DesignPoint::Base.config(),
+            DesignPoint::Base.config(),
         );
+        let runs = plan.run(&cache, 1);
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].only();
         assert!(run.sim.total_cycles > 0.0);
         assert!(run.rppm.total_cycles > 0.0);
         assert!(run.main_cycles > 0.0);
         assert!(run.crit_cycles > 0.0);
         assert!(run.rppm_error().is_finite());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_jobs_share_one_profile() {
+        let cache = ProfileCache::new();
+        let bench = rppm_workloads::by_name("nn").expect("known");
+        let params = Params {
+            scale: 0.02,
+            seed: 1,
+        };
+        // Same workload listed twice, two configs: one profile total.
+        let plan = ExperimentPlan::cross(
+            [bench, bench],
+            params,
+            vec![DesignPoint::Base.config(), DesignPoint::Big.config()],
+        );
+        let runs = plan.run(&cache, 4);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(
+            &runs[0].workload.profile,
+            &runs[1].workload.profile
+        ));
+        assert_eq!(runs[0].cells.len(), 2);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(4, hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn row_renders_aligned() {
+        let mut out = String::new();
+        Row::new().cell(6, "ab").rcell(5, 42).line(&mut out);
+        assert_eq!(out, "ab         42\n");
     }
 }

@@ -1,0 +1,55 @@
+//! The "profile once" contract: one `profile()` call per distinct
+//! (workload, params) pair, no matter how many configurations, reports, or
+//! worker threads consume the profile.
+//!
+//! Keep this file to a single `#[test]`: the hook is a process-wide
+//! counter, and a second concurrently-running test in this binary would
+//! perturb the deltas.
+
+use rppm_bench::{ExperimentPlan, ProfileCache, RunCtx};
+use rppm_profiler::profile_call_count;
+use rppm_trace::DesignPoint;
+use rppm_workloads::{by_name, Params};
+
+#[test]
+fn each_workload_is_profiled_exactly_once() {
+    let params = Params {
+        scale: 0.02,
+        seed: 1,
+    };
+    let benches: Vec<_> = ["backprop", "nn", "pathfinder"]
+        .into_iter()
+        .map(|n| by_name(n).expect("known"))
+        .collect();
+    let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
+
+    let cache = ProfileCache::new();
+    let before = profile_call_count();
+
+    // 3 workloads × 5 configs, 4 worker threads.
+    let runs = ExperimentPlan::cross(benches.clone(), params, configs.clone()).run(&cache, 4);
+    assert_eq!(runs.len(), 3);
+    assert!(runs.iter().all(|r| r.cells.len() == 5));
+    assert_eq!(
+        profile_call_count() - before,
+        3,
+        "one profile() per workload despite 15 cells"
+    );
+
+    // A second plan over the same cache (as run_all's reports do) must not
+    // re-profile anything...
+    let ctx = RunCtx::new(&cache, 2);
+    let again = ExperimentPlan::single_config(benches.clone(), params, DesignPoint::Base.config())
+        .run(ctx.cache, ctx.jobs);
+    assert_eq!(again.len(), 3);
+    assert_eq!(profile_call_count() - before, 3, "cache hit across plans");
+
+    // ...while a different scale is a different workload job.
+    let other = Params {
+        scale: 0.03,
+        seed: 1,
+    };
+    ExperimentPlan::cross([benches[0]], other, Vec::new()).run(&cache, 1);
+    assert_eq!(profile_call_count() - before, 4);
+    assert_eq!(cache.len(), 4);
+}

@@ -37,8 +37,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use rppm_statstack::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// History lengths (in branch outcomes) at which predictability is profiled.
 pub const HIST_LENGTHS: [u32; 6] = [0, 1, 2, 4, 8, 12];
@@ -105,23 +105,29 @@ struct Counts {
     errors: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SiteCollector {
     history: u64,
     observed: u64,
     /// Per profiled history length: history-bits → outcome counts.
-    tables: Vec<HashMap<u64, Counts>>,
+    /// FxHash-keyed: this map is probed [`HIST_LENGTHS`]-many times per
+    /// dynamic branch on the profiling hot path.
+    tables: Vec<FxHashMap<u64, Counts>>,
 }
 
-impl SiteCollector {
-    fn new() -> Self {
+impl Default for SiteCollector {
+    fn default() -> Self {
         SiteCollector {
             history: 0,
             observed: 0,
-            tables: (0..HIST_LENGTHS.len()).map(|_| HashMap::new()).collect(),
+            tables: (0..HIST_LENGTHS.len())
+                .map(|_| FxHashMap::default())
+                .collect(),
         }
     }
+}
 
+impl SiteCollector {
     fn record(&mut self, taken: bool) {
         for (k, &h) in HIST_LENGTHS.iter().enumerate() {
             let key = if h == 0 {
@@ -162,7 +168,7 @@ impl SiteCollector {
 /// Streaming collector building a [`BranchProfile`] from branch outcomes.
 #[derive(Debug, Default)]
 pub struct EntropyCollector {
-    sites: HashMap<u32, SiteCollector>,
+    sites: FxHashMap<u32, SiteCollector>,
     branches: u64,
 }
 
@@ -174,10 +180,7 @@ impl EntropyCollector {
 
     /// Records the outcome of one dynamic branch at static site `site`.
     pub fn record(&mut self, site: u32, taken: bool) {
-        self.sites
-            .entry(site)
-            .or_insert_with(SiteCollector::new)
-            .record(taken);
+        self.sites.entry(site).or_default().record(taken);
         self.branches += 1;
     }
 
@@ -191,7 +194,12 @@ impl EntropyCollector {
         let mut m = [0.0; HIST_LENGTHS.len()];
         let mut patterns = 0u64;
         if self.branches > 0 {
-            for site in self.sites.values() {
+            // Accumulate in site-id order so the floating-point sums are
+            // independent of map iteration order (profiles must be
+            // bit-reproducible across processes).
+            let mut sites: Vec<(&u32, &SiteCollector)> = self.sites.iter().collect();
+            sites.sort_unstable_by_key(|(id, _)| **id);
+            for (_, site) in sites {
                 let w = site.observed as f64 / self.branches as f64;
                 let f = site.floors();
                 for k in 0..HIST_LENGTHS.len() {

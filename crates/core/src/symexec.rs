@@ -352,7 +352,7 @@ impl<'a> SymExec<'a> {
                     } else {
                         th.time
                     };
-                    if best.map_or(true, |(_, bt)| eta < bt) {
+                    if best.is_none_or(|(_, bt)| eta < bt) {
                         best = Some((i, eta));
                     }
                 }

@@ -42,6 +42,6 @@ pub mod logical;
 pub mod microtrace;
 pub mod profile;
 
-pub use logical::profile;
+pub use logical::{profile, profile_call_count};
 pub use microtrace::{analyze, MicroTraceAnalysis, WINDOWS};
 pub use profile::{ApplicationProfile, CondVarUsage, EpochProfile, ThreadProfile};

@@ -47,14 +47,11 @@ pub struct MicroTraceAnalysis {
     pub ops: usize,
 }
 
-/// Analyzes one micro-trace (typically ~1000 consecutive ops).
+/// Analyzes one micro-trace (typically ~500 consecutive ops).
 pub fn analyze(trace: &[MicroOp]) -> MicroTraceAnalysis {
     let (branch_depth, branch_slice_loads) = branch_resolution(trace);
     MicroTraceAnalysis {
-        ilp: LOAD_LAT_GRID
-            .iter()
-            .map(|&lat| ilp_curve(trace, lat as f64))
-            .collect(),
+        ilp: ilp_curves(trace),
         mlp: mlp_curve(trace),
         branch_depth,
         branch_slice_loads,
@@ -72,114 +69,186 @@ fn lat_of(op: &MicroOp, load_lat: f64) -> f64 {
     }
 }
 
+/// Number of profiled load latencies.
+const NLAT: usize = LOAD_LAT_GRID.len();
+
 /// Critical path (in latency units) of `ops`, dependences outside the slice
-/// ignored, with loads costing `load_lat` cycles.
-fn critical_path(ops: &[MicroOp], load_lat: f64) -> f64 {
-    let mut depth = vec![0.0f64; ops.len()];
-    let mut max = 0.0f64;
+/// ignored, computed for every [`LOAD_LAT_GRID`] latency at once. `depth`
+/// is caller-provided scratch of at least `ops.len()` entries (the batched
+/// lanes share one dependence-resolution pass, which is what makes the
+/// per-access profiling hot path affordable).
+fn critical_path_lanes(ops: &[MicroOp], depth: &mut [[f64; NLAT]]) -> [f64; NLAT] {
+    let mut max = [0.0f64; NLAT];
     for (i, op) in ops.iter().enumerate() {
-        let mut start = 0.0f64;
+        let mut start = [0.0f64; NLAT];
         if op.src1 != 0 {
             if let Some(j) = i.checked_sub(op.src1 as usize) {
-                start = start.max(depth[j]);
+                for (s, d) in start.iter_mut().zip(&depth[j]) {
+                    *s = s.max(*d);
+                }
             }
         }
         if op.src2 != 0 {
             if let Some(j) = i.checked_sub(op.src2 as usize) {
-                start = start.max(depth[j]);
+                for (s, d) in start.iter_mut().zip(&depth[j]) {
+                    *s = s.max(*d);
+                }
             }
         }
-        let d = start + lat_of(op, load_lat);
-        depth[i] = d;
-        max = max.max(d);
+        if op.class == OpClass::Load {
+            for (l, (s, lat)) in start.iter_mut().zip(LOAD_LAT_GRID).enumerate() {
+                let d = *s + lat as f64;
+                depth[i][l] = d;
+                max[l] = max[l].max(d);
+            }
+        } else {
+            let lat = op.class.latency() as f64;
+            for (l, s) in start.iter_mut().enumerate() {
+                let d = *s + lat;
+                depth[i][l] = d;
+                max[l] = max[l].max(d);
+            }
+        }
     }
     max
 }
 
-/// ILP at each profiled window size, with loads costing `load_lat` cycles.
-pub fn ilp_curve(trace: &[MicroOp], load_lat: f64) -> Vec<(u32, f64)> {
-    let mut out = Vec::with_capacity(WINDOWS.len());
+/// ILP at each profiled window size, for every [`LOAD_LAT_GRID`] latency:
+/// `result[k]` is the `(window, IPC)` curve with loads costing
+/// `LOAD_LAT_GRID[k]` cycles.
+pub fn ilp_curves(trace: &[MicroOp]) -> Vec<Vec<(u32, f64)>> {
+    let mut out: Vec<Vec<(u32, f64)>> = (0..NLAT)
+        .map(|_| Vec::with_capacity(WINDOWS.len()))
+        .collect();
+    // Enough scratch for the largest chunk (full windows) and for the
+    // whole-trace fallback (trace shorter than the window).
+    let mut depth =
+        vec![[0.0f64; NLAT]; trace.len().min(*WINDOWS.last().expect("nonempty") as usize)];
     for &w in &WINDOWS {
         let w_us = w as usize;
         if trace.len() < w_us {
             // Use the whole trace as a single (short) window if possible.
             if trace.len() >= 4 {
-                let cp = critical_path(trace, load_lat).max(1.0);
-                out.push((w, trace.len() as f64 / cp));
+                let cp = critical_path_lanes(trace, &mut depth);
+                for (l, curves) in out.iter_mut().enumerate() {
+                    curves.push((w, trace.len() as f64 / cp[l].max(1.0)));
+                }
             }
             continue;
         }
-        let mut total_cp = 0.0;
+        let mut total_cp = [0.0f64; NLAT];
         let mut windows = 0u32;
         let mut i = 0;
         while i + w_us <= trace.len() {
-            total_cp += critical_path(&trace[i..i + w_us], load_lat).max(1.0);
+            let cp = critical_path_lanes(&trace[i..i + w_us], &mut depth);
+            for (t, c) in total_cp.iter_mut().zip(cp) {
+                *t += c.max(1.0);
+            }
             windows += 1;
             i += w_us;
         }
         if windows > 0 {
-            out.push((w, w as f64 / (total_cp / windows as f64)));
+            for (l, curves) in out.iter_mut().enumerate() {
+                curves.push((w, w as f64 / (total_cp[l] / windows as f64)));
+            }
         }
     }
     out
 }
 
 /// Mean number of independent trailing loads per load, at each window size.
+///
+/// Counts, for every load, the later loads within each window that are not
+/// transitively data-dependent on it. Dependence is propagated as one
+/// bitset per op over the trace's load indices (`dep[k]` has bit `i` set
+/// iff op `k` transitively depends on load `i`), so the whole trace takes
+/// one forward pass of word-ORs plus a masked popcount per (load, window)
+/// — the seed's per-load re-propagation was the profiler's single largest
+/// cost.
 pub fn mlp_curve(trace: &[MicroOp]) -> Vec<(u32, f64)> {
-    let max_w = *WINDOWS.last().expect("nonempty") as usize;
-    let load_positions: Vec<usize> = trace
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| o.class == OpClass::Load)
-        .map(|(i, _)| i)
-        .collect();
-    if load_positions.is_empty() {
+    let n_loads = trace.iter().filter(|o| o.class == OpClass::Load).count();
+    if n_loads == 0 {
         return WINDOWS.iter().map(|&w| (w, 0.0)).collect();
     }
-
-    let mut sums = [0.0f64; WINDOWS.len()];
-    let mut dep = vec![false; max_w + 1];
-    for &i in &load_positions {
-        // Propagate transitive dependence on load i through the next max_w
-        // ops; count independent loads at each window checkpoint.
-        let end = (i + max_w).min(trace.len() - 1);
-        for d in dep.iter_mut() {
-            *d = false;
-        }
-        dep[0] = true;
-        let mut indep_so_far = 0u32;
-        let mut checkpoint = 0usize;
-        for k in (i + 1)..=end {
-            let rel = k - i;
-            let op = &trace[k];
-            let mut d = false;
-            if op.src1 != 0 && (op.src1 as usize) <= rel && dep[rel - op.src1 as usize] {
-                d = true;
-            }
-            if !d && op.src2 != 0 && (op.src2 as usize) <= rel && dep[rel - op.src2 as usize] {
-                d = true;
-            }
-            dep[rel] = d;
-            if op.class == OpClass::Load && !d {
-                indep_so_far += 1;
-            }
-            // Record counts when crossing each window boundary.
-            while checkpoint < WINDOWS.len() && rel == WINDOWS[checkpoint] as usize {
-                sums[checkpoint] += indep_so_far as f64;
-                checkpoint += 1;
+    let words = n_loads.div_ceil(64);
+    // dep bitsets, op-major: dep[k*words..][..words].
+    let mut dep = vec![0u64; trace.len() * words];
+    // Positions of loads seen so far (sorted), and one sliding lower bound
+    // per window: the first earlier load within `W[wi]` ops of the current
+    // op. Pair counting: sums[wi] = #{(i, k) loads, 0 < pos_k - pos_i <=
+    // W[wi], k independent of i} — identical to crediting each load i with
+    // its independent trailing loads at every window checkpoint.
+    let mut load_pos: Vec<usize> = Vec::with_capacity(n_loads);
+    let mut lower = [0usize; WINDOWS.len()];
+    let mut sums = [0u64; WINDOWS.len()];
+    let mut li = 0usize; // load index of the current op, if it is a load
+    for (k, op) in trace.iter().enumerate() {
+        let (prev, cur) = dep.split_at_mut(k * words);
+        let row = &mut cur[..words];
+        let mut any = false;
+        if op.src1 != 0 {
+            if let Some(j) = k.checked_sub(op.src1 as usize) {
+                for (r, p) in row.iter_mut().zip(&prev[j * words..(j + 1) * words]) {
+                    *r |= p;
+                    any |= *p != 0;
+                }
             }
         }
-        // Short tail: credit remaining checkpoints with the final count.
-        while checkpoint < WINDOWS.len() {
-            sums[checkpoint] += indep_so_far as f64;
-            checkpoint += 1;
+        if op.src2 != 0 {
+            if let Some(j) = k.checked_sub(op.src2 as usize) {
+                for (r, p) in row.iter_mut().zip(&prev[j * words..(j + 1) * words]) {
+                    *r |= p;
+                    any |= *p != 0;
+                }
+            }
+        }
+        if op.class == OpClass::Load {
+            for (wi, &w) in WINDOWS.iter().enumerate() {
+                while lower[wi] < li && k - load_pos[lower[wi]] > w as usize {
+                    lower[wi] += 1;
+                }
+                let eligible = (li - lower[wi]) as u64;
+                let dependent = if any {
+                    count_bits_in_range(row, lower[wi], li)
+                } else {
+                    0
+                };
+                sums[wi] += eligible - dependent;
+            }
+            // Self bit: later ops reading this load become dependent on it.
+            row[li / 64] |= 1u64 << (li % 64);
+            load_pos.push(k);
+            li += 1;
         }
     }
     WINDOWS
         .iter()
         .enumerate()
-        .map(|(k, &w)| (w, sums[k] / load_positions.len() as f64))
+        .map(|(k, &w)| (w, sums[k] as f64 / n_loads as f64))
         .collect()
+}
+
+/// Population count of `row` bits in `[lo, hi)`.
+#[inline]
+fn count_bits_in_range(row: &[u64], lo: usize, hi: usize) -> u64 {
+    if lo >= hi {
+        return 0;
+    }
+    let (lw, lb) = (lo / 64, lo % 64);
+    let (hw, hb) = (hi / 64, hi % 64);
+    if lw == hw {
+        // Same word and hi > lo imply 0 <= lb < hb <= 63.
+        let mask = (u64::MAX >> (64 - hb)) & (u64::MAX << lb);
+        return (row[lw] & mask).count_ones() as u64;
+    }
+    let mut n = (row[lw] & (u64::MAX << lb)).count_ones() as u64;
+    for w in &row[lw + 1..hw] {
+        n += w.count_ones() as u64;
+    }
+    if hb > 0 {
+        n += (row[hw] & (u64::MAX >> (64 - hb))).count_ones() as u64;
+    }
+    n
 }
 
 /// Mean dependence-chain latency feeding branch instructions (at nominal
@@ -202,13 +271,14 @@ pub fn branch_resolution(trace: &[MicroOp]) -> (f64, f64) {
     let mut total = 0.0f64;
     let mut total_loads = 0.0f64;
     let mut branches = 0u64;
+    // Fixed-size window: stack scratch, no per-window allocation.
+    let mut depth = [0.0f64; W];
+    let mut mem_depth = [0.0f64; W];
+    let mut path_loads = [0.0f64; W];
     let mut i = 0;
     while i < trace.len() {
         let end = (i + W).min(trace.len());
         let slice = &trace[i..end];
-        let mut depth = vec![0.0f64; slice.len()];
-        let mut mem_depth = vec![0.0f64; slice.len()];
-        let mut path_loads = vec![0.0f64; slice.len()];
         for (k, op) in slice.iter().enumerate() {
             let mut start = 0.0f64;
             let mut mstart = 0.0f64;

@@ -407,7 +407,7 @@ impl<'p> Engine<'p> {
             for (i, th) in self.threads.iter().enumerate() {
                 if th.status == Status::Ready {
                     let t = th.core.time();
-                    if best.map_or(true, |(_, bt)| t < bt) {
+                    if best.is_none_or(|(_, bt)| t < bt) {
                         best = Some((i, t));
                     }
                 }

@@ -12,9 +12,17 @@
 //! sharing and negative interference from capacity contention). A reuse
 //! broken by a remote write is recorded as an infinite private distance
 //! (write invalidation ⇒ coherence miss).
+//!
+//! Both collectors sit on the profiler's per-access hot path, so line state
+//! lives in flat struct-of-arrays tables indexed by interned dense line ids
+//! ([`AddrInterner`]) rather than a per-line-allocating hash map. The
+//! per-thread columns use a power-of-two stride (so the common 1–8-thread
+//! case indexes with a shift) and the per-line "which threads touched this
+//! line" set is a single bitmask word for up to 64 threads, with a
+//! multi-word fallback beyond.
 
 use crate::hist::ReuseHistogram;
-use std::collections::HashMap;
+use crate::intern::{AddrInterner, ReuseTracker};
 
 /// Locality statistics of one thread over one inter-synchronization epoch.
 #[derive(Debug, Clone, Default)]
@@ -34,8 +42,7 @@ pub struct EpochLocality {
 /// Single-threaded reuse-distance collector (classic StatStack).
 #[derive(Debug, Default)]
 pub struct SingleThreadCollector {
-    count: u64,
-    last: HashMap<u64, u64>,
+    tracker: ReuseTracker,
     hist: ReuseHistogram,
 }
 
@@ -46,12 +53,12 @@ impl SingleThreadCollector {
     }
 
     /// Records an access to `line`.
+    #[inline]
     pub fn access(&mut self, line: u64) {
-        match self.last.insert(line, self.count) {
-            Some(prev) => self.hist.record(self.count - prev - 1),
+        match self.tracker.access(line) {
+            Some(d) => self.hist.record(d),
             None => self.hist.record_cold(1),
         }
-        self.count += 1;
     }
 
     /// Finishes collection, returning the histogram.
@@ -61,38 +68,12 @@ impl SingleThreadCollector {
 
     /// Accesses recorded so far.
     pub fn accesses(&self) -> u64 {
-        self.count
+        self.tracker.accesses()
     }
 }
 
-#[derive(Debug, Clone)]
-struct LineState {
-    /// Per-thread private counter value at that thread's last access.
-    priv_last: Box<[u64]>,
-    /// Global counter value at each thread's last access.
-    glob_last: Box<[u64]>,
-    /// Whether each thread has touched the line.
-    seen: Box<[bool]>,
-    /// Global counter value of the most recent write.
-    last_write_glob: u64,
-    /// Thread that performed the most recent write.
-    last_writer: u32,
-    /// Whether the line has ever been written.
-    written: bool,
-}
-
-impl LineState {
-    fn new(n: usize) -> Self {
-        LineState {
-            priv_last: vec![0; n].into_boxed_slice(),
-            glob_last: vec![0; n].into_boxed_slice(),
-            seen: vec![false; n].into_boxed_slice(),
-            last_write_glob: 0,
-            last_writer: u32::MAX,
-            written: false,
-        }
-    }
-}
+/// Sentinel for "no thread has written this line".
+const NO_WRITER: u32 = u32::MAX;
 
 /// Multi-threaded reuse-distance collector with coherence detection.
 ///
@@ -105,9 +86,30 @@ impl LineState {
 #[derive(Debug)]
 pub struct MultiThreadCollector {
     n_threads: usize,
+    /// log2 of the per-line stride of the per-thread columns
+    /// (`n_threads.next_power_of_two()`), so `line_id << stride_shift + t`
+    /// indexes without a multiply.
+    stride_shift: u32,
+    /// Bitmask words per line in `seen` (1 for up to 64 threads).
+    seen_words: usize,
     global_count: u64,
     priv_count: Vec<u64>,
-    lines: HashMap<u64, LineState>,
+    interner: AddrInterner,
+    /// Per (line, thread): private counter value at that thread's last
+    /// access. Line-major, stride `1 << stride_shift`.
+    priv_last: Vec<u64>,
+    /// Per (line, thread): global counter value at that thread's last
+    /// access. Same layout as `priv_last`.
+    glob_last: Vec<u64>,
+    /// Per line: bitmask of threads that have touched the line.
+    seen: Vec<u64>,
+    /// Per line: global counter value of the most recent access by anyone
+    /// (the running max of `glob_last` across threads).
+    last_any_glob: Vec<u64>,
+    /// Per line: global counter value of the most recent write.
+    last_write_glob: Vec<u64>,
+    /// Per line: thread of the most recent write, or [`NO_WRITER`].
+    last_writer: Vec<u32>,
     current: Vec<EpochLocality>,
 }
 
@@ -121,9 +123,17 @@ impl MultiThreadCollector {
         assert!(n_threads > 0);
         MultiThreadCollector {
             n_threads,
+            stride_shift: n_threads.next_power_of_two().trailing_zeros(),
+            seen_words: n_threads.div_ceil(64),
             global_count: 0,
             priv_count: vec![0; n_threads],
-            lines: HashMap::new(),
+            interner: AddrInterner::new(),
+            priv_last: Vec::new(),
+            glob_last: Vec::new(),
+            seen: Vec::new(),
+            last_any_glob: Vec::new(),
+            last_write_glob: Vec::new(),
+            last_writer: Vec::new(),
             current: vec![EpochLocality::default(); n_threads],
         }
     }
@@ -133,6 +143,18 @@ impl MultiThreadCollector {
         self.n_threads
     }
 
+    /// Appends zeroed state rows for a newly interned line.
+    #[cold]
+    fn push_line(&mut self) {
+        let stride = 1usize << self.stride_shift;
+        self.priv_last.resize(self.priv_last.len() + stride, 0);
+        self.glob_last.resize(self.glob_last.len() + stride, 0);
+        self.seen.resize(self.seen.len() + self.seen_words, 0);
+        self.last_any_glob.push(0);
+        self.last_write_glob.push(0);
+        self.last_writer.push(NO_WRITER);
+    }
+
     /// Records an access by `thread` to `line`.
     ///
     /// # Panics
@@ -140,57 +162,70 @@ impl MultiThreadCollector {
     /// Panics if `thread` is out of range.
     pub fn access(&mut self, thread: usize, line: u64, is_write: bool) {
         assert!(thread < self.n_threads);
-        let n = self.n_threads;
         let g = self.global_count;
         let p = self.priv_count[thread];
+
+        let (id, first) = self.interner.intern(line);
+        if first {
+            self.push_line();
+        }
+        let idx = id as usize;
+        let slot = (idx << self.stride_shift) + thread;
+
+        // Test-and-set this thread's bit in the line's seen mask; the
+        // single-word branch is the common (≤ 64 threads) fast path.
+        let (was_seen, any_seen);
+        if self.seen_words == 1 {
+            let w = &mut self.seen[idx];
+            any_seen = *w != 0;
+            was_seen = (*w >> thread) & 1 == 1;
+            *w |= 1 << thread;
+        } else {
+            let words = &mut self.seen[idx * self.seen_words..(idx + 1) * self.seen_words];
+            any_seen = words.iter().any(|&w| w != 0);
+            was_seen = (words[thread / 64] >> (thread % 64)) & 1 == 1;
+            words[thread / 64] |= 1 << (thread % 64);
+        }
+
         let epoch = &mut self.current[thread];
         epoch.accesses += 1;
         if is_write {
             epoch.stores += 1;
         }
 
-        let state = self.lines.entry(line).or_insert_with(|| LineState::new(n));
-
-        if state.seen[thread] {
-            let glob_dist = g - state.glob_last[thread] - 1;
+        if was_seen {
+            let glob_prev = self.glob_last[slot];
             // Write invalidation: a remote write after our last access breaks
             // the private reuse (the line was invalidated in our private
             // hierarchy), but the shared LLC still holds it.
-            let invalidated = state.written
-                && state.last_writer != thread as u32
-                && state.last_write_glob > state.glob_last[thread];
+            let writer = self.last_writer[idx];
+            let invalidated = writer != NO_WRITER
+                && writer != thread as u32
+                && self.last_write_glob[idx] > glob_prev;
             if invalidated {
                 epoch.private.record_invalidated(1);
             } else {
-                let priv_dist = p - state.priv_last[thread] - 1;
-                epoch.private.record(priv_dist);
+                epoch.private.record(p - self.priv_last[slot] - 1);
             }
-            epoch.global.record(glob_dist);
+            epoch.global.record(g - glob_prev - 1);
         } else {
             // First touch by this thread. For the *shared* cache the line may
             // have been brought in by another thread (positive interference):
             // measure against the most recent access by anyone.
-            let mut last_any: Option<u64> = None;
-            for t in 0..n {
-                if state.seen[t] {
-                    let v = state.glob_last[t];
-                    last_any = Some(last_any.map_or(v, |x: u64| x.max(v)));
-                }
-            }
             epoch.private.record_cold(1);
-            match last_any {
-                Some(v) => epoch.global.record(g - v - 1),
-                None => epoch.global.record_cold(1),
+            if any_seen {
+                epoch.global.record(g - self.last_any_glob[idx] - 1);
+            } else {
+                epoch.global.record_cold(1);
             }
-            state.seen[thread] = true;
         }
 
-        state.priv_last[thread] = p;
-        state.glob_last[thread] = g;
+        self.priv_last[slot] = p;
+        self.glob_last[slot] = g;
+        self.last_any_glob[idx] = g;
         if is_write {
-            state.last_write_glob = g;
-            state.last_writer = thread as u32;
-            state.written = true;
+            self.last_write_glob[idx] = g;
+            self.last_writer[idx] = thread as u32;
         }
         self.priv_count[thread] += 1;
         self.global_count += 1;
@@ -209,7 +244,7 @@ impl MultiThreadCollector {
 
     /// Number of distinct lines touched so far (by anyone).
     pub fn unique_lines(&self) -> u64 {
-        self.lines.len() as u64
+        self.interner.len() as u64
     }
 }
 
@@ -361,5 +396,42 @@ mod tests {
         m.access(0, 2, false);
         assert_eq!(m.unique_lines(), 2);
         assert_eq!(m.total_accesses(), 3);
+    }
+
+    #[test]
+    fn wide_collector_uses_multiword_seen_masks() {
+        // 100 threads forces the multi-word seen-mask path; the semantics
+        // must match the narrow case.
+        let n = 100;
+        let mut m = MultiThreadCollector::new(n);
+        for t in 0..n {
+            m.access(t, 42, false); // everyone touches the same line
+        }
+        m.access(99, 42, false); // reuse by the last thread
+        let e99 = m.end_epoch(99);
+        assert_eq!(e99.private.cold, 1);
+        assert_eq!(e99.private.total_finite(), 1);
+        // First-touch accesses by threads 1.. see positive interference.
+        let e1 = m.end_epoch(1);
+        assert_eq!(e1.global.cold, 0);
+        assert_eq!(e1.global.total_finite(), 1);
+        let e0 = m.end_epoch(0);
+        assert_eq!(e0.global.cold, 1, "thread 0 touched the line first");
+    }
+
+    #[test]
+    fn state_survives_many_lines() {
+        // Push far past the interner's initial capacity and check a reuse
+        // distance that spans the growth.
+        let mut m = MultiThreadCollector::new(2);
+        m.access(0, 0xABCD, false);
+        for k in 0..50_000u64 {
+            m.access(1, k, false);
+        }
+        m.access(0, 0xABCD, false);
+        let e0 = m.end_epoch(0);
+        // Private: 0 intervening accesses by thread 0 itself.
+        assert_eq!(e0.private.iter().next(), Some((0, 1)));
+        assert_eq!(m.unique_lines(), 50_000, "0xABCD is within 0..50_000");
     }
 }

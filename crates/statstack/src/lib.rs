@@ -42,8 +42,10 @@
 
 pub mod collect;
 pub mod hist;
+pub mod intern;
 pub mod model;
 
 pub use collect::{EpochLocality, MultiThreadCollector, SingleThreadCollector};
 pub use hist::ReuseHistogram;
+pub use intern::{AddrInterner, FxHashMap, FxHasher, ReuseTracker};
 pub use model::StackDistanceModel;

@@ -256,7 +256,7 @@ impl BranchPattern {
     ///
     /// Panics if `len` is 0 or greater than 64.
     pub fn periodic(bits: u64, len: u8) -> Self {
-        assert!(len >= 1 && len <= 64, "pattern length must be in 1..=64");
+        assert!((1..=64).contains(&len), "pattern length must be in 1..=64");
         BranchPattern::Periodic { bits, len }
     }
 
@@ -349,7 +349,7 @@ mod tests {
         let mut rng = Rng::new(1);
         for _ in 0..1000 {
             let a = s.next(&mut rng);
-            assert!(a >= 1000 && a < 1064);
+            assert!((1000..1064).contains(&a));
         }
     }
 

@@ -119,21 +119,17 @@ impl Program {
                             }
                             created[child.index()] += 1;
                         }
-                        SyncOp::Join { child } => {
-                            if child.index() >= n {
-                                return Err(ProgramError::UnknownThread {
-                                    by: ThreadId(tid as u32),
-                                    target: *child,
-                                });
-                            }
+                        SyncOp::Join { child } if child.index() >= n => {
+                            return Err(ProgramError::UnknownThread {
+                                by: ThreadId(tid as u32),
+                                target: *child,
+                            });
                         }
                         SyncOp::Lock { id } => held.push(id.0),
-                        SyncOp::Unlock { id } => {
-                            if held.pop() != Some(id.0) {
-                                return Err(ProgramError::UnbalancedLock {
-                                    thread: ThreadId(tid as u32),
-                                });
-                            }
+                        SyncOp::Unlock { id } if held.pop() != Some(id.0) => {
+                            return Err(ProgramError::UnbalancedLock {
+                                thread: ThreadId(tid as u32),
+                            });
                         }
                         _ => {}
                     }

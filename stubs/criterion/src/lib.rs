@@ -9,26 +9,67 @@
 //! no HTML reports), but the numbers are honest and the harness runs with
 //! zero dependencies.
 
+//! Setting the `CRITERION_JSON` environment variable to a file path makes
+//! the harness additionally write every measurement as a JSON object (see
+//! [`write_json_if_requested`]), so benchmark runs can be committed as
+//! machine-readable baselines (e.g. `BENCH_speed.json`).
+
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque-value hint, matching `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// One recorded measurement, kept for the optional JSON report.
+struct Record {
+    name: String,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+/// Measurements collected by every benchmark run in this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// If `CRITERION_JSON` is set, writes all measurements collected so far to
+/// that path as a JSON object `{ "<group/name>": {"min_ns": …, "mean_ns":
+/// …, "max_ns": …, "samples": …}, … }`. Called automatically by the
+/// [`criterion_main!`]-generated `main` after all groups have run.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("records lock");
+    let mut out = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{}\": {{\"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            r.name, r.min_ns, r.mean_ns, r.max_ns, r.samples
+        ));
+    }
+    out.push_str("\n}\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("benchmark JSON written to {path}");
+}
 
 const DEFAULT_SAMPLES: usize = 20;
 const WARMUP: Duration = Duration::from_millis(200);
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(100);
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
@@ -37,6 +78,7 @@ impl Criterion {
         println!("\ngroup: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             samples: DEFAULT_SAMPLES,
         }
     }
@@ -46,7 +88,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, DEFAULT_SAMPLES, f);
+        run_benchmark(None, name, DEFAULT_SAMPLES, f);
         self
     }
 }
@@ -54,6 +96,7 @@ impl Criterion {
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     samples: usize,
 }
 
@@ -69,7 +112,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, self.samples, f);
+        run_benchmark(Some(&self.name), name, self.samples, f);
         self
     }
 
@@ -112,7 +155,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    name: &str,
+    samples: usize,
+    mut f: F,
+) {
     let mut bencher = Bencher {
         samples,
         results: Vec::new(),
@@ -132,6 +180,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         fmt_duration(*max),
         bencher.results.len()
     );
+    RECORDS.lock().expect("records lock").push(Record {
+        name: match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        },
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: bencher.results.len(),
+    });
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -165,6 +223,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }

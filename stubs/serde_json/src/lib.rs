@@ -8,7 +8,8 @@
 #![warn(missing_docs)]
 
 pub use serde::Error;
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Serializes `value` as compact JSON text.
 ///

@@ -77,18 +77,29 @@ fn profile_once_predict_many_architectures() {
     }
 }
 
-/// Profiles survive serialization: the on-disk artifact predicts
-/// identically to the in-memory one.
+/// Profiles survive serialization: for *every* workload, the on-disk JSON
+/// artifact predicts bit-identically to the freshly collected in-memory
+/// profile on every design point — the "profile once" artifact is
+/// trustworthy.
 #[test]
-fn serialized_profile_predicts_identically() {
-    let bench = rppm::workloads::by_name("pathfinder").expect("known");
-    let program = bench.build(&quick());
-    let prof = profile(&program);
-    let restored = ApplicationProfile::from_json(&prof.to_json()).expect("round-trip");
-    let config = DesignPoint::Base.config();
-    let a = predict(&prof, &config);
-    let b = predict(&restored, &config);
-    assert_eq!(a.total_cycles, b.total_cycles);
+fn serialized_profile_predicts_identically_for_all_workloads() {
+    for bench in rppm::workloads::all() {
+        let program = bench.build(&quick());
+        let prof = profile(&program);
+        let restored = ApplicationProfile::from_json(&prof.to_json()).expect("round-trip");
+        assert_eq!(prof, restored, "{}: lossy profile round-trip", bench.name);
+        for dp in DesignPoint::ALL {
+            let config = dp.config();
+            let a = predict(&prof, &config);
+            let b = predict(&restored, &config);
+            assert_eq!(
+                a.total_cycles.to_bits(),
+                b.total_cycles.to_bits(),
+                "{} on {dp}: round-tripped profile predicts differently",
+                bench.name
+            );
+        }
+    }
 }
 
 /// Profiling-run insensitivity (Section III-A): profiles collected from
