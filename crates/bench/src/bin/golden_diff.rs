@@ -1,0 +1,94 @@
+//! Golden accuracy-regression driver.
+//!
+//! ```text
+//! # Check the current tree against the committed baselines (exit 1 on
+//! # drift); always writes the delta report to results/golden_delta.txt:
+//! cargo run --release -p rppm-bench --bin golden_diff [--jobs N]
+//!
+//! # Regenerate the baselines after an intentional accuracy change:
+//! cargo run --release -p rppm-bench --bin golden_diff -- --update
+//! ```
+//!
+//! The baselines live in `results/golden/` (override with `--golden DIR`)
+//! and pin the JSON twins of fig4, table3 and table5 at
+//! [`rppm_bench::golden::GOLDEN_SCALE`].
+
+use rppm_bench::golden::{self, GOLDEN_RTOL};
+use rppm_bench::{ProfileCache, RunCtx};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn main() {
+    let mut jobs = rppm_bench::default_jobs();
+    let mut golden_dir = PathBuf::from("results/golden");
+    let mut out_path = PathBuf::from("results/golden_delta.txt");
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs needs an integer");
+            }
+            "--golden" => golden_dir = args.next().expect("--golden needs a dir").into(),
+            "--out" => out_path = args.next().expect("--out needs a file").into(),
+            "--update" => update = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, jobs);
+    let reports = golden::golden_reports(&ctx);
+
+    if update {
+        std::fs::create_dir_all(&golden_dir).expect("create golden dir");
+        for r in &reports {
+            let path = golden_dir.join(format!("{}.json", r.name));
+            let text = serde_json::to_string(&r.json).expect("report JSON serializes");
+            std::fs::write(&path, text).expect("write golden baseline");
+            eprintln!("updated {}", path.display());
+        }
+        return;
+    }
+
+    let mut report_text = String::new();
+    let mut drifted = false;
+    for r in &reports {
+        let path = golden_dir.join(format!("{}.json", r.name));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let baseline: Value = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+                let deltas = golden::diff(&baseline, &r.json, GOLDEN_RTOL);
+                drifted |= !deltas.is_empty();
+                report_text.push_str(&golden::render_deltas(r.name, &deltas));
+            }
+            Err(e) => {
+                drifted = true;
+                report_text.push_str(&format!(
+                    "{}: missing baseline {} ({e}); run golden_diff --update\n",
+                    r.name,
+                    path.display()
+                ));
+            }
+        }
+    }
+
+    if let Some(parent) = out_path.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(&out_path, &report_text).expect("write delta report");
+    print!("{report_text}");
+    eprintln!("delta report written to {}", out_path.display());
+    if drifted {
+        eprintln!(
+            "accuracy drift detected; if intentional, regenerate baselines with \
+             `cargo run --release -p rppm-bench --bin golden_diff -- --update`"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace-file workbench: predict imported traces across every design
+//! point, or export a catalog workload as a trace file.
+//!
+//! ```text
+//! # Predict + simulate each trace file on all five Table IV design points:
+//! cargo run --release -p rppm-bench --bin import -- TRACE.json... [--jobs N]
+//!
+//! # Export a built-in workload as a trace file (a quick way to produce a
+//! # schema-conformant example, or to freeze a generated workload):
+//! cargo run --release -p rppm-bench --bin import -- \
+//!     --export NAME FILE [--scale S] [--seed N]
+//! ```
+//!
+//! Import failures print the typed `rppm_trace::TraceFileError` diagnostic
+//! and exit with status 2.
+
+use rppm_bench::{ExperimentPlan, ImportedTrace, ProfileCache, Row};
+use rppm_trace::DesignPoint;
+use rppm_workloads::Params;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut files = Vec::new();
+    let mut jobs = rppm_bench::default_jobs();
+    let mut export: Option<(String, String)> = None;
+    let mut params = Params::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_else(|| fail("--jobs needs a value"));
+                jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--jobs needs an integer"));
+            }
+            "--export" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| fail("--export needs a workload name"));
+                let file = args
+                    .next()
+                    .unwrap_or_else(|| fail("--export needs an output file"));
+                export = Some((name, file));
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| fail("--scale needs a value"));
+                params.scale = v.parse().unwrap_or_else(|_| fail("--scale needs a number"));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| fail("--seed needs a value"));
+                params.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed needs an integer"));
+            }
+            _ => files.push(a),
+        }
+    }
+
+    if let Some((name, file)) = export {
+        if !files.is_empty() {
+            fail(format!(
+                "cannot mix --export with trace files to import ({})",
+                files.join(", ")
+            ));
+        }
+        let bench = rppm_workloads::by_name(&name)
+            .unwrap_or_else(|| fail(format!("unknown workload `{name}` (see rppm-workloads)")));
+        let program = bench.build(&params);
+        rppm_trace::write_program(&program, &file).unwrap_or_else(|e| fail(e));
+        println!(
+            "exported `{}` (scale {}, seed {}, {} ops, {} threads) to {file}",
+            name,
+            params.scale,
+            params.seed,
+            program.total_ops(),
+            program.num_threads()
+        );
+        return;
+    }
+
+    if files.is_empty() {
+        fail("nothing to do: pass trace files to import, or --export NAME FILE");
+    }
+
+    let traces: Vec<ImportedTrace> = files
+        .iter()
+        .map(|f| ImportedTrace::from_file(f).unwrap_or_else(|e| fail(e)))
+        .collect();
+
+    let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
+    let cache = ProfileCache::new();
+    let runs = ExperimentPlan::cross(traces, params, configs).run(&cache, jobs);
+
+    for (run, file) in runs.iter().zip(&files) {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (from {file}, {} threads, {} ops, profiled once)\n",
+            run.spec.name(),
+            run.workload.program.num_threads(),
+            run.workload.program.total_ops(),
+        ));
+        Row::new()
+            .cell(10, "design")
+            .rcell(14, "sim cycles")
+            .rcell(14, "RPPM cycles")
+            .rcell(9, "error")
+            .line(&mut out);
+        out.push_str(&"-".repeat(51));
+        out.push('\n');
+        for (dp, cell) in DesignPoint::ALL.iter().zip(&run.cells) {
+            Row::new()
+                .cell(10, dp.to_string())
+                .rcell(14, format!("{:.0}", cell.sim.total_cycles))
+                .rcell(14, format!("{:.0}", cell.rppm.total_cycles))
+                .rcell(9, format!("{:.1}%", cell.rppm_error() * 100.0))
+                .line(&mut out);
+        }
+        println!("{out}");
+    }
+}

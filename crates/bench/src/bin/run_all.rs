@@ -3,17 +3,22 @@
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin run_all [scale] [dse_scale] [--jobs N]
+//!     [--import TRACE.json]...
 //! ```
 //!
 //! Reports share one [`rppm_bench::ProfileCache`], so each (workload,
 //! params) pair is profiled exactly once per invocation no matter how many
-//! reports use it (fig4 and fig5, for example, share all 26 profiles), and
+//! reports use it (fig4 and fig5, for example, share all profiles), and
 //! each report fans its (workload × config) cells out over `--jobs` worker
 //! threads. Every report writes both a text table (`results/<name>.txt`)
 //! and its machine-readable twin (`results/<name>.json`).
+//!
+//! Each `--import` names a trace file (see `rppm_trace::file`); imported
+//! workloads join every workload-running report as first-class rows, also
+//! profiled exactly once across all reports.
 
 use rppm_bench::reports::{self, Report};
-use rppm_bench::{ProfileCache, RunCtx};
+use rppm_bench::{ImportedTrace, ProfileCache, RunCtx};
 
 /// A named, deferred report job.
 type ReportJob<'a> = (&'a str, Box<dyn FnOnce() -> Report + 'a>);
@@ -21,6 +26,7 @@ type ReportJob<'a> = (&'a str, Box<dyn FnOnce() -> Report + 'a>);
 fn main() {
     let mut positional = Vec::new();
     let mut jobs = rppm_bench::default_jobs();
+    let mut imports = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--jobs" || a == "-j" {
@@ -28,6 +34,24 @@ fn main() {
             jobs = v.parse().expect("--jobs needs an integer");
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             jobs = v.parse().expect("--jobs needs an integer");
+        } else if a == "--import" || a.starts_with("--import=") {
+            let path = a
+                .strip_prefix("--import=")
+                .map(str::to_string)
+                .unwrap_or_else(|| args.next().expect("--import needs a file path"));
+            match ImportedTrace::from_file(&path) {
+                Ok(t) => {
+                    eprintln!("imported {path} as workload `{}`", t.name());
+                    imports.push(t);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else if a.starts_with("--") {
+            eprintln!("error: unknown flag `{a}`");
+            std::process::exit(2);
         } else {
             positional.push(a);
         }
@@ -45,7 +69,7 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create results dir");
 
     let cache = ProfileCache::new();
-    let ctx = RunCtx::new(&cache, jobs);
+    let ctx = RunCtx::new(&cache, jobs).with_imports(imports);
     let t0 = std::time::Instant::now();
     let profiles_before = rppm_profiler::profile_call_count();
 

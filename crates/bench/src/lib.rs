@@ -8,15 +8,19 @@
 //!   workload is profiled exactly once through the shared [`ProfileCache`];
 //! * [`reports`] — one function per table/figure, each returning the
 //!   rendered text and a machine-readable JSON value, used by both the
-//!   thin per-report binaries and the in-process `run_all` driver.
+//!   thin per-report binaries and the in-process `run_all` driver;
+//! * [`golden`] — the accuracy-regression harness diffing freshly
+//!   generated report JSON against the committed `results/golden/*.json`
+//!   baselines.
 
 #![warn(missing_docs)]
 
+pub mod golden;
 pub mod reports;
 pub mod runner;
 
 pub use reports::{Report, RunCtx};
 pub use runner::{
-    default_jobs, parallel_for, CellRun, ExperimentPlan, ProfileCache, ProfiledWorkload, Row,
-    WorkloadRuns,
+    default_jobs, parallel_for, CellRun, ExperimentPlan, ImportedTrace, ProfileCache,
+    ProfiledWorkload, Row, WorkloadRuns, WorkloadSpec,
 };

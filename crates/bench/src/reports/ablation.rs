@@ -47,8 +47,9 @@ pub fn ablation(scale: f64, ctx: &RunCtx<'_>) -> Report {
         ..Params::full()
     };
     let config = DesignPoint::Base.config();
-    let runs = ExperimentPlan::single_config(rppm_workloads::all(), params, config.clone())
-        .run(ctx.cache, ctx.jobs);
+    let runs =
+        ExperimentPlan::single_config(ctx.specs(rppm_workloads::all()), params, config.clone())
+            .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
     out.push_str(&format!(

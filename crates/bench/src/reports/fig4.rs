@@ -8,7 +8,7 @@
 use super::{arr, obj, Report, RunCtx};
 use crate::runner::{ExperimentPlan, Row};
 use rppm_trace::DesignPoint;
-use rppm_workloads::{Params, Suite};
+use rppm_workloads::Params;
 use serde_json::Value;
 
 /// Renders Figure 4 at the given work scale.
@@ -17,9 +17,12 @@ pub fn fig4(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let runs =
-        ExperimentPlan::single_config(rppm_workloads::all(), params, DesignPoint::Base.config())
-            .run(ctx.cache, ctx.jobs);
+    let runs = ExperimentPlan::single_config(
+        ctx.specs(rppm_workloads::all()),
+        params,
+        DesignPoint::Base.config(),
+    )
+    .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -39,21 +42,23 @@ pub fn fig4(scale: f64, ctx: &RunCtx<'_>) -> Report {
     let mut crit_errs = Vec::new();
     let mut rppm_errs = Vec::new();
     let mut rows = Vec::new();
-    let mut rodinia_done = false;
+    let mut prev_suite: Option<&'static str> = None;
 
     for run in &runs {
-        if run.bench.suite == Suite::Parsec && !rodinia_done {
+        // Horizontal rule between suites (rodinia / parsec / imported).
+        let suite = run.spec.suite_label();
+        if prev_suite.is_some_and(|p| p != suite) {
             out.push_str(&"-".repeat(58));
             out.push('\n');
-            rodinia_done = true;
         }
+        prev_suite = Some(suite);
         let cell = run.only();
         let (m, c, r) = (cell.main_error(), cell.crit_error(), cell.rppm_error());
         let over = cell.rppm.total_cycles >= cell.sim.total_cycles;
         let sign = if over { '+' } else { '-' };
         Row::new()
-            .cell(16, run.bench.name)
-            .cell(8, run.bench.suite.to_string())
+            .cell(16, run.spec.name())
+            .cell(8, suite)
             .rcell(9, format!("{:.1}%", m * 100.0))
             .rcell(9, format!("{:.1}%", c * 100.0))
             .rcell(9, format!("{sign}{:.1}%", r * 100.0))
@@ -62,8 +67,8 @@ pub fn fig4(scale: f64, ctx: &RunCtx<'_>) -> Report {
         crit_errs.push(c);
         rppm_errs.push(r);
         rows.push(obj([
-            ("benchmark", Value::String(run.bench.name.to_string())),
-            ("suite", Value::String(run.bench.suite.to_string())),
+            ("benchmark", Value::String(run.spec.name().to_string())),
+            ("suite", Value::String(suite.to_string())),
             ("main_error", Value::F64(m)),
             ("crit_error", Value::F64(c)),
             ("rppm_error", Value::F64(r)),

@@ -36,11 +36,12 @@ pub fn fig5(scale: f64, only: Option<&str>, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let benches: Vec<_> = rppm_workloads::all()
+    let specs: Vec<_> = ctx
+        .specs(rppm_workloads::all())
         .into_iter()
-        .filter(|b| only.is_none_or(|f| b.name == f))
+        .filter(|s| only.is_none_or(|f| s.name() == f))
         .collect();
-    let runs = ExperimentPlan::single_config(benches, params, DesignPoint::Base.config())
+    let runs = ExperimentPlan::single_config(specs, params, DesignPoint::Base.config())
         .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
@@ -63,12 +64,13 @@ pub fn fig5(scale: f64, only: Option<&str>, ctx: &RunCtx<'_>) -> Report {
         let norm = sim_stack.total();
         out.push_str(&format!(
             "\n{} (sim {:.0} cycles total):\n",
-            run.bench.name, cell.sim.total_cycles
+            run.spec.name(),
+            cell.sim.total_cycles
         ));
         print_stack("  RPPM", &rppm_stack, norm, &mut out);
         print_stack("  sim", &sim_stack, norm, &mut out);
         rows.push(obj([
-            ("benchmark", Value::String(run.bench.name.to_string())),
+            ("benchmark", Value::String(run.spec.name().to_string())),
             ("sim_total_cycles", Value::F64(cell.sim.total_cycles)),
             ("rppm_stack", stack_json(&rppm_stack, norm)),
             ("sim_stack", stack_json(&sim_stack, norm)),

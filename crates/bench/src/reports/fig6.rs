@@ -45,7 +45,7 @@ pub fn fig6(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let runs = ExperimentPlan::single_config(PARSEC, params, DesignPoint::Base.config())
+    let runs = ExperimentPlan::single_config(ctx.specs(PARSEC), params, DesignPoint::Base.config())
         .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
@@ -55,13 +55,13 @@ pub fn fig6(scale: f64, ctx: &RunCtx<'_>) -> Report {
     let mut rows = Vec::new();
     for run in &runs {
         let cell = run.only();
-        out.push_str(&format!("\n{}\n", run.bench.name));
+        out.push_str(&format!("\n{}\n", run.spec.name()));
         let pred = Bottlegraph::from_intervals(&cell.rppm.intervals, cell.rppm.total_cycles);
         let sim = Bottlegraph::from_intervals(&cell.sim.intervals, cell.sim.total_cycles);
         render(&pred, "RPPM", &mut out);
         render(&sim, "simulation", &mut out);
         rows.push(obj([
-            ("benchmark", Value::String(run.bench.name.to_string())),
+            ("benchmark", Value::String(run.spec.name().to_string())),
             ("rppm", graph_json(&pred)),
             ("simulation", graph_json(&sim)),
         ]));

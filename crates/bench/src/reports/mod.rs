@@ -28,7 +28,8 @@ pub use table3::table3;
 pub use table4::table4;
 pub use table5::table5;
 
-use crate::runner::ProfileCache;
+use crate::runner::{ImportedTrace, ProfileCache, WorkloadSpec};
+use rppm_workloads::Benchmark;
 use serde_json::Value;
 
 /// Shared execution context for workload-running reports.
@@ -39,12 +40,34 @@ pub struct RunCtx<'a> {
     pub cache: &'a ProfileCache,
     /// Worker threads for the experiment fan-out.
     pub jobs: usize,
+    /// Imported trace files, appended to every workload-running report's
+    /// plan so they appear alongside the built-in benchmarks.
+    pub imports: Vec<ImportedTrace>,
 }
 
 impl<'a> RunCtx<'a> {
     /// Creates a context over `cache` with `jobs` worker threads.
     pub fn new(cache: &'a ProfileCache, jobs: usize) -> Self {
-        RunCtx { cache, jobs }
+        RunCtx {
+            cache,
+            jobs,
+            imports: Vec::new(),
+        }
+    }
+
+    /// Adds imported traces to the context.
+    pub fn with_imports(mut self, imports: Vec<ImportedTrace>) -> Self {
+        self.imports = imports;
+        self
+    }
+
+    /// The workload list a report should run: `base` benchmarks from the
+    /// catalog followed by every imported trace.
+    pub fn specs(&self, base: impl IntoIterator<Item = Benchmark>) -> Vec<WorkloadSpec> {
+        base.into_iter()
+            .map(WorkloadSpec::from)
+            .chain(self.imports.iter().cloned().map(WorkloadSpec::from))
+            .collect()
     }
 }
 

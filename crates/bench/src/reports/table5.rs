@@ -19,7 +19,7 @@ pub fn table5(scale: f64, ctx: &RunCtx<'_>) -> Report {
         ..Params::full()
     };
     let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
-    let runs = ExperimentPlan::cross(RODINIA, params, configs).run(ctx.cache, ctx.jobs);
+    let runs = ExperimentPlan::cross(ctx.specs(RODINIA), params, configs).run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -39,8 +39,8 @@ pub fn table5(scale: f64, ctx: &RunCtx<'_>) -> Report {
         // One profile, five predictions; five simulations as ground truth.
         let predicted: Vec<f64> = run.cells.iter().map(|c| c.rppm.total_seconds).collect();
         let simulated: Vec<f64> = run.cells.iter().map(|c| c.sim.total_seconds).collect();
-        let row = dse_row(run.bench.name, &predicted, &simulated, &BOUNDS);
-        let mut r = Row::new().cell(16, run.bench.name);
+        let row = dse_row(run.spec.name(), &predicted, &simulated, &BOUNDS);
+        let mut r = Row::new().cell(16, run.spec.name());
         let mut cells_json = Vec::new();
         for (k, &(_, deficiency, candidates)) in row.cells.iter().enumerate() {
             sums[k] += deficiency;
@@ -53,7 +53,7 @@ pub fn table5(scale: f64, ctx: &RunCtx<'_>) -> Report {
         }
         r.line(&mut out);
         rows.push(obj([
-            ("benchmark", Value::String(run.bench.name.to_string())),
+            ("benchmark", Value::String(run.spec.name().to_string())),
             ("cells", arr(cells_json)),
         ]));
     }
@@ -62,7 +62,7 @@ pub fn table5(scale: f64, ctx: &RunCtx<'_>) -> Report {
     let mut r = Row::new().cell(16, "average");
     let mut avg_json = Vec::new();
     for s in &sums {
-        let avg = s / RODINIA.len() as f64;
+        let avg = s / runs.len() as f64;
         r = r.rcell(12, format!("{:.2}%", avg * 100.0));
         avg_json.push(Value::F64(avg));
     }

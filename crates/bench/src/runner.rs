@@ -14,27 +14,143 @@
 use rppm_core::{predict, predict_crit, predict_main, Prediction};
 use rppm_profiler::{profile, ApplicationProfile};
 use rppm_sim::{simulate, SimResult};
-use rppm_trace::{MachineConfig, Program};
-use rppm_workloads::{Benchmark, Params};
+use rppm_trace::{program_fingerprint, read_program, MachineConfig, Program, TraceFileError};
+use rppm_workloads::{Benchmark, Params, Suite};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Cache key: a workload is identified by its name and generation
-/// parameters (same key ⇒ bit-identical program and profile).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct JobKey {
-    name: &'static str,
-    scale_bits: u64,
-    seed: u64,
+/// A trace imported from an on-disk file (see `rppm_trace::file`), ready to
+/// be planned like any built-in benchmark. The program is held behind an
+/// [`Arc`] and fingerprinted once, so planning it is cheap and profile
+/// caching keys on content, not on file identity.
+#[derive(Debug, Clone)]
+pub struct ImportedTrace {
+    program: Arc<Program>,
+    fingerprint: u64,
+}
+
+impl ImportedTrace {
+    /// Wraps an already-imported program.
+    pub fn new(program: Program) -> Self {
+        let fingerprint = program_fingerprint(&program);
+        ImportedTrace {
+            program: Arc::new(program),
+            fingerprint,
+        }
+    }
+
+    /// Reads, validates and wraps the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every `rppm_trace::file` import failure.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, TraceFileError> {
+        read_program(path).map(Self::new)
+    }
+
+    /// The workload name recorded in the trace.
+    pub fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    /// The imported program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Content fingerprint (stable across re-imports of identical files).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Anything an [`ExperimentPlan`] can run: a built-in generator from the
+/// workload catalog, or a trace imported from a file. Imported traces are
+/// first-class — they profile once through the same [`ProfileCache`] and
+/// appear in every report alongside the built-ins.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// A catalog benchmark, generated from [`Params`].
+    Builtin(Benchmark),
+    /// An externally collected trace (fixed dynamic stream; [`Params`] do
+    /// not apply).
+    Imported(ImportedTrace),
+}
+
+impl WorkloadSpec {
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSpec::Builtin(b) => b.name,
+            WorkloadSpec::Imported(t) => t.name(),
+        }
+    }
+
+    /// Suite column label: `rodinia`, `parsec`, or `imported`.
+    pub fn suite_label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Builtin(b) => match b.suite {
+                Suite::Rodinia => "rodinia",
+                Suite::Parsec => "parsec",
+            },
+            WorkloadSpec::Imported(_) => "imported",
+        }
+    }
+
+    /// Whether this workload came from a trace file.
+    pub fn is_imported(&self) -> bool {
+        matches!(self, WorkloadSpec::Imported(_))
+    }
+
+    /// Materializes the program (generates builtins; shares imports).
+    fn build(&self, params: &Params) -> Arc<Program> {
+        match self {
+            WorkloadSpec::Builtin(b) => Arc::new(b.build(params)),
+            WorkloadSpec::Imported(t) => Arc::clone(&t.program),
+        }
+    }
+}
+
+impl From<Benchmark> for WorkloadSpec {
+    fn from(b: Benchmark) -> Self {
+        WorkloadSpec::Builtin(b)
+    }
+}
+
+impl From<ImportedTrace> for WorkloadSpec {
+    fn from(t: ImportedTrace) -> Self {
+        WorkloadSpec::Imported(t)
+    }
+}
+
+/// Cache key. Builtins are identified by name and generation parameters
+/// (same key ⇒ bit-identical program and profile); imported traces by
+/// content fingerprint (their dynamic stream is fixed, so [`Params`] are
+/// deliberately not part of the key).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JobKey {
+    Builtin {
+        name: &'static str,
+        scale_bits: u64,
+        seed: u64,
+    },
+    Imported {
+        fingerprint: u64,
+    },
 }
 
 impl JobKey {
-    fn of(bench: &Benchmark, params: &Params) -> Self {
-        JobKey {
-            name: bench.name,
-            scale_bits: params.scale.to_bits(),
-            seed: params.seed,
+    fn of(spec: &WorkloadSpec, params: &Params) -> Self {
+        match spec {
+            WorkloadSpec::Builtin(b) => JobKey::Builtin {
+                name: b.name,
+                scale_bits: params.scale.to_bits(),
+                seed: params.seed,
+            },
+            WorkloadSpec::Imported(t) => JobKey::Imported {
+                fingerprint: t.fingerprint,
+            },
         }
     }
 }
@@ -67,13 +183,13 @@ impl ProfileCache {
     /// use. Concurrent callers for the same key block until the single
     /// profiling run finishes; callers for different keys proceed in
     /// parallel.
-    pub fn get(&self, bench: &Benchmark, params: &Params) -> ProfiledWorkload {
+    pub fn get(&self, spec: &WorkloadSpec, params: &Params) -> ProfiledWorkload {
         let slot = {
             let mut map = self.map.lock().expect("cache lock");
-            Arc::clone(map.entry(JobKey::of(bench, params)).or_default())
+            Arc::clone(map.entry(JobKey::of(spec, params)).or_default())
         };
         slot.get_or_init(|| {
-            let program = Arc::new(bench.build(params));
+            let program = spec.build(params);
             let prof = Arc::new(profile(&program));
             ProfiledWorkload {
                 program,
@@ -131,9 +247,9 @@ impl CellRun {
 /// per planned configuration (in plan order).
 #[derive(Debug)]
 pub struct WorkloadRuns {
-    /// The benchmark.
-    pub bench: Benchmark,
-    /// Generation parameters.
+    /// The workload (builtin benchmark or imported trace).
+    pub spec: WorkloadSpec,
+    /// Generation parameters (ignored for imported traces).
     pub params: Params,
     /// The workload's shared program + profile.
     pub workload: ProfiledWorkload,
@@ -157,31 +273,32 @@ impl WorkloadRuns {
 #[derive(Debug, Clone)]
 pub struct ExperimentPlan {
     /// Workload jobs (profiled once each).
-    pub workloads: Vec<(Benchmark, Params)>,
+    pub workloads: Vec<(WorkloadSpec, Params)>,
     /// Configurations every workload is simulated and predicted on.
     pub configs: Vec<MachineConfig>,
 }
 
 impl ExperimentPlan {
-    /// Plans `benches` × `configs` with uniform `params`.
-    pub fn cross(
-        benches: impl IntoIterator<Item = Benchmark>,
-        params: Params,
-        configs: Vec<MachineConfig>,
-    ) -> Self {
+    /// Plans `workloads` × `configs` with uniform `params`. Accepts any mix
+    /// of [`Benchmark`]s, [`ImportedTrace`]s and [`WorkloadSpec`]s.
+    pub fn cross<I>(workloads: I, params: Params, configs: Vec<MachineConfig>) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<WorkloadSpec>,
+    {
         ExperimentPlan {
-            workloads: benches.into_iter().map(|b| (b, params)).collect(),
+            workloads: workloads.into_iter().map(|w| (w.into(), params)).collect(),
             configs,
         }
     }
 
-    /// Plans `benches` on a single configuration.
-    pub fn single_config(
-        benches: impl IntoIterator<Item = Benchmark>,
-        params: Params,
-        config: MachineConfig,
-    ) -> Self {
-        Self::cross(benches, params, vec![config])
+    /// Plans `workloads` on a single configuration.
+    pub fn single_config<I>(workloads: I, params: Params, config: MachineConfig) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<WorkloadSpec>,
+    {
+        Self::cross(workloads, params, vec![config])
     }
 
     /// Runs the plan on `jobs` worker threads, sharing `cache` for
@@ -194,20 +311,20 @@ impl ExperimentPlan {
     pub fn run(&self, cache: &ProfileCache, jobs: usize) -> Vec<WorkloadRuns> {
         // Phase 1: profile each distinct workload once.
         let mut seen = HashMap::new();
-        for (b, p) in &self.workloads {
-            seen.entry(JobKey::of(b, p)).or_insert((b, p));
+        for (w, p) in &self.workloads {
+            seen.entry(JobKey::of(w, p)).or_insert((w, p));
         }
         let unique: Vec<_> = seen.into_values().collect();
         parallel_for(jobs, unique.len(), |i| {
-            let (b, p) = unique[i];
-            cache.get(b, p);
+            let (w, p) = unique[i];
+            cache.get(w, p);
         });
 
         // Phase 2: one job per (workload, config) cell.
         let profiled: Vec<ProfiledWorkload> = self
             .workloads
             .iter()
-            .map(|(b, p)| cache.get(b, p))
+            .map(|(w, p)| cache.get(w, p))
             .collect();
         let n_cfg = self.configs.len();
         let cells: Vec<Mutex<Option<CellRun>>> = (0..self.workloads.len() * n_cfg)
@@ -234,9 +351,9 @@ impl ExperimentPlan {
         self.workloads
             .iter()
             .zip(profiled)
-            .map(|(&(bench, params), workload)| WorkloadRuns {
-                bench,
-                params,
+            .map(|((spec, params), workload)| WorkloadRuns {
+                spec: spec.clone(),
+                params: *params,
                 workload,
                 cells: cells
                     .by_ref()
@@ -364,6 +481,42 @@ mod tests {
             &runs[1].workload.profile
         ));
         assert_eq!(runs[0].cells.len(), 2);
+    }
+
+    #[test]
+    fn imported_traces_are_cached_by_content() {
+        let cache = ProfileCache::new();
+        let params = Params {
+            scale: 0.02,
+            seed: 1,
+        };
+        let bench = rppm_workloads::by_name("nn").expect("known");
+        let text = rppm_trace::export_program(&bench.build(&params)).expect("exports");
+        // Two independent imports of the same file content...
+        let a = ImportedTrace::new(rppm_trace::import_program(&text).expect("imports"));
+        let b = ImportedTrace::new(rppm_trace::import_program(&text).expect("imports"));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let plan = ExperimentPlan::single_config([a, b], params, DesignPoint::Base.config());
+        let runs = plan.run(&cache, 2);
+        // ...share one profile, and Params are not part of an import's key.
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(
+            &runs[0].workload.profile,
+            &runs[1].workload.profile
+        ));
+        assert!(runs[0].spec.is_imported());
+        assert_eq!(runs[0].spec.name(), "nn");
+        assert_eq!(runs[0].spec.suite_label(), "imported");
+        // The imported trace predicts bit-identically to the builtin it was
+        // exported from.
+        let builtin = cache.get(&WorkloadSpec::from(bench), &params);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            predict(&builtin.profile, &DesignPoint::Base.config())
+                .total_cycles
+                .to_bits(),
+            runs[0].only().rppm.total_cycles.to_bits()
+        );
     }
 
     #[test]

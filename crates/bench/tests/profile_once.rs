@@ -6,7 +6,7 @@
 //! counter, and a second concurrently-running test in this binary would
 //! perturb the deltas.
 
-use rppm_bench::{ExperimentPlan, ProfileCache, RunCtx};
+use rppm_bench::{ExperimentPlan, ImportedTrace, ProfileCache, RunCtx};
 use rppm_profiler::profile_call_count;
 use rppm_trace::DesignPoint;
 use rppm_workloads::{by_name, Params};
@@ -52,4 +52,30 @@ fn each_workload_is_profiled_exactly_once() {
     ExperimentPlan::cross([benches[0]], other, Vec::new()).run(&cache, 1);
     assert_eq!(profile_call_count() - before, 4);
     assert_eq!(cache.len(), 4);
+
+    // Imported traces obey the same contract: a trace that round-trips
+    // through the interchange format is profiled exactly once across all
+    // design points and across plans...
+    let text = rppm_trace::export_program(&by_name("lud").expect("known").build(&params))
+        .expect("exports");
+    let imported = ImportedTrace::new(rppm_trace::import_program(&text).expect("imports"));
+    let runs = ExperimentPlan::cross([imported.clone()], params, configs).run(&cache, 4);
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].cells.len(), 5);
+    assert_eq!(
+        profile_call_count() - before,
+        5,
+        "one profile() for the imported trace despite 5 cells"
+    );
+    ExperimentPlan::single_config([imported.clone()], params, DesignPoint::Base.config())
+        .run(&cache, 2);
+    assert_eq!(profile_call_count() - before, 5, "cache hit across plans");
+
+    // ...and the cache keys on trace *content*, not Params: re-running the
+    // same import under different Params must not re-profile, while a
+    // second import of the same file shares the first one's profile.
+    let reimported = ImportedTrace::new(rppm_trace::import_program(&text).expect("imports"));
+    ExperimentPlan::cross([reimported], other, Vec::new()).run(&cache, 1);
+    assert_eq!(profile_call_count() - before, 5, "content-keyed cache hit");
+    assert_eq!(cache.len(), 5);
 }

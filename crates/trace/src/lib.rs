@@ -20,6 +20,10 @@
 //! * [`MachineConfig`] — the target multicore description shared by the
 //!   golden-reference simulator (`rppm-sim`) and the analytical model
 //!   (`rppm-core`). Includes the five design points of Table IV.
+//! * [`file`][mod@file] — the versioned on-disk trace interchange format:
+//!   [`export_program`] / [`import_program`] with schema-version checking
+//!   and typed, actionable errors, so externally collected traces can be
+//!   fed to the profiler.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@ pub mod builder;
 pub mod config;
 pub mod cpi;
 pub mod cursor;
+pub mod file;
 pub mod op;
 pub mod pattern;
 pub mod program;
@@ -65,6 +70,10 @@ pub use builder::{ProgramBuilder, ThreadBuilder};
 pub use config::{BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig};
 pub use cpi::CpiStack;
 pub use cursor::{CursorItem, ThreadCursor};
+pub use file::{
+    export_program, import_program, program_fingerprint, read_program, write_program,
+    TraceFileError, TRACE_FORMAT, TRACE_VERSION,
+};
 pub use op::{MicroOp, OpClass};
 pub use pattern::{AddressPattern, BranchPattern, Region};
 pub use program::{Program, Segment, ThreadScript};

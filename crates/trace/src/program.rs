@@ -126,10 +126,15 @@ impl Program {
                             });
                         }
                         SyncOp::Lock { id } => held.push(id.0),
-                        SyncOp::Unlock { id } if held.pop() != Some(id.0) => {
-                            return Err(ProgramError::UnbalancedLock {
-                                thread: ThreadId(tid as u32),
-                            });
+                        // Not a match guard: the pop must happen on every
+                        // Unlock, and a guard would hide that state change.
+                        #[allow(clippy::collapsible_match)]
+                        SyncOp::Unlock { id } => {
+                            if held.pop() != Some(id.0) {
+                                return Err(ProgramError::UnbalancedLock {
+                                    thread: ThreadId(tid as u32),
+                                });
+                            }
                         }
                         _ => {}
                     }

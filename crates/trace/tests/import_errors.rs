@@ -1,0 +1,158 @@
+//! Malformed trace files must yield typed, actionable errors — never a
+//! panic. Each test corrupts one aspect of a known-good file and asserts
+//! the importer reports the matching [`TraceFileError`] variant.
+
+use rppm_trace::{
+    export_program, import_program, BlockSpec, ProgramBuilder, TraceFileError, TRACE_FORMAT,
+    TRACE_VERSION,
+};
+
+fn good_file() -> String {
+    let mut b = ProgramBuilder::new("victim", 2);
+    let bar = b.alloc_barrier();
+    b.spawn_workers();
+    for t in 0..2u32 {
+        b.thread(t)
+            .block(BlockSpec::new(256, 5 + t as u64).loads(0.2).branches(0.1))
+            .barrier(bar);
+    }
+    b.join_workers();
+    export_program(&b.build()).expect("good program serializes")
+}
+
+#[test]
+fn wrong_schema_version_is_rejected() {
+    let text = good_file().replace(&format!("\"version\":{TRACE_VERSION}"), "\"version\":2");
+    match import_program(&text) {
+        Err(TraceFileError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 2);
+            assert_eq!(supported, TRACE_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_integer_version_is_rejected() {
+    let text = good_file().replace(
+        &format!("\"version\":{TRACE_VERSION}"),
+        "\"version\":\"one\"",
+    );
+    match import_program(&text) {
+        Err(e @ TraceFileError::NotATraceFile { .. }) => {
+            // Mistyped must read differently from absent: the field *is*
+            // present, just the wrong type.
+            let msg = e.to_string();
+            assert!(msg.contains("must be a non-negative integer"), "{msg}");
+            assert!(msg.contains("a string"), "{msg}");
+        }
+        other => panic!("expected NotATraceFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_file_is_a_json_error() {
+    let text = good_file();
+    for cut in [1, text.len() / 3, text.len() - 1] {
+        let err = import_program(&text[..cut]).unwrap_err();
+        assert!(
+            matches!(err, TraceFileError::Json { .. }),
+            "cut at {cut}: expected Json error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_sync_event_kind_is_a_schema_error() {
+    let text = good_file().replace("\"Barrier\"", "\"Rendezvous\"");
+    match import_program(&text) {
+        Err(TraceFileError::Schema { detail }) => {
+            assert!(
+                detail.contains("Rendezvous"),
+                "diagnostic should name the unknown kind: {detail}"
+            );
+        }
+        other => panic!("expected Schema error, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_block_field_is_a_schema_error() {
+    // Drop every block's `seed` field (name plus value plus the comma).
+    let text = good_file()
+        .replace("\"seed\":5,", "")
+        .replace("\"seed\":6,", "");
+    match import_program(&text) {
+        Err(TraceFileError::Schema { detail }) => {
+            assert!(
+                detail.contains("seed"),
+                "diagnostic should name the field: {detail}"
+            );
+        }
+        other => panic!("expected Schema error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_format_tag_is_rejected() {
+    let text = good_file().replace(TRACE_FORMAT, "someone-elses-trace");
+    match import_program(&text) {
+        Err(TraceFileError::NotATraceFile { detail }) => {
+            assert!(detail.contains("someone-elses-trace"), "{detail}");
+        }
+        other => panic!("expected NotATraceFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_object_top_level_is_rejected() {
+    for text in ["[]", "42", "\"rppm-trace\"", "null"] {
+        assert!(
+            matches!(
+                import_program(text),
+                Err(TraceFileError::NotATraceFile { .. })
+            ),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn structurally_invalid_program_is_rejected() {
+    // A worker thread with segments but no Create event: parses fine,
+    // fails validation.
+    let text = format!(
+        "{{\"format\":\"{TRACE_FORMAT}\",\"version\":{TRACE_VERSION},\"program\":\
+         {{\"name\":\"orphan\",\"threads\":[{{\"segments\":[]}},\
+         {{\"segments\":[{{\"Sync\":{{\"Consume\":{{\"queue\":0}}}}}}]}}]}}}}"
+    );
+    match import_program(&text) {
+        Err(TraceFileError::InvalidProgram(e)) => {
+            assert!(e.to_string().contains("never created"), "{e}");
+        }
+        other => panic!("expected InvalidProgram, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_error_message_is_actionable() {
+    // The user-facing contract: messages say what to fix.
+    let cases = [
+        import_program("").unwrap_err().to_string(),
+        import_program("{\"format\":\"x\",\"version\":1}")
+            .unwrap_err()
+            .to_string(),
+        import_program(&format!("{{\"format\":\"{TRACE_FORMAT}\",\"version\":7}}"))
+            .unwrap_err()
+            .to_string(),
+    ];
+    assert!(cases[1].contains(TRACE_FORMAT), "{}", cases[1]);
+    assert!(
+        cases[2].contains("version 7") || cases[2].contains("version"),
+        "{}",
+        cases[2]
+    );
+    for msg in cases {
+        assert!(msg.len() > 20, "too terse: {msg}");
+    }
+}

@@ -153,8 +153,10 @@ macro_rules! bench {
     };
 }
 
-/// All 16 Rodinia analogs, in the paper's Table V order.
-pub const RODINIA: [Benchmark; 16] = [
+/// All Rodinia analogs: the paper's 16 (Table V order) plus two
+/// expansion-set analogs (`hotspot3d`, `b+tree`) beyond the evaluated
+/// subset.
+pub const RODINIA: [Benchmark; 18] = [
     bench!(Rodinia, rodinia, backprop),
     bench!(Rodinia, rodinia, bfs),
     bench!(Rodinia, rodinia, cfd),
@@ -171,10 +173,14 @@ pub const RODINIA: [Benchmark; 16] = [
     bench!(Rodinia, rodinia, pathfinder),
     bench!(Rodinia, rodinia, srad),
     bench!(Rodinia, rodinia, streamcluster),
+    bench!(Rodinia, rodinia, hotspot3d),
+    bench!(Rodinia, rodinia, btree),
 ];
 
-/// All 10 Parsec analogs, in the paper's Table III order.
-pub const PARSEC: [Benchmark; 10] = [
+/// All Parsec analogs: the paper's 10 (Table III order) plus two
+/// expansion-set pipeline analogs (`dedup`, `ferret`) beyond the evaluated
+/// subset.
+pub const PARSEC: [Benchmark; 12] = [
     bench!(Parsec, parsec, blackscholes),
     bench!(Parsec, parsec, bodytrack),
     bench!(Parsec, parsec, canneal),
@@ -185,6 +191,8 @@ pub const PARSEC: [Benchmark; 10] = [
     bench!(Parsec, parsec, streamcluster_p),
     bench!(Parsec, parsec, swaptions),
     bench!(Parsec, parsec, vips),
+    bench!(Parsec, parsec, dedup),
+    bench!(Parsec, parsec, ferret),
 ];
 
 /// Every benchmark, Rodinia first.
@@ -207,9 +215,9 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(RODINIA.len(), 16);
-        assert_eq!(PARSEC.len(), 10);
-        assert_eq!(all().len(), 26);
+        assert_eq!(RODINIA.len(), 18);
+        assert_eq!(PARSEC.len(), 12);
+        assert_eq!(all().len(), 30);
     }
 
     #[test]
@@ -217,7 +225,7 @@ mod tests {
         let mut names: Vec<&str> = all().iter().map(|b| b.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 26);
+        assert_eq!(names.len(), 30);
     }
 
     #[test]

@@ -495,6 +495,156 @@ pub fn vips(p: &Params) -> Program {
     b.build()
 }
 
+/// `dedup` (beyond the paper's evaluated subset): the kernel's
+/// three-stage deduplication pipeline over condition-variable queues.
+/// Thread 1 chunks and fingerprints the input stream (streaming loads,
+/// integer hashing), threads 2-3 compress chunks (compute-heavy consumers),
+/// thread 4 reorders and writes output; every stage guards the shared
+/// hash-table index with short critical sections. Main only orchestrates —
+/// a producer/consumer marker workload in the paper's Section III-A sense.
+pub fn dedup(p: &Params) -> Program {
+    const ID: u64 = 31;
+    let mut b = ProgramBuilder::new("dedup", 5);
+    let input = b.alloc_region(420_000);
+    let output = b.alloc_region(300_000);
+    let hashtab = b.alloc_region(30_000);
+    let chunks = b.alloc_queue(); // stage 1 -> stage 2 (compressors)
+    let packed = b.alloc_queue(); // stage 2 -> stage 3 (writer)
+    let m = b.alloc_mutex();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.28)
+            .stores(0.08)
+            .branches(0.11)
+            .int_muldiv(0.02, 0.0)
+            .deps(0.40, 3.0)
+            .branch_pattern(BranchPattern::bernoulli(0.7))
+            .sites(2)
+            .code_footprint(70),
+    );
+    let cs_tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.35)
+            .stores(0.2)
+            .deps(0.5, 2.0)
+            .code_footprint(4),
+    );
+    b.spawn_workers();
+    let batches = p.rounds(24);
+    for k in 0..batches {
+        // Stage 1: chunk + fingerprint (one compressed unit per consumer).
+        let mut chunk = tpl.with_ops(p.ops(8_000)).with_seed(p.seed_for(ID, 1, k));
+        chunk.addr = vec![(AddressPattern::stream_from(input, k as u64 * 9_000), 1.0)];
+        let mut probe = cs_tpl.with_ops(96).with_seed(p.seed_for(ID ^ 0xDD, 1, k));
+        probe.addr = vec![(AddressPattern::random(hashtab), 1.0)];
+        b.thread(1u32)
+            .block(chunk)
+            .lock(m)
+            .block(probe)
+            .unlock(m)
+            .produce(chunks, 2);
+        // Stage 2: two parallel compressors.
+        for t in 2..4u32 {
+            let mut comp = tpl.with_ops(p.ops(7_000)).with_seed(p.seed_for(ID, t, k));
+            comp.addr = vec![(
+                AddressPattern::stream_from(input, k as u64 * 9_000 + t as u64 * 2_000),
+                1.0,
+            )];
+            let mut update = cs_tpl.with_ops(64).with_seed(p.seed_for(ID ^ 0xEE, t, k));
+            update.addr = vec![(AddressPattern::random(hashtab), 1.0)];
+            b.thread(t)
+                .consume(chunks)
+                .block(comp)
+                .lock(m)
+                .block(update)
+                .unlock(m)
+                .produce(packed, 1);
+        }
+        // Stage 3: reorder + write (lighter than compression).
+        for _ in 0..2 {
+            b.thread(4u32).consume(packed);
+        }
+        let mut write = tpl.with_ops(p.ops(3_500)).with_seed(p.seed_for(ID, 4, k));
+        write.addr = vec![(AddressPattern::stream_from(output, k as u64 * 6_000), 1.0)];
+        b.thread(4u32).block(write);
+    }
+    b.join_workers();
+    b.build()
+}
+
+/// `ferret` (beyond the paper's evaluated subset): content-based similarity
+/// search as a four-stage pipeline (segment, extract, index, rank) chained
+/// through condition-variable queues, with the rank stage the clear
+/// bottleneck — the canonical imbalanced-pipeline counterpart to `dedup`'s
+/// balanced one. The index stage probes a shared database under a lock.
+pub fn ferret(p: &Params) -> Program {
+    const ID: u64 = 32;
+    let mut b = ProgramBuilder::new("ferret", 5);
+    let images = b.alloc_region(350_000);
+    let database = b.alloc_region(200_000);
+    let ranks = b.alloc_region(1_024);
+    let q: Vec<_> = (0..3).map(|_| b.alloc_queue()).collect();
+    let m = b.alloc_mutex();
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.26)
+            .stores(0.05)
+            .branches(0.09)
+            .fp(0.22, 0.13)
+            .deps(0.36, 3.5)
+            .load_chain(0.15)
+            .branch_pattern(BranchPattern::bernoulli(0.75))
+            .sites(3)
+            .code_footprint(110),
+    );
+    b.spawn_workers();
+    let queries = p.rounds(20);
+    // Stage weights: rank (thread 4) dominates, as in the real kernel.
+    let stage_ops = [4_000u32, 6_000, 7_000, 14_000];
+    for k in 0..queries {
+        // Stage 1 (thread 1): segment the query image.
+        let mut seg = tpl
+            .with_ops(p.ops(stage_ops[0]))
+            .with_seed(p.seed_for(ID, 1, k));
+        seg.addr = vec![(AddressPattern::stream_from(images, k as u64 * 8_000), 1.0)];
+        b.thread(1u32).block(seg).produce(q[0], 1);
+        // Stage 2 (thread 2): extract features.
+        let mut ext = tpl
+            .with_ops(p.ops(stage_ops[1]))
+            .with_seed(p.seed_for(ID, 2, k));
+        ext.addr = vec![(
+            AddressPattern::stream_from(images, k as u64 * 8_000 + 2_000),
+            1.0,
+        )];
+        b.thread(2u32).consume(q[0]).block(ext).produce(q[1], 1);
+        // Stage 3 (thread 3): probe the shared index under a lock.
+        let mut idx = tpl
+            .with_ops(p.ops(stage_ops[2]))
+            .with_seed(p.seed_for(ID, 3, k));
+        idx.addr = vec![(AddressPattern::hot(database, 12_000, 0.7), 1.0)];
+        let mut probe = tpl.with_ops(128).with_seed(p.seed_for(ID ^ 0xFE, 3, k));
+        probe.addr = vec![(AddressPattern::random(database), 1.0)];
+        b.thread(3u32)
+            .consume(q[1])
+            .block(idx)
+            .lock(m)
+            .block(probe)
+            .unlock(m)
+            .produce(q[2], 1);
+        // Stage 4 (thread 4): rank candidates — the bottleneck stage.
+        let mut rank = tpl
+            .with_ops(p.ops(stage_ops[3]))
+            .with_seed(p.seed_for(ID, 4, k));
+        rank.addr = vec![
+            (AddressPattern::random(database), 0.8),
+            (AddressPattern::random(ranks), 0.2),
+        ];
+        b.thread(4u32).consume(q[2]).block(rank);
+    }
+    b.join_workers();
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +776,28 @@ mod tests {
     }
 
     #[test]
+    fn dedup_and_ferret_are_condvar_pipelines() {
+        for prog in [dedup(&Params::full()), ferret(&Params::full())] {
+            let (cs, bar, cond) = count_events(&prog);
+            assert_eq!(bar, 0, "{}: pipelines use no barriers", prog.name);
+            assert!(cond > 50, "{}: cond {cond}", prog.name);
+            assert!(cs > 0, "{}: expected index critical sections", prog.name);
+        }
+    }
+
+    #[test]
+    fn ferret_rank_stage_is_the_bottleneck() {
+        let prog = ferret(&quick());
+        let rank_ops = prog.threads[4].total_ops();
+        for t in 1..4 {
+            assert!(
+                rank_ops > prog.threads[t].total_ops(),
+                "rank stage must dominate stage {t}"
+            );
+        }
+    }
+
+    #[test]
     fn produce_counts_cover_consumes() {
         use std::collections::HashMap;
         for prog in [
@@ -633,6 +805,8 @@ mod tests {
             vips(&quick()),
             raytrace(&quick()),
             bodytrack(&quick()),
+            dedup(&quick()),
+            ferret(&quick()),
         ] {
             let mut produced: HashMap<u32, i64> = HashMap::new();
             for th in &prog.threads {

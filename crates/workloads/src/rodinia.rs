@@ -514,6 +514,77 @@ pub fn streamcluster(p: &Params) -> Program {
     })
 }
 
+/// `hotspot3d`: the 3D extension of the thermal stencil (Rodinia's
+/// `hotspot3D`, beyond the paper's Table V set). Each thread owns a slab of
+/// z-planes; the 7-point stencil re-reads both neighbouring slabs, so the
+/// sharing fraction is roughly twice `hotspot`'s and the grid clearly
+/// exceeds the LLC — DRAM-bound sweeps with dense spatial locality.
+pub fn hotspot3d(p: &Params) -> Program {
+    const ID: u64 = 17;
+    let mut b = ProgramBuilder::new("hotspot3d", TEAM as usize);
+    let grid = b.alloc_region(260_000);
+    let next = b.alloc_region(260_000);
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.33)
+            .stores(0.09)
+            .branches(0.04)
+            .fp(0.22, 0.11)
+            .deps(0.26, 5.5)
+            .branch_pattern(BranchPattern::loop_every(48))
+            .code_footprint(26),
+    );
+    team_loop(b, p.rounds(14), |t, e| {
+        let mut s = tpl.with_ops(p.ops(40_000)).with_seed(p.seed_for(ID, t, e));
+        let own = grid.chunk(t as u64, TEAM as u64);
+        let below = grid.chunk(((t + TEAM - 1) % TEAM) as u64, TEAM as u64);
+        let above = grid.chunk(((t + 1) % TEAM) as u64, TEAM as u64);
+        s.addr = vec![
+            (AddressPattern::stream_dense(own, 3), 0.58),
+            (AddressPattern::stream(below.window(0, 6_000)), 0.21),
+            (AddressPattern::stream(above.window(0, 6_000)), 0.21),
+        ];
+        s.store_addr = vec![(
+            AddressPattern::stream(next.chunk(t as u64, TEAM as u64)),
+            1.0,
+        )];
+        s
+    })
+}
+
+/// `btree`: batched B+-tree range queries (Rodinia's `b+tree`, beyond the
+/// paper's Table V set). Pointer-chasing descents through a hot upper-level
+/// index into a large leaf array, with data-dependent comparison branches —
+/// the suite's irregular-integer counterpoint to the FP stencils.
+pub fn btree(p: &Params) -> Program {
+    const ID: u64 = 18;
+    let mut b = ProgramBuilder::new("btree", TEAM as usize);
+    let inner = b.alloc_region(4_000); // upper tree levels: hot, shared
+    let leaves = b.alloc_region(480_000); // leaf nodes: cold, huge
+    let tpl = b.template(
+        BlockSpec::new(0, 0)
+            .loads(0.34)
+            .stores(0.03)
+            .branches(0.14)
+            .int_muldiv(0.01, 0.0)
+            .deps(0.46, 2.5)
+            .load_chain(0.35)
+            .branch_pattern(BranchPattern::bernoulli(0.6))
+            .sites(4)
+            .code_footprint(22),
+    );
+    team_loop(b, p.rounds(10), |t, e| {
+        let skew = imbalance(p, ID, t, e, 0.18);
+        let ops = (p.ops(32_000) as f64 * skew) as u32;
+        let mut s = tpl.with_ops(ops.max(64)).with_seed(p.seed_for(ID, t, e));
+        s.addr = vec![
+            (AddressPattern::hot(inner, 600, 0.75), 0.55),
+            (AddressPattern::random(leaves), 0.45),
+        ];
+        s
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +616,8 @@ mod tests {
             pathfinder,
             srad,
             streamcluster,
+            hotspot3d,
+            btree,
         ] {
             let prog = f(&quick());
             assert_eq!(prog.num_threads(), 4, "{}", prog.name);
@@ -604,6 +677,34 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_code >= 1_000);
+    }
+
+    #[test]
+    fn hotspot3d_reads_both_neighbour_slabs() {
+        use rppm_trace::Segment;
+        let prog = hotspot3d(&quick());
+        for seg in &prog.threads[1].segments {
+            if let Segment::Block(b) = seg {
+                assert_eq!(b.addr.len(), 3, "own slab + two neighbours");
+            }
+        }
+    }
+
+    #[test]
+    fn btree_chases_pointers() {
+        use rppm_trace::Segment;
+        let prog = btree(&quick());
+        let block = prog
+            .threads
+            .iter()
+            .flat_map(|t| &t.segments)
+            .find_map(|s| match s {
+                Segment::Block(b) => Some(b),
+                _ => None,
+            })
+            .unwrap();
+        assert!(block.p_load_chain > 0.2, "chain {}", block.p_load_chain);
+        assert!(block.f_branch > 0.1);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! The trace interchange workflow: freeze a workload to a versioned trace
+//! file, read it back as an external tool would, and verify the imported
+//! trace profiles and predicts bit-identically to the original.
+//!
+//! ```text
+//! cargo run --release --example trace_interchange
+//! ```
+
+use rppm::prelude::*;
+use rppm::trace::{export_program, import_program, read_program, write_program, AddressPattern};
+
+fn main() {
+    // 1. Build a workload (any Program works — a catalog analog, or your
+    //    own via the DSL).
+    let mut b = ProgramBuilder::new("frozen-scan", 3);
+    let data = b.alloc_region(50_000);
+    let bar = b.alloc_barrier();
+    b.spawn_workers();
+    for t in 0..3u32 {
+        b.thread(t)
+            .block(
+                BlockSpec::new(20_000, 11 + t as u64)
+                    .loads(0.3)
+                    .branches(0.1)
+                    .addr(AddressPattern::stream(data.chunk(t as u64, 3)), 1.0),
+            )
+            .barrier(bar);
+    }
+    b.join_workers();
+    let program = b.build();
+
+    // 2. Export it: a documented, versioned JSON file any tool can write.
+    let path = std::env::temp_dir().join("frozen-scan.rppm-trace.json");
+    write_program(&program, &path).expect("export");
+    println!(
+        "exported {} ops to {} ({} bytes)",
+        program.total_ops(),
+        path.display(),
+        std::fs::metadata(&path).expect("stat").len()
+    );
+
+    // 3. Import it back — schema-version checked, structurally validated.
+    let imported = read_program(&path).expect("import");
+    assert_eq!(program, imported);
+
+    // 4. The imported trace is a first-class workload: one profile, any
+    //    number of design points, bit-identical to the original.
+    let original = profile(&program);
+    let roundtripped = profile(&imported);
+    assert_eq!(original, roundtripped, "profiles must match bit for bit");
+    for dp in DesignPoint::ALL {
+        let a = predict(&original, &dp.config()).total_cycles;
+        let b = predict(&roundtripped, &dp.config()).total_cycles;
+        assert_eq!(a.to_bits(), b.to_bits());
+        println!("{dp:>9}: {a:.0} predicted cycles (import identical)");
+    }
+
+    // 5. Malformed files fail with typed, actionable errors — never a
+    //    panic. Corrupt the version field to see one.
+    let text = export_program(&program).expect("serializes");
+    let newer = text.replace("\"version\":1", "\"version\":99");
+    match import_program(&newer) {
+        Err(e) => println!("corrupted file rejected: {e}"),
+        Ok(_) => unreachable!("version 99 must not import"),
+    }
+}
