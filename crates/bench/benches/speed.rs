@@ -10,8 +10,95 @@ use rppm_core::{execute, predict, ThreadTimeline};
 use rppm_profiler::profile;
 use rppm_sim::simulate;
 use rppm_statstack::{MultiThreadCollector, ReuseHistogram, StackDistanceModel};
-use rppm_trace::{DesignPoint, Rng, SyncOp};
+use rppm_trace::{BlockItem, CursorItem, DesignPoint, Rng, SyncOp, ThreadCursor};
 use rppm_workloads::{by_name, Params};
+
+fn cursor(c: &mut Criterion) {
+    let bench = by_name("hotspot").expect("known benchmark");
+    let params = Params {
+        scale: 0.1,
+        ..Params::full()
+    };
+    let program = bench.build(&params);
+    let total_ops = program.total_ops();
+
+    let mut g = c.benchmark_group("cursor");
+    g.sample_size(10);
+    // The shared trace cursor, driven one op at a time the way the
+    // profiler and simulator historically did (item + advance per op).
+    g.bench_function("walk_per_op_hotspot_0.1", |b| {
+        b.iter(|| {
+            let mut ops: u64 = 0;
+            for script in &std::hint::black_box(&program).threads {
+                let mut cur = ThreadCursor::new(script);
+                while let Some(item) = cur.item() {
+                    if let CursorItem::Op(op) = item {
+                        ops = ops.wrapping_add(op.line ^ op.code_line);
+                    }
+                    cur.advance();
+                }
+            }
+            ops
+        })
+    });
+    // The zero-copy block API the profiler and simulator now drive:
+    // whole-block slices lent straight out of the expansion buffer.
+    g.bench_function("walk_blocks_hotspot_0.1", |b| {
+        b.iter(|| {
+            let mut acc: u64 = 0;
+            for script in &std::hint::black_box(&program).threads {
+                let mut cur = ThreadCursor::new(script);
+                loop {
+                    match cur.peek_block() {
+                        None => break,
+                        Some(BlockItem::Sync(_)) => cur.consume_sync(),
+                        Some(BlockItem::Ops(ops)) => {
+                            for op in ops {
+                                acc = acc.wrapping_add(op.line ^ op.code_line);
+                            }
+                            let n = ops.len();
+                            cur.consume_ops(n);
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+    eprintln!("  (cursor walks cover {total_ops} ops per iteration)");
+}
+
+fn trace_io(c: &mut Criterion) {
+    let bench = by_name("hotspot").expect("known benchmark");
+    let params = Params {
+        scale: 0.1,
+        ..Params::full()
+    };
+    let program = bench.build(&params);
+    let json = rppm_trace::export_program(&program).expect("exports");
+    let bin = rppm_trace::export_program_binary(&program).expect("exports");
+
+    let mut g = c.benchmark_group("trace_io");
+    g.bench_function("export_json_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::export_program(std::hint::black_box(&program)).unwrap())
+    });
+    g.bench_function("export_binary_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::export_program_binary(std::hint::black_box(&program)).unwrap())
+    });
+    g.bench_function("import_json_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::import_program(std::hint::black_box(&json)).unwrap())
+    });
+    g.bench_function("import_binary_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::import_program_binary(std::hint::black_box(&bin)).unwrap())
+    });
+    g.finish();
+    eprintln!(
+        "  (trace sizes: {} JSON bytes vs {} binary bytes)",
+        json.len(),
+        bin.len()
+    );
+}
 
 fn pipeline(c: &mut Criterion) {
     let bench = by_name("hotspot").expect("known benchmark");
@@ -111,5 +198,5 @@ fn components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline, components);
+criterion_group!(benches, pipeline, components, cursor, trace_io);
 criterion_main!(benches);

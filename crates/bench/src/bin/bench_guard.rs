@@ -1,0 +1,141 @@
+//! CI performance-regression gate over the `speed` benchmark.
+//!
+//! ```text
+//! CRITERION_JSON=results/bench_fresh.json cargo bench -p rppm-bench
+//! cargo run --release -p rppm-bench --bin bench_guard -- results/bench_fresh.json
+//! ```
+//!
+//! Compares a fresh `CRITERION_JSON` capture against the committed
+//! [`BENCH_speed.json`](../../../../BENCH_speed.json) baseline. Absolute
+//! nanoseconds are machine-dependent, so the gate checks **ratios between
+//! benchmarks of the same run**: each entry of the baseline's `guards`
+//! array names a numerator and denominator benchmark plus a generous
+//! `max_regression` factor, and the guard fails when
+//!
+//! ```text
+//! fresh(num)/fresh(den)  >  max_regression × baseline(num)/baseline(den)
+//! ```
+//!
+//! where baseline values are the `after_mean_ns` fields. This catches the
+//! regressions that matter (profiling drifting back toward simulation
+//! cost, the trace cursor losing its zero-copy win) without flaking on CI
+//! machine variance. Exits 1 on any failed guard, 2 on malformed input.
+
+use serde_json::Value;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Mean ns of `name` in a fresh `CRITERION_JSON` capture.
+fn fresh_mean(fresh: &[(String, Value)], name: &str) -> Option<f64> {
+    Value::get(fresh, name)?
+        .as_object()
+        .and_then(|e| Value::get(e, "mean_ns"))
+        .and_then(Value::as_f64)
+}
+
+/// Baseline (`after_mean_ns`) of `name` in BENCH_speed.json.
+fn baseline_mean(benchmarks: &[(String, Value)], name: &str) -> Option<f64> {
+    Value::get(benchmarks, name)?
+        .as_object()
+        .and_then(|e| Value::get(e, "after_mean_ns"))
+        .and_then(Value::as_f64)
+}
+
+fn load_object(path: &str) -> Vec<(String, Value)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read `{path}`: {e}")));
+    let value: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(format!("`{path}` is not valid JSON: {e}")));
+    value
+        .as_object()
+        .unwrap_or_else(|| fail(format!("`{path}` is not a JSON object")))
+        .to_vec()
+}
+
+fn main() {
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_path = "BENCH_speed.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = args
+                    .next()
+                    .unwrap_or_else(|| fail("--baseline needs a path"));
+            }
+            _ if a.starts_with("--") => fail(format!("unknown flag `{a}`")),
+            _ if fresh_path.is_none() => fresh_path = Some(a),
+            _ => fail("exactly one fresh CRITERION_JSON capture expected"),
+        }
+    }
+    let fresh_path = fresh_path
+        .unwrap_or_else(|| fail("usage: bench_guard FRESH.json [--baseline BENCH_speed.json]"));
+
+    let fresh = load_object(&fresh_path);
+    let baseline = load_object(&baseline_path);
+    let benchmarks = Value::get(&baseline, "benchmarks")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| fail(format!("`{baseline_path}` has no `benchmarks` object")));
+    let guards = Value::get(&baseline, "guards")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format!("`{baseline_path}` has no `guards` array")));
+
+    let mut failures = 0;
+    println!("perf-regression gate: {fresh_path} vs {baseline_path}");
+    for guard in guards {
+        let entries = guard
+            .as_object()
+            .unwrap_or_else(|| fail("guard entries must be objects"));
+        let get_str = |k: &str| {
+            Value::get(entries, k)
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| fail(format!("guard missing string field `{k}`")))
+        };
+        let name = get_str("name");
+        let num = get_str("num");
+        let den = get_str("den");
+        let max_regression = Value::get(entries, "max_regression")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| fail(format!("guard `{name}` missing `max_regression`")));
+
+        let base_ratio = match (
+            baseline_mean(benchmarks, num),
+            baseline_mean(benchmarks, den),
+        ) {
+            (Some(n), Some(d)) if d > 0.0 => n / d,
+            _ => fail(format!(
+                "guard `{name}`: baseline lacks after_mean_ns for `{num}` / `{den}`"
+            )),
+        };
+        let (fresh_num, fresh_den) = match (fresh_mean(&fresh, num), fresh_mean(&fresh, den)) {
+            (Some(n), Some(d)) if d > 0.0 => (n, d),
+            _ => {
+                println!("  FAIL {name}: fresh capture lacks `{num}` or `{den}` — was the bench run with CRITERION_JSON?");
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh_ratio = fresh_num / fresh_den;
+        let limit = max_regression * base_ratio;
+        let verdict = if fresh_ratio <= limit { "ok  " } else { "FAIL" };
+        println!(
+            "  {verdict} {name}: {num} / {den} = {fresh_ratio:.3} \
+             (baseline {base_ratio:.3}, limit {limit:.3} = {max_regression}x)"
+        );
+        if fresh_ratio > limit {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "{failures} perf guard(s) failed; if the regression is intentional, refresh \
+             BENCH_speed.json (CRITERION_JSON=out.json cargo bench -p rppm-bench) and commit it"
+        );
+        std::process::exit(1);
+    }
+    println!("all perf guards passed");
+}

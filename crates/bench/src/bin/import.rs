@@ -2,11 +2,13 @@
 //! point, or export a catalog workload as a trace file.
 //!
 //! ```text
-//! # Predict + simulate each trace file on all five Table IV design points:
-//! cargo run --release -p rppm-bench --bin import -- TRACE.json... [--jobs N]
+//! # Predict + simulate each trace file on all five Table IV design points
+//! # (JSON or RPT1 binary, auto-detected by magic bytes):
+//! cargo run --release -p rppm-bench --bin import -- TRACE.json|TRACE.rpt... [--jobs N]
 //!
 //! # Export a built-in workload as a trace file (a quick way to produce a
-//! # schema-conformant example, or to freeze a generated workload):
+//! # schema-conformant example, or to freeze a generated workload; `.rpt`
+//! # extensions write the binary container):
 //! cargo run --release -p rppm-bench --bin import -- \
 //!     --export NAME FILE [--scale S] [--seed N]
 //! ```
@@ -70,7 +72,11 @@ fn main() {
         let bench = rppm_workloads::by_name(&name)
             .unwrap_or_else(|| fail(format!("unknown workload `{name}` (see rppm-workloads)")));
         let program = bench.build(&params);
-        rppm_trace::write_program(&program, &file).unwrap_or_else(|e| fail(e));
+        if rppm_trace::has_binary_extension(&file) {
+            rppm_trace::write_program_binary(&program, &file).unwrap_or_else(|e| fail(e));
+        } else {
+            rppm_trace::write_program(&program, &file).unwrap_or_else(|e| fail(e));
+        }
         println!(
             "exported `{}` (scale {}, seed {}, {} ops, {} threads) to {file}",
             name,

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p rppm-bench --bin run_all [scale] [dse_scale] [--jobs N]
-//!     [--import TRACE.json]...
+//!     [--import TRACE.json|TRACE.rpt]...
 //! ```
 //!
 //! Reports share one [`rppm_bench::ProfileCache`], so each (workload,
@@ -13,9 +13,11 @@
 //! threads. Every report writes both a text table (`results/<name>.txt`)
 //! and its machine-readable twin (`results/<name>.json`).
 //!
-//! Each `--import` names a trace file (see `rppm_trace::file`); imported
-//! workloads join every workload-running report as first-class rows, also
-//! profiled exactly once across all reports.
+//! Each `--import` names a trace file — JSON interchange or `RPT1` binary,
+//! auto-detected by magic bytes (see `rppm_trace::file` and
+//! `rppm_trace::binary`); imported workloads join every workload-running
+//! report as first-class rows, also profiled exactly once across all
+//! reports.
 
 use rppm_bench::reports::{self, Report};
 use rppm_bench::{ImportedTrace, ProfileCache, RunCtx};

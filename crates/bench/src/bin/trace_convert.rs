@@ -1,0 +1,104 @@
+//! Converts trace files between the JSON interchange format and the `RPT1`
+//! binary streaming container, in either direction.
+//!
+//! ```text
+//! cargo run --release -p rppm-bench --bin trace_convert -- IN OUT [--to json|binary]
+//! ```
+//!
+//! The input format is auto-detected by magic bytes (`RPT1` ⇒ binary,
+//! anything else ⇒ JSON). The output format follows `--to` when given,
+//! otherwise the output extension: `.rpt` / `.bin` write binary, everything
+//! else writes JSON. Conversion is lossless both ways — the two containers
+//! carry the identical program, profile and predictions (enforced by
+//! property tests).
+//!
+//! Failures print the typed `rppm_trace::TraceFileError` diagnostic and
+//! exit with status 2.
+
+use std::path::Path;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Json,
+    Binary,
+}
+
+impl Format {
+    fn name(self) -> &'static str {
+        match self {
+            Format::Json => "json",
+            Format::Binary => "binary",
+        }
+    }
+}
+
+fn sniff(path: &Path) -> Format {
+    let mut magic = [0u8; 4];
+    match std::fs::File::open(path).and_then(|mut f| std::io::Read::read(&mut f, &mut magic)) {
+        Ok(4) if magic == rppm_trace::BINARY_TRACE_MAGIC => Format::Binary,
+        _ => Format::Json,
+    }
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut to: Option<Format> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--to" => {
+                let v = args.next().unwrap_or_else(|| fail("--to needs a format"));
+                to = Some(match v.as_str() {
+                    "json" => Format::Json,
+                    "binary" | "rpt" => Format::Binary,
+                    other => fail(format!(
+                        "unknown format `{other}` (expected json or binary)"
+                    )),
+                });
+            }
+            _ if a.starts_with("--") => fail(format!("unknown flag `{a}`")),
+            _ => paths.push(a),
+        }
+    }
+    let [input, output] = paths.as_slice() else {
+        fail("usage: trace_convert IN OUT [--to json|binary]");
+    };
+    let input = Path::new(input);
+    let output = Path::new(output);
+
+    let in_format = sniff(input);
+    let out_format = to.unwrap_or_else(|| {
+        if rppm_trace::has_binary_extension(output) {
+            Format::Binary
+        } else {
+            Format::Json
+        }
+    });
+
+    let program = rppm_trace::read_program_any(input).unwrap_or_else(|e| fail(e));
+    match out_format {
+        Format::Json => rppm_trace::write_program(&program, output),
+        Format::Binary => rppm_trace::write_program_binary(&program, output),
+    }
+    .unwrap_or_else(|e| fail(e));
+
+    let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {} ({}, {} bytes) -> {} ({}, {} bytes): workload `{}`, {} threads, {} ops",
+        input.display(),
+        in_format.name(),
+        in_bytes,
+        output.display(),
+        out_format.name(),
+        out_bytes,
+        program.name,
+        program.num_threads(),
+        program.total_ops(),
+    );
+}

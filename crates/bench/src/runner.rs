@@ -14,7 +14,7 @@
 use rppm_core::{predict, predict_crit, predict_main, Prediction};
 use rppm_profiler::{profile, ApplicationProfile};
 use rppm_sim::{simulate, SimResult};
-use rppm_trace::{program_fingerprint, read_program, MachineConfig, Program, TraceFileError};
+use rppm_trace::{program_fingerprint, read_program_any, MachineConfig, Program, TraceFileError};
 use rppm_workloads::{Benchmark, Params, Suite};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,13 +40,17 @@ impl ImportedTrace {
         }
     }
 
-    /// Reads, validates and wraps the trace file at `path`.
+    /// Reads, validates and wraps the trace file at `path`. The format is
+    /// auto-detected by magic bytes: `RPT1` binary containers and JSON
+    /// interchange files are both accepted, and twins of the same trace in
+    /// either format share one content fingerprint (and therefore one
+    /// cached profile).
     ///
     /// # Errors
     ///
-    /// Propagates every `rppm_trace::file` import failure.
+    /// Propagates every `rppm_trace` import failure (JSON or binary).
     pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, TraceFileError> {
-        read_program(path).map(Self::new)
+        read_program_any(path).map(Self::new)
     }
 
     /// The workload name recorded in the trace.
@@ -516,6 +520,31 @@ mod tests {
                 .total_cycles
                 .to_bits(),
             runs[0].only().rppm.total_cycles.to_bits()
+        );
+    }
+
+    #[test]
+    fn binary_and_json_twins_share_one_profile() {
+        let cache = ProfileCache::new();
+        let params = Params {
+            scale: 0.02,
+            seed: 1,
+        };
+        let bench = rppm_workloads::by_name("lud").expect("known");
+        let program = bench.build(&params);
+        let json = rppm_trace::export_program(&program).expect("exports json");
+        let bin = rppm_trace::export_program_binary(&program).expect("exports binary");
+        // The same trace imported once from each container format...
+        let a = ImportedTrace::new(rppm_trace::import_program(&json).expect("imports"));
+        let b = ImportedTrace::new(rppm_trace::import_program_binary(&bin).expect("imports"));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let plan = ExperimentPlan::single_config([a, b], params, DesignPoint::Base.config());
+        let runs = plan.run(&cache, 2);
+        // ...is one workload: one profile, bit-identical predictions.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            runs[0].only().rppm.total_cycles.to_bits(),
+            runs[1].only().rppm.total_cycles.to_bits()
         );
     }
 

@@ -15,7 +15,7 @@ use crate::profile::{ApplicationProfile, EpochProfile, ThreadProfile};
 use rppm_branch_model::EntropyCollector;
 use rppm_statstack::{MultiThreadCollector, ReuseHistogram, ReuseTracker};
 use rppm_trace::op::NUM_OP_CLASSES;
-use rppm_trace::{CursorItem, MicroOp, OpClass, Program, SyncOp, ThreadCursor};
+use rppm_trace::{BlockItem, MicroOp, OpClass, Program, SyncOp, ThreadCursor};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -178,8 +178,7 @@ enum Status {
     Done,
 }
 
-struct ThreadState<'p> {
-    cursor: ThreadCursor<'p>,
+struct ThreadState {
     tick: u64,
     status: Status,
     epoch: EpochCollector,
@@ -212,7 +211,12 @@ struct QueueState {
 
 struct Profiler<'p> {
     program: &'p Program,
-    threads: Vec<ThreadState<'p>>,
+    /// Per-thread stream cursors, parallel to `threads`. Kept separate so
+    /// the zero-copy op slices a cursor lends out can be iterated while
+    /// the thread's statistics (and the shared memory collector) are
+    /// mutated.
+    cursors: Vec<ThreadCursor<'p>>,
+    threads: Vec<ThreadState>,
     mem: MultiThreadCollector,
     barriers: HashMap<u32, BarrierState>,
     participants: HashMap<u32, usize>,
@@ -225,12 +229,9 @@ struct Profiler<'p> {
 impl<'p> Profiler<'p> {
     fn new(program: &'p Program) -> Self {
         let n = program.num_threads();
-        let threads = program
-            .threads
-            .iter()
-            .enumerate()
-            .map(|(i, script)| ThreadState {
-                cursor: ThreadCursor::new(script),
+        let cursors = program.threads.iter().map(ThreadCursor::new).collect();
+        let threads = (0..n)
+            .map(|i| ThreadState {
                 tick: 0,
                 status: if i == 0 {
                     Status::Ready
@@ -260,6 +261,7 @@ impl<'p> Profiler<'p> {
 
         Profiler {
             program,
+            cursors,
             threads,
             mem: MultiThreadCollector::new(n),
             barriers: HashMap::new(),
@@ -271,8 +273,11 @@ impl<'p> Profiler<'p> {
         }
     }
 
-    fn step_op(&mut self, i: usize, op: MicroOp) {
-        let th = &mut self.threads[i];
+    /// Accounts one micro-op to thread `i`'s state (`th`) and the shared
+    /// memory collector (`mem`). A free-standing function over disjoint
+    /// borrows so the caller can iterate a cursor-lent op slice while
+    /// mutating them.
+    fn step_op(th: &mut ThreadState, mem: &mut MultiThreadCollector, i: usize, op: MicroOp) {
         th.tick += 1;
         let e = &mut th.epoch;
         e.ops += 1;
@@ -311,7 +316,7 @@ impl<'p> Profiler<'p> {
 
         // Data reuse (private + global counters, coherence detection).
         if op.is_mem() {
-            self.mem.access(i, op.line, op.is_store());
+            mem.access(i, op.line, op.is_store());
         }
     }
 
@@ -463,22 +468,37 @@ impl<'p> Profiler<'p> {
 
             let limit = t0 + CHUNK;
             loop {
-                let item = self.threads[i].cursor.item();
-                match item {
+                let Profiler {
+                    cursors,
+                    threads,
+                    mem,
+                    ..
+                } = &mut self;
+                match cursors[i].peek_block() {
                     None => {
                         self.finish_thread(i);
                         break;
                     }
-                    Some(CursorItem::Sync(op)) => {
-                        self.threads[i].cursor.advance();
+                    Some(BlockItem::Sync(op)) => {
+                        cursors[i].consume_sync();
                         if self.handle_sync(i, op) {
                             break;
                         }
                     }
-                    Some(CursorItem::Op(op)) => {
-                        self.threads[i].cursor.advance();
-                        self.step_op(i, op);
-                        if self.threads[i].tick >= limit {
+                    Some(BlockItem::Ops(ops)) => {
+                        // Every op costs one tick, so the chunk budget
+                        // translates directly into an op count. A thread
+                        // arriving at/over the limit (a sync event can jump
+                        // its tick forward) still makes one op of progress,
+                        // matching the per-op cursor's behaviour.
+                        let th = &mut threads[i];
+                        let budget = limit.saturating_sub(th.tick).max(1) as usize;
+                        let take = ops.len().min(budget);
+                        for &op in &ops[..take] {
+                            Self::step_op(th, mem, i, op);
+                        }
+                        cursors[i].consume_ops(take);
+                        if th.tick >= limit {
                             break;
                         }
                     }

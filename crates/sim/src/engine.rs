@@ -10,7 +10,7 @@
 
 use crate::core::CoreModel;
 use crate::mem::MemorySystem;
-use rppm_trace::{CpiStack, CursorItem, MachineConfig, Program, SyncOp, ThreadCursor};
+use rppm_trace::{BlockItem, CpiStack, MachineConfig, Program, SyncOp, ThreadCursor};
 use std::collections::{HashMap, VecDeque};
 
 /// Scheduling quantum in cycles.
@@ -117,8 +117,7 @@ enum Status {
     Done,
 }
 
-struct ThreadCtx<'p> {
-    cursor: ThreadCursor<'p>,
+struct ThreadCtx {
     core: CoreModel,
     status: Status,
     block_time: f64,
@@ -174,7 +173,11 @@ pub fn simulate(program: &Program, config: &MachineConfig) -> SimResult {
 struct Engine<'p> {
     config: &'p MachineConfig,
     program: &'p Program,
-    threads: Vec<ThreadCtx<'p>>,
+    /// Per-thread stream cursors, parallel to `threads`. Kept separate so
+    /// the zero-copy op slices a cursor lends out can be fed to a core
+    /// model while the shared memory system is mutated.
+    cursors: Vec<ThreadCursor<'p>>,
+    threads: Vec<ThreadCtx>,
     mem: MemorySystem,
     barriers: HashMap<u32, BarrierState>,
     participants: HashMap<u32, usize>,
@@ -186,12 +189,9 @@ struct Engine<'p> {
 
 impl<'p> Engine<'p> {
     fn new(program: &'p Program, config: &'p MachineConfig) -> Self {
-        let threads = program
-            .threads
-            .iter()
-            .enumerate()
-            .map(|(i, script)| ThreadCtx {
-                cursor: ThreadCursor::new(script),
+        let cursors = program.threads.iter().map(ThreadCursor::new).collect();
+        let threads = (0..program.num_threads())
+            .map(|i| ThreadCtx {
                 core: CoreModel::new(config, 0.0),
                 status: if i == 0 {
                     Status::Ready
@@ -223,6 +223,7 @@ impl<'p> Engine<'p> {
         Engine {
             config,
             program,
+            cursors,
             threads,
             mem: MemorySystem::with_cores(config, program.num_threads().max(1)),
             barriers: HashMap::new(),
@@ -431,14 +432,19 @@ impl<'p> Engine<'p> {
 
             let limit = t0 + QUANTUM;
             loop {
-                let item = self.threads[i].cursor.item();
-                match item {
+                let Engine {
+                    cursors,
+                    threads,
+                    mem,
+                    ..
+                } = &mut self;
+                match cursors[i].peek_block() {
                     None => {
                         self.finish_thread(i);
                         break;
                     }
-                    Some(CursorItem::Sync(op)) => {
-                        self.threads[i].cursor.advance();
+                    Some(BlockItem::Sync(op)) => {
+                        cursors[i].consume_sync();
                         if self.handle_sync(i, op) {
                             break;
                         }
@@ -446,11 +452,24 @@ impl<'p> Engine<'p> {
                             break;
                         }
                     }
-                    Some(CursorItem::Op(op)) => {
-                        self.threads[i].cursor.advance();
-                        let th = &mut self.threads[i];
-                        th.core.process(&op, &mut self.mem, i);
-                        if th.core.time() > limit {
+                    Some(BlockItem::Ops(ops)) => {
+                        // Feed the lent slice to the core model, checking
+                        // the quantum after each op exactly like the per-op
+                        // cursor did (op latencies vary, so the budget
+                        // cannot be precomputed as an op count).
+                        let th = &mut threads[i];
+                        let mut used = 0;
+                        let mut over = false;
+                        for op in ops {
+                            th.core.process(op, mem, i);
+                            used += 1;
+                            if th.core.time() > limit {
+                                over = true;
+                                break;
+                            }
+                        }
+                        cursors[i].consume_ops(used);
+                        if over {
                             break;
                         }
                     }

@@ -1,0 +1,1238 @@
+//! Versioned binary streaming trace container (`RPT1`).
+//!
+//! The JSON interchange format ([`crate::file`]) is the human-auditable way
+//! to move traces between tools; this module is its high-volume sibling: a
+//! compact, length-prefixed binary container designed to be **streamed** —
+//! written and read section by section, so neither side ever materializes
+//! more than one section of the trace in memory. At op-level stream sizes
+//! (the multi-GB traces the roadmap targets) that is the difference between
+//! "works" and "OOM".
+//!
+//! # Layout
+//!
+//! ```text
+//! magic    4 bytes   "RPT1"
+//! version  varint    container schema version (currently 1)
+//! sections repeated  [tag: varint][len: varint][payload: len bytes]
+//! ```
+//!
+//! Three section kinds exist in version 1:
+//!
+//! | tag | name   | payload |
+//! |-----|--------|---------|
+//! | 1   | header | workload name (varint length + UTF-8), thread count (varint) |
+//! | 2   | ops    | thread id (varint), segment count (varint), segment records |
+//! | 3   | end    | total segment count across all ops sections (varint) |
+//!
+//! The header section must come first, exactly once; the end section must
+//! come last and is followed by nothing (trailing bytes are rejected). A
+//! file that stops before its end section is reliably detected as
+//! [`TraceFileError::Truncated`] — every section is length-prefixed, so a
+//! partial write can never be misread as a complete trace.
+//!
+//! Segment records use **varint** (LEB128) encoding for integers and
+//! **delta + zigzag** encoding for the address-like fields that grow
+//! monotonically across a thread's stream: data-region base addresses,
+//! instruction-line bases (PCs) and branch-site bases are each encoded as
+//! the signed difference from the previous value *in the same thread*.
+//! Model fractions/probabilities are stored as 8-byte little-endian IEEE
+//! doubles (their bit patterns do not compress under varint). Per-thread
+//! delta state persists across sections, so a long thread split over many
+//! ops sections costs nothing extra.
+//!
+//! # Versioning policy
+//!
+//! Same contract as the JSON format: within a version the container only
+//! changes additively (new section tags bump the version, because an old
+//! reader cannot skip content it does not understand and still guarantee a
+//! faithful program). Readers accept exactly [`BINARY_TRACE_VERSION`];
+//! newer files fail with [`TraceFileError::UnsupportedVersion`].
+//!
+//! # Example
+//!
+//! ```
+//! use rppm_trace::{export_program_binary, import_program_binary};
+//! use rppm_trace::{BlockSpec, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new("demo", 2);
+//! b.spawn_workers();
+//! b.thread(1u32).block(BlockSpec::new(1_000, 7).loads(0.2));
+//! b.join_workers();
+//! let program = b.build();
+//!
+//! let bytes = export_program_binary(&program).expect("serializes");
+//! assert_eq!(&bytes[..4], b"RPT1");
+//! let back = import_program_binary(&bytes).expect("round-trips");
+//! assert_eq!(program, back);
+//! ```
+
+use crate::block::BlockSpec;
+use crate::file::{self, TraceFileError};
+use crate::pattern::{AddressPattern, BranchPattern, Region};
+use crate::program::{Program, Segment, ThreadScript};
+use crate::sync::SyncOp;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every binary trace file.
+pub const BINARY_TRACE_MAGIC: [u8; 4] = *b"RPT1";
+
+/// Container schema version written by [`TraceWriter`] and accepted by
+/// [`TraceReader`].
+pub const BINARY_TRACE_VERSION: u32 = 1;
+
+/// Maximum segments buffered into one ops section before the writer
+/// flushes. Bounds writer and reader memory to O(section), not O(program).
+const SECTION_SEGMENTS: u64 = 256;
+
+/// Upper bound on a declared section payload size. A corrupt length prefix
+/// must not make the reader allocate unbounded memory.
+const MAX_SECTION_BYTES: u64 = 1 << 26; // 64 MiB
+
+/// Upper bound on a declared thread count, for the same reason: the reader
+/// allocates per-thread state up front, and a corrupt header must not turn
+/// that into an unbounded allocation.
+const MAX_THREADS: u64 = 1 << 20;
+
+const TAG_HEADER: u64 = 1;
+const TAG_OPS: u64 = 2;
+const TAG_END: u64 = 3;
+
+const SEG_BLOCK: u8 = 0;
+const SEG_CREATE: u8 = 1;
+const SEG_JOIN: u8 = 2;
+const SEG_BARRIER: u8 = 3;
+const SEG_LOCK: u8 = 4;
+const SEG_UNLOCK: u8 = 5;
+const SEG_PRODUCE: u8 = 6;
+const SEG_CONSUME: u8 = 7;
+
+const ADDR_STREAM: u8 = 0;
+const ADDR_RANDOM: u8 = 1;
+const ADDR_HOT: u8 = 2;
+
+const BRANCH_LOOP: u8 = 0;
+const BRANCH_BERNOULLI: u8 = 1;
+const BRANCH_PERIODIC: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// varint / zigzag primitives
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes `new` as a zigzag delta against `prev` (wrapping, so the full
+/// `u64` domain round-trips) and updates `prev`.
+fn push_delta(buf: &mut Vec<u8>, prev: &mut u64, new: u64) {
+    push_varint(buf, zigzag(new.wrapping_sub(*prev) as i64));
+    *prev = new;
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread delta state (shared by writer and reader so they stay in sync)
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaState {
+    region_base: u64,
+    code_base: u64,
+    site_base: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Segment encoding
+
+fn encode_region(buf: &mut Vec<u8>, d: &mut DeltaState, r: &Region) {
+    push_delta(buf, &mut d.region_base, r.base);
+    push_varint(buf, r.lines);
+}
+
+fn encode_addr_pattern(buf: &mut Vec<u8>, d: &mut DeltaState, p: &AddressPattern) {
+    match p {
+        AddressPattern::Stream {
+            region,
+            stride,
+            repeats_per_line,
+            start,
+        } => {
+            buf.push(ADDR_STREAM);
+            encode_region(buf, d, region);
+            push_varint(buf, *stride);
+            push_varint(buf, *repeats_per_line as u64);
+            push_varint(buf, *start);
+        }
+        AddressPattern::Random { region } => {
+            buf.push(ADDR_RANDOM);
+            encode_region(buf, d, region);
+        }
+        AddressPattern::Hot {
+            region,
+            hot_lines,
+            p_hot,
+        } => {
+            buf.push(ADDR_HOT);
+            encode_region(buf, d, region);
+            push_varint(buf, *hot_lines);
+            push_f64(buf, *p_hot);
+        }
+    }
+}
+
+fn encode_branch_pattern(buf: &mut Vec<u8>, p: &BranchPattern) {
+    match p {
+        BranchPattern::Loop { period } => {
+            buf.push(BRANCH_LOOP);
+            push_varint(buf, *period as u64);
+        }
+        BranchPattern::Bernoulli { p_taken } => {
+            buf.push(BRANCH_BERNOULLI);
+            push_f64(buf, *p_taken);
+        }
+        BranchPattern::Periodic { bits, len } => {
+            buf.push(BRANCH_PERIODIC);
+            push_varint(buf, *bits);
+            buf.push(*len);
+        }
+    }
+}
+
+fn encode_segment(buf: &mut Vec<u8>, d: &mut DeltaState, seg: &Segment) {
+    match seg {
+        Segment::Block(b) => {
+            buf.push(SEG_BLOCK);
+            push_varint(buf, b.ops as u64);
+            push_varint(buf, b.seed);
+            for f in [
+                b.f_load,
+                b.f_store,
+                b.f_branch,
+                b.f_fp_add,
+                b.f_fp_mul,
+                b.f_fp_div,
+                b.f_int_mul,
+                b.f_int_div,
+                b.p_dep,
+                b.dep_mean,
+                b.p_dep2,
+                b.p_load_chain,
+            ] {
+                push_f64(buf, f);
+            }
+            push_varint(buf, b.n_sites as u64);
+            push_delta(buf, &mut d.site_base, b.site_base as u64);
+            push_varint(buf, b.code_lines);
+            push_delta(buf, &mut d.code_base, b.code_base);
+            push_varint(buf, b.addr.len() as u64);
+            for (p, w) in &b.addr {
+                encode_addr_pattern(buf, d, p);
+                push_f64(buf, *w);
+            }
+            push_varint(buf, b.store_addr.len() as u64);
+            for (p, w) in &b.store_addr {
+                encode_addr_pattern(buf, d, p);
+                push_f64(buf, *w);
+            }
+            encode_branch_pattern(buf, &b.branch);
+        }
+        Segment::Sync(op) => match op {
+            SyncOp::Create { child } => {
+                buf.push(SEG_CREATE);
+                push_varint(buf, child.0 as u64);
+            }
+            SyncOp::Join { child } => {
+                buf.push(SEG_JOIN);
+                push_varint(buf, child.0 as u64);
+            }
+            SyncOp::Barrier { id, via_cond } => {
+                buf.push(SEG_BARRIER);
+                push_varint(buf, id.0 as u64);
+                buf.push(*via_cond as u8);
+            }
+            SyncOp::Lock { id } => {
+                buf.push(SEG_LOCK);
+                push_varint(buf, id.0 as u64);
+            }
+            SyncOp::Unlock { id } => {
+                buf.push(SEG_UNLOCK);
+                push_varint(buf, id.0 as u64);
+            }
+            SyncOp::Produce { queue, count } => {
+                buf.push(SEG_PRODUCE);
+                push_varint(buf, queue.0 as u64);
+                push_varint(buf, *count as u64);
+            }
+            SyncOp::Consume { queue } => {
+                buf.push(SEG_CONSUME);
+                push_varint(buf, queue.0 as u64);
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+
+/// Streaming binary trace writer.
+///
+/// Segments are appended one at a time with [`TraceWriter::write_segment`]
+/// and flushed to the underlying sink in bounded, length-prefixed sections —
+/// the whole program never exists in memory at once. [`TraceWriter::finish`]
+/// seals the container with an end section carrying the total segment
+/// count, which lets readers distinguish a complete trace from one cut off
+/// at a section boundary.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    num_threads: u32,
+    deltas: Vec<DeltaState>,
+    cur_thread: u32,
+    buf: Vec<u8>,
+    buf_segments: u64,
+    total_segments: u64,
+}
+
+fn stream_err(context: &str, source: std::io::Error) -> TraceFileError {
+    TraceFileError::Stream {
+        context: context.to_string(),
+        source,
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a binary trace: writes the magic, version and header section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Stream`] if the sink rejects the write.
+    pub fn new(mut sink: W, name: &str, num_threads: u32) -> Result<Self, TraceFileError> {
+        let mut head = Vec::with_capacity(16 + name.len());
+        head.extend_from_slice(&BINARY_TRACE_MAGIC);
+        push_varint(&mut head, BINARY_TRACE_VERSION as u64);
+        let mut payload = Vec::with_capacity(8 + name.len());
+        push_varint(&mut payload, name.len() as u64);
+        payload.extend_from_slice(name.as_bytes());
+        push_varint(&mut payload, num_threads as u64);
+        push_varint(&mut head, TAG_HEADER);
+        push_varint(&mut head, payload.len() as u64);
+        head.extend_from_slice(&payload);
+        sink.write_all(&head)
+            .map_err(|e| stream_err("writing the container header", e))?;
+        Ok(TraceWriter {
+            sink,
+            num_threads,
+            deltas: vec![DeltaState::default(); num_threads as usize],
+            cur_thread: 0,
+            buf: Vec::new(),
+            buf_segments: 0,
+            total_segments: 0,
+        })
+    }
+
+    /// Appends one segment of `thread`'s stream.
+    ///
+    /// Threads may be written in any order (each thread switch flushes the
+    /// pending section), but segments of one thread must arrive in stream
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Corrupt`] if `thread` is outside the
+    /// declared thread count, and [`TraceFileError::Stream`] on sink I/O
+    /// failure.
+    pub fn write_segment(&mut self, thread: u32, seg: &Segment) -> Result<(), TraceFileError> {
+        if thread >= self.num_threads {
+            return Err(TraceFileError::Corrupt {
+                detail: format!(
+                    "segment written for thread {thread}, but the header declares only \
+                     {} threads",
+                    self.num_threads
+                ),
+            });
+        }
+        if thread != self.cur_thread || self.buf_segments >= SECTION_SEGMENTS {
+            self.flush_section()?;
+            self.cur_thread = thread;
+        }
+        encode_segment(&mut self.buf, &mut self.deltas[thread as usize], seg);
+        self.buf_segments += 1;
+        self.total_segments += 1;
+        Ok(())
+    }
+
+    /// Appends a whole thread script (convenience over
+    /// [`TraceWriter::write_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TraceWriter::write_segment`].
+    pub fn write_script(
+        &mut self,
+        thread: u32,
+        script: &ThreadScript,
+    ) -> Result<(), TraceFileError> {
+        for seg in &script.segments {
+            self.write_segment(thread, seg)?;
+        }
+        Ok(())
+    }
+
+    fn flush_section(&mut self) -> Result<(), TraceFileError> {
+        if self.buf_segments == 0 {
+            return Ok(());
+        }
+        let mut head = Vec::with_capacity(24);
+        let mut prefix = Vec::with_capacity(12);
+        push_varint(&mut prefix, self.cur_thread as u64);
+        push_varint(&mut prefix, self.buf_segments);
+        push_varint(&mut head, TAG_OPS);
+        push_varint(&mut head, (prefix.len() + self.buf.len()) as u64);
+        head.extend_from_slice(&prefix);
+        self.sink
+            .write_all(&head)
+            .map_err(|e| stream_err("writing an ops section header", e))?;
+        self.sink
+            .write_all(&self.buf)
+            .map_err(|e| stream_err("writing an ops section payload", e))?;
+        self.buf.clear();
+        self.buf_segments = 0;
+        Ok(())
+    }
+
+    /// Flushes pending segments, writes the end section, and returns the
+    /// underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Stream`] on sink I/O failure.
+    pub fn finish(mut self) -> Result<W, TraceFileError> {
+        self.flush_section()?;
+        let mut payload = Vec::with_capacity(12);
+        push_varint(&mut payload, self.total_segments);
+        let mut head = Vec::with_capacity(16);
+        push_varint(&mut head, TAG_END);
+        push_varint(&mut head, payload.len() as u64);
+        head.extend_from_slice(&payload);
+        self.sink
+            .write_all(&head)
+            .map_err(|e| stream_err("writing the end section", e))?;
+        self.sink
+            .flush()
+            .map_err(|e| stream_err("flushing the trace", e))?;
+        Ok(self.sink)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section payload decoding
+
+struct Bytes<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Bytes<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Bytes { b, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn u8(&mut self, context: &str) -> Result<u8, TraceFileError> {
+        if self.pos >= self.b.len() {
+            return Err(TraceFileError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        let v = self.b[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn varint(&mut self, context: &str) -> Result<u64, TraceFileError> {
+        let mut v: u64 = 0;
+        for shift in 0..10u32 {
+            let byte = self.u8(context)?;
+            if shift == 9 && byte > 1 {
+                return Err(TraceFileError::VarintOverrun {
+                    context: context.to_string(),
+                });
+            }
+            v |= ((byte & 0x7F) as u64) << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceFileError::VarintOverrun {
+            context: context.to_string(),
+        })
+    }
+
+    fn varint_u32(&mut self, context: &str) -> Result<u32, TraceFileError> {
+        let v = self.varint(context)?;
+        u32::try_from(v).map_err(|_| TraceFileError::Corrupt {
+            detail: format!("{context}: value {v} does not fit in 32 bits"),
+        })
+    }
+
+    fn f64(&mut self, context: &str) -> Result<f64, TraceFileError> {
+        if self.remaining() < 8 {
+            return Err(TraceFileError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.b[self.pos..self.pos + 8]);
+        self.pos += 8;
+        let v = f64::from_bits(u64::from_le_bytes(bytes));
+        if !v.is_finite() {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("{context}: non-finite float"),
+            });
+        }
+        Ok(v)
+    }
+
+    fn delta(&mut self, prev: &mut u64, context: &str) -> Result<u64, TraceFileError> {
+        let d = unzigzag(self.varint(context)?);
+        *prev = prev.wrapping_add(d as u64);
+        Ok(*prev)
+    }
+}
+
+fn decode_region(b: &mut Bytes<'_>, d: &mut DeltaState) -> Result<Region, TraceFileError> {
+    let base = b.delta(&mut d.region_base, "a region base address")?;
+    let lines = b.varint("a region extent")?;
+    if lines == 0 {
+        return Err(TraceFileError::Corrupt {
+            detail: "region with zero lines".to_string(),
+        });
+    }
+    Ok(Region { base, lines })
+}
+
+fn decode_addr_pattern(
+    b: &mut Bytes<'_>,
+    d: &mut DeltaState,
+) -> Result<AddressPattern, TraceFileError> {
+    match b.u8("an address-pattern tag")? {
+        ADDR_STREAM => Ok(AddressPattern::Stream {
+            region: decode_region(b, d)?,
+            stride: b.varint("a stream stride")?,
+            repeats_per_line: b.varint_u32("stream repeats-per-line")?,
+            start: b.varint("a stream start offset")?,
+        }),
+        ADDR_RANDOM => Ok(AddressPattern::Random {
+            region: decode_region(b, d)?,
+        }),
+        ADDR_HOT => Ok(AddressPattern::Hot {
+            region: decode_region(b, d)?,
+            hot_lines: b.varint("a hot-set size")?,
+            p_hot: b.f64("a hot-set probability")?,
+        }),
+        t => Err(TraceFileError::Corrupt {
+            detail: format!("unknown address-pattern tag {t}"),
+        }),
+    }
+}
+
+fn decode_branch_pattern(b: &mut Bytes<'_>) -> Result<BranchPattern, TraceFileError> {
+    match b.u8("a branch-pattern tag")? {
+        BRANCH_LOOP => Ok(BranchPattern::Loop {
+            period: b.varint_u32("a loop period")?,
+        }),
+        BRANCH_BERNOULLI => Ok(BranchPattern::Bernoulli {
+            p_taken: b.f64("a taken probability")?,
+        }),
+        BRANCH_PERIODIC => {
+            let bits = b.varint("periodic pattern bits")?;
+            let len = b.u8("a periodic pattern length")?;
+            if !(1..=64).contains(&len) {
+                return Err(TraceFileError::Corrupt {
+                    detail: format!("periodic branch pattern length {len} not in 1..=64"),
+                });
+            }
+            Ok(BranchPattern::Periodic { bits, len })
+        }
+        t => Err(TraceFileError::Corrupt {
+            detail: format!("unknown branch-pattern tag {t}"),
+        }),
+    }
+}
+
+fn decode_segment(b: &mut Bytes<'_>, d: &mut DeltaState) -> Result<Segment, TraceFileError> {
+    let tag = b.u8("a segment tag")?;
+    let seg = match tag {
+        SEG_BLOCK => {
+            let ops = b.varint_u32("a block op count")?;
+            let seed = b.varint("a block seed")?;
+            const FLOAT_FIELDS: [&str; 12] = [
+                "block field f_load",
+                "block field f_store",
+                "block field f_branch",
+                "block field f_fp_add",
+                "block field f_fp_mul",
+                "block field f_fp_div",
+                "block field f_int_mul",
+                "block field f_int_div",
+                "block field p_dep",
+                "block field dep_mean",
+                "block field p_dep2",
+                "block field p_load_chain",
+            ];
+            let mut f = [0.0f64; 12];
+            for (i, slot) in f.iter_mut().enumerate() {
+                *slot = b.f64(FLOAT_FIELDS[i])?;
+            }
+            let n_sites = b.varint_u32("a block site count")?;
+            let site_base = b.delta(&mut d.site_base, "a branch-site base")?;
+            let site_base = u32::try_from(site_base).map_err(|_| TraceFileError::Corrupt {
+                detail: format!("branch-site base {site_base} does not fit in 32 bits"),
+            })?;
+            let code_lines = b.varint("a code footprint")?;
+            let code_base = b.delta(&mut d.code_base, "a code-line base")?;
+            let n_addr = b.varint("an address-pattern count")?;
+            let mut addr = Vec::with_capacity(n_addr.min(64) as usize);
+            for _ in 0..n_addr {
+                let p = decode_addr_pattern(b, d)?;
+                let w = b.f64("an address-pattern weight")?;
+                addr.push((p, w));
+            }
+            let n_store = b.varint("a store-pattern count")?;
+            let mut store_addr = Vec::with_capacity(n_store.min(64) as usize);
+            for _ in 0..n_store {
+                let p = decode_addr_pattern(b, d)?;
+                let w = b.f64("a store-pattern weight")?;
+                store_addr.push((p, w));
+            }
+            let branch = decode_branch_pattern(b)?;
+            Segment::Block(BlockSpec {
+                ops,
+                seed,
+                f_load: f[0],
+                f_store: f[1],
+                f_branch: f[2],
+                f_fp_add: f[3],
+                f_fp_mul: f[4],
+                f_fp_div: f[5],
+                f_int_mul: f[6],
+                f_int_div: f[7],
+                p_dep: f[8],
+                dep_mean: f[9],
+                p_dep2: f[10],
+                p_load_chain: f[11],
+                addr,
+                store_addr,
+                branch,
+                n_sites,
+                site_base,
+                code_lines,
+                code_base,
+            })
+        }
+        SEG_CREATE => Segment::Sync(SyncOp::Create {
+            child: b.varint_u32("a created thread id")?.into(),
+        }),
+        SEG_JOIN => Segment::Sync(SyncOp::Join {
+            child: b.varint_u32("a joined thread id")?.into(),
+        }),
+        SEG_BARRIER => Segment::Sync(SyncOp::Barrier {
+            id: b.varint_u32("a barrier id")?.into(),
+            via_cond: b.u8("a barrier cond flag")? != 0,
+        }),
+        SEG_LOCK => Segment::Sync(SyncOp::Lock {
+            id: b.varint_u32("a mutex id")?.into(),
+        }),
+        SEG_UNLOCK => Segment::Sync(SyncOp::Unlock {
+            id: b.varint_u32("a mutex id")?.into(),
+        }),
+        SEG_PRODUCE => Segment::Sync(SyncOp::Produce {
+            queue: b.varint_u32("a queue id")?.into(),
+            count: b.varint_u32("a produce count")?,
+        }),
+        SEG_CONSUME => Segment::Sync(SyncOp::Consume {
+            queue: b.varint_u32("a queue id")?.into(),
+        }),
+        t => {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("unknown segment tag {t}"),
+            })
+        }
+    };
+    Ok(seg)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader
+
+/// Streaming binary trace reader.
+///
+/// Validates the magic, version and header on construction, then yields
+/// `(thread, segment)` pairs one at a time from [`TraceReader::next_segment`]
+/// while holding at most one section in memory. [`TraceReader::read_program`]
+/// is the convenience that drains the stream into a validated [`Program`].
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    name: String,
+    num_threads: u32,
+    deltas: Vec<DeltaState>,
+    section: Vec<u8>,
+    section_pos: usize,
+    section_thread: u32,
+    section_remaining: u64,
+    segments_seen: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a binary trace stream, validating magic, version and header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::BadMagic`] if the stream does not start with
+    /// `RPT1`, [`TraceFileError::UnsupportedVersion`] for versions this
+    /// build cannot read, [`TraceFileError::Truncated`] /
+    /// [`TraceFileError::Corrupt`] for malformed headers, and
+    /// [`TraceFileError::Stream`] for I/O failures.
+    pub fn new(mut source: R) -> Result<Self, TraceFileError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut source, &mut magic, "the RPT1 magic")?;
+        if magic != BINARY_TRACE_MAGIC {
+            return Err(TraceFileError::BadMagic { found: magic });
+        }
+        let version = read_varint(&mut source, "the container version")?;
+        if version != BINARY_TRACE_VERSION as u64 {
+            return Err(TraceFileError::UnsupportedVersion {
+                found: version,
+                supported: BINARY_TRACE_VERSION,
+            });
+        }
+        let (tag, payload) = read_section(&mut source, "the header section")?;
+        if tag != TAG_HEADER {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("first section has tag {tag}, expected header (tag {TAG_HEADER})"),
+            });
+        }
+        let mut b = Bytes::new(&payload);
+        let name_len = b.varint("the workload name length")?;
+        if b.pos as u64 + name_len > payload.len() as u64 {
+            return Err(TraceFileError::Truncated {
+                context: "the workload name".to_string(),
+            });
+        }
+        let name_bytes = &payload[b.pos..b.pos + name_len as usize];
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| TraceFileError::Corrupt {
+                detail: "workload name is not valid UTF-8".to_string(),
+            })?
+            .to_string();
+        b.pos += name_len as usize;
+        let num_threads = b.varint_u32("the thread count")?;
+        if num_threads as u64 > MAX_THREADS {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("header declares {num_threads} threads (limit {MAX_THREADS})"),
+            });
+        }
+        Ok(TraceReader {
+            source,
+            name,
+            num_threads,
+            deltas: vec![DeltaState::default(); num_threads as usize],
+            section: Vec::new(),
+            section_pos: 0,
+            section_thread: 0,
+            section_remaining: 0,
+            segments_seen: 0,
+            done: false,
+        })
+    }
+
+    /// Workload name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thread count recorded in the header.
+    pub fn num_threads(&self) -> u32 {
+        self.num_threads
+    }
+
+    /// Yields the next `(thread, segment)` pair, or `None` once the end
+    /// section has been reached and verified.
+    ///
+    /// # Errors
+    ///
+    /// Any binary-format failure: truncation, varint overruns, unknown
+    /// tags, segment-count mismatches, trailing data, or I/O errors.
+    pub fn next_segment(&mut self) -> Result<Option<(u32, Segment)>, TraceFileError> {
+        if self.done {
+            return Ok(None);
+        }
+        while self.section_remaining == 0 {
+            let (tag, payload) = read_section(&mut self.source, "the next section")?;
+            match tag {
+                TAG_OPS => {
+                    let mut b = Bytes::new(&payload);
+                    let thread = b.varint_u32("an ops-section thread id")?;
+                    if thread >= self.num_threads {
+                        return Err(TraceFileError::Corrupt {
+                            detail: format!(
+                                "ops section for thread {thread}, but the header declares only \
+                                 {} threads",
+                                self.num_threads
+                            ),
+                        });
+                    }
+                    let count = b.varint("an ops-section segment count")?;
+                    self.section_thread = thread;
+                    self.section_remaining = count;
+                    self.section_pos = b.pos;
+                    self.section = payload;
+                }
+                TAG_END => {
+                    let mut b = Bytes::new(&payload);
+                    let declared = b.varint("the total segment count")?;
+                    if declared != self.segments_seen {
+                        return Err(TraceFileError::Corrupt {
+                            detail: format!(
+                                "end section declares {declared} segments, but {} were read",
+                                self.segments_seen
+                            ),
+                        });
+                    }
+                    let mut probe = [0u8; 1];
+                    let n = self
+                        .source
+                        .read(&mut probe)
+                        .map_err(|e| stream_err("probing for trailing data", e))?;
+                    if n != 0 {
+                        return Err(TraceFileError::Corrupt {
+                            detail: "trailing data after the end section".to_string(),
+                        });
+                    }
+                    self.done = true;
+                    return Ok(None);
+                }
+                TAG_HEADER => {
+                    return Err(TraceFileError::Corrupt {
+                        detail: "duplicate header section".to_string(),
+                    })
+                }
+                t => {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!("unknown section tag {t}"),
+                    })
+                }
+            }
+        }
+        let mut b = Bytes::new(&self.section);
+        b.pos = self.section_pos;
+        let seg = decode_segment(&mut b, &mut self.deltas[self.section_thread as usize])?;
+        self.section_pos = b.pos;
+        self.section_remaining -= 1;
+        self.segments_seen += 1;
+        if self.section_remaining == 0 && b.remaining() != 0 {
+            return Err(TraceFileError::Corrupt {
+                detail: format!(
+                    "{} excess bytes at the end of an ops section",
+                    b.remaining()
+                ),
+            });
+        }
+        Ok(Some((self.section_thread, seg)))
+    }
+
+    /// Drains the stream into a structurally validated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`TraceReader::next_segment`] failure plus
+    /// [`TraceFileError::InvalidProgram`] from validation.
+    pub fn read_program(mut self) -> Result<Program, TraceFileError> {
+        let mut program = Program::new(self.name.clone(), self.num_threads as usize);
+        while let Some((thread, seg)) = self.next_segment()? {
+            program.threads[thread as usize].segments.push(seg);
+        }
+        program.validate().map_err(TraceFileError::InvalidProgram)?;
+        Ok(program)
+    }
+}
+
+fn read_exact_or<R: Read>(
+    source: &mut R,
+    buf: &mut [u8],
+    context: &str,
+) -> Result<(), TraceFileError> {
+    source.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceFileError::Truncated {
+                context: context.to_string(),
+            }
+        } else {
+            stream_err(context, e)
+        }
+    })
+}
+
+fn read_varint<R: Read>(source: &mut R, context: &str) -> Result<u64, TraceFileError> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let mut byte = [0u8; 1];
+        read_exact_or(source, &mut byte, context)?;
+        let byte = byte[0];
+        if shift == 9 && byte > 1 {
+            return Err(TraceFileError::VarintOverrun {
+                context: context.to_string(),
+            });
+        }
+        v |= ((byte & 0x7F) as u64) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(TraceFileError::VarintOverrun {
+        context: context.to_string(),
+    })
+}
+
+fn read_section<R: Read>(source: &mut R, context: &str) -> Result<(u64, Vec<u8>), TraceFileError> {
+    let tag = read_varint(source, context)?;
+    let len = read_varint(source, "a section length")?;
+    if len > MAX_SECTION_BYTES {
+        return Err(TraceFileError::Corrupt {
+            detail: format!("section declares {len} bytes (limit {MAX_SECTION_BYTES})"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(source, &mut payload, "a section payload")?;
+    Ok((tag, payload))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program conveniences
+
+/// Serializes `program` into an in-memory `RPT1` byte buffer.
+///
+/// # Errors
+///
+/// Never fails for in-memory sinks in practice; the `Result` mirrors the
+/// streaming API.
+pub fn export_program_binary(program: &Program) -> Result<Vec<u8>, TraceFileError> {
+    let mut w = TraceWriter::new(Vec::new(), &program.name, program.threads.len() as u32)?;
+    for (t, script) in program.threads.iter().enumerate() {
+        w.write_script(t as u32, script)?;
+    }
+    w.finish()
+}
+
+/// Parses an in-memory `RPT1` byte buffer into a validated [`Program`].
+///
+/// # Errors
+///
+/// Every binary-format failure ([`TraceFileError::BadMagic`],
+/// [`TraceFileError::Truncated`], [`TraceFileError::VarintOverrun`],
+/// [`TraceFileError::Corrupt`], [`TraceFileError::UnsupportedVersion`],
+/// [`TraceFileError::InvalidProgram`]).
+pub fn import_program_binary(bytes: &[u8]) -> Result<Program, TraceFileError> {
+    TraceReader::new(bytes)?.read_program()
+}
+
+/// Writes `program` to `path` as a binary trace, streaming section by
+/// section through a buffered writer.
+///
+/// # Errors
+///
+/// Propagates [`TraceFileError::Io`] (with the path) and streaming
+/// failures.
+pub fn write_program_binary(
+    program: &Program,
+    path: impl AsRef<Path>,
+) -> Result<(), TraceFileError> {
+    let path = path.as_ref();
+    let io_err = |source| TraceFileError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = TraceWriter::new(
+        std::io::BufWriter::new(file),
+        &program.name,
+        program.threads.len() as u32,
+    )?;
+    for (t, script) in program.threads.iter().enumerate() {
+        w.write_script(t as u32, script)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads and validates the binary trace at `path`, streaming section by
+/// section through a buffered reader.
+///
+/// # Errors
+///
+/// Propagates [`TraceFileError::Io`] (with the path) and every
+/// [`TraceReader`] failure.
+pub fn read_program_binary(path: impl AsRef<Path>) -> Result<Program, TraceFileError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|source| TraceFileError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    TraceReader::new(std::io::BufReader::new(file))?.read_program()
+}
+
+/// Reads a trace file in either format, auto-detected by magic bytes:
+/// files opening with `RPT1` parse as binary, everything else as JSON.
+///
+/// # Errors
+///
+/// Propagates [`TraceFileError::Io`] (with the path) and the selected
+/// format's import failures.
+pub fn read_program_any(path: impl AsRef<Path>) -> Result<Program, TraceFileError> {
+    let path = path.as_ref();
+    let io_err = |source| TraceFileError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut file = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    let mut magic = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match file.read(&mut magic[got..]).map_err(io_err)? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    if got == 4 && magic == BINARY_TRACE_MAGIC {
+        let stream = std::io::Cursor::new(magic).chain(file);
+        return TraceReader::new(stream)?.read_program();
+    }
+    let mut text = Vec::from(&magic[..got]);
+    file.read_to_end(&mut text).map_err(io_err)?;
+    let text = String::from_utf8(text).map_err(|_| TraceFileError::NotATraceFile {
+        detail: "file is neither an RPT1 binary trace nor UTF-8 JSON".to_string(),
+    })?;
+    file::import_program(&text)
+}
+
+/// Whether `path`'s extension conventionally denotes the binary container
+/// (`.rpt` / `.bin`). Writers use this to pick an *output* format; readers
+/// never trust extensions — they sniff the magic bytes instead (see
+/// [`read_program_any`]).
+pub fn has_binary_extension(path: impl AsRef<Path>) -> bool {
+    matches!(
+        path.as_ref().extension().and_then(|e| e.to_str()),
+        Some("rpt") | Some("bin")
+    )
+}
+
+/// Parses an in-memory trace in either format, auto-detected by magic
+/// bytes (see [`read_program_any`]).
+///
+/// # Errors
+///
+/// Propagates the selected format's import failures.
+pub fn import_program_bytes(bytes: &[u8]) -> Result<Program, TraceFileError> {
+    if bytes.len() >= 4 && bytes[..4] == BINARY_TRACE_MAGIC {
+        return import_program_binary(bytes);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| TraceFileError::NotATraceFile {
+        detail: "file is neither an RPT1 binary trace nor UTF-8 JSON".to_string(),
+    })?;
+    file::import_program(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::file::{export_program, program_fingerprint};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("bin-sample", 3);
+        let r = b.alloc_region(4096);
+        let bar = b.alloc_barrier();
+        let m = b.alloc_mutex();
+        let q = b.alloc_queue();
+        b.spawn_workers();
+        b.thread(0u32).produce(q, 2);
+        for t in 1..3u32 {
+            b.thread(t)
+                .consume(q)
+                .block(
+                    BlockSpec::new(700, 3 + t as u64)
+                        .loads(0.3)
+                        .stores(0.05)
+                        .branches(0.12)
+                        .addr(AddressPattern::stream(r.chunk(t as u64 - 1, 2)), 1.0)
+                        .addr(AddressPattern::hot(r, 64, 0.8), 0.5)
+                        .store_addr(AddressPattern::random(r), 1.0)
+                        .branch_pattern(BranchPattern::periodic(0b1011, 4))
+                        .sites(3),
+                )
+                .lock(m)
+                .block(BlockSpec::new(48, 1))
+                .unlock(m)
+                .barrier(bar);
+        }
+        b.join_workers();
+        b.build()
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut b = Bytes::new(&buf);
+            assert_eq!(b.varint("test").unwrap(), v);
+            assert_eq!(b.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_across_full_domain() {
+        let values = [0u64, 10, 5, u64::MAX, 1, u64::MAX - 3];
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for &v in &values {
+            push_delta(&mut buf, &mut prev, v);
+        }
+        let mut b = Bytes::new(&buf);
+        let mut prev = 0u64;
+        for &v in &values {
+            assert_eq!(b.delta(&mut prev, "test").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_program() {
+        let p = sample();
+        let bytes = export_program_binary(&p).unwrap();
+        assert_eq!(&bytes[..4], b"RPT1");
+        let back = import_program_binary(&bytes).unwrap();
+        assert_eq!(p, back);
+        // Canonical: re-export is byte-identical.
+        assert_eq!(bytes, export_program_binary(&back).unwrap());
+    }
+
+    #[test]
+    fn binary_is_denser_than_json() {
+        let p = sample();
+        let json = export_program(&p).unwrap();
+        let bin = export_program_binary(&p).unwrap();
+        assert!(
+            bin.len() * 3 < json.len(),
+            "binary {} bytes vs json {} bytes",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_container_independent() {
+        let p = sample();
+        let via_bin = import_program_binary(&export_program_binary(&p).unwrap()).unwrap();
+        assert_eq!(program_fingerprint(&p), program_fingerprint(&via_bin));
+    }
+
+    #[test]
+    fn streaming_reader_yields_segments_in_thread_order() {
+        let p = sample();
+        let bytes = export_program_binary(&p).unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.name(), "bin-sample");
+        assert_eq!(reader.num_threads(), 3);
+        let mut per_thread: Vec<Vec<Segment>> = vec![Vec::new(); 3];
+        while let Some((t, seg)) = reader.next_segment().unwrap() {
+            per_thread[t as usize].push(seg);
+        }
+        for (t, segs) in per_thread.iter().enumerate() {
+            assert_eq!(segs, &p.threads[t].segments, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn writer_flushes_bounded_sections() {
+        // A single thread with far more segments than one section holds.
+        let mut p = Program::new("many", 1);
+        for k in 0..(SECTION_SEGMENTS * 3 + 17) {
+            p.threads[0]
+                .segments
+                .push(Segment::Block(BlockSpec::new(1, k)));
+        }
+        let bytes = export_program_binary(&p).unwrap();
+        let back = import_program_binary(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn file_round_trip_and_auto_detect() {
+        let dir = std::env::temp_dir().join("rppm-binary-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = sample();
+
+        let bin_path = dir.join("sample.rpt");
+        write_program_binary(&p, &bin_path).unwrap();
+        assert_eq!(read_program_binary(&bin_path).unwrap(), p);
+        assert_eq!(read_program_any(&bin_path).unwrap(), p);
+
+        let json_path = dir.join("sample.json");
+        crate::file::write_program(&p, &json_path).unwrap();
+        assert_eq!(read_program_any(&json_path).unwrap(), p);
+    }
+
+    #[test]
+    fn import_bytes_detects_both_formats() {
+        let p = sample();
+        let bin = export_program_binary(&p).unwrap();
+        let json = export_program(&p).unwrap();
+        assert_eq!(import_program_bytes(&bin).unwrap(), p);
+        assert_eq!(import_program_bytes(json.as_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn writer_rejects_out_of_range_thread() {
+        let mut w = TraceWriter::new(Vec::new(), "x", 2).unwrap();
+        let seg = Segment::Block(BlockSpec::new(1, 1));
+        let err = w.write_segment(2, &seg).unwrap_err();
+        assert!(matches!(err, TraceFileError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let p = Program::new("empty", 2);
+        let bytes = export_program_binary(&p).unwrap();
+        assert_eq!(import_program_binary(&bytes).unwrap(), p);
+    }
+}

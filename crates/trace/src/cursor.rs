@@ -13,12 +13,36 @@ pub enum CursorItem {
     Sync(SyncOp),
 }
 
+/// A zero-copy view of the next run of items under a [`ThreadCursor`].
+///
+/// Where [`CursorItem`] hands out one copied micro-op per call,
+/// `BlockItem::Ops` borrows the *remainder of the current block* directly
+/// from the cursor's expansion buffer: consumers iterate the slice in a
+/// tight loop and then tell the cursor how far they got with
+/// [`ThreadCursor::consume_ops`]. This is the hot-path API both the
+/// profiler and the simulator drive.
+#[derive(Debug, PartialEq)]
+pub enum BlockItem<'c> {
+    /// The unconsumed micro-ops of the current block (never empty).
+    Ops(&'c [MicroOp]),
+    /// A synchronization event (consume with
+    /// [`ThreadCursor::consume_sync`]).
+    Sync(SyncOp),
+}
+
 /// Streaming cursor over one thread's dynamic stream.
 ///
 /// Blocks are expanded one at a time into an internal buffer, so traversing a
 /// multi-million-op thread costs O(largest block) memory. Both the profiler
 /// and the simulator drive the same cursor type, guaranteeing they observe
 /// the identical stream.
+///
+/// Two access granularities are offered: the per-op [`ThreadCursor::item`] /
+/// [`ThreadCursor::advance`] pair (simple, copies each op out), and the
+/// zero-copy block API ([`ThreadCursor::peek_block`] +
+/// [`ThreadCursor::consume_ops`] / [`ThreadCursor::consume_sync`]) that
+/// lends out the remainder of the current block as a slice — the hot-path
+/// form the profiler and simulator use.
 ///
 /// # Example
 ///
@@ -82,12 +106,61 @@ impl<'p> ThreadCursor<'p> {
         }
     }
 
-    /// Returns the current item, or `None` at end of stream.
-    pub fn item(&mut self) -> Option<CursorItem> {
+    /// Returns the remainder of the current block as a borrowed slice, the
+    /// pending synchronization event, or `None` at end of stream.
+    ///
+    /// An `Ops` slice is never empty. Consume it (fully or partially) with
+    /// [`ThreadCursor::consume_ops`]; consume a `Sync` item with
+    /// [`ThreadCursor::consume_sync`]. Peeking repeatedly without consuming
+    /// returns the same view.
+    pub fn peek_block(&mut self) -> Option<BlockItem<'_>> {
         self.ensure();
         match self.script.segments.get(self.seg) {
-            Some(Segment::Block(_)) => Some(CursorItem::Op(self.buf[self.buf_pos])),
-            Some(Segment::Sync(op)) => Some(CursorItem::Sync(*op)),
+            Some(Segment::Block(_)) => Some(BlockItem::Ops(&self.buf[self.buf_pos..])),
+            Some(Segment::Sync(op)) => Some(BlockItem::Sync(*op)),
+            None => None,
+        }
+    }
+
+    /// Advances past `n` micro-ops of the current block.
+    ///
+    /// `n` must not exceed the length of the `Ops` slice the latest
+    /// [`ThreadCursor::peek_block`] returned; consuming the whole slice
+    /// moves the cursor to the next segment.
+    pub fn consume_ops(&mut self, n: usize) {
+        debug_assert!(
+            self.filled && self.buf_pos + n <= self.buf.len(),
+            "consume_ops({n}) without a matching peek_block"
+        );
+        self.ops_consumed += n as u64;
+        self.buf_pos += n;
+        if self.buf_pos >= self.buf.len() {
+            self.seg += 1;
+            self.filled = false;
+        }
+    }
+
+    /// Advances past the pending synchronization event.
+    ///
+    /// Must only be called after [`ThreadCursor::peek_block`] returned
+    /// [`BlockItem::Sync`].
+    pub fn consume_sync(&mut self) {
+        debug_assert!(
+            matches!(self.script.segments.get(self.seg), Some(Segment::Sync(_))),
+            "consume_sync without a pending sync event"
+        );
+        self.seg += 1;
+        self.filled = false;
+    }
+
+    /// Returns the current item, or `None` at end of stream.
+    ///
+    /// Per-op convenience over [`ThreadCursor::peek_block`]; hot loops
+    /// should consume whole blocks instead.
+    pub fn item(&mut self) -> Option<CursorItem> {
+        match self.peek_block() {
+            Some(BlockItem::Ops(ops)) => Some(CursorItem::Op(ops[0])),
+            Some(BlockItem::Sync(op)) => Some(CursorItem::Sync(op)),
             None => None,
         }
     }
@@ -96,18 +169,8 @@ impl<'p> ThreadCursor<'p> {
     pub fn advance(&mut self) {
         self.ensure();
         match self.script.segments.get(self.seg) {
-            Some(Segment::Block(_)) => {
-                self.ops_consumed += 1;
-                self.buf_pos += 1;
-                if self.buf_pos >= self.buf.len() {
-                    self.seg += 1;
-                    self.filled = false;
-                }
-            }
-            Some(Segment::Sync(_)) => {
-                self.seg += 1;
-                self.filled = false;
-            }
+            Some(Segment::Block(_)) => self.consume_ops(1),
+            Some(Segment::Sync(_)) => self.consume_sync(),
             None => {}
         }
     }
@@ -245,6 +308,78 @@ mod tests {
             c.advance();
         }
         assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn peek_block_lends_remaining_ops() {
+        let s = script(vec![Segment::Block(BlockSpec::new(10, 1)), barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        let Some(BlockItem::Ops(ops)) = c.peek_block() else {
+            panic!("expected ops");
+        };
+        assert_eq!(ops.len(), 10);
+        c.consume_ops(4);
+        let Some(BlockItem::Ops(rest)) = c.peek_block() else {
+            panic!("expected remaining ops");
+        };
+        assert_eq!(rest.len(), 6);
+        c.consume_ops(6);
+        assert_eq!(c.ops_consumed(), 10);
+        assert!(matches!(c.peek_block(), Some(BlockItem::Sync(_))));
+        c.consume_sync();
+        assert!(c.at_end());
+        assert_eq!(c.peek_block(), None);
+    }
+
+    #[test]
+    fn block_api_matches_per_op_api() {
+        let s = script(vec![
+            Segment::Block(BlockSpec::new(100, 9).loads(0.2).branches(0.1)),
+            barrier(),
+            Segment::Block(BlockSpec::new(33, 4)),
+            Segment::Block(BlockSpec::new(7, 5)),
+        ]);
+        let mut per_op = Vec::new();
+        let mut c = ThreadCursor::new(&s);
+        while let Some(item) = c.item() {
+            if let CursorItem::Op(op) = item {
+                per_op.push(op);
+            }
+            c.advance();
+        }
+        let mut blocks = Vec::new();
+        let mut c = ThreadCursor::new(&s);
+        loop {
+            match c.peek_block() {
+                None => break,
+                Some(BlockItem::Sync(_)) => c.consume_sync(),
+                Some(BlockItem::Ops(ops)) => {
+                    blocks.extend_from_slice(ops);
+                    let n = ops.len();
+                    c.consume_ops(n);
+                }
+            }
+        }
+        assert_eq!(per_op, blocks);
+    }
+
+    #[test]
+    fn partial_consume_splits_blocks_consistently() {
+        let b = BlockSpec::new(50, 3).loads(0.3);
+        let direct = b.expand();
+        let s = script(vec![Segment::Block(b)]);
+        let mut c = ThreadCursor::new(&s);
+        let mut streamed = Vec::new();
+        // Consume in ragged chunks (1, 2, 3, ... ops at a time).
+        let mut chunk = 1;
+        while let Some(BlockItem::Ops(ops)) = c.peek_block() {
+            let take = chunk.min(ops.len());
+            streamed.extend_from_slice(&ops[..take]);
+            c.consume_ops(take);
+            chunk += 1;
+        }
+        assert_eq!(streamed, direct);
+        assert!(c.at_end());
     }
 
     #[test]

@@ -111,6 +111,37 @@ pub enum TraceFileError {
         /// Serializer diagnostic.
         detail: String,
     },
+    /// A binary trace does not start with the `RPT1` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// A binary trace ended mid-structure (cut-off section, half a varint,
+    /// missing end section, ...).
+    Truncated {
+        /// What was being read when the stream ran out.
+        context: String,
+    },
+    /// A varint in a binary trace is overlong (more than 10 bytes, or a
+    /// tenth byte overflowing 64 bits).
+    VarintOverrun {
+        /// What was being read when the overrun was detected.
+        context: String,
+    },
+    /// A binary trace is structurally corrupt (unknown tag, count
+    /// mismatch, trailing data, out-of-range value, ...).
+    Corrupt {
+        /// What is wrong.
+        detail: String,
+    },
+    /// A streaming binary read or write failed at the I/O layer (no file
+    /// path is available for a generic stream).
+    Stream {
+        /// What was being transferred.
+        context: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for TraceFileError {
@@ -144,6 +175,28 @@ impl std::fmt::Display for TraceFileError {
             TraceFileError::Unserializable { detail } => {
                 write!(f, "program cannot be serialized: {detail}")
             }
+            TraceFileError::BadMagic { found } => write!(
+                f,
+                "not an RPT1 binary trace: file starts with bytes {found:02X?} instead of \
+                 the magic \"RPT1\"; convert the trace with `trace_convert` or export it \
+                 with a matching tool"
+            ),
+            TraceFileError::Truncated { context } => write!(
+                f,
+                "binary trace is truncated: the stream ended while reading {context}; \
+                 the file was cut off mid-write"
+            ),
+            TraceFileError::VarintOverrun { context } => write!(
+                f,
+                "binary trace is corrupt: overlong varint while reading {context}; \
+                 the bytes at this position are not a valid RPT1 stream"
+            ),
+            TraceFileError::Corrupt { detail } => {
+                write!(f, "binary trace is corrupt: {detail}")
+            }
+            TraceFileError::Stream { context, source } => {
+                write!(f, "binary trace I/O failed while {context}: {source}")
+            }
         }
     }
 }
@@ -151,7 +204,9 @@ impl std::fmt::Display for TraceFileError {
 impl std::error::Error for TraceFileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceFileError::Io { source, .. } => Some(source),
+            TraceFileError::Io { source, .. } | TraceFileError::Stream { source, .. } => {
+                Some(source)
+            }
             TraceFileError::InvalidProgram(e) => Some(e),
             _ => None,
         }

@@ -24,6 +24,11 @@
 //!   [`export_program`] / [`import_program`] with schema-version checking
 //!   and typed, actionable errors, so externally collected traces can be
 //!   fed to the profiler.
+//! * [`binary`][mod@binary] — the `RPT1` binary streaming container for
+//!   the same programs: length-prefixed sections, varint + delta encoding,
+//!   and a [`TraceWriter`] / [`TraceReader`] pair that never holds more
+//!   than one section in memory. [`read_program_any`] auto-detects either
+//!   format by magic bytes.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod binary;
 pub mod block;
 pub mod builder;
 pub mod config;
@@ -65,11 +71,16 @@ pub mod program;
 pub mod rng;
 pub mod sync;
 
+pub use binary::{
+    export_program_binary, has_binary_extension, import_program_binary, import_program_bytes,
+    read_program_any, read_program_binary, write_program_binary, TraceReader, TraceWriter,
+    BINARY_TRACE_MAGIC, BINARY_TRACE_VERSION,
+};
 pub use block::BlockSpec;
 pub use builder::{ProgramBuilder, ThreadBuilder};
 pub use config::{BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig};
 pub use cpi::CpiStack;
-pub use cursor::{CursorItem, ThreadCursor};
+pub use cursor::{BlockItem, CursorItem, ThreadCursor};
 pub use file::{
     export_program, import_program, program_fingerprint, read_program, write_program,
     TraceFileError, TRACE_FORMAT, TRACE_VERSION,

@@ -1,10 +1,12 @@
 //! Malformed trace files must yield typed, actionable errors — never a
-//! panic. Each test corrupts one aspect of a known-good file and asserts
-//! the importer reports the matching [`TraceFileError`] variant.
+//! panic. Each test corrupts one aspect of a known-good file (JSON
+//! interchange or `RPT1` binary) and asserts the importer reports the
+//! matching [`TraceFileError`] variant.
 
 use rppm_trace::{
-    export_program, import_program, BlockSpec, ProgramBuilder, TraceFileError, TRACE_FORMAT,
-    TRACE_VERSION,
+    export_program, export_program_binary, import_program, import_program_binary,
+    import_program_bytes, BlockSpec, ProgramBuilder, TraceFileError, BINARY_TRACE_VERSION,
+    TRACE_FORMAT, TRACE_VERSION,
 };
 
 fn good_file() -> String {
@@ -131,6 +133,207 @@ fn structurally_invalid_program_is_rejected() {
             assert!(e.to_string().contains("never created"), "{e}");
         }
         other => panic!("expected InvalidProgram, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RPT1 binary container
+
+fn good_binary() -> Vec<u8> {
+    let mut b = ProgramBuilder::new("bin-victim", 2);
+    let bar = b.alloc_barrier();
+    let r = b.alloc_region(1024);
+    b.spawn_workers();
+    for t in 0..2u32 {
+        b.thread(t)
+            .block(
+                BlockSpec::new(256, 5 + t as u64)
+                    .loads(0.2)
+                    .branches(0.1)
+                    .addr(rppm_trace::AddressPattern::stream(r), 1.0),
+            )
+            .barrier(bar);
+    }
+    b.join_workers();
+    export_program_binary(&b.build()).expect("good program serializes")
+}
+
+#[test]
+fn bad_magic_is_rejected_with_found_bytes() {
+    let mut bytes = good_binary();
+    bytes[..4].copy_from_slice(b"NOPE");
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::BadMagic { found }) => {
+            assert_eq!(&found, b"NOPE");
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // The auto-detecting entry point treats non-RPT1 bytes as JSON, which
+    // these are not either — still a typed error, never a panic.
+    assert!(import_program_bytes(&bytes).is_err());
+}
+
+#[test]
+fn binary_unsupported_version_is_rejected() {
+    let mut bytes = good_binary();
+    // The version varint sits right after the 4 magic bytes; version 1
+    // encodes as the single byte 0x01. Claim version 9 instead.
+    assert_eq!(bytes[4], BINARY_TRACE_VERSION as u8);
+    bytes[4] = 9;
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 9);
+            assert_eq!(supported, BINARY_TRACE_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_binary_is_detected_at_every_cut() {
+    let bytes = good_binary();
+    // Cut the stream at every prefix length: each must fail with a typed
+    // error (Truncated for almost all cuts; never Ok, never a panic).
+    for cut in 0..bytes.len() {
+        let err = import_program_binary(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceFileError::Truncated { .. }
+                    | TraceFileError::BadMagic { .. }
+                    | TraceFileError::Corrupt { .. }
+            ),
+            "cut at {cut}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_section_is_reported() {
+    let bytes = good_binary();
+    // Drop the final end section plus a few payload bytes: the reader
+    // must report what it was reading when the stream ran out.
+    let err = import_program_binary(&bytes[..bytes.len() - 6]).unwrap_err();
+    match err {
+        TraceFileError::Truncated { context } => {
+            assert!(!context.is_empty(), "context must say what was cut off");
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_name_overrunning_its_section_is_truncated_not_a_panic() {
+    // A crafted header whose declared name length fits the payload total
+    // but overruns the bytes remaining after the length varint itself.
+    let mut bytes = Vec::from(*b"RPT1");
+    bytes.push(BINARY_TRACE_VERSION as u8);
+    bytes.push(1); // header tag
+    bytes.push(3); // section length: 3 bytes
+    bytes.extend_from_slice(&[0x03, b'a', b'b']); // name_len 3, only 2 bytes left
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::Truncated { context }) => {
+            assert!(context.contains("name"), "{context}");
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn implausible_thread_count_is_rejected_before_allocating() {
+    // num_threads = u32::MAX must fail fast, not attempt a giant
+    // per-thread state allocation.
+    let mut bytes = Vec::from(*b"RPT1");
+    bytes.push(BINARY_TRACE_VERSION as u8);
+    bytes.push(1); // header tag
+    let name = [0x01, b'x']; // name_len 1, "x"
+    let threads = [0xFF, 0xFF, 0xFF, 0xFF, 0x0F]; // varint u32::MAX
+    bytes.push((name.len() + threads.len()) as u8); // section length
+    bytes.extend_from_slice(&name);
+    bytes.extend_from_slice(&threads);
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::Corrupt { detail }) => {
+            assert!(detail.contains("threads"), "{detail}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn varint_overrun_is_detected() {
+    // A version varint of ten 0xFF continuation bytes overruns 64 bits.
+    let mut bytes = Vec::from(*b"RPT1");
+    bytes.extend_from_slice(&[0xFF; 10]);
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::VarintOverrun { context }) => {
+            assert!(!context.is_empty());
+        }
+        other => panic!("expected VarintOverrun, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_after_end_section_is_rejected() {
+    let mut bytes = good_binary();
+    bytes.extend_from_slice(b"junk");
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::Corrupt { detail }) => {
+            assert!(detail.contains("trailing"), "{detail}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_section_length_is_rejected_without_allocation() {
+    // A corrupt length prefix claiming an enormous section must fail fast
+    // instead of attempting the allocation.
+    let mut bytes = Vec::from(*b"RPT1");
+    bytes.push(BINARY_TRACE_VERSION as u8);
+    bytes.push(1); // header tag
+                   // varint for u64::MAX / 2: way beyond the section cap.
+    bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::Corrupt { detail }) => {
+            assert!(detail.contains("section"), "{detail}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn structurally_invalid_binary_program_is_rejected() {
+    // Encode an orphan-worker program directly through the writer: it
+    // parses fine but fails Program::validate on import.
+    let mut p = rppm_trace::Program::new("orphan", 2);
+    p.threads[1]
+        .segments
+        .push(rppm_trace::Segment::Block(BlockSpec::new(8, 1)));
+    let bytes = export_program_binary(&p).expect("writer does not validate");
+    match import_program_binary(&bytes) {
+        Err(TraceFileError::InvalidProgram(e)) => {
+            assert!(e.to_string().contains("never created"), "{e}");
+        }
+        other => panic!("expected InvalidProgram, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_binary_error_message_is_actionable() {
+    let mut bad_magic = good_binary();
+    bad_magic[0] = b'X';
+    let mut versioned = good_binary();
+    versioned[4] = 42;
+    let truncated = &good_binary()[..10];
+    let cases = [
+        import_program_binary(&bad_magic).unwrap_err().to_string(),
+        import_program_binary(&versioned).unwrap_err().to_string(),
+        import_program_binary(truncated).unwrap_err().to_string(),
+    ];
+    assert!(cases[0].contains("RPT1"), "{}", cases[0]);
+    assert!(cases[1].contains("42"), "{}", cases[1]);
+    for msg in cases {
+        assert!(msg.len() > 20, "too terse: {msg}");
     }
 }
 

@@ -1,13 +1,17 @@
 //! The trace interchange workflow: freeze a workload to a versioned trace
-//! file, read it back as an external tool would, and verify the imported
-//! trace profiles and predicts bit-identically to the original.
+//! file (JSON for auditability, `RPT1` binary for volume), read it back as
+//! an external tool would, and verify the imported trace profiles and
+//! predicts bit-identically to the original.
 //!
 //! ```text
 //! cargo run --release --example trace_interchange
 //! ```
 
 use rppm::prelude::*;
-use rppm::trace::{export_program, import_program, read_program, write_program, AddressPattern};
+use rppm::trace::{
+    export_program, import_program, read_program, read_program_any, write_program,
+    write_program_binary, AddressPattern,
+};
 
 fn main() {
     // 1. Build a workload (any Program works — a catalog analog, or your
@@ -55,12 +59,28 @@ fn main() {
         println!("{dp:>9}: {a:.0} predicted cycles (import identical)");
     }
 
-    // 5. Malformed files fail with typed, actionable errors — never a
+    // 5. The same trace as an RPT1 binary container: a fraction of the
+    //    bytes, auto-detected on read by magic, identical in content.
+    let bin_path = std::env::temp_dir().join("frozen-scan.rpt");
+    write_program_binary(&program, &bin_path).expect("binary export");
+    let json_bytes = std::fs::metadata(&path).expect("stat").len();
+    let bin_bytes = std::fs::metadata(&bin_path).expect("stat").len();
+    println!("binary container: {bin_bytes} bytes vs {json_bytes} JSON bytes");
+    let from_binary = read_program_any(&bin_path).expect("auto-detected import");
+    assert_eq!(program, from_binary, "containers must carry one program");
+
+    // 6. Malformed files fail with typed, actionable errors — never a
     //    panic. Corrupt the version field to see one.
     let text = export_program(&program).expect("serializes");
     let newer = text.replace("\"version\":1", "\"version\":99");
     match import_program(&newer) {
-        Err(e) => println!("corrupted file rejected: {e}"),
+        Err(e) => println!("corrupted JSON rejected: {e}"),
         Ok(_) => unreachable!("version 99 must not import"),
+    }
+    let mut bad = std::fs::read(&bin_path).expect("read back");
+    bad.truncate(bad.len() / 2);
+    match rppm::trace::import_program_binary(&bad) {
+        Err(e) => println!("truncated binary rejected: {e}"),
+        Ok(_) => unreachable!("truncated container must not import"),
     }
 }

@@ -1,10 +1,15 @@
 //! Trace interchange round-trip properties: for arbitrary programs,
-//! `export -> import` reproduces the program, its one-time profile, and
-//! every design-point prediction bit for bit.
+//! `export -> import` — through the JSON format, the `RPT1` binary
+//! container, and chained conversions between the two — reproduces the
+//! program, its one-time profile, and every design-point prediction bit
+//! for bit.
 
 use proptest::prelude::*;
 use rppm::prelude::*;
-use rppm::trace::{export_program, import_program, AddressPattern, BlockSpec, BranchPattern};
+use rppm::trace::{
+    export_program, export_program_binary, import_program, import_program_binary, AddressPattern,
+    BlockSpec, BranchPattern,
+};
 
 /// Builds a structurally valid multi-threaded program from sampled scalars:
 /// thread count, epochs, block size, instruction mix, address/branch
@@ -117,6 +122,50 @@ proptest! {
         // Canonical form: exporting the import is byte-identical.
         prop_assert_eq!(text, export_program(&imported).expect("re-exports"));
     }
+
+    /// Chained conversion JSON -> binary -> JSON is the identity, and both
+    /// containers profile and predict bit-identically. This is the
+    /// trace_convert contract: a trace may hop between formats any number
+    /// of times without drifting.
+    #[test]
+    fn json_binary_json_chain_is_bit_identical(
+        threads in 2usize..5,
+        epochs in 1u32..4,
+        ops in 500u32..3_000,
+        loads in 0.05f64..0.4,
+        chain in 0.0f64..0.3,
+        pattern_sel in 0u32..9,
+        sync_sel in 0u32..9,
+        seed in 0u64..1_000,
+    ) {
+        let program = arb_program(threads, epochs, ops, loads, chain, pattern_sel, sync_sel, seed);
+
+        // JSON -> program -> binary -> program -> JSON.
+        let json1 = export_program(&program).expect("serializes");
+        let from_json = import_program(&json1).expect("imports");
+        let bin = export_program_binary(&from_json).expect("binary serializes");
+        let from_bin = import_program_binary(&bin).expect("binary imports");
+        let json2 = export_program(&from_bin).expect("re-serializes");
+        prop_assert_eq!(&json1, &json2, "JSON -> binary -> JSON must be the identity");
+        prop_assert_eq!(&program, &from_bin);
+
+        // Binary is canonical too: re-exporting its import is byte-identical.
+        prop_assert_eq!(&bin, &export_program_binary(&from_bin).expect("re-exports"));
+
+        // Both containers carry the same profile and predictions, bit for bit.
+        let p_json = profile(&from_json);
+        let p_bin = profile(&from_bin);
+        prop_assert_eq!(&p_json, &p_bin);
+        for dp in DesignPoint::ALL {
+            let a = predict(&p_json, &dp.config());
+            let b = predict(&p_bin, &dp.config());
+            prop_assert_eq!(
+                a.total_cycles.to_bits(),
+                b.total_cycles.to_bits(),
+                "prediction diverged between containers on {}", dp
+            );
+        }
+    }
 }
 
 /// The committed, externally written example file imports, profiles,
@@ -145,5 +194,34 @@ fn committed_example_trace_round_trips() {
         profile(&re_imported),
         prof,
         "re-imported trace must profile identically"
+    );
+}
+
+/// The committed binary twin of the example trace imports identically to
+/// its JSON source — this pins the `RPT1` encoding itself: any change to
+/// the on-disk byte layout breaks this test and must come with a container
+/// version bump (and a regenerated example).
+#[test]
+fn committed_binary_example_matches_json_twin() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("traces");
+    let json = rppm::trace::read_program_any(dir.join("mini.json")).expect("json twin imports");
+    let bin = rppm::trace::read_program_any(dir.join("mini.rpt")).expect("binary twin imports");
+    assert_eq!(
+        json, bin,
+        "the two committed containers must carry one program"
+    );
+    assert_eq!(
+        rppm::trace::program_fingerprint(&json),
+        rppm::trace::program_fingerprint(&bin)
+    );
+    // The committed bytes are exactly what the current encoder produces.
+    let bytes = std::fs::read(dir.join("mini.rpt")).expect("committed binary exists");
+    assert_eq!(
+        bytes,
+        export_program_binary(&json).expect("re-encodes"),
+        "RPT1 byte layout changed: bump BINARY_TRACE_VERSION and regenerate \
+         examples/traces/mini.rpt with trace_convert"
     );
 }
