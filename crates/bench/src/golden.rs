@@ -11,7 +11,7 @@
 //! Regenerate baselines (after an intentional accuracy change) with:
 //!
 //! ```text
-//! cargo run --release -p rppm-bench --bin golden_diff -- --update
+//! cargo run --release -p rppm-cli -- golden update
 //! ```
 
 use crate::reports::{self, Report, RunCtx};

@@ -1,7 +1,7 @@
 //! One function per table/figure of the paper.
 //!
-//! Each report renders the same text the standalone binaries print *and* a
-//! machine-readable [`serde_json::Value`] twin, so `run_all` can emit
+//! Each report renders the same text `rppm report <name>` prints *and* a
+//! machine-readable [`serde_json::Value`] twin, so `rppm run-all` can emit
 //! `results/<name>.txt` and `results/<name>.json` side by side without
 //! spawning child processes. Reports that run workloads take a [`RunCtx`]:
 //! the shared [`ProfileCache`] guarantees each (workload, params) pair is

@@ -12,13 +12,18 @@
 //! byte-identical no matter how many worker threads run the plan.
 
 use rppm_core::{predict, predict_crit, predict_main, Prediction};
-use rppm_profiler::{profile, ApplicationProfile};
 use rppm_sim::{simulate, SimResult};
 use rppm_trace::{program_fingerprint, read_program_any, MachineConfig, Program, TraceFileError};
 use rppm_workloads::{Benchmark, Params, Suite};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
+
+// The amortization engine itself was promoted out of this crate: the cache
+// lives in `rppm-profiler` and the scoped fan-out in `rppm-core`, shared
+// with the `rppm::Session` facade. Re-exported here so harness code keeps
+// its historical paths.
+pub use rppm_core::{default_jobs, parallel_for};
+pub use rppm_profiler::{ProfileCache, ProfileKey, ProfiledWorkload};
 
 /// A trace imported from an on-disk file (see `rppm_trace::file`), ready to
 /// be planned like any built-in benchmark. The program is held behind an
@@ -128,89 +133,19 @@ impl From<ImportedTrace> for WorkloadSpec {
     }
 }
 
-/// Cache key. Builtins are identified by name and generation parameters
-/// (same key ⇒ bit-identical program and profile); imported traces by
-/// content fingerprint (their dynamic stream is fixed, so [`Params`] are
-/// deliberately not part of the key).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum JobKey {
-    Builtin {
-        name: &'static str,
-        scale_bits: u64,
-        seed: u64,
-    },
-    Imported {
-        fingerprint: u64,
-    },
+/// Returns the profiled workload for `(spec, params)`, building and
+/// profiling it through `cache` on first use. Builtins are keyed by name
+/// and generation parameters (same key ⇒ bit-identical program and
+/// profile); imported traces by content fingerprint (their dynamic stream
+/// is fixed, so [`Params`] are deliberately not part of the key).
+pub fn profiled(cache: &ProfileCache, spec: &WorkloadSpec, params: &Params) -> ProfiledWorkload {
+    cache.get_or_profile(key_of(spec, params), || spec.build(params))
 }
 
-impl JobKey {
-    fn of(spec: &WorkloadSpec, params: &Params) -> Self {
-        match spec {
-            WorkloadSpec::Builtin(b) => JobKey::Builtin {
-                name: b.name,
-                scale_bits: params.scale.to_bits(),
-                seed: params.seed,
-            },
-            WorkloadSpec::Imported(t) => JobKey::Imported {
-                fingerprint: t.fingerprint,
-            },
-        }
-    }
-}
-
-/// A workload built and profiled once, shared (via [`Arc`]) by every
-/// configuration cell that predicts or simulates it.
-#[derive(Debug, Clone)]
-pub struct ProfiledWorkload {
-    /// The generated program (needed for golden-reference simulation).
-    pub program: Arc<Program>,
-    /// The one-time microarchitecture-independent profile.
-    pub profile: Arc<ApplicationProfile>,
-}
-
-/// Shared profile store: each (workload, params) pair is built and profiled
-/// exactly once per cache, no matter how many experiments, configurations,
-/// or worker threads ask for it.
-#[derive(Debug, Default)]
-pub struct ProfileCache {
-    map: Mutex<HashMap<JobKey, Arc<OnceLock<ProfiledWorkload>>>>,
-}
-
-impl ProfileCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Returns the profiled workload, building and profiling it on first
-    /// use. Concurrent callers for the same key block until the single
-    /// profiling run finishes; callers for different keys proceed in
-    /// parallel.
-    pub fn get(&self, spec: &WorkloadSpec, params: &Params) -> ProfiledWorkload {
-        let slot = {
-            let mut map = self.map.lock().expect("cache lock");
-            Arc::clone(map.entry(JobKey::of(spec, params)).or_default())
-        };
-        slot.get_or_init(|| {
-            let program = spec.build(params);
-            let prof = Arc::new(profile(&program));
-            ProfiledWorkload {
-                program,
-                profile: prof,
-            }
-        })
-        .clone()
-    }
-
-    /// Number of distinct workloads profiled so far.
-    pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
-    }
-
-    /// Returns whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+fn key_of(spec: &WorkloadSpec, params: &Params) -> ProfileKey {
+    match spec {
+        WorkloadSpec::Builtin(b) => ProfileKey::generated(b.name, params.scale, params.seed),
+        WorkloadSpec::Imported(t) => ProfileKey::fingerprint(t.fingerprint),
     }
 }
 
@@ -316,19 +251,19 @@ impl ExperimentPlan {
         // Phase 1: profile each distinct workload once.
         let mut seen = HashMap::new();
         for (w, p) in &self.workloads {
-            seen.entry(JobKey::of(w, p)).or_insert((w, p));
+            seen.entry(key_of(w, p)).or_insert((w, p));
         }
         let unique: Vec<_> = seen.into_values().collect();
         parallel_for(jobs, unique.len(), |i| {
             let (w, p) = unique[i];
-            cache.get(w, p);
+            profiled(cache, w, p);
         });
 
         // Phase 2: one job per (workload, config) cell.
-        let profiled: Vec<ProfiledWorkload> = self
+        let shared: Vec<ProfiledWorkload> = self
             .workloads
             .iter()
-            .map(|(w, p)| cache.get(w, p))
+            .map(|(w, p)| profiled(cache, w, p))
             .collect();
         let n_cfg = self.configs.len();
         let cells: Vec<Mutex<Option<CellRun>>> = (0..self.workloads.len() * n_cfg)
@@ -337,7 +272,7 @@ impl ExperimentPlan {
         parallel_for(jobs, cells.len(), |i| {
             let (wi, ci) = (i / n_cfg, i % n_cfg);
             let config = &self.configs[ci];
-            let w = &profiled[wi];
+            let w = &shared[wi];
             let sim = simulate(&w.program, config);
             let rppm = predict(&w.profile, config);
             let main_cycles = predict_main(&w.profile, config);
@@ -354,7 +289,7 @@ impl ExperimentPlan {
         let mut cells = cells.into_iter();
         self.workloads
             .iter()
-            .zip(profiled)
+            .zip(shared)
             .map(|((spec, params), workload)| WorkloadRuns {
                 spec: spec.clone(),
                 params: *params,
@@ -367,36 +302,6 @@ impl ExperimentPlan {
             })
             .collect()
     }
-}
-
-/// Default worker count: one per available core.
-pub fn default_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Runs `f(0..n)` on up to `jobs` scoped worker threads, dynamically
-/// load-balanced. With `jobs <= 1` (or `n <= 1`) runs inline on the caller
-/// thread. Panics in `f` propagate to the caller.
-pub fn parallel_for(jobs: usize, n: usize, f: impl Fn(usize) + Sync) {
-    let jobs = jobs.clamp(1, n.max(1));
-    if jobs == 1 {
-        for i in 0..n {
-            f(i);
-        }
-        return;
-    }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
-            });
-        }
-    });
 }
 
 /// A simple aligned-column row builder for harness output.
@@ -513,7 +418,7 @@ mod tests {
         assert_eq!(runs[0].spec.suite_label(), "imported");
         // The imported trace predicts bit-identically to the builtin it was
         // exported from.
-        let builtin = cache.get(&WorkloadSpec::from(bench), &params);
+        let builtin = profiled(&cache, &WorkloadSpec::from(bench), &params);
         assert_eq!(cache.len(), 2);
         assert_eq!(
             predict(&builtin.profile, &DesignPoint::Base.config())
@@ -546,15 +451,6 @@ mod tests {
             runs[0].only().rppm.total_cycles.to_bits(),
             runs[1].only().rppm.total_cycles.to_bits()
         );
-    }
-
-    #[test]
-    fn parallel_for_covers_every_index() {
-        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        parallel_for(4, hits.len(), |i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Shared argument-parsing helpers for the `rppm` subcommands.
+//!
+//! Deliberately tiny (the workspace builds offline, so no `clap`): each
+//! subcommand walks its argument vector with [`ArgStream`], which handles
+//! `--flag value` / `--flag=value` spellings, typed value parsing, and
+//! turns every malformed invocation into a [`CliError`] instead of a
+//! panic.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// A user-facing CLI failure. Both variants exit with status 2; `Usage`
+/// additionally reprints the offending subcommand's usage text.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation: message plus the usage text to show.
+    Usage {
+        /// What was wrong.
+        message: String,
+        /// The subcommand usage text.
+        usage: &'static str,
+    },
+    /// A user-level failure (missing file, bad magic, unknown workload...),
+    /// rendered as a one-line message.
+    User(String),
+}
+
+impl CliError {
+    /// A malformed-invocation error carrying `usage`.
+    pub fn usage(message: impl Into<String>, usage: &'static str) -> Self {
+        CliError::Usage {
+            message: message.into(),
+            usage,
+        }
+    }
+
+    /// A user-level failure from anything displayable (e.g. `rppm::Error`).
+    pub fn user(message: impl Display) -> Self {
+        CliError::User(message.to_string())
+    }
+}
+
+impl From<rppm::Error> for CliError {
+    fn from(e: rppm::Error) -> Self {
+        CliError::user(e)
+    }
+}
+
+/// Walks a subcommand's argument vector.
+pub struct ArgStream {
+    items: std::vec::IntoIter<String>,
+    usage: &'static str,
+}
+
+impl ArgStream {
+    /// Wraps `argv` (without the program or subcommand name); `usage` is
+    /// attached to every parse error.
+    pub fn new(argv: Vec<String>, usage: &'static str) -> Self {
+        ArgStream {
+            items: argv.into_iter(),
+            usage,
+        }
+    }
+
+    /// Next raw argument, if any. A `--flag=value` spelling is split: the
+    /// flag is returned and the value is pushed back for [`value_of`].
+    ///
+    /// [`value_of`]: ArgStream::value_of
+    pub fn next(&mut self) -> Option<Arg> {
+        let raw = self.items.next()?;
+        if let Some(flag) = raw.strip_prefix("--") {
+            if let Some((name, value)) = flag.split_once('=') {
+                return Some(Arg {
+                    raw: format!("--{name}"),
+                    inline_value: Some(value.to_string()),
+                });
+            }
+        }
+        Some(Arg {
+            raw,
+            inline_value: None,
+        })
+    }
+
+    /// The value for flag `arg`: its inline `=value` if present, otherwise
+    /// the next argument. Errors if neither exists.
+    pub fn value_of(&mut self, arg: &Arg) -> Result<String, CliError> {
+        if let Some(v) = &arg.inline_value {
+            return Ok(v.clone());
+        }
+        self.items
+            .next()
+            .ok_or_else(|| CliError::usage(format!("{} needs a value", arg.raw), self.usage))
+    }
+
+    /// The value for flag `arg`, parsed as `T`.
+    pub fn parse_of<T>(&mut self, arg: &Arg) -> Result<T, CliError>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        let raw = self.value_of(arg)?;
+        parse_with(&raw, &arg.raw, self.usage)
+    }
+
+    /// An "unknown flag" error for `arg`.
+    pub fn unknown(&self, arg: &Arg) -> CliError {
+        CliError::usage(format!("unknown flag `{}`", arg.raw), self.usage)
+    }
+
+    /// A usage error with this stream's usage text.
+    pub fn error(&self, message: impl Into<String>) -> CliError {
+        CliError::usage(message, self.usage)
+    }
+}
+
+/// One argument as seen by [`ArgStream::next`].
+pub struct Arg {
+    raw: String,
+    inline_value: Option<String>,
+}
+
+impl Arg {
+    /// The argument text (for `--flag=value` spellings, just `--flag`).
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Whether this looks like a flag (leading `--`).
+    pub fn is_flag(&self) -> bool {
+        self.raw.starts_with("--")
+    }
+
+    /// Consumes the argument as a positional value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument carried an inline `=value` (flags must be
+    /// checked with [`Arg::is_flag`] first).
+    pub fn into_positional(self) -> String {
+        assert!(
+            self.inline_value.is_none(),
+            "flag treated as positional argument"
+        );
+        self.raw
+    }
+}
+
+/// Parses `raw` as `T`, attributing failures to `what`.
+pub fn parse_with<T>(raw: &str, what: &str, usage: &'static str) -> Result<T, CliError>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    raw.parse()
+        .map_err(|e| CliError::usage(format!("{what}: cannot parse `{raw}`: {e}"), usage))
+}

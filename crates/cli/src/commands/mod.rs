@@ -1,0 +1,27 @@
+//! One module per `rppm` subcommand.
+
+pub mod bench_guard;
+pub mod convert;
+pub mod golden;
+pub mod import;
+pub mod report;
+pub mod run_all;
+
+use crate::args::{Arg, ArgStream, CliError};
+
+/// Handles the shared `--help` / `-h` spelling: prints `usage` and signals
+/// the caller to return successfully.
+pub fn is_help(arg: &Arg) -> bool {
+    matches!(arg.as_str(), "--help" | "-h" | "help")
+}
+
+/// Parses the shared `--jobs N` / `-j N` flag into `jobs`; returns whether
+/// the flag matched.
+pub fn take_jobs(args: &mut ArgStream, arg: &Arg, jobs: &mut usize) -> Result<bool, CliError> {
+    if matches!(arg.as_str(), "--jobs" | "-j") {
+        *jobs = args.parse_of(arg)?;
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}

@@ -1,0 +1,81 @@
+//! `rppm report <name> [args]` — print one table/figure of the paper.
+
+use super::{is_help, take_jobs};
+use crate::args::{parse_with, ArgStream, CliError};
+use rppm_bench::{reports, ProfileCache, RunCtx};
+
+const USAGE: &str = "usage: rppm report <name> [args] [--jobs N]
+
+reports (and their optional positional arguments):
+  table1 [iterations]     error accumulation study      (default 1000000)
+  table2 [scale]          per-suite error summary       (default 1.0)
+  table3 [scale]          synchronization behaviour     (default 1.0)
+  table4                  design-space design points
+  table5 [scale]          DSE: predicted vs actual      (default 0.3)
+  fig4   [scale]          MAIN/CRIT/RPPM error per benchmark (default 0.5)
+  fig5   [scale] [bench]  predicted vs simulated CPI stacks  (default 0.5)
+  fig6   [scale]          scaling behaviour categories  (default 0.3)
+  ablation [scale]        model-component ablation      (default 0.2)
+
+The report text is printed to stdout, byte-identical to the retired
+per-report binaries.";
+
+pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
+    let mut args = ArgStream::new(argv, USAGE);
+    let mut jobs = rppm_bench::default_jobs();
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        if is_help(&arg) {
+            println!("{USAGE}");
+            return Ok(0);
+        }
+        if take_jobs(&mut args, &arg, &mut jobs)? {
+            continue;
+        }
+        if arg.is_flag() {
+            return Err(args.unknown(&arg));
+        }
+        positional.push(arg.into_positional());
+    }
+    let Some((name, rest)) = positional.split_first() else {
+        return Err(args.error("missing report name"));
+    };
+    // fig5 takes [scale] [benchmark]; every other report at most [scale].
+    let max_args = match name.as_str() {
+        "fig5" => 2,
+        "table4" => 0,
+        _ => 1,
+    };
+    if let Some(surplus) = rest.get(max_args) {
+        return Err(args.error(format!("unexpected argument `{surplus}`")));
+    }
+
+    let scale_arg = |default: f64| -> Result<f64, CliError> {
+        rest.first()
+            .map(|s| parse_with(s, "scale", USAGE))
+            .unwrap_or(Ok(default))
+    };
+
+    let cache = ProfileCache::new();
+    let ctx = RunCtx::new(&cache, jobs);
+    let report = match name.as_str() {
+        "table1" => {
+            let iterations = rest
+                .first()
+                .map(|s| parse_with(s, "iterations", USAGE))
+                .unwrap_or(Ok(1_000_000))?;
+            reports::table1(iterations)
+        }
+        "table2" => reports::table2(scale_arg(1.0)?),
+        "table3" => reports::table3(scale_arg(1.0)?, &ctx),
+        "table4" => reports::table4(),
+        "table5" => reports::table5(scale_arg(0.3)?, &ctx),
+        "fig4" => reports::fig4(scale_arg(0.5)?, &ctx),
+        "fig5" => reports::fig5(scale_arg(0.5)?, rest.get(1).map(String::as_str), &ctx),
+        "fig6" => reports::fig6(scale_arg(0.3)?, &ctx),
+        "ablation" => reports::ablation(scale_arg(0.2)?, &ctx),
+        other => return Err(args.error(format!("unknown report `{other}`"))),
+    };
+    print!("{}", report.text);
+    Ok(0)
+}

@@ -1,0 +1,206 @@
+//! Smoke tests for the unified `rppm` binary: help/usage text for every
+//! subcommand, correct exit codes, one-line user errors (no panics, no
+//! backtraces), and a tiny end-to-end report/convert/import round trip.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rppm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rppm"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn rppm")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Asserts `out` is a user-error exit: status 2 and a single `error:` line
+/// on stderr (plus optional usage text), never a panic/backtrace.
+fn assert_user_error(out: &Output, needle: &str) {
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(out));
+    let err = stderr(out);
+    let first = err.lines().next().unwrap_or_default();
+    assert!(
+        first.starts_with("error: "),
+        "first stderr line is the error: {err}"
+    );
+    assert!(err.contains(needle), "mentions `{needle}`: {err}");
+    assert!(!err.contains("panicked"), "no panic: {err}");
+    assert!(!err.contains("RUST_BACKTRACE"), "no backtrace hint: {err}");
+}
+
+#[test]
+fn top_level_help_lists_every_subcommand() {
+    for args in [vec!["--help"], vec!["help"], vec![]] {
+        let out = rppm(&args);
+        assert_eq!(out.status.code(), Some(0));
+        let text = stdout(&out);
+        for cmd in ["report", "run-all", "import", "convert", "golden", "bench"] {
+            assert!(text.contains(cmd), "help lists `{cmd}`: {text}");
+        }
+    }
+}
+
+#[test]
+fn every_subcommand_prints_usage_on_help() {
+    for (args, needle) in [
+        (["report", "--help"], "usage: rppm report"),
+        (["run-all", "--help"], "usage: rppm run-all"),
+        (["import", "--help"], "usage: rppm import"),
+        (["convert", "--help"], "usage: rppm convert"),
+        (["golden", "--help"], "usage: rppm golden diff"),
+        (["bench", "--help"], "usage: rppm bench guard"),
+    ] {
+        let out = rppm(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        assert!(
+            stdout(&out).contains(needle),
+            "{args:?} usage text: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_command_and_flags_exit_2_with_usage() {
+    let out = rppm(&["frobnicate"]);
+    assert_user_error(&out, "unknown command `frobnicate`");
+    assert!(stderr(&out).contains("usage: rppm"), "reprints usage");
+
+    let out = rppm(&["report", "--frobnicate"]);
+    assert_user_error(&out, "unknown flag `--frobnicate`");
+
+    let out = rppm(&["report"]);
+    assert_user_error(&out, "missing report name");
+
+    let out = rppm(&["report", "nosuch"]);
+    assert_user_error(&out, "unknown report `nosuch`");
+
+    let out = rppm(&["report", "fig4", "not-a-number"]);
+    assert_user_error(&out, "cannot parse `not-a-number`");
+
+    // Surplus positionals are rejected, not silently dropped.
+    let out = rppm(&["report", "table4", "0.5"]);
+    assert_user_error(&out, "unexpected argument `0.5`");
+    let out = rppm(&["report", "table2", "1.0", "junk"]);
+    assert_user_error(&out, "unexpected argument `junk`");
+
+    let out = rppm(&["golden", "explode"]);
+    assert_user_error(&out, "unknown golden action `explode`");
+
+    let out = rppm(&["bench"]);
+    assert_user_error(&out, "missing bench action");
+}
+
+#[test]
+fn user_errors_are_one_line_typed_messages() {
+    // Missing trace file: the rppm::Error Display, not a panic.
+    let out = rppm(&["import", "/definitely/not/here.json"]);
+    assert_user_error(&out, "cannot access trace file");
+
+    // Unknown workload on export.
+    let out = rppm(&["import", "--export", "nosuch", "/tmp/x.json"]);
+    assert_user_error(&out, "unknown workload `nosuch`");
+
+    // Bad magic / corrupt content.
+    let dir = std::env::temp_dir().join("rppm-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{ not json").unwrap();
+    let out = rppm(&["import", garbage.to_str().unwrap()]);
+    assert_user_error(&out, "not valid JSON");
+
+    // Missing bench capture.
+    let out = rppm(&["bench", "guard", "/definitely/not/fresh.json"]);
+    assert_user_error(&out, "cannot read");
+}
+
+#[test]
+fn report_prints_a_table_and_convert_round_trips() {
+    // table4 is static (no workload runs): instant and deterministic.
+    let out = rppm(&["report", "table4"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Table IV"), "table4 header: {text}");
+
+    // Export a tiny workload, convert JSON -> binary -> JSON, import it.
+    let dir = std::env::temp_dir().join("rppm-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("roundtrip.json");
+    let rpt = dir.join("roundtrip.rpt");
+    let json2 = dir.join("roundtrip2.json");
+    let export = rppm(&[
+        "import",
+        "--export",
+        "nn",
+        json.to_str().unwrap(),
+        "--scale",
+        "0.02",
+    ]);
+    assert_eq!(export.status.code(), Some(0), "{}", stderr(&export));
+    assert!(stdout(&export).contains("exported `nn`"));
+
+    let conv = rppm(&["convert", json.to_str().unwrap(), rpt.to_str().unwrap()]);
+    assert_eq!(conv.status.code(), Some(0), "{}", stderr(&conv));
+    assert!(stdout(&conv).contains("-> "));
+    let back = rppm(&["convert", rpt.to_str().unwrap(), json2.to_str().unwrap()]);
+    assert_eq!(back.status.code(), Some(0), "{}", stderr(&back));
+    assert_eq!(
+        std::fs::read(&json).unwrap(),
+        std::fs::read(&json2).unwrap(),
+        "JSON -> RPT1 -> JSON is byte-identical"
+    );
+
+    let import = rppm(&["import", rpt.to_str().unwrap(), "--jobs", "2"]);
+    assert_eq!(import.status.code(), Some(0), "{}", stderr(&import));
+    assert!(stdout(&import).contains("profiled once"));
+}
+
+#[test]
+fn golden_diff_detects_drift_against_perturbed_baseline() {
+    // Against a bogus golden dir every baseline is missing: exit 1.
+    let empty = std::env::temp_dir().join("rppm-cli-smoke-empty-golden");
+    std::fs::create_dir_all(&empty).unwrap();
+    let delta = std::env::temp_dir().join("rppm-cli-smoke/delta.txt");
+    let out = rppm(&[
+        "golden",
+        "diff",
+        "--jobs",
+        "2",
+        "--golden",
+        empty.to_str().unwrap(),
+        "--out",
+        delta.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "drift exits 1: {}",
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("missing baseline"));
+    assert!(delta.exists(), "delta report always written");
+}
+
+#[test]
+fn results_dir_has_committed_outputs_for_every_report() {
+    // Guard the repo contract the run-all smoke in CI relies on: the
+    // committed results/ dir carries both twins for every report name the
+    // CLI accepts.
+    let results = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    for name in [
+        "table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "ablation",
+    ] {
+        for ext in ["txt", "json"] {
+            let p = results.join(format!("{name}.{ext}"));
+            assert!(p.exists(), "missing committed {}", p.display());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The profile-once cache: RPPM's amortization engine as a public type.
+//!
+//! The paper's headline workflow is *profile once, predict many*: one
+//! microarchitecture-independent [`ApplicationProfile`] per workload,
+//! amortized over every machine configuration it is evaluated on.
+//! [`ProfileCache`] enforces that contract process-wide — each
+//! [`ProfileKey`] is built and profiled exactly once per cache, no matter
+//! how many callers, experiments or worker threads ask for it. Concurrent
+//! requests for the same key block on the single profiling run; requests
+//! for different keys proceed in parallel.
+//!
+//! The cache is thread-safe and lives behind an `Arc` in the `rppm`
+//! session facade; the `rppm-bench` experiment engine shares the same
+//! type, so a harness run and a library caller observe the one contract.
+
+use crate::logical::profile;
+use crate::profile::ApplicationProfile;
+use rppm_trace::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of a profiled workload.
+///
+/// Generated workloads are identified by name and generation parameters
+/// (same key ⇒ bit-identical program and profile); externally collected
+/// traces by content fingerprint (their dynamic stream is fixed, so
+/// generation parameters are deliberately not part of the key). The two
+/// namespaces never collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProfileKey {
+    /// A workload produced by a deterministic generator (the benchmark
+    /// catalog, or any caller-defined parametric source).
+    Generated {
+        /// Generator name.
+        name: String,
+        /// Work-scale multiplier, as raw bits (hashable, exact).
+        scale_bits: u64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A fixed program, identified by its content fingerprint
+    /// (see `rppm_trace::program_fingerprint`).
+    Fingerprint {
+        /// Content fingerprint, stable across containers and re-imports.
+        fingerprint: u64,
+    },
+}
+
+impl ProfileKey {
+    /// Key for a generated workload.
+    pub fn generated(name: impl Into<String>, scale: f64, seed: u64) -> Self {
+        ProfileKey::Generated {
+            name: name.into(),
+            scale_bits: scale.to_bits(),
+            seed,
+        }
+    }
+
+    /// Key for a fixed program, fingerprinted by content.
+    pub fn fingerprint(fingerprint: u64) -> Self {
+        ProfileKey::Fingerprint { fingerprint }
+    }
+}
+
+/// A workload built and profiled once, shared (via [`Arc`]) by every
+/// caller that predicts or simulates it.
+#[derive(Debug, Clone)]
+pub struct ProfiledWorkload {
+    /// The program (needed for golden-reference simulation).
+    pub program: Arc<Program>,
+    /// The one-time microarchitecture-independent profile.
+    pub profile: Arc<ApplicationProfile>,
+}
+
+/// Shared profile store: each [`ProfileKey`] is built and profiled exactly
+/// once per cache, no matter how many experiments, configurations, or
+/// worker threads ask for it.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: Mutex<HashMap<ProfileKey, Arc<OnceLock<ProfiledWorkload>>>>,
+    lookups: AtomicUsize,
+    profiled: AtomicUsize,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the profiled workload for `key`, materializing the program
+    /// with `build` and profiling it on first use. Concurrent callers for
+    /// the same key block until the single profiling run finishes; callers
+    /// for different keys proceed in parallel.
+    pub fn get_or_profile(
+        &self,
+        key: ProfileKey,
+        build: impl FnOnce() -> Arc<Program>,
+    ) -> ProfiledWorkload {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.map.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        slot.get_or_init(|| {
+            // Release pairs with the Acquire load in `profiles_collected`:
+            // a reader that sees this increment also sees the `lookups`
+            // increment above, keeping `hits()` non-negative.
+            self.profiled.fetch_add(1, Ordering::Release);
+            let program = build();
+            let prof = Arc::new(profile(&program));
+            ProfiledWorkload {
+                program,
+                profile: prof,
+            }
+        })
+        .clone()
+    }
+
+    /// Number of distinct workloads profiled so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Returns whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups served (hits + profiling runs).
+    pub fn lookups(&self) -> usize {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Lookups satisfied from an already-collected profile — the
+    /// amortization the paper's "profile once, predict many" promises.
+    pub fn hits(&self) -> usize {
+        // Every miss increments `lookups` before `profiled`, and the
+        // Acquire/Release pairing on `profiled` makes that prior lookup
+        // visible here — so reading `profiled` first keeps the difference
+        // non-negative; saturating_sub is a second line of defense.
+        let profiled = self.profiles_collected();
+        self.lookups().saturating_sub(profiled)
+    }
+
+    /// Number of profiling runs this cache has performed.
+    pub fn profiles_collected(&self) -> usize {
+        self.profiled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::{BlockSpec, ProgramBuilder};
+
+    fn tiny(name: &str, seed: u64) -> Arc<Program> {
+        let mut b = ProgramBuilder::new(name, 2);
+        b.spawn_workers();
+        b.thread(1u32).block(BlockSpec::new(500, seed));
+        b.join_workers();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn same_key_profiles_once() {
+        let cache = ProfileCache::new();
+        let key = ProfileKey::generated("t", 0.5, 1);
+        let a = cache.get_or_profile(key.clone(), || tiny("t", 1));
+        let b = cache.get_or_profile(key, || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a.profile, &b.profile));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.profiles_collected(), 1);
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_profile_separately() {
+        let cache = ProfileCache::new();
+        cache.get_or_profile(ProfileKey::generated("t", 0.5, 1), || tiny("t", 1));
+        cache.get_or_profile(ProfileKey::generated("t", 0.5, 2), || tiny("t", 2));
+        cache.get_or_profile(ProfileKey::fingerprint(42), || tiny("t", 1));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.profiles_collected(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn scale_and_seed_are_part_of_generated_identity() {
+        assert_ne!(
+            ProfileKey::generated("t", 0.5, 1),
+            ProfileKey::generated("t", 0.25, 1)
+        );
+        assert_ne!(
+            ProfileKey::generated("t", 0.5, 1),
+            ProfileKey::generated("t", 0.5, 2)
+        );
+        assert_eq!(ProfileKey::fingerprint(7), ProfileKey::fingerprint(7));
+    }
+}

@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod logical;
 pub mod microtrace;
 pub mod profile;
 
+pub use cache::{ProfileCache, ProfileKey, ProfiledWorkload};
 pub use logical::{profile, profile_call_count};
 pub use microtrace::{analyze, MicroTraceAnalysis, WINDOWS};
 pub use profile::{ApplicationProfile, CondVarUsage, EpochProfile, ThreadProfile};

@@ -87,6 +87,6 @@ pub use file::{
 };
 pub use op::{MicroOp, OpClass};
 pub use pattern::{AddressPattern, BranchPattern, Region};
-pub use program::{Program, Segment, ThreadScript};
+pub use program::{Program, ProgramError, Segment, ThreadScript};
 pub use rng::Rng;
 pub use sync::{BarrierId, CondId, MutexId, QueueId, SyncOp, ThreadId};

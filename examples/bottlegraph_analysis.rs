@@ -9,14 +9,13 @@
 use rppm::core::Bottlegraph;
 use rppm::prelude::*;
 
-fn analyze(name: &str) {
-    let bench = rppm::workloads::by_name(name).expect("known benchmark");
-    let program = bench.build(&WorkloadParams {
-        scale: 0.15,
-        seed: 9,
-    });
-    let profile = profile(&program);
-    let prediction = predict(&profile, &DesignPoint::Base.config());
+fn analyze(session: &Session, name: &str) -> Result<(), rppm::Error> {
+    let prediction = session
+        .workload(name)?
+        .scale(0.15)
+        .seed(9)
+        .profile()
+        .predict(&DesignPoint::Base.config());
 
     let graph = Bottlegraph::from_intervals(&prediction.intervals, prediction.total_cycles);
     println!("\n{name}: predicted bottlegraph");
@@ -37,12 +36,18 @@ fn analyze(name: &str) {
         "  bottleneck: thread {} (runs at parallelism {:.2})",
         bottleneck.thread, bottleneck.parallelism
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), rppm::Error> {
+    // One session across all three case studies: each workload is
+    // profiled once, and the cache would dedupe any repeats.
+    let session = Session::builder().build();
     // One benchmark per Figure 6 category: balanced with idle main,
     // main-does-work, and highly imbalanced.
     for name in ["swaptions", "freqmine", "vips"] {
-        analyze(name);
+        analyze(&session, name)?;
     }
+    assert_eq!(session.profiles_collected(), 3);
+    Ok(())
 }

@@ -1,5 +1,6 @@
 //! Building your own workload with the trace DSL: a producer/consumer
-//! pipeline with a critical section, profiled and predicted end to end.
+//! pipeline with a critical section, adopted into a session, profiled and
+//! predicted end to end.
 //!
 //! ```text
 //! cargo run --release --example custom_workload
@@ -8,7 +9,7 @@
 use rppm::prelude::*;
 use rppm::trace::{AddressPattern, BranchPattern};
 
-fn main() {
+fn main() -> Result<(), rppm::Error> {
     // Three threads: a producer decodes items; two consumers process them,
     // updating a shared histogram under a mutex.
     let mut b = ProgramBuilder::new("my-pipeline", 3);
@@ -55,10 +56,12 @@ fn main() {
         }
     }
     b.join_workers();
-    let program = b.build();
 
-    // The full pipeline: profile once, predict, verify.
-    let prof = profile(&program);
+    // Adopt the program into a session: it is validated, fingerprinted by
+    // content, and profiled once on first use.
+    let session = Session::builder().build();
+    let profile = session.program(b.build())?.profile();
+    let prof = profile.profile();
     let (cs, bar, cond) = prof.sync_event_counts();
     println!(
         "profiled: {} ops, {cs} critical sections, {bar} barriers, {cond} cond-var events",
@@ -69,8 +72,8 @@ fn main() {
     }
 
     let config = DesignPoint::Base.config();
-    let pred = predict(&prof, &config);
-    let sim = simulate(&program, &config);
+    let pred = profile.predict(&config);
+    let sim = profile.simulate(&config);
     println!(
         "predicted {:.0} cycles, simulated {:.0} cycles (error {:.1}%)",
         pred.total_cycles,
@@ -83,4 +86,5 @@ fn main() {
             th.active_cycles, th.sync_cycles
         );
     }
+    Ok(())
 }

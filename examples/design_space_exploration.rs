@@ -8,25 +8,27 @@
 use rppm::core::evaluate_choice;
 use rppm::prelude::*;
 
-fn main() {
-    let bench = rppm::workloads::by_name("cfd").expect("known benchmark");
-    let program = bench.build(&WorkloadParams {
-        scale: 0.15,
-        seed: 3,
-    });
-    let profile = profile(&program);
+fn main() -> Result<(), rppm::Error> {
+    let session = Session::builder().build();
+    let profile = session.workload("cfd")?.scale(0.15).seed(3).profile();
 
-    // Predict every design point from the single profile (fast)...
-    let predicted: Vec<f64> = DesignPoint::ALL
+    let configs: Vec<_> = DesignPoint::ALL.iter().map(|dp| dp.config()).collect();
+
+    // Predict every design point from the single profile (fast, fanned
+    // out over the session's worker threads)...
+    let predicted: Vec<f64> = profile
+        .predict_sweep(&configs)
         .iter()
-        .map(|dp| predict(&profile, &dp.config()).total_seconds)
+        .map(|p| p.total_seconds)
         .collect();
     // ...and simulate them all for ground truth (slow; in a real DSE you
     // would only simulate the model's candidate set).
-    let simulated: Vec<f64> = DesignPoint::ALL
+    let simulated: Vec<f64> = profile
+        .simulate_sweep(&configs)
         .iter()
-        .map(|dp| simulate(&program, &dp.config()).total_seconds)
+        .map(|s| s.total_seconds)
         .collect();
+    assert_eq!(session.profiles_collected(), 1, "one profile drove it all");
 
     println!(
         "{:<10} {:>14} {:>14}",
@@ -55,4 +57,5 @@ fn main() {
             choice.deficiency * 100.0
         );
     }
+    Ok(())
 }

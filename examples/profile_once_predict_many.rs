@@ -8,33 +8,32 @@
 
 use rppm::prelude::*;
 
-fn main() {
-    let bench = rppm::workloads::by_name("kmeans").expect("known benchmark");
-    let program = bench.build(&WorkloadParams {
-        scale: 0.2,
-        seed: 7,
-    });
+fn main() -> Result<(), rppm::Error> {
+    let session = Session::builder().build();
 
     // Profile once...
-    let profile = profile(&program);
+    let profile = session.workload("kmeans")?.scale(0.2).seed(7).profile();
 
     // ...serialize to the on-disk artifact (what you would archive)...
-    let json = profile.to_json();
+    let json = profile.profile().to_json();
     println!("profile serialized: {} bytes of JSON", json.len());
 
     // ...deserialize (e.g. weeks later, on another machine)...
     let restored = ApplicationProfile::from_json(&json).expect("round-trips");
-    assert_eq!(profile, restored);
+    assert_eq!(**profile.profile(), restored);
 
-    // ...and sweep the whole Table IV design space analytically.
+    // ...and sweep the whole Table IV design space analytically, in
+    // parallel, from the one profile.
+    let configs: Vec<_> = DesignPoint::ALL.iter().map(|dp| dp.config()).collect();
+    let predictions = profile.predict_sweep(&configs);
+    assert_eq!(session.profiles_collected(), 1, "one profile, many configs");
+
     println!(
         "\n{:<10} {:>10} {:>12} {:>12}",
         "design", "freq", "cycles", "time (ms)"
     );
     let mut best: Option<(String, f64)> = None;
-    for dp in DesignPoint::ALL {
-        let config = dp.config();
-        let p = predict(&restored, &config);
+    for (config, p) in configs.iter().zip(&predictions) {
         println!(
             "{:<10} {:>7.2}GHz {:>12.0} {:>12.4}",
             config.name,
@@ -48,4 +47,5 @@ fn main() {
     }
     let (name, secs) = best.expect("nonempty design space");
     println!("\npredicted optimum: '{name}' at {:.4} ms", secs * 1e3);
+    Ok(())
 }

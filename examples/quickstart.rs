@@ -1,5 +1,5 @@
-//! Quickstart: profile a workload once, predict a machine, sanity-check
-//! against detailed simulation.
+//! Quickstart: open a session, profile a workload once, predict a
+//! machine, sanity-check against detailed simulation.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,33 +7,33 @@
 
 use rppm::prelude::*;
 
-fn main() {
-    // 1. Pick a benchmark analog (or build your own with ProgramBuilder —
-    //    see the custom_workload example).
-    let bench = rppm::workloads::by_name("hotspot").expect("known benchmark");
-    let program = bench.build(&WorkloadParams {
-        scale: 0.2,
-        seed: 42,
-    });
+fn main() -> Result<(), rppm::Error> {
+    // 1. Open a session. It owns the profile-once cache: however many
+    //    configurations (or callers) ask about a workload, it is profiled
+    //    exactly once.
+    let session = Session::builder().build();
+
+    // 2. Pick a benchmark analog (or adopt your own program — see the
+    //    custom_workload example) and profile it once. The profile is
+    //    microarchitecture-independent: it can be serialized and reused
+    //    for any number of target machines.
+    let workload = session.workload("hotspot")?.scale(0.2).seed(42);
+    let profile = workload.profile();
     println!(
         "workload: {} ({} threads, {} micro-ops)",
-        program.name,
-        program.num_threads(),
-        program.total_ops()
+        workload.name(),
+        profile.program().num_threads(),
+        profile.program().total_ops()
     );
-
-    // 2. Profile once. The profile is microarchitecture-independent: it can
-    //    be serialized and reused for any number of target machines.
-    let profile = profile(&program);
     println!(
         "profiled {} ops across {} threads",
-        profile.total_ops(),
-        profile.num_threads()
+        profile.profile().total_ops(),
+        profile.profile().num_threads()
     );
 
     // 3. Predict the base quad-core configuration (Table IV).
     let config = DesignPoint::Base.config();
-    let prediction = predict(&profile, &config);
+    let prediction = profile.predict(&config);
     println!(
         "RPPM predicts {:.0} cycles ({:.3} ms) on '{}'",
         prediction.total_cycles,
@@ -41,8 +41,15 @@ fn main() {
         config.name
     );
 
-    // 4. Validate against the golden-reference simulator.
-    let reference = simulate(&program, &config);
+    // 4. Validate against the golden-reference simulator. Re-opening the
+    //    workload hits the session cache — still one profiling run.
+    let reference = session
+        .workload("hotspot")?
+        .scale(0.2)
+        .seed(42)
+        .profile()
+        .simulate(&config);
+    assert_eq!(session.profiles_collected(), 1, "profiled exactly once");
     println!(
         "simulation:    {:.0} cycles ({:.3} ms)",
         reference.total_cycles,
@@ -59,4 +66,5 @@ fn main() {
     for (label, value) in rppm::trace::CpiStack::LABELS.iter().zip(stack.values()) {
         println!("  {label:<10} {value:>12.0}");
     }
+    Ok(())
 }

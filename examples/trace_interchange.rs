@@ -1,19 +1,17 @@
 //! The trace interchange workflow: freeze a workload to a versioned trace
-//! file (JSON for auditability, `RPT1` binary for volume), read it back as
-//! an external tool would, and verify the imported trace profiles and
-//! predicts bit-identically to the original.
+//! file (JSON for auditability, `RPT1` binary for volume), import it back
+//! through a session as an external tool would, and verify the imported
+//! trace profiles and predicts bit-identically to the original.
 //!
 //! ```text
 //! cargo run --release --example trace_interchange
 //! ```
 
 use rppm::prelude::*;
-use rppm::trace::{
-    export_program, import_program, read_program, read_program_any, write_program,
-    write_program_binary, AddressPattern,
-};
+use rppm::trace::AddressPattern;
+use rppm::trace::{export_program, import_program, write_program, write_program_binary};
 
-fn main() {
+fn main() -> Result<(), rppm::Error> {
     // 1. Build a workload (any Program works — a catalog analog, or your
     //    own via the DSL).
     let mut b = ProgramBuilder::new("frozen-scan", 3);
@@ -35,7 +33,7 @@ fn main() {
 
     // 2. Export it: a documented, versioned JSON file any tool can write.
     let path = std::env::temp_dir().join("frozen-scan.rppm-trace.json");
-    write_program(&program, &path).expect("export");
+    write_program(&program, &path)?;
     println!(
         "exported {} ops to {} ({} bytes)",
         program.total_ops(),
@@ -43,44 +41,68 @@ fn main() {
         std::fs::metadata(&path).expect("stat").len()
     );
 
-    // 3. Import it back — schema-version checked, structurally validated.
-    let imported = read_program(&path).expect("import");
-    assert_eq!(program, imported);
+    // 3. Import it back through a session — schema-version checked,
+    //    structurally validated, cached by content fingerprint.
+    let session = Session::builder().build();
+    let imported = session.import(&path)?;
+    assert_eq!(imported.name(), "frozen-scan");
 
     // 4. The imported trace is a first-class workload: one profile, any
-    //    number of design points, bit-identical to the original.
-    let original = profile(&program);
-    let roundtripped = profile(&imported);
-    assert_eq!(original, roundtripped, "profiles must match bit for bit");
+    //    number of design points, bit-identical to the original program
+    //    profiled directly.
+    let original = session.program(program.clone())?.profile();
+    let roundtripped = imported.profile();
+    assert_eq!(
+        original.profile(),
+        roundtripped.profile(),
+        "profiles must match bit for bit"
+    );
+    // The import and the original have identical content, so they share
+    // one fingerprint — and therefore one profiling run.
+    assert_eq!(session.profiles_collected(), 1, "fingerprint-deduped");
     for dp in DesignPoint::ALL {
-        let a = predict(&original, &dp.config()).total_cycles;
-        let b = predict(&roundtripped, &dp.config()).total_cycles;
+        let a = original.predict(&dp.config()).total_cycles;
+        let b = roundtripped.predict(&dp.config()).total_cycles;
         assert_eq!(a.to_bits(), b.to_bits());
         println!("{dp:>9}: {a:.0} predicted cycles (import identical)");
     }
 
     // 5. The same trace as an RPT1 binary container: a fraction of the
-    //    bytes, auto-detected on read by magic, identical in content.
+    //    bytes, auto-detected on import by magic, identical in content —
+    //    so it joins the same cache entry (still one profiling run).
     let bin_path = std::env::temp_dir().join("frozen-scan.rpt");
-    write_program_binary(&program, &bin_path).expect("binary export");
+    write_program_binary(&program, &bin_path)?;
     let json_bytes = std::fs::metadata(&path).expect("stat").len();
     let bin_bytes = std::fs::metadata(&bin_path).expect("stat").len();
     println!("binary container: {bin_bytes} bytes vs {json_bytes} JSON bytes");
-    let from_binary = read_program_any(&bin_path).expect("auto-detected import");
-    assert_eq!(program, from_binary, "containers must carry one program");
+    let from_binary = session.import(&bin_path)?;
+    from_binary.profile();
+    assert_eq!(
+        session.profiles_collected(),
+        1,
+        "both containers carry one program"
+    );
 
     // 6. Malformed files fail with typed, actionable errors — never a
     //    panic. Corrupt the version field to see one.
-    let text = export_program(&program).expect("serializes");
+    let text = export_program(&program)?;
     let newer = text.replace("\"version\":1", "\"version\":99");
     match import_program(&newer) {
         Err(e) => println!("corrupted JSON rejected: {e}"),
         Ok(_) => unreachable!("version 99 must not import"),
     }
+    // Through the session the same failure arrives as rppm::Error with
+    // the trace diagnostic reachable via source().
+    let bad_path = std::env::temp_dir().join("frozen-scan.truncated.rpt");
     let mut bad = std::fs::read(&bin_path).expect("read back");
     bad.truncate(bad.len() / 2);
-    match rppm::trace::import_program_binary(&bad) {
-        Err(e) => println!("truncated binary rejected: {e}"),
+    std::fs::write(&bad_path, &bad).expect("write truncated");
+    match session.import(&bad_path) {
+        Err(e) => {
+            println!("truncated binary rejected: {e}");
+            assert!(std::error::Error::source(&e).is_some(), "cause preserved");
+        }
         Ok(_) => unreachable!("truncated container must not import"),
     }
+    Ok(())
 }

@@ -1,0 +1,429 @@
+//! The session facade: RPPM's *profile once, predict many* workflow as a
+//! first-class API.
+//!
+//! A [`Session`] owns a thread-safe profile-once cache
+//! ([`rppm_profiler::ProfileCache`]). Workloads enter the session from the
+//! benchmark catalog ([`Session::workload`]), from a trace file in either
+//! on-disk container ([`Session::import`], format auto-detected by magic
+//! bytes), or as an in-memory [`Program`] ([`Session::program`]); each
+//! yields a [`WorkloadHandle`]. Calling [`WorkloadHandle::profile`]
+//! collects the microarchitecture-independent profile **at most once per
+//! session** — every further call, from any thread, is a cache hit — and
+//! returns a [`ProfileHandle`] that predicts any number of machine
+//! configurations ([`ProfileHandle::predict`], or the parallel
+//! [`ProfileHandle::predict_sweep`] for design-space exploration).
+//!
+//! Everything fallible returns the unified [`Error`], whose variants keep
+//! their underlying causes reachable through
+//! [`std::error::Error::source`].
+//!
+//! ```
+//! use rppm::{Session, trace::DesignPoint};
+//!
+//! let session = Session::builder().build();
+//! let workload = session.workload("lud")?.scale(0.02).seed(7);
+//!
+//! let profile = workload.profile();           // profiled here, once
+//! let base = profile.predict(&DesignPoint::Base.config());
+//! let big = profile.predict(&DesignPoint::Big.config());
+//! assert!(base.total_cycles > big.total_cycles);
+//! assert_eq!(session.profiles_collected(), 1);
+//! # Ok::<(), rppm::Error>(())
+//! ```
+//!
+//! The stateless free functions ([`profile()`](crate::profiler::profile()),
+//! [`predict()`](crate::core::predict()), [`simulate()`](crate::sim::simulate()))
+//! remain available for one-shot use; the session is those functions plus
+//! the amortization contract.
+
+use rppm_core::{parallel_map, Prediction};
+use rppm_profiler::{ApplicationProfile, ProfileCache, ProfileKey, ProfiledWorkload};
+use rppm_sim::{simulate, SimResult};
+use rppm_trace::{program_fingerprint, MachineConfig, Program, ProgramError, TraceFileError};
+use rppm_workloads::{Benchmark, Params};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Unified error type for the `rppm` API surface.
+///
+/// Every variant preserves its underlying cause: [`Error::Trace`] wraps the
+/// typed trace-file diagnostics, [`Error::InvalidProgram`] the structural
+/// program validation, and [`Error::Io`] raw I/O failures — all reachable
+/// through [`std::error::Error::source`], so callers can render either the
+/// one-line summary (`Display`) or the full chain.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The named workload is not in the benchmark catalog.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Importing or exporting a trace file failed (I/O, bad magic, schema
+    /// mismatch, corruption, ...).
+    Trace(TraceFileError),
+    /// A program violates structural invariants (orphan threads,
+    /// unbalanced locks, ...).
+    InvalidProgram(ProgramError),
+    /// An I/O operation outside the trace containers failed.
+    Io {
+        /// The path being accessed.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnknownWorkload { name } => write!(
+                f,
+                "unknown workload `{name}` (the catalog has {} benchmarks; \
+                 see rppm::workloads::all())",
+                rppm_workloads::all().len()
+            ),
+            Error::Trace(e) => write!(f, "{e}"),
+            Error::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            Error::Io { path, source } => {
+                write!(f, "cannot access `{}`: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::UnknownWorkload { .. } => None,
+            Error::Trace(e) => Some(e),
+            Error::InvalidProgram(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<TraceFileError> for Error {
+    fn from(e: TraceFileError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<ProgramError> for Error {
+    fn from(e: ProgramError) -> Self {
+        Error::InvalidProgram(e)
+    }
+}
+
+/// Configures and creates a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    params: Params,
+    jobs: usize,
+}
+
+impl SessionBuilder {
+    /// Default generation parameters for catalog workloads opened through
+    /// the session (each [`WorkloadHandle`] can override them with
+    /// [`WorkloadHandle::scale`] / [`WorkloadHandle::seed`]).
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Worker threads for parallel sweeps ([`ProfileHandle::predict_sweep`],
+    /// [`ProfileHandle::simulate_sweep`]). Defaults to one per core.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        Session {
+            cache: Arc::new(ProfileCache::new()),
+            params: self.params,
+            jobs: self.jobs,
+        }
+    }
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            params: Params::full(),
+            jobs: rppm_core::default_jobs(),
+        }
+    }
+}
+
+/// A profile-once session: the owner of the shared [`ProfileCache`].
+///
+/// Cheap to clone conceptually — hand out [`WorkloadHandle`]s freely; they
+/// keep the cache alive via [`Arc`] and may be profiled from any thread.
+#[derive(Debug)]
+pub struct Session {
+    cache: Arc<ProfileCache>,
+    params: Params,
+    jobs: usize,
+}
+
+impl Session {
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A session with default settings.
+    pub fn new() -> Session {
+        Session::builder().build()
+    }
+
+    /// Opens a catalog workload by name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownWorkload`] if `name` is not in the catalog.
+    pub fn workload(&self, name: &str) -> Result<WorkloadHandle, Error> {
+        let bench = rppm_workloads::by_name(name).ok_or_else(|| Error::UnknownWorkload {
+            name: name.to_string(),
+        })?;
+        Ok(self.handle(Source::Catalog {
+            bench,
+            params: self.params,
+        }))
+    }
+
+    /// Imports the trace file at `path` as a workload. The container
+    /// format (JSON interchange or `RPT1` binary) is auto-detected by
+    /// magic bytes; the trace is cached by content fingerprint, so the
+    /// same trace imported twice — even once per container format — is
+    /// profiled once.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Trace`] on any import failure.
+    pub fn import(&self, path: impl AsRef<Path>) -> Result<WorkloadHandle, Error> {
+        let program = rppm_trace::read_program_any(path)?;
+        Ok(self.fixed(Arc::new(program)))
+    }
+
+    /// Adopts an in-memory program (e.g. built with
+    /// [`rppm_trace::ProgramBuilder`]) as a workload, validating it first.
+    /// Like imports, it is cached by content fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProgram`] if the program violates structural
+    /// invariants.
+    pub fn program(&self, program: Program) -> Result<WorkloadHandle, Error> {
+        program.validate()?;
+        Ok(self.fixed(Arc::new(program)))
+    }
+
+    /// Number of profiling runs this session has performed — the "once"
+    /// in profile once, predict many.
+    pub fn profiles_collected(&self) -> usize {
+        self.cache.profiles_collected()
+    }
+
+    /// Profile requests served from the cache instead of re-profiling.
+    pub fn cache_hits(&self) -> usize {
+        self.cache.hits()
+    }
+
+    /// The shared profile cache (e.g. to hand to an
+    /// `rppm_bench::ExperimentPlan` so harness runs and session callers
+    /// amortize the same profiles).
+    pub fn cache(&self) -> &Arc<ProfileCache> {
+        &self.cache
+    }
+
+    fn fixed(&self, program: Arc<Program>) -> WorkloadHandle {
+        let fingerprint = program_fingerprint(&program);
+        self.handle(Source::Fixed {
+            program,
+            fingerprint,
+        })
+    }
+
+    fn handle(&self, source: Source) -> WorkloadHandle {
+        WorkloadHandle {
+            cache: Arc::clone(&self.cache),
+            jobs: self.jobs,
+            source,
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+/// Where a workload handle's program comes from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// A catalog generator plus its generation parameters.
+    Catalog { bench: Benchmark, params: Params },
+    /// A fixed dynamic stream (imported trace or adopted program),
+    /// identified by content fingerprint.
+    Fixed {
+        program: Arc<Program>,
+        fingerprint: u64,
+    },
+}
+
+/// A workload opened in a [`Session`], ready to be profiled once.
+#[derive(Debug, Clone)]
+pub struct WorkloadHandle {
+    cache: Arc<ProfileCache>,
+    jobs: usize,
+    source: Source,
+}
+
+impl WorkloadHandle {
+    /// Sets the generation work scale. Only generated (catalog) workloads
+    /// scale; a fixed trace's dynamic stream is immutable, so this is a
+    /// no-op for imported workloads.
+    pub fn scale(mut self, scale: f64) -> Self {
+        if let Source::Catalog { params, .. } = &mut self.source {
+            params.scale = scale;
+        }
+        self
+    }
+
+    /// Sets the generation seed. Like [`WorkloadHandle::scale`], a no-op
+    /// for fixed traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        if let Source::Catalog { params, .. } = &mut self.source {
+            params.seed = seed;
+        }
+        self
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        match &self.source {
+            Source::Catalog { bench, .. } => bench.name,
+            Source::Fixed { program, .. } => &program.name,
+        }
+    }
+
+    /// Builds and profiles the workload **at most once per session** —
+    /// every further call (same scale/seed, or same trace content, from
+    /// any thread) returns the cached profile. The returned
+    /// [`ProfileHandle`] carries the shared [`Arc`]s.
+    pub fn profile(&self) -> ProfileHandle {
+        let workload = match &self.source {
+            Source::Catalog { bench, params } => self.cache.get_or_profile(
+                ProfileKey::generated(bench.name, params.scale, params.seed),
+                || Arc::new(bench.build(params)),
+            ),
+            Source::Fixed {
+                program,
+                fingerprint,
+            } => self
+                .cache
+                .get_or_profile(ProfileKey::fingerprint(*fingerprint), || {
+                    Arc::clone(program)
+                }),
+        };
+        ProfileHandle {
+            workload,
+            jobs: self.jobs,
+        }
+    }
+}
+
+/// A profiled workload: one microarchitecture-independent profile, any
+/// number of predictions.
+#[derive(Debug, Clone)]
+pub struct ProfileHandle {
+    workload: ProfiledWorkload,
+    jobs: usize,
+}
+
+impl ProfileHandle {
+    /// The cached profile artifact (serializable via
+    /// [`ApplicationProfile::to_json`]).
+    pub fn profile(&self) -> &Arc<ApplicationProfile> {
+        &self.workload.profile
+    }
+
+    /// The materialized program (what the golden-reference simulator
+    /// consumes).
+    pub fn program(&self) -> &Arc<Program> {
+        &self.workload.program
+    }
+
+    /// Predicts execution on one machine configuration (Equation 1 +
+    /// Algorithm 2) — microseconds of model time, no re-profiling.
+    pub fn predict(&self, config: &MachineConfig) -> Prediction {
+        rppm_core::predict(&self.workload.profile, config)
+    }
+
+    /// The MAIN baseline prediction (cycles).
+    pub fn predict_main(&self, config: &MachineConfig) -> f64 {
+        rppm_core::predict_main(&self.workload.profile, config)
+    }
+
+    /// The CRIT baseline prediction (cycles).
+    pub fn predict_crit(&self, config: &MachineConfig) -> f64 {
+        rppm_core::predict_crit(&self.workload.profile, config)
+    }
+
+    /// Predicts every configuration of a design space from the one
+    /// profile, fanned out over the session's worker threads. Results are
+    /// in `configs` order regardless of the worker count.
+    pub fn predict_sweep(&self, configs: &[MachineConfig]) -> Vec<Prediction> {
+        parallel_map(self.jobs, configs.len(), |i| self.predict(&configs[i]))
+    }
+
+    /// Golden-reference detailed simulation (slow; for validation).
+    pub fn simulate(&self, config: &MachineConfig) -> SimResult {
+        simulate(&self.workload.program, config)
+    }
+
+    /// Simulates every configuration of a design space, fanned out over
+    /// the session's worker threads, in `configs` order.
+    pub fn simulate_sweep(&self, configs: &[MachineConfig]) -> Vec<SimResult> {
+        parallel_map(self.jobs, configs.len(), |i| self.simulate(&configs[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rppm_trace::DesignPoint;
+
+    #[test]
+    fn unknown_workload_is_a_typed_error() {
+        let session = Session::new();
+        let err = session.workload("nosuch").unwrap_err();
+        assert!(matches!(err, Error::UnknownWorkload { ref name } if name == "nosuch"));
+        assert!(err.to_string().contains("nosuch"));
+    }
+
+    #[test]
+    fn sweep_matches_sequential_predictions() {
+        let session = Session::builder().jobs(4).build();
+        let profile = session
+            .workload("nn")
+            .expect("catalog")
+            .scale(0.02)
+            .seed(3)
+            .profile();
+        let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
+        let sweep = profile.predict_sweep(&configs);
+        assert_eq!(sweep.len(), configs.len());
+        for (p, c) in sweep.iter().zip(&configs) {
+            assert_eq!(
+                p.total_cycles.to_bits(),
+                profile.predict(c).total_cycles.to_bits()
+            );
+        }
+        assert_eq!(session.profiles_collected(), 1);
+    }
+}

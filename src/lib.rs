@@ -22,26 +22,47 @@
 //!
 //! # Quickstart
 //!
+//! The [`Session`] facade is the front door: it owns the profile-once
+//! cache, so however many configurations (or callers) ask about a
+//! workload, it is profiled exactly once.
+//!
 //! ```
 //! use rppm::prelude::*;
 //!
-//! // 1. Pick a workload (or build your own with ProgramBuilder).
-//! let bench = rppm::workloads::by_name("hotspot").expect("known");
-//! let program = bench.build(&WorkloadParams { scale: 0.02, seed: 1 });
+//! // 1. Open a session (it owns the shared profile-once cache).
+//! let session = Session::builder().build();
 //!
-//! // 2. Profile once (microarchitecture-independent).
-//! let profile = profile(&program);
+//! // 2. Pick a workload and profile it once (microarchitecture-
+//! //    independent; also works for session.import("trace.rpt") files).
+//! let workload = session.workload("hotspot")?.scale(0.02).seed(1);
+//! let profile = workload.profile();
 //!
-//! // 3. Predict any machine configuration...
-//! let prediction = predict(&profile, &DesignPoint::Base.config());
+//! // 3. Predict any machine configuration from the one profile...
+//! let prediction = profile.predict(&DesignPoint::Base.config());
+//! let sweep = profile.predict_sweep(
+//!     &DesignPoint::ALL.iter().map(|d| d.config()).collect::<Vec<_>>());
+//! assert_eq!(sweep.len(), 5);
+//!
+//! // ...profile once: re-opening the same workload hits the cache.
+//! let again = session.workload("hotspot")?.scale(0.02).seed(1).profile();
+//! assert_eq!(session.profiles_collected(), 1, "one profiling run");
+//! assert_eq!(session.cache_hits(), 1, "second .profile() was a cache hit");
 //!
 //! // 4. ...and compare against detailed simulation when desired.
-//! let reference = simulate(&program, &DesignPoint::Base.config());
+//! let reference = profile.simulate(&DesignPoint::Base.config());
 //! let err = abs_pct_error(prediction.total_cycles, reference.total_cycles);
 //! assert!(err < 0.5, "prediction within 50% of simulation, got {:.0}%", err * 100.0);
+//! # Ok::<(), rppm::Error>(())
 //! ```
+//!
+//! The stateless free functions (`profile`, `predict`, `simulate`) remain
+//! in the [`prelude`] for one-shot use.
 
 #![warn(missing_docs)]
+
+pub mod api;
+
+pub use api::{Error, ProfileHandle, Session, SessionBuilder, WorkloadHandle};
 
 pub use rppm_branch_model as branch_model;
 pub use rppm_core as core;
@@ -53,6 +74,7 @@ pub use rppm_workloads as workloads;
 
 /// Convenient glob-import surface for the common workflow.
 pub mod prelude {
+    pub use crate::api::{Error, ProfileHandle, Session, SessionBuilder, WorkloadHandle};
     pub use rppm_core::{
         abs_pct_error, predict, predict_crit, predict_main, Bottlegraph, Prediction,
     };

@@ -7,7 +7,7 @@
 //! baselines with:
 //!
 //! ```text
-//! cargo run --release -p rppm-bench --bin golden_diff -- --update
+//! cargo run --release -p rppm-cli -- golden update
 //! ```
 
 use rppm_bench::golden::{self, GOLDEN_RTOL};
@@ -32,7 +32,7 @@ fn reports_match_golden_baselines() {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             panic!(
                 "missing golden baseline {} ({e}); regenerate with \
-                 `cargo run --release -p rppm-bench --bin golden_diff -- --update`",
+                 `cargo run --release -p rppm-cli -- golden update`",
                 path.display()
             )
         });
@@ -49,7 +49,7 @@ fn reports_match_golden_baselines() {
         failures.is_empty(),
         "accuracy drifted from golden baselines:\n{failures}\
          if intentional, regenerate with \
-         `cargo run --release -p rppm-bench --bin golden_diff -- --update`"
+         `cargo run --release -p rppm-cli -- golden update`"
     );
 }
 

@@ -1,0 +1,220 @@
+//! Integration tests for the `rppm::Session` facade and the unified
+//! `rppm::Error`: the profile-once contract as observable library
+//! behaviour, and error-cause preservation through `source()`.
+
+use rppm::prelude::*;
+use rppm::trace::{BlockSpec, Program, ProgramBuilder, ProgramError, Segment, TraceFileError};
+use std::error::Error as StdError;
+
+/// The acceptance-criterion test: two predictions on different machine
+/// configurations profile the workload exactly once — measured both at
+/// the session cache and at the process-wide profiler counter.
+#[test]
+fn two_predictions_profile_exactly_once() {
+    let session = Session::builder().jobs(2).build();
+    let calls_before = rppm::profiler::profile_call_count();
+
+    let base = session
+        .workload("hotspot")
+        .expect("catalog")
+        .scale(0.02)
+        .seed(1)
+        .profile()
+        .predict(&DesignPoint::Base.config());
+    let big = session
+        .workload("hotspot")
+        .expect("catalog")
+        .scale(0.02)
+        .seed(1)
+        .profile()
+        .predict(&DesignPoint::Big.config());
+
+    assert!(base.total_cycles > 0.0 && big.total_cycles > 0.0);
+    assert_ne!(base.total_cycles.to_bits(), big.total_cycles.to_bits());
+    assert_eq!(
+        rppm::profiler::profile_call_count() - calls_before,
+        1,
+        "exactly one profile() call for two predictions"
+    );
+    assert_eq!(session.profiles_collected(), 1);
+    assert_eq!(session.cache_hits(), 1);
+}
+
+/// Different scales (or seeds) are different workloads: no false sharing.
+#[test]
+fn distinct_params_profile_separately() {
+    let session = Session::new();
+    let w = session.workload("nn").expect("catalog");
+    w.clone().scale(0.02).seed(1).profile();
+    w.clone().scale(0.03).seed(1).profile();
+    w.scale(0.02).seed(2).profile();
+    assert_eq!(session.profiles_collected(), 3);
+    assert_eq!(session.cache_hits(), 0);
+}
+
+/// The session facade and the stateless free functions are the same
+/// model: bit-identical predictions.
+#[test]
+fn session_matches_free_functions() {
+    let session = Session::new();
+    let handle = session
+        .workload("lud")
+        .expect("catalog")
+        .scale(0.02)
+        .seed(1)
+        .profile();
+
+    let bench = rppm::workloads::by_name("lud").expect("catalog");
+    let program = bench.build(&WorkloadParams {
+        scale: 0.02,
+        seed: 1,
+    });
+    let prof = profile(&program);
+    for dp in DesignPoint::ALL {
+        let config = dp.config();
+        assert_eq!(
+            handle.predict(&config).total_cycles.to_bits(),
+            predict(&prof, &config).total_cycles.to_bits()
+        );
+    }
+}
+
+/// A session shares its cache with the bench experiment engine: a report
+/// run and a library caller amortize the same profiles.
+#[test]
+fn session_cache_is_shared_with_experiment_plans() {
+    use rppm_bench::ExperimentPlan;
+
+    let session = Session::builder().jobs(2).build();
+    let params = WorkloadParams {
+        scale: 0.02,
+        seed: 1,
+    };
+    session
+        .workload("nn")
+        .expect("catalog")
+        .scale(params.scale)
+        .seed(params.seed)
+        .profile();
+    let calls_before = rppm::profiler::profile_call_count();
+
+    let bench = rppm::workloads::by_name("nn").expect("catalog");
+    let plan = ExperimentPlan::single_config([bench], params, DesignPoint::Base.config());
+    let runs = plan.run(session.cache(), 2);
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        rppm::profiler::profile_call_count(),
+        calls_before,
+        "the plan reused the session's cached profile"
+    );
+    assert_eq!(session.profiles_collected(), 1);
+}
+
+#[test]
+fn unknown_workload_error_displays_and_has_no_source() {
+    let err = Session::new().workload("not-a-benchmark").unwrap_err();
+    assert!(matches!(err, rppm::Error::UnknownWorkload { .. }));
+    let msg = err.to_string();
+    assert!(msg.contains("not-a-benchmark"), "message names it: {msg}");
+    assert!(msg.lines().count() == 1, "one-line message: {msg}");
+    assert!(err.source().is_none());
+}
+
+#[test]
+fn trace_error_preserves_source_for_missing_file() {
+    let err = Session::new()
+        .import("/definitely/not/a/real/trace.json")
+        .unwrap_err();
+    assert!(matches!(err, rppm::Error::Trace(_)));
+    let source = err.source().expect("trace cause preserved");
+    let trace: &TraceFileError = source.downcast_ref().expect("is a TraceFileError");
+    // ...and the chain continues into the raw I/O error.
+    assert!(matches!(trace, TraceFileError::Io { .. }));
+    let io: &std::io::Error = trace.source().expect("io cause").downcast_ref().unwrap();
+    assert_eq!(io.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn trace_error_preserves_source_for_corrupt_content() {
+    let dir = std::env::temp_dir().join("rppm-session-api-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.rpt");
+    std::fs::write(&path, b"this is not a trace file at all").unwrap();
+    let err = Session::new().import(&path).unwrap_err();
+    let trace: &TraceFileError = err
+        .source()
+        .expect("cause preserved")
+        .downcast_ref()
+        .expect("is a TraceFileError");
+    // Sniffed as JSON (no RPT1 magic) and rejected by the parser.
+    assert!(
+        matches!(trace, TraceFileError::Json { .. }),
+        "got {trace:?}"
+    );
+}
+
+#[test]
+fn invalid_program_error_preserves_source() {
+    // A thread with work but no creating event is structurally invalid.
+    let mut program = Program::new("orphan", 2);
+    program.threads[1]
+        .segments
+        .push(Segment::Block(BlockSpec::new(100, 1)));
+    let err = Session::new().program(program).unwrap_err();
+    assert!(matches!(err, rppm::Error::InvalidProgram(_)));
+    assert!(err.to_string().starts_with("invalid program:"));
+    let source: &ProgramError = err
+        .source()
+        .expect("program cause preserved")
+        .downcast_ref()
+        .expect("is a ProgramError");
+    assert!(matches!(source, ProgramError::NeverCreated { .. }));
+    // The same violation surfaces identically from the builder API.
+    let mut b = ProgramBuilder::new("orphan", 2);
+    b.thread(1u32).block(BlockSpec::new(100, 1));
+    let builder_err: rppm::Error = b.try_build().unwrap_err().into();
+    assert_eq!(builder_err.to_string(), err.to_string());
+}
+
+#[test]
+fn io_error_preserves_source() {
+    let err = rppm::Error::Io {
+        path: "/tmp/some/path".into(),
+        source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+    };
+    assert!(err.to_string().contains("/tmp/some/path"));
+    let io: &std::io::Error = err
+        .source()
+        .expect("io cause preserved")
+        .downcast_ref()
+        .expect("is an io::Error");
+    assert_eq!(io.kind(), std::io::ErrorKind::PermissionDenied);
+}
+
+/// A valid custom program adopted via `Session::program` profiles and
+/// predicts like any import, and is fingerprint-deduped against an
+/// equivalent imported trace.
+#[test]
+fn adopted_programs_share_fingerprints_with_imports() {
+    let mut b = ProgramBuilder::new("adopted", 2);
+    b.spawn_workers();
+    b.thread(1u32).block(BlockSpec::new(2_000, 3).loads(0.2));
+    b.join_workers();
+    let program = b.build();
+    let json = rppm::trace::export_program(&program).expect("exports");
+
+    let dir = std::env::temp_dir().join("rppm-session-api-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("adopted.json");
+    std::fs::write(&path, json).unwrap();
+
+    let session = Session::new();
+    session.program(program).expect("valid").profile();
+    session.import(&path).expect("imports").profile();
+    assert_eq!(
+        session.profiles_collected(),
+        1,
+        "adopted program and its exported twin share one profile"
+    );
+    assert_eq!(session.cache_hits(), 1);
+}
