@@ -6,7 +6,7 @@
 //! plus the core model components.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rppm_core::{execute, predict, ThreadTimeline};
+use rppm_core::{execute, predict, PreparedProfile, ThreadTimeline};
 use rppm_profiler::profile;
 use rppm_sim::simulate;
 use rppm_statstack::{MultiThreadCollector, ReuseHistogram, StackDistanceModel};
@@ -133,6 +133,48 @@ fn pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+fn dse(c: &mut Criterion) {
+    use rppm_core::ConfigSpace;
+    use std::sync::Arc;
+
+    // kmeans at 0.1: a barrier-heavy workload whose profile (20 distinct
+    // epoch cells) is representative of the catalog; scalar predict()
+    // rebuilds every StatStack model per call, the prepared path builds
+    // them once.
+    let bench = by_name("kmeans").expect("known benchmark");
+    let params = Params {
+        scale: 0.1,
+        ..Params::full()
+    };
+    let prof = Arc::new(profile(&bench.build(&params)));
+    let space = ConfigSpace::default_space();
+    // 256 points spread across the whole space: a slice of the sweep
+    // `rppm dse` runs, with the realistic mix of repeated and novel cache
+    // geometries the memoized rate columns see.
+    let stride = space.len() / 256;
+    let configs: Vec<_> = (0..256).map(|i| space.config(i * stride)).collect();
+    let scalar_config = configs[0].clone();
+
+    let mut g = c.benchmark_group("dse");
+    g.bench_function("prepare_kmeans_0.1", |b| {
+        b.iter(|| PreparedProfile::new(Arc::clone(std::hint::black_box(&prof))))
+    });
+    let prep = PreparedProfile::new(Arc::clone(&prof));
+    let mut batch = prep.batched();
+    let mut out = vec![0.0; configs.len()];
+    // Per-point cost = this mean / 256.
+    g.bench_function("batched_256_kmeans_0.1", |b| {
+        b.iter(|| {
+            batch.eval_into(std::hint::black_box(&configs), &mut out);
+            out.iter().sum::<f64>()
+        })
+    });
+    g.bench_function("predict_scalar_kmeans_0.1", |b| {
+        b.iter(|| predict(std::hint::black_box(&prof), &scalar_config).total_cycles)
+    });
+    g.finish();
+}
+
 fn components(c: &mut Criterion) {
     // StatStack miss-rate queries.
     let mut h = ReuseHistogram::new();
@@ -198,5 +240,5 @@ fn components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline, components, cursor, trace_io);
+criterion_group!(benches, pipeline, dse, components, cursor, trace_io);
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! sets the worker-thread fan-out.
 
 mod ablation;
+mod dse;
 mod fig4;
 mod fig5;
 mod fig6;
@@ -19,6 +20,7 @@ mod table4;
 mod table5;
 
 pub use ablation::ablation;
+pub use dse::dse;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use fig6::fig6;

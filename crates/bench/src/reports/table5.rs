@@ -39,7 +39,8 @@ pub fn table5(scale: f64, ctx: &RunCtx<'_>) -> Report {
         // One profile, five predictions; five simulations as ground truth.
         let predicted: Vec<f64> = run.cells.iter().map(|c| c.rppm.total_seconds).collect();
         let simulated: Vec<f64> = run.cells.iter().map(|c| c.sim.total_seconds).collect();
-        let row = dse_row(run.spec.name(), &predicted, &simulated, &BOUNDS);
+        let row = dse_row(run.spec.name(), &predicted, &simulated, &BOUNDS)
+            .expect("one prediction and one simulation per Table IV design point");
         let mut r = Row::new().cell(16, run.spec.name());
         let mut cells_json = Vec::new();
         for (k, &(_, deficiency, candidates)) in row.cells.iter().enumerate() {

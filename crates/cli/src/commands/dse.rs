@@ -1,0 +1,228 @@
+//! `rppm dse` — million-point design-space exploration from one profile.
+
+use super::{is_help, take_jobs};
+use crate::args::{ArgStream, CliError};
+use rppm::core::{find_best, sweep, ConfigSpace, Constraints, DseError, DsePoint};
+use rppm::trace::MachineConfig;
+use rppm::Session;
+use serde_json::Value;
+
+const USAGE: &str = "usage: rppm dse WORKLOAD [--scale S] [--seed N] [--jobs N]
+       [--max-area A] [--max-power P] [--bound B] [--tiny] [--best-only] [--json]
+
+Profiles WORKLOAD once, precomputes the configuration-independent model
+state, then sweeps the default 108000-point design space (core family x
+frequency x L1/L2/L3 x MSHRs x predictor budget) through the batched
+Equation-1 evaluator. Prints the predicted optimum, the Pareto frontier
+over (time, area, power) and the candidate counts within --bound
+(default 0.05) of the optimum.
+
+--max-area / --max-power filter points by first-order resource proxies
+(arbitrary units; see rppm_core::area_proxy). --tiny swaps in the fixed
+12-point golden space. --best-only skips the frontier and hunts only the
+optimum, pruning points whose throughput lower bound cannot beat the
+running best. --json emits the machine-readable twin.";
+
+/// Bounds reported by the sweep (the paper's Table V ladder); `--bound`
+/// appends to / replaces the last rung.
+const BOUNDS: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
+
+fn describe(c: &MachineConfig) -> String {
+    format!(
+        "{}w/{}rob @{:.2}GHz l1={}K l2={}K l3={}M mshr={} bp={}K",
+        c.dispatch_width,
+        c.rob_size,
+        c.freq_ghz,
+        c.l1d.size_bytes >> 10,
+        c.l2.size_bytes >> 10,
+        c.l3.size_bytes >> 20,
+        c.mshrs,
+        c.bpred.size_bytes >> 10
+    )
+}
+
+fn point_json(space: &ConfigSpace, p: &DsePoint) -> Value {
+    Value::Object(vec![
+        ("index".into(), Value::U64(p.index as u64)),
+        (
+            "config".into(),
+            Value::String(describe(&space.config(p.index))),
+        ),
+        ("seconds".into(), Value::F64(p.seconds)),
+        ("area".into(), Value::F64(p.area)),
+        ("power".into(), Value::F64(p.power)),
+    ])
+}
+
+pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
+    let mut args = ArgStream::new(argv, USAGE);
+    let mut workload: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut seed = 1u64;
+    let mut jobs = rppm_bench::default_jobs();
+    let mut constraints = Constraints::none();
+    let mut bound = 0.05f64;
+    let mut tiny = false;
+    let mut best_only = false;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        if is_help(&arg) {
+            println!("{USAGE}");
+            return Ok(0);
+        }
+        if take_jobs(&mut args, &arg, &mut jobs)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--scale" => scale = args.parse_of(&arg)?,
+            "--seed" => seed = args.parse_of(&arg)?,
+            "--max-area" => constraints.max_area = Some(args.parse_of(&arg)?),
+            "--max-power" => constraints.max_power = Some(args.parse_of(&arg)?),
+            "--bound" => bound = args.parse_of(&arg)?,
+            "--tiny" => tiny = true,
+            "--best-only" => best_only = true,
+            "--json" => json = true,
+            _ if arg.is_flag() => return Err(args.unknown(&arg)),
+            _ if workload.is_none() => workload = Some(arg.into_positional()),
+            _ => return Err(args.error(format!("unexpected argument `{}`", arg.into_positional()))),
+        }
+    }
+    let workload = workload.ok_or_else(|| args.error("missing the workload name"))?;
+    if !(0.0..1.0).contains(&bound) {
+        return Err(args.error(format!("--bound {bound} is not in [0, 1)")));
+    }
+
+    let session = Session::builder().jobs(jobs).build();
+    let profile = session
+        .workload(&workload)
+        .map_err(CliError::user)?
+        .scale(scale)
+        .seed(seed)
+        .profile();
+    let prepared = profile.prepared();
+    let space = if tiny {
+        ConfigSpace::tiny()
+    } else {
+        ConfigSpace::default_space()
+    };
+
+    let dse_err = |e: DseError| CliError::user(format!("{workload}: {e}"));
+
+    if best_only {
+        let out =
+            find_best(prepared.inner(), &space, &constraints, bound, jobs).map_err(dse_err)?;
+        let cfg = space.config(out.best.index);
+        if json {
+            let doc = Value::Object(vec![
+                ("workload".into(), Value::String(workload)),
+                ("points".into(), Value::U64(out.points as u64)),
+                ("feasible".into(), Value::U64(out.feasible as u64)),
+                ("pruned".into(), Value::U64(out.pruned as u64)),
+                ("bound".into(), Value::F64(out.bound)),
+                ("candidates".into(), Value::U64(out.candidates as u64)),
+                ("best".into(), point_json(&space, &out.best)),
+            ]);
+            println!("{}", serde_json::to_string(&doc).expect("doc serializes"));
+        } else {
+            println!(
+                "{workload}: {} points, {} feasible, {} pruned without evaluation",
+                out.points, out.feasible, out.pruned
+            );
+            println!(
+                "best: #{} {} -> {:.6} ms (area {:.1}, power {:.1})",
+                out.best.index,
+                describe(&cfg),
+                out.best.seconds * 1e3,
+                out.best.area,
+                out.best.power
+            );
+            println!(
+                "{} candidate design(s) within {:.0}% of the predicted optimum",
+                out.candidates,
+                out.bound * 100.0
+            );
+        }
+        return Ok(0);
+    }
+
+    let mut bounds: Vec<f64> = BOUNDS.to_vec();
+    if !bounds.iter().any(|b| (b - bound).abs() < 1e-15) {
+        bounds.push(bound);
+        bounds.sort_by(f64::total_cmp);
+    }
+    let out = sweep(prepared.inner(), &space, &constraints, &bounds, jobs).map_err(dse_err)?;
+
+    if json {
+        let doc = Value::Object(vec![
+            ("workload".into(), Value::String(workload)),
+            ("points".into(), Value::U64(out.points as u64)),
+            ("feasible".into(), Value::U64(out.feasible as u64)),
+            ("best".into(), point_json(&space, &out.best)),
+            (
+                "frontier".into(),
+                Value::Array(out.frontier.iter().map(|p| point_json(&space, p)).collect()),
+            ),
+            (
+                "candidates".into(),
+                Value::Array(
+                    out.candidates
+                        .iter()
+                        .map(|&(b, n)| {
+                            Value::Object(vec![
+                                ("bound".into(), Value::F64(b)),
+                                ("count".into(), Value::U64(n as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", serde_json::to_string(&doc).expect("doc serializes"));
+        return Ok(0);
+    }
+
+    println!(
+        "{workload}: swept {} of {} design points ({} infeasible under the constraints)",
+        out.feasible,
+        out.points,
+        out.points - out.feasible
+    );
+    println!(
+        "best: #{} {} -> {:.6} ms",
+        out.best.index,
+        describe(&space.config(out.best.index)),
+        out.best.seconds * 1e3
+    );
+    print!("candidates within bound:");
+    for &(b, n) in &out.candidates {
+        print!("  <{:.0}%: {n}", b * 100.0);
+    }
+    println!();
+    println!();
+    println!(
+        "Pareto frontier over (time, area, power): {} point(s)",
+        out.frontier.len()
+    );
+    const SHOWN: usize = 20;
+    println!(
+        "{:>8}  {:>12} {:>8} {:>8}  config",
+        "index", "time (ms)", "area", "power"
+    );
+    for p in out.frontier.iter().take(SHOWN) {
+        println!(
+            "{:>8}  {:>12.6} {:>8.1} {:>8.1}  {}",
+            p.index,
+            p.seconds * 1e3,
+            p.area,
+            p.power,
+            describe(&space.config(p.index))
+        );
+    }
+    if out.frontier.len() > SHOWN {
+        println!(
+            "... {} more (use --json for all)",
+            out.frontier.len() - SHOWN
+        );
+    }
+    Ok(0)
+}

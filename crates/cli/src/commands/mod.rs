@@ -2,6 +2,7 @@
 
 pub mod bench_guard;
 pub mod convert;
+pub mod dse;
 pub mod golden;
 pub mod import;
 pub mod report;

@@ -16,6 +16,8 @@ reports (and their optional positional arguments):
   fig5   [scale] [bench]  predicted vs simulated CPI stacks  (default 0.5)
   fig6   [scale]          scaling behaviour categories  (default 0.3)
   ablation [scale]        model-component ablation      (default 0.2)
+  dse    [scale]          batched DSE engine: optimum, frontier,
+                          deficiency on the tiny space (default 0.3)
 
 The report text is printed to stdout, byte-identical to the retired
 per-report binaries.";
@@ -74,6 +76,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         "fig5" => reports::fig5(scale_arg(0.5)?, rest.get(1).map(String::as_str), &ctx),
         "fig6" => reports::fig6(scale_arg(0.3)?, &ctx),
         "ablation" => reports::ablation(scale_arg(0.2)?, &ctx),
+        "dse" => reports::dse(scale_arg(0.3)?, &ctx),
         other => return Err(args.error(format!("unknown report `{other}`"))),
     };
     print!("{}", report.text);

@@ -80,6 +80,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         ("table5", Box::new(|| reports::table5(dse_scale, &ctx))),
         ("fig6", Box::new(|| reports::fig6(dse_scale, &ctx))),
         ("ablation", Box::new(|| reports::ablation(dse_scale, &ctx))),
+        ("dse", Box::new(|| reports::dse(dse_scale, &ctx))),
     ];
     for (name, job) in jobs_list {
         eprintln!("running {name} ({jobs} jobs)...");

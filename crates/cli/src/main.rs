@@ -7,6 +7,7 @@
 //! rppm run-all [...]          # regenerate everything under results/
 //! rppm import [...]           # predict trace files / export workloads
 //! rppm convert IN OUT         # JSON <-> RPT1 container conversion
+//! rppm dse WORKLOAD [...]     # million-point design-space exploration
 //! rppm golden diff|update     # accuracy-regression gate / baselines
 //! rppm bench guard FRESH.json # perf-regression gate
 //! ```
@@ -31,6 +32,8 @@ commands:
   import [args]           predict trace files across all design points, or
                           export a catalog workload as a trace file
   convert IN OUT          convert a trace between the JSON and RPT1 containers
+  dse WORKLOAD [args]     sweep a 10^5-point design space from one profile:
+                          batched Eq.1, constraint filters, Pareto frontier
   golden diff|update      accuracy-regression gate over results/golden/
   bench guard FRESH.json  perf-regression gate over BENCH_speed.json ratios
   help                    show this message
@@ -53,6 +56,7 @@ fn run() -> i32 {
         "run-all" => commands::run_all::run(argv),
         "import" => commands::import::run(argv),
         "convert" => commands::convert::run(argv),
+        "dse" => commands::dse::run(argv),
         "golden" => commands::golden::run(argv),
         "bench" => commands::bench_guard::run(argv),
         "help" | "--help" | "-h" => {

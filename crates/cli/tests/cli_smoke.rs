@@ -42,7 +42,9 @@ fn top_level_help_lists_every_subcommand() {
         let out = rppm(&args);
         assert_eq!(out.status.code(), Some(0));
         let text = stdout(&out);
-        for cmd in ["report", "run-all", "import", "convert", "golden", "bench"] {
+        for cmd in [
+            "report", "run-all", "import", "convert", "dse", "golden", "bench",
+        ] {
             assert!(text.contains(cmd), "help lists `{cmd}`: {text}");
         }
     }
@@ -55,6 +57,7 @@ fn every_subcommand_prints_usage_on_help() {
         (["run-all", "--help"], "usage: rppm run-all"),
         (["import", "--help"], "usage: rppm import"),
         (["convert", "--help"], "usage: rppm convert"),
+        (["dse", "--help"], "usage: rppm dse"),
         (["golden", "--help"], "usage: rppm golden diff"),
         (["bench", "--help"], "usage: rppm bench guard"),
     ] {
@@ -94,6 +97,13 @@ fn unknown_command_and_flags_exit_2_with_usage() {
 
     let out = rppm(&["golden", "explode"]);
     assert_user_error(&out, "unknown golden action `explode`");
+
+    let out = rppm(&["dse"]);
+    assert_user_error(&out, "missing the workload name");
+    let out = rppm(&["dse", "nosuch", "--tiny"]);
+    assert_user_error(&out, "unknown workload `nosuch`");
+    let out = rppm(&["dse", "kmeans", "--bound", "2.0"]);
+    assert_user_error(&out, "not in [0, 1)");
 
     let out = rppm(&["bench"]);
     assert_user_error(&out, "missing bench action");
@@ -164,6 +174,51 @@ fn report_prints_a_table_and_convert_round_trips() {
 }
 
 #[test]
+fn dse_sweeps_the_tiny_space_with_twins() {
+    // The tiny 12-point space keeps this an actual smoke test; --json and
+    // the text rendering must agree on the headline numbers.
+    let out = rppm(&["dse", "nn", "--tiny", "--scale", "0.02", "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("swept 12 of 12 design points"), "{text}");
+    assert!(text.contains("Pareto frontier"), "{text}");
+
+    let out = rppm(&[
+        "dse", "nn", "--tiny", "--scale", "0.02", "--jobs", "2", "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"points\":12"), "{json}");
+    assert!(json.contains("\"frontier\":"), "{json}");
+
+    // Constraints that eliminate everything are a typed user error.
+    let out = rppm(&[
+        "dse",
+        "nn",
+        "--tiny",
+        "--scale",
+        "0.02",
+        "--max-area",
+        "0.0001",
+    ]);
+    assert_user_error(&out, "no feasible design point");
+
+    // --best-only reports pruning counters on the same space.
+    let out = rppm(&[
+        "dse",
+        "nn",
+        "--tiny",
+        "--scale",
+        "0.02",
+        "--best-only",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("pruned without evaluation"));
+}
+
+#[test]
 fn golden_diff_detects_drift_against_perturbed_baseline() {
     // Against a bogus golden dir every baseline is missing: exit 1.
     let empty = std::env::temp_dir().join("rppm-cli-smoke-empty-golden");
@@ -196,7 +251,7 @@ fn results_dir_has_committed_outputs_for_every_report() {
     // CLI accepts.
     let results = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     for name in [
-        "table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "ablation",
+        "table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "ablation", "dse",
     ] {
         for ext in ["txt", "json"] {
             let p = results.join(format!("{name}.{ext}"));

@@ -28,6 +28,17 @@
 //!   branches, and each contributes its expected cache latency to `c_res`.
 //!   DRAM misses consumed this way are removed from the D-cache component
 //!   (they overlap, as in Eyerman et al.'s interval analysis).
+//!
+//! # The split evaluation path
+//!
+//! The arithmetic downstream of the StatStack queries is shared between the
+//! scalar entry points and the batched design-space path
+//! ([`crate::prepared`]): [`predict_epoch`] builds the stack-distance models
+//! and reads the calibration environment on every call, while a
+//! [`crate::PreparedProfile`] computes the same [`RawRates`] once per
+//! distinct cache geometry and replays them through the same inner function
+//! ([`predict_epoch_rated`]) — the two paths are bit-identical by
+//! construction (one arithmetic body, two rate providers).
 
 use rppm_profiler::EpochProfile;
 use rppm_statstack::StackDistanceModel;
@@ -51,27 +62,146 @@ pub struct EpochPrediction {
     pub mlp: f64,
 }
 
-/// Predicts the active execution time of one epoch on `config`.
-pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
-    if epoch.ops == 0 {
-        return EpochPrediction {
-            mlp: 1.0,
-            ..Default::default()
-        };
+/// Calibration knobs, hoisted out of the per-epoch hot path.
+///
+/// The scalar path re-reads the environment on every [`predict_epoch`] call
+/// (so ablation harnesses can flip variables between calls); the batched
+/// path captures them once per [`crate::PreparedProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knobs {
+    /// Path-selection factor for memory-aware branch resolution
+    /// (`RPPM_KAPPA`, default 3.0).
+    pub kappa: f64,
+    /// Effective-MLP utilization factor (`RPPM_MLP_EFF`, default 0.85).
+    pub mlp_eff: f64,
+    /// MSHR-capacity fraction usable by overlapping misses
+    /// (`RPPM_MLP_CAP`, default 0.75).
+    pub mlp_cap: f64,
+    /// Disable the in-order retirement-exposure term
+    /// (`RPPM_NO_EXPOSURE=1`, ablation only).
+    pub no_exposure: bool,
+    /// Disable the dependence-chain lower bound
+    /// (`RPPM_NO_CHAIN_BOUND=1`, ablation only).
+    pub no_chain_bound: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            kappa: 3.0,
+            mlp_eff: 0.85,
+            mlp_cap: 0.75,
+            no_exposure: false,
+            no_chain_bound: false,
+        }
     }
+}
+
+impl Knobs {
+    /// Reads the calibration environment (`RPPM_KAPPA`, `RPPM_MLP_EFF`,
+    /// `RPPM_MLP_CAP`, `RPPM_NO_EXPOSURE`, `RPPM_NO_CHAIN_BOUND`).
+    pub fn from_env() -> Self {
+        let f = |name: &str, default: f64| -> f64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Knobs {
+            kappa: f("RPPM_KAPPA", 3.0),
+            mlp_eff: f("RPPM_MLP_EFF", 0.85),
+            mlp_cap: f("RPPM_MLP_CAP", 0.75),
+            no_exposure: std::env::var("RPPM_NO_EXPOSURE").is_ok_and(|v| v == "1"),
+            no_chain_bound: std::env::var("RPPM_NO_CHAIN_BOUND").is_ok_and(|v| v == "1"),
+        }
+    }
+}
+
+/// Raw per-epoch StatStack / branch-model outputs for one configuration.
+///
+/// These are the *unclamped* model queries; [`predict_epoch_rated`] applies
+/// the level-to-level monotonicity clamps (`r2 ≤ r1`, `r3 ≤ r2`) itself so
+/// that providers can memoize each query independently of the others.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRates {
+    /// Private-histogram miss rate at the L1D geometry.
+    pub r1: f64,
+    /// Private-histogram miss rate at the L2 geometry (unclamped).
+    pub r2: f64,
+    /// LLC miss rate at the L3 geometry (global histogram for the RPPM
+    /// model, private histogram for the isolated MAIN/CRIT variant;
+    /// unclamped).
+    pub r3: f64,
+    /// Instruction-line miss rate at the L1I geometry.
+    pub l1i: f64,
+    /// Branch-predictor miss rate.
+    pub bmiss: f64,
+}
+
+/// Source of interpolated ILP/MLP curve evaluations for one epoch.
+///
+/// Two implementations exist: [`EpochProfile`] itself (recomputes the
+/// logarithms of the profiled grid on every call) and the precomputed
+/// [`rppm_profiler::EpochCurves`] tables used by the batched path. Both
+/// must return bit-identical values for identical inputs.
+pub trait CurveSource {
+    /// See [`EpochProfile::ilp_at`].
+    fn ilp_at(&self, window: u32, load_lat: f64) -> Option<f64>;
+    /// See [`EpochProfile::mlp_at`].
+    fn mlp_at(&self, window: u32) -> Option<f64>;
+}
+
+impl CurveSource for EpochProfile {
+    fn ilp_at(&self, window: u32, load_lat: f64) -> Option<f64> {
+        EpochProfile::ilp_at(self, window, load_lat)
+    }
+    fn mlp_at(&self, window: u32) -> Option<f64> {
+        EpochProfile::mlp_at(self, window)
+    }
+}
+
+impl CurveSource for rppm_profiler::EpochCurves {
+    fn ilp_at(&self, window: u32, load_lat: f64) -> Option<f64> {
+        rppm_profiler::EpochCurves::ilp_at(self, window, load_lat)
+    }
+    fn mlp_at(&self, window: u32) -> Option<f64> {
+        rppm_profiler::EpochCurves::mlp_at(self, window)
+    }
+}
+
+/// An all-zero prediction for an empty epoch (MLP floor of 1.0).
+pub(crate) fn empty_epoch_prediction() -> EpochPrediction {
+    EpochPrediction {
+        mlp: 1.0,
+        ..Default::default()
+    }
+}
+
+/// Equation 1 downstream of the StatStack/branch-model queries: the shared
+/// arithmetic body of the scalar and batched paths.
+///
+/// `epoch.ops` must be nonzero (callers handle the empty-epoch early
+/// return). `curves` supplies the ILP/MLP interpolations and `rates` the
+/// raw model queries for this `(epoch, config)` cell; `knobs` carries the
+/// calibration environment.
+pub fn predict_epoch_rated<C: CurveSource + ?Sized>(
+    epoch: &EpochProfile,
+    config: &MachineConfig,
+    curves: &C,
+    rates: RawRates,
+    knobs: &Knobs,
+) -> EpochPrediction {
     let n = epoch.ops as f64;
     let loads = epoch.loads() as f64;
 
     // --- Cache miss rates (StatStack, multi-threaded extension). ---
-    let priv_model = StackDistanceModel::new(&epoch.private_rd);
-    let glob_model = StackDistanceModel::new(&epoch.global_rd);
-    let r1 = priv_model.miss_rate_geom(&config.l1d);
-    let r2 = priv_model.miss_rate_geom(&config.l2).min(r1);
+    let r1 = rates.r1;
+    let r2 = rates.r2.min(r1);
     // Shared LLC: global (interleaved) reuse distances capture inter-thread
     // interference, positive and negative. Coherence-invalidated reuses are
     // "always miss" in the private histograms but typically hit the shared
     // LLC or a remote cache, so they surface as (r2 - r3) traffic.
-    let r3 = glob_model.miss_rate_geom(&config.l3).min(r2);
+    let r3 = rates.r3.min(r2);
 
     let lat_l1 = OpClass::Load.latency() as f64;
     let lat_l2 = config.l2.latency as f64;
@@ -94,8 +224,7 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     let l_eff = lat_l1 + (r1 - r2) * (lat_l2 - lat_l1) + (r2 - r3) * (lat_l3 - lat_l1);
 
     // --- Branch component (memory-aware resolution). ---
-    let miss_rate = rppm_branch_model::predict_miss_rate(&epoch.branch, &config.bpred);
-    let mispredicts = miss_rate * epoch.branches() as f64;
+    let mispredicts = rates.bmiss * epoch.branches() as f64;
     // Loads on the critical path feeding a branch each contribute their
     // expected extra latency; a DRAM miss on that path stalls resolution for
     // the full memory latency.
@@ -105,12 +234,8 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // *maximum* over many dependence paths, which systematically exceeds
     // the single memory-weighted path evaluated at expected latencies
     // (E[max] > max E). Calibrated once against the reference simulator.
-    let kappa: f64 = std::env::var("RPPM_KAPPA")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3.0);
     let c_res = epoch.branch_depth.max(OpClass::Branch.latency() as f64)
-        + kappa * epoch.branch_slice_loads * extra_per_load;
+        + knobs.kappa * epoch.branch_slice_loads * extra_per_load;
     let branch = mispredicts * (c_res + config.frontend_depth as f64);
 
     // --- Effective window. Speculation cannot pass an unresolved
@@ -129,8 +254,8 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
 
     // --- Base: effective dispatch rate at the effective load latency. ---
     let width = config.dispatch_width as f64;
-    let ilp_nominal = epoch.ilp_at(w_eff, lat_l1).unwrap_or(f64::INFINITY);
-    let ilp_eff = epoch.ilp_at(w_eff, l_eff).unwrap_or(f64::INFINITY);
+    let ilp_nominal = curves.ilp_at(w_eff, lat_l1).unwrap_or(f64::INFINITY);
+    let ilp_eff = curves.ilp_at(w_eff, l_eff).unwrap_or(f64::INFINITY);
     // Functional-unit throughput limit: the tightest ports/mix ratio,
     // grouping classes that share an issue-port pool.
     let mut pool_frac = [0.0f64; rppm_trace::op::NUM_PORT_POOLS];
@@ -177,13 +302,12 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     };
     // (RPPM_NO_EXPOSURE=1 disables the retirement-exposure term — ablation
     // harness only.)
-    let no_expose = std::env::var("RPPM_NO_EXPOSURE").is_ok_and(|v| v == "1");
-    let win_l2 = if no_expose {
+    let win_l2 = if knobs.no_exposure {
         0.0
     } else {
         expose(r1 - r2, lat_l2)
     };
-    let win_l3 = if no_expose {
+    let win_l3 = if knobs.no_exposure {
         0.0
     } else {
         expose(r2 - r3, lat_l3)
@@ -194,8 +318,7 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     let mem_l3 = chain_l3.max(win_l3);
 
     // --- I-cache component. ---
-    let icache_model = StackDistanceModel::new(&epoch.icache_rd);
-    let l1i_misses = icache_model.miss_rate_geom(&config.l1i) * epoch.code_fetches as f64;
+    let l1i_misses = rates.l1i * epoch.code_fetches as f64;
     let icache = l1i_misses * config.l2.latency as f64;
 
     // --- D-cache DRAM component with MLP overlap. ---
@@ -209,19 +332,12 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     } else {
         0.0
     };
-    let indep = epoch.mlp_at(w_eff).unwrap_or(0.0);
+    let indep = curves.mlp_at(w_eff).unwrap_or(0.0);
     // Effective MSHR utilization: issue-port and dispatch gaps keep the
     // overlap below the ideal independent-miss count (calibrated once
     // against the reference simulator).
-    let gamma: f64 = std::env::var("RPPM_MLP_EFF")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.85);
-    let gcap: f64 = std::env::var("RPPM_MLP_CAP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.75);
-    let mlp = (gamma * (1.0 + indep * p_dram)).clamp(1.0, gcap * config.mshrs as f64);
+    let mlp =
+        (knobs.mlp_eff * (1.0 + indep * p_dram)).clamp(1.0, knobs.mlp_cap * config.mshrs as f64);
     let mem_dram_raw = dram_eff * c_mem / mlp;
     // Misses *independent* of a mispredicted branch's slice still overlap
     // with its resolution stall (the window keeps servicing them while the
@@ -253,8 +369,7 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     // components; any excess is memory time. (RPPM_NO_CHAIN_BOUND=1
     // disables it — ablation harness only.)
     let l_chain = l_eff + r3 * (c_mem - lat_l1);
-    let no_chain = std::env::var("RPPM_NO_CHAIN_BOUND").is_ok_and(|v| v == "1");
-    if no_chain {
+    if knobs.no_chain_bound {
         return EpochPrediction {
             cycles: stack.total(),
             stack,
@@ -264,7 +379,7 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
             mlp,
         };
     }
-    if let Some(ilp_chain) = epoch.ilp_at(w_eff, l_chain) {
+    if let Some(ilp_chain) = curves.ilp_at(w_eff, l_chain) {
         let chain_cycles = n / ilp_chain.min(deff_nominal).max(0.05);
         let total = stack.total();
         if chain_cycles > total {
@@ -282,15 +397,43 @@ pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPredi
     }
 }
 
+/// Predicts the active execution time of one epoch on `config`.
+pub fn predict_epoch(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
+    if epoch.ops == 0 {
+        return empty_epoch_prediction();
+    }
+    let priv_model = StackDistanceModel::new(&epoch.private_rd);
+    let glob_model = StackDistanceModel::new(&epoch.global_rd);
+    let icache_model = StackDistanceModel::new(&epoch.icache_rd);
+    let rates = RawRates {
+        r1: priv_model.miss_rate_geom(&config.l1d),
+        r2: priv_model.miss_rate_geom(&config.l2),
+        r3: glob_model.miss_rate_geom(&config.l3),
+        l1i: icache_model.miss_rate_geom(&config.l1i),
+        bmiss: rppm_branch_model::predict_miss_rate(&epoch.branch, &config.bpred),
+    };
+    predict_epoch_rated(epoch, config, epoch, rates, &Knobs::from_env())
+}
+
 /// Variant used by the MAIN/CRIT baselines and by the original
 /// single-threaded model: the thread is modeled in isolation, so the
 /// *private* reuse-distance distribution is used for every cache level
 /// (no interference, no coherence awareness beyond what profiling embedded
 /// in the private histogram).
 pub fn predict_epoch_isolated(epoch: &EpochProfile, config: &MachineConfig) -> EpochPrediction {
-    let mut iso = epoch.clone();
-    iso.global_rd = epoch.private_rd.clone();
-    predict_epoch(&iso, config)
+    if epoch.ops == 0 {
+        return empty_epoch_prediction();
+    }
+    let priv_model = StackDistanceModel::new(&epoch.private_rd);
+    let icache_model = StackDistanceModel::new(&epoch.icache_rd);
+    let rates = RawRates {
+        r1: priv_model.miss_rate_geom(&config.l1d),
+        r2: priv_model.miss_rate_geom(&config.l2),
+        r3: priv_model.miss_rate_geom(&config.l3),
+        l1i: icache_model.miss_rate_geom(&config.l1i),
+        bmiss: rppm_branch_model::predict_miss_rate(&epoch.branch, &config.bpred),
+    };
+    predict_epoch_rated(epoch, config, epoch, rates, &Knobs::from_env())
 }
 
 #[cfg(test)]
@@ -415,6 +558,34 @@ mod tests {
         // both variants agree.
         let b = predict_epoch(&e, &cfg);
         assert!((a.cycles - b.cycles).abs() / b.cycles < 0.05);
+    }
+
+    #[test]
+    fn isolated_variant_matches_cloned_global_histogram() {
+        // The non-cloning isolated path must be bit-identical to predicting
+        // an epoch whose global histogram was replaced by the private one.
+        let e = single_epoch(
+            BlockSpec::new(20_000, 11)
+                .loads(0.3)
+                .branches(0.1)
+                .addr(AddressPattern::random(Region::new(0, 1 << 18)), 1.0),
+        );
+        for dp in DesignPoint::ALL {
+            let cfg = dp.config();
+            let fast = predict_epoch_isolated(&e, &cfg);
+            let mut iso = e.clone();
+            iso.global_rd = e.private_rd.clone();
+            let slow = predict_epoch(&iso, &cfg);
+            assert_eq!(fast.cycles.to_bits(), slow.cycles.to_bits(), "{dp}");
+            assert_eq!(fast.mlp.to_bits(), slow.mlp.to_bits(), "{dp}");
+        }
+    }
+
+    #[test]
+    fn env_knobs_match_defaults() {
+        // Without the RPPM_* variables set, from_env equals the defaults.
+        let k = Knobs::from_env();
+        assert_eq!(k, Knobs::default());
     }
 
     #[test]

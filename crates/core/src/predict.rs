@@ -82,7 +82,18 @@ fn predict_with(
 pub fn predict(profile: &ApplicationProfile, config: &MachineConfig) -> Prediction {
     assert!(profile.is_consistent(), "inconsistent profile");
     let (epoch_preds, schedule) = predict_with(profile, config, predict_epoch);
+    assemble(profile, config, epoch_preds, schedule)
+}
 
+/// Builds the full [`Prediction`] from per-epoch predictions plus the
+/// symbolic-execution schedule — shared by [`predict`] and
+/// `PreparedProfile::predict`.
+pub(crate) fn assemble(
+    profile: &ApplicationProfile,
+    config: &MachineConfig,
+    epoch_preds: Vec<Vec<EpochPrediction>>,
+    schedule: Schedule,
+) -> Prediction {
     let threads: Vec<ThreadPrediction> = epoch_preds
         .into_iter()
         .zip(&schedule.threads)

@@ -8,6 +8,13 @@
 //! slowest thread determines each event's timing; faster threads accumulate
 //! idle (sync) time. The critical path through this schedule is the
 //! predicted execution time.
+//!
+//! Two entry points share one engine: [`execute`] (the scalar path —
+//! records per-thread active intervals for bottlegraphs) and the
+//! crate-internal `execute_total` used by the batched design-space sweep,
+//! which borrows the epoch/event slices, reuses a `SymScratch` across
+//! configurations and skips interval recording. Both produce bit-identical
+//! times: the interval bookkeeping never feeds back into the schedule.
 
 use rppm_trace::{MachineConfig, SyncOp};
 use std::collections::{HashMap, VecDeque};
@@ -20,6 +27,21 @@ pub struct ThreadTimeline {
     pub epochs: Vec<f64>,
     /// Synchronization events between epochs.
     pub events: Vec<SyncOp>,
+}
+
+/// Borrowed, flat view of all thread timelines: one shared cycle buffer
+/// plus per-thread `(offset, len)` ranges and event slices. This shape lets
+/// the batched path overwrite the cycle buffer between evaluations without
+/// rebuilding any per-thread structure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlatTimelines<'a> {
+    /// Predicted active cycles for every epoch of every thread,
+    /// thread-major.
+    pub cycles: &'a [f64],
+    /// Per-thread `(offset, len)` into `cycles`.
+    pub ranges: &'a [(usize, usize)],
+    /// Per-thread synchronization events (`len == ranges[i].1 - 1`).
+    pub events: &'a [&'a [SyncOp]],
 }
 
 /// Outcome of the symbolic execution for one thread.
@@ -61,9 +83,9 @@ enum Status {
     Done,
 }
 
-struct Thread {
-    epochs: Vec<f64>,
-    events: Vec<SyncOp>,
+/// Mutable per-thread execution state (the timeline itself is borrowed).
+#[derive(Debug)]
+struct ThreadState {
     /// Next element to execute: epoch `idx` if `at_epoch`, else event `idx`.
     idx: usize,
     at_epoch: bool,
@@ -75,6 +97,25 @@ struct Thread {
     block_time: f64,
     intervals: Vec<(f64, f64)>,
     open: f64,
+}
+
+impl ThreadState {
+    fn reset(&mut self, main: bool) {
+        self.idx = 0;
+        self.at_epoch = true;
+        self.time = 0.0;
+        self.status = if main {
+            Status::Ready
+        } else {
+            Status::NotStarted
+        };
+        self.start = 0.0;
+        self.active = 0.0;
+        self.idle = 0.0;
+        self.block_time = 0.0;
+        self.intervals.clear();
+        self.open = 0.0;
+    }
 }
 
 #[derive(Debug, Default)]
@@ -95,6 +136,85 @@ struct QueueState {
     waiting: VecDeque<usize>,
 }
 
+/// Reusable state for repeated symbolic executions of the *same* profile
+/// under different configurations: all maps and vectors retain their
+/// allocations between runs, so a design-space sweep performs no per-point
+/// allocation here after the first evaluation.
+#[derive(Debug, Default)]
+pub(crate) struct SymScratch {
+    threads: Vec<ThreadState>,
+    barriers: HashMap<u32, BarrierState>,
+    mutexes: HashMap<u32, MutexState>,
+    queues: HashMap<u32, QueueState>,
+    joiners: HashMap<usize, Vec<usize>>,
+    finish: Vec<f64>,
+    wake: Vec<usize>,
+    wake_items: Vec<(usize, f64)>,
+}
+
+impl SymScratch {
+    fn reset(&mut self, n_threads: usize) {
+        if self.threads.len() > n_threads {
+            self.threads.truncate(n_threads);
+        }
+        for (i, th) in self.threads.iter_mut().enumerate() {
+            th.reset(i == 0);
+        }
+        while self.threads.len() < n_threads {
+            let mut th = ThreadState {
+                idx: 0,
+                at_epoch: true,
+                time: 0.0,
+                status: Status::NotStarted,
+                start: 0.0,
+                active: 0.0,
+                idle: 0.0,
+                block_time: 0.0,
+                intervals: Vec::new(),
+                open: 0.0,
+            };
+            th.reset(self.threads.is_empty());
+            self.threads.push(th);
+        }
+        for b in self.barriers.values_mut() {
+            b.arrived.clear();
+            b.max_time = 0.0;
+        }
+        for m in self.mutexes.values_mut() {
+            m.held_by = None;
+            m.queue.clear();
+        }
+        for q in self.queues.values_mut() {
+            q.items.clear();
+            q.waiting.clear();
+        }
+        self.joiners.clear();
+        self.finish.clear();
+        self.finish.resize(n_threads, 0.0);
+    }
+}
+
+/// Computes, per barrier id, the number of participating threads (threads
+/// whose event stream contains that barrier). This is a pure function of
+/// the profile, independent of the machine configuration, so batched
+/// evaluation hoists it out of the per-point loop.
+pub(crate) fn barrier_participants<'a>(
+    events_per_thread: impl IntoIterator<Item = &'a [SyncOp]>,
+) -> HashMap<u32, usize> {
+    let mut participants: HashMap<u32, usize> = HashMap::new();
+    for events in events_per_thread {
+        let mut seen = std::collections::HashSet::new();
+        for ev in events {
+            if let SyncOp::Barrier { id, .. } = ev {
+                if seen.insert(id.0) {
+                    *participants.entry(id.0).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    participants
+}
+
 /// Runs Algorithm 2 over the thread timelines.
 ///
 /// `config` supplies the synchronization constants (library overhead per
@@ -112,84 +232,100 @@ pub fn execute(timelines: &[ThreadTimeline], config: &MachineConfig) -> Schedule
             "thread {i}: inconsistent timeline"
         );
     }
-    SymExec::new(timelines, config).run()
+    let mut cycles = Vec::new();
+    let mut ranges = Vec::with_capacity(timelines.len());
+    let mut events: Vec<&[SyncOp]> = Vec::with_capacity(timelines.len());
+    for tl in timelines {
+        ranges.push((cycles.len(), tl.epochs.len()));
+        cycles.extend_from_slice(&tl.epochs);
+        events.push(&tl.events);
+    }
+    let flat = FlatTimelines {
+        cycles: &cycles,
+        ranges: &ranges,
+        events: &events,
+    };
+    let participants = barrier_participants(timelines.iter().map(|tl| tl.events.as_slice()));
+    let mut scratch = SymScratch::default();
+    let total = run_symexec(
+        flat,
+        &participants,
+        config.sync_overhead_cycles as f64,
+        config.spawn_latency_cycles as f64,
+        &mut scratch,
+        true,
+    );
+    let threads = scratch
+        .threads
+        .iter_mut()
+        .enumerate()
+        .map(|(i, th)| ThreadSchedule {
+            start: th.start,
+            finish: scratch.finish[i],
+            active: th.active,
+            idle: th.idle,
+            intervals: std::mem::take(&mut th.intervals),
+        })
+        .collect();
+    Schedule { total, threads }
 }
 
-struct SymExec<'a> {
+/// Lean entry for the batched path: borrowed timelines, precomputed barrier
+/// participants, reusable scratch, no interval recording. Returns the
+/// predicted end-to-end execution time in cycles.
+///
+/// Produces exactly the same total as [`execute`] on equivalent inputs.
+pub(crate) fn execute_total(
+    tl: FlatTimelines<'_>,
+    participants: &HashMap<u32, usize>,
     overhead: f64,
     spawn: f64,
-    threads: Vec<Thread>,
-    barriers: HashMap<u32, BarrierState>,
-    participants: HashMap<u32, usize>,
-    mutexes: HashMap<u32, MutexState>,
-    queues: HashMap<u32, QueueState>,
-    joiners: HashMap<usize, Vec<usize>>,
-    finish: Vec<f64>,
-    _cfg: &'a MachineConfig,
+    scratch: &mut SymScratch,
+) -> f64 {
+    run_symexec(tl, participants, overhead, spawn, scratch, false)
 }
 
-impl<'a> SymExec<'a> {
-    fn new(timelines: &[ThreadTimeline], config: &'a MachineConfig) -> Self {
-        let threads = timelines
-            .iter()
-            .enumerate()
-            .map(|(i, tl)| Thread {
-                epochs: tl.epochs.clone(),
-                events: tl.events.clone(),
-                idx: 0,
-                at_epoch: true,
-                time: 0.0,
-                status: if i == 0 {
-                    Status::Ready
-                } else {
-                    Status::NotStarted
-                },
-                start: 0.0,
-                active: 0.0,
-                idle: 0.0,
-                block_time: 0.0,
-                intervals: Vec::new(),
-                open: 0.0,
-            })
-            .collect();
-
-        let mut participants: HashMap<u32, usize> = HashMap::new();
-        for tl in timelines {
-            let mut seen = std::collections::HashSet::new();
-            for ev in &tl.events {
-                if let SyncOp::Barrier { id, .. } = ev {
-                    if seen.insert(id.0) {
-                        *participants.entry(id.0).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-
-        SymExec {
-            overhead: config.sync_overhead_cycles as f64,
-            spawn: config.spawn_latency_cycles as f64,
-            threads,
-            barriers: HashMap::new(),
-            participants,
-            mutexes: HashMap::new(),
-            queues: HashMap::new(),
-            joiners: HashMap::new(),
-            finish: vec![0.0; timelines.len()],
-            _cfg: config,
-        }
+fn run_symexec(
+    tl: FlatTimelines<'_>,
+    participants: &HashMap<u32, usize>,
+    overhead: f64,
+    spawn: f64,
+    scratch: &mut SymScratch,
+    record: bool,
+) -> f64 {
+    scratch.reset(tl.ranges.len());
+    SymExec {
+        overhead,
+        spawn,
+        record,
+        tl,
+        participants,
+        st: scratch,
     }
+    .run()
+}
 
+struct SymExec<'e, 's> {
+    overhead: f64,
+    spawn: f64,
+    record: bool,
+    tl: FlatTimelines<'e>,
+    participants: &'e HashMap<u32, usize>,
+    st: &'s mut SymScratch,
+}
+
+impl SymExec<'_, '_> {
     fn block(&mut self, i: usize) {
-        let th = &mut self.threads[i];
+        let th = &mut self.st.threads[i];
         th.status = Status::Blocked;
         th.block_time = th.time;
-        if th.time > th.open {
+        if self.record && th.time > th.open {
             th.intervals.push((th.open, th.time));
         }
     }
 
     fn resume(&mut self, i: usize, t: f64) {
-        let th = &mut self.threads[i];
+        let th = &mut self.st.threads[i];
         if t > th.time {
             th.idle += t - th.time;
             th.time = t;
@@ -200,9 +336,9 @@ impl<'a> SymExec<'a> {
 
     /// Thread `i`, while running, waits in place until `t`.
     fn wait_running(&mut self, i: usize, t: f64) {
-        let th = &mut self.threads[i];
+        let th = &mut self.st.threads[i];
         if t > th.time {
-            if th.time > th.open {
+            if self.record && th.time > th.open {
                 th.intervals.push((th.open, th.time));
             }
             th.idle += t - th.time;
@@ -212,16 +348,16 @@ impl<'a> SymExec<'a> {
     }
 
     fn finish_thread(&mut self, i: usize) {
-        let t = self.threads[i].time;
+        let t = self.st.threads[i].time;
         {
-            let th = &mut self.threads[i];
+            let th = &mut self.st.threads[i];
             th.status = Status::Done;
-            if t > th.open {
+            if self.record && t > th.open {
                 th.intervals.push((th.open, t));
             }
         }
-        self.finish[i] = t;
-        if let Some(ws) = self.joiners.remove(&i) {
+        self.st.finish[i] = t;
+        if let Some(ws) = self.st.joiners.remove(&i) {
             for w in ws {
                 self.resume(w, t);
             }
@@ -232,16 +368,16 @@ impl<'a> SymExec<'a> {
     fn handle_event(&mut self, i: usize, ev: SyncOp) -> bool {
         // Library overhead: active time.
         {
-            let th = &mut self.threads[i];
+            let th = &mut self.st.threads[i];
             th.time += self.overhead;
             th.active += self.overhead;
         }
-        let t = self.threads[i].time;
+        let t = self.st.threads[i].time;
         match ev {
             SyncOp::Create { child } => {
                 let c = child.index();
                 let start = t + self.spawn;
-                let ch = &mut self.threads[c];
+                let ch = &mut self.st.threads[c];
                 debug_assert_eq!(ch.status, Status::NotStarted);
                 ch.status = Status::Ready;
                 ch.time = start;
@@ -251,30 +387,40 @@ impl<'a> SymExec<'a> {
             }
             SyncOp::Join { child } => {
                 let c = child.index();
-                if self.threads[c].status == Status::Done {
-                    let fin = self.finish[c];
+                if self.st.threads[c].status == Status::Done {
+                    let fin = self.st.finish[c];
                     self.wait_running(i, fin);
                     false
                 } else {
-                    self.joiners.entry(c).or_default().push(i);
+                    self.st.joiners.entry(c).or_default().push(i);
                     self.block(i);
                     true
                 }
             }
             SyncOp::Barrier { id, .. } => {
                 let need = *self.participants.get(&id.0).expect("known barrier");
-                let bar = self.barriers.entry(id.0).or_default();
+                let bar = self.st.barriers.entry(id.0).or_default();
                 bar.arrived.push(i);
                 bar.max_time = bar.max_time.max(t);
                 if bar.arrived.len() >= need {
                     let release = bar.max_time;
-                    let arrived = std::mem::take(&mut bar.arrived);
-                    bar.max_time = 0.0;
-                    for w in arrived {
+                    // Reuse the wake buffer (keeps the barrier's own arrival
+                    // vector allocated for the next configuration).
+                    let mut wake = std::mem::take(&mut self.st.wake);
+                    {
+                        let bar = self.st.barriers.get_mut(&id.0).expect("entry");
+                        wake.clear();
+                        wake.extend(bar.arrived.iter().copied());
+                        bar.arrived.clear();
+                        bar.max_time = 0.0;
+                    }
+                    for &w in &wake {
                         if w != i {
                             self.resume(w, release);
                         }
                     }
+                    wake.clear();
+                    self.st.wake = wake;
                     self.wait_running(i, release);
                     false
                 } else {
@@ -283,7 +429,7 @@ impl<'a> SymExec<'a> {
                 }
             }
             SyncOp::Lock { id } => {
-                let m = self.mutexes.entry(id.0).or_default();
+                let m = self.st.mutexes.entry(id.0).or_default();
                 if m.held_by.is_none() && m.queue.is_empty() {
                     m.held_by = Some(i);
                     false
@@ -294,7 +440,7 @@ impl<'a> SymExec<'a> {
                 }
             }
             SyncOp::Unlock { id } => {
-                let m = self.mutexes.entry(id.0).or_default();
+                let m = self.st.mutexes.entry(id.0).or_default();
                 m.held_by = None;
                 if let Some(w) = m.queue.pop_front() {
                     m.held_by = Some(w);
@@ -303,24 +449,29 @@ impl<'a> SymExec<'a> {
                 false
             }
             SyncOp::Produce { queue, count } => {
-                let q = self.queues.entry(queue.0).or_default();
-                for _ in 0..count {
-                    q.items.push_back(t);
+                let mut wake = std::mem::take(&mut self.st.wake_items);
+                {
+                    let q = self.st.queues.entry(queue.0).or_default();
+                    for _ in 0..count {
+                        q.items.push_back(t);
+                    }
+                    wake.clear();
+                    while !q.items.is_empty() && !q.waiting.is_empty() {
+                        let item = q.items.pop_front().expect("nonempty");
+                        let w = q.waiting.pop_front().expect("nonempty");
+                        wake.push((w, item));
+                    }
                 }
-                let mut wake = Vec::new();
-                while !q.items.is_empty() && !q.waiting.is_empty() {
-                    let item = q.items.pop_front().expect("nonempty");
-                    let w = q.waiting.pop_front().expect("nonempty");
-                    wake.push((w, item));
-                }
-                for (w, item) in wake {
-                    let at = item.max(self.threads[w].block_time);
+                for &(w, item) in &wake {
+                    let at = item.max(self.st.threads[w].block_time);
                     self.resume(w, at);
                 }
+                wake.clear();
+                self.st.wake_items = wake;
                 false
             }
             SyncOp::Consume { queue } => {
-                let q = self.queues.entry(queue.0).or_default();
+                let q = self.st.queues.entry(queue.0).or_default();
                 if let Some(item) = q.items.pop_front() {
                     if item > t {
                         self.wait_running(i, item);
@@ -335,7 +486,7 @@ impl<'a> SymExec<'a> {
         }
     }
 
-    fn run(mut self) -> Schedule {
+    fn run(mut self) -> f64 {
         loop {
             // Algorithm 2 picks the unblocked thread with the shortest
             // accumulated time. We schedule by *arrival time at the next
@@ -345,10 +496,11 @@ impl<'a> SymExec<'a> {
             // untimed lock/queue state is always consistent with wall-clock
             // order.
             let mut best: Option<(usize, f64)> = None;
-            for (i, th) in self.threads.iter().enumerate() {
+            for (i, th) in self.st.threads.iter().enumerate() {
                 if th.status == Status::Ready {
-                    let eta = if th.at_epoch && th.idx < th.epochs.len() {
-                        th.time + th.epochs[th.idx]
+                    let (off, len) = self.tl.ranges[i];
+                    let eta = if th.at_epoch && th.idx < len {
+                        th.time + self.tl.cycles[off + th.idx]
                     } else {
                         th.time
                     };
@@ -358,7 +510,7 @@ impl<'a> SymExec<'a> {
                 }
             }
             let Some((i, _)) = best else {
-                if self.threads.iter().all(|t| t.status == Status::Done) {
+                if self.st.threads.iter().all(|t| t.status == Status::Done) {
                     break;
                 }
                 panic!("symbolic execution deadlocked");
@@ -366,24 +518,26 @@ impl<'a> SymExec<'a> {
 
             // Proceed thread i to its next synchronization event (or end).
             loop {
-                let th = &mut self.threads[i];
+                let (off, len) = self.tl.ranges[i];
+                let events = self.tl.events[i];
+                let th = &mut self.st.threads[i];
                 if th.at_epoch {
-                    if th.idx >= th.epochs.len() {
+                    if th.idx >= len {
                         self.finish_thread(i);
                         break;
                     }
-                    let dur = th.epochs[th.idx];
+                    let dur = self.tl.cycles[off + th.idx];
                     th.time += dur;
                     th.active += dur;
                     th.at_epoch = false;
-                    if th.idx >= th.events.len() {
+                    if th.idx >= events.len() {
                         // Last epoch: thread ends.
                         th.idx += 1;
                         self.finish_thread(i);
                         break;
                     }
                 } else {
-                    let ev = th.events[th.idx];
+                    let ev = events[th.idx];
                     th.idx += 1;
                     th.at_epoch = true;
                     // Whether or not the thread blocked, reschedule: another
@@ -394,20 +548,7 @@ impl<'a> SymExec<'a> {
             }
         }
 
-        let total = self.finish.iter().cloned().fold(0.0, f64::max);
-        let threads = self
-            .threads
-            .into_iter()
-            .enumerate()
-            .map(|(i, th)| ThreadSchedule {
-                start: th.start,
-                finish: self.finish[i],
-                active: th.active,
-                idle: th.idle,
-                intervals: th.intervals,
-            })
-            .collect();
-        Schedule { total, threads }
+        self.st.finish.iter().cloned().fold(0.0, f64::max)
     }
 }
 
@@ -604,6 +745,55 @@ mod tests {
                 th.active
             );
             assert!((th.finish - th.start - th.active - th.idle).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lean_path_matches_execute_and_reuses_scratch() {
+        let tl = vec![
+            ThreadTimeline {
+                epochs: vec![0.0, 100.0, 50.0, 7.0],
+                events: vec![
+                    SyncOp::Create { child: ThreadId(1) },
+                    barrier(0),
+                    SyncOp::Join { child: ThreadId(1) },
+                ],
+            },
+            ThreadTimeline {
+                epochs: vec![300.0, 50.0],
+                events: vec![barrier(0)],
+            },
+        ];
+        let mut c = cfg();
+        c.sync_overhead_cycles = 40;
+        c.spawn_latency_cycles = 1500;
+        let full = execute(&tl, &c);
+
+        let mut cycles = Vec::new();
+        let mut ranges = Vec::new();
+        let mut events: Vec<&[SyncOp]> = Vec::new();
+        for t in &tl {
+            ranges.push((cycles.len(), t.epochs.len()));
+            cycles.extend_from_slice(&t.epochs);
+            events.push(&t.events);
+        }
+        let participants = barrier_participants(tl.iter().map(|t| t.events.as_slice()));
+        let mut scratch = SymScratch::default();
+        // Run twice through the same scratch: results must be identical
+        // (state fully reset between runs).
+        for _ in 0..2 {
+            let total = execute_total(
+                FlatTimelines {
+                    cycles: &cycles,
+                    ranges: &ranges,
+                    events: &events,
+                },
+                &participants,
+                c.sync_overhead_cycles as f64,
+                c.spawn_latency_cycles as f64,
+                &mut scratch,
+            );
+            assert_eq!(total.to_bits(), full.total.to_bits());
         }
     }
 

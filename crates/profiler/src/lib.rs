@@ -39,11 +39,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod curves;
 pub mod logical;
 pub mod microtrace;
 pub mod profile;
 
 pub use cache::{ProfileCache, ProfileKey, ProfiledWorkload};
+pub use curves::{ln_window, EpochCurves};
 pub use logical::{profile, profile_call_count};
 pub use microtrace::{analyze, MicroTraceAnalysis, WINDOWS};
 pub use profile::{ApplicationProfile, CondVarUsage, EpochProfile, ThreadProfile};

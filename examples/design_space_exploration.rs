@@ -44,7 +44,8 @@ fn main() -> Result<(), rppm::Error> {
     }
 
     for bound in [0.0, 0.01, 0.03, 0.05] {
-        let choice = evaluate_choice(&predicted, &simulated, bound);
+        let choice = evaluate_choice(&predicted, &simulated, bound)
+            .expect("predicted and simulated cover the same five design points");
         println!(
             "bound {:>3.0}%: candidates {:?} -> chose '{}', deficiency {:.2}%",
             bound * 100.0,

@@ -36,7 +36,7 @@
 //! remain available for one-shot use; the session is those functions plus
 //! the amortization contract.
 
-use rppm_core::{parallel_map, Prediction};
+use rppm_core::{parallel_map, Prediction, PreparedProfile};
 use rppm_profiler::{ApplicationProfile, ProfileCache, ProfileKey, ProfiledWorkload};
 use rppm_sim::{simulate, SimResult};
 use rppm_trace::{program_fingerprint, MachineConfig, Program, ProgramError, TraceFileError};
@@ -381,6 +381,27 @@ impl ProfileHandle {
         parallel_map(self.jobs, configs.len(), |i| self.predict(&configs[i]))
     }
 
+    /// Precomputes everything about this profile that does not depend on
+    /// the machine configuration (StatStack models, ILP/MLP interpolation
+    /// tables, epoch deduplication), returning a [`PreparedHandle`] whose
+    /// per-configuration evaluation is an order of magnitude cheaper than
+    /// [`ProfileHandle::predict`] — the entry point for million-point
+    /// design-space sweeps.
+    pub fn prepared(&self) -> PreparedHandle {
+        PreparedHandle {
+            prepared: Arc::new(PreparedProfile::new(Arc::clone(&self.workload.profile))),
+            jobs: self.jobs,
+        }
+    }
+
+    /// Predicts total cycles for every configuration through a freshly
+    /// prepared profile (see [`PreparedHandle::predict_batch`]). When
+    /// evaluating more than one batch, prepare once with
+    /// [`ProfileHandle::prepared`] and reuse the handle.
+    pub fn predict_batch(&self, configs: &[MachineConfig]) -> Vec<f64> {
+        self.prepared().predict_batch(configs)
+    }
+
     /// Golden-reference detailed simulation (slow; for validation).
     pub fn simulate(&self, config: &MachineConfig) -> SimResult {
         simulate(&self.workload.program, config)
@@ -390,6 +411,69 @@ impl ProfileHandle {
     /// the session's worker threads, in `configs` order.
     pub fn simulate_sweep(&self, configs: &[MachineConfig]) -> Vec<SimResult> {
         parallel_map(self.jobs, configs.len(), |i| self.simulate(&configs[i]))
+    }
+}
+
+/// A profile with all configuration-independent work precomputed: the
+/// fast path for design-space exploration.
+///
+/// Obtained from [`ProfileHandle::prepared`]. Every prediction it makes is
+/// **bit-identical** to the corresponding [`ProfileHandle`] call — the
+/// precompute/evaluate split changes cost, never results.
+#[derive(Debug, Clone)]
+pub struct PreparedHandle {
+    prepared: Arc<PreparedProfile>,
+    jobs: usize,
+}
+
+impl PreparedHandle {
+    /// The underlying prepared profile (e.g. to hand to
+    /// [`rppm_core::sweep`] / [`rppm_core::find_best`]).
+    pub fn inner(&self) -> &Arc<PreparedProfile> {
+        &self.prepared
+    }
+
+    /// Predicts one configuration; bit-identical to
+    /// [`ProfileHandle::predict`].
+    pub fn predict(&self, config: &MachineConfig) -> Prediction {
+        self.prepared.predict(config)
+    }
+
+    /// The MAIN baseline (cycles); bit-identical to
+    /// [`ProfileHandle::predict_main`].
+    pub fn predict_main(&self, config: &MachineConfig) -> f64 {
+        self.prepared.predict_main(config)
+    }
+
+    /// The CRIT baseline (cycles); bit-identical to
+    /// [`ProfileHandle::predict_crit`].
+    pub fn predict_crit(&self, config: &MachineConfig) -> f64 {
+        self.prepared.predict_crit(config)
+    }
+
+    /// Predicts total cycles for every configuration, chunked over the
+    /// session's worker threads with one batched Equation-1 evaluator per
+    /// worker. Results are in `configs` order, independent of the worker
+    /// count, and each equals the corresponding
+    /// `predict(config).total_cycles` bit for bit.
+    pub fn predict_batch(&self, configs: &[MachineConfig]) -> Vec<f64> {
+        let n = configs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let jobs = self.jobs.clamp(1, n);
+        let chunk = n.div_ceil(jobs);
+        let per_worker: Vec<Vec<f64>> = parallel_map(jobs, jobs, |w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            let mut batch = self.prepared.batched();
+            let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+            for config in &configs[lo..hi] {
+                out.push(batch.eval(config));
+            }
+            out
+        });
+        per_worker.concat()
     }
 }
 
@@ -425,5 +509,29 @@ mod tests {
             );
         }
         assert_eq!(session.profiles_collected(), 1);
+    }
+
+    #[test]
+    fn prepared_batch_is_bit_identical_to_scalar() {
+        let session = Session::builder().jobs(3).build();
+        let profile = session
+            .workload("nn")
+            .expect("catalog")
+            .scale(0.02)
+            .seed(3)
+            .profile();
+        let configs: Vec<_> = DesignPoint::ALL.iter().map(|d| d.config()).collect();
+        let prepared = profile.prepared();
+        let batch = prepared.predict_batch(&configs);
+        assert_eq!(batch.len(), configs.len());
+        for (cycles, c) in batch.iter().zip(&configs) {
+            assert_eq!(cycles.to_bits(), profile.predict(c).total_cycles.to_bits());
+        }
+        assert_eq!(
+            prepared.predict_main(&configs[0]).to_bits(),
+            profile.predict_main(&configs[0]).to_bits()
+        );
+        assert!(profile.predict_batch(&configs[..1])[0] > 0.0);
+        assert!(prepared.predict_batch(&[]).is_empty());
     }
 }

@@ -111,6 +111,23 @@ impl Strategy for Range<f32> {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+}
+
 /// Types with a canonical whole-domain strategy (used by [`prelude::any`]).
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained sample.

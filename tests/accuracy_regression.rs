@@ -44,7 +44,7 @@ fn reports_match_golden_baselines() {
         }
         checked += 1;
     }
-    assert_eq!(checked, 3, "golden set covers fig4, table3, table5");
+    assert_eq!(checked, 4, "golden set covers fig4, table3, table5, dse");
     assert!(
         failures.is_empty(),
         "accuracy drifted from golden baselines:\n{failures}\

@@ -1,0 +1,177 @@
+//! Differential property suite for the DSE engine: the precompute/evaluate
+//! split ([`rppm::core::PreparedProfile`] / batched Equation 1) must be
+//! **bit-identical** to the scalar `predict()` path on every profile and
+//! every configuration — the split changes cost, never results. Random
+//! workloads × random design points, plus the degenerate spaces a sweep
+//! can encounter (single point, duplicated configs, extreme cache
+//! geometries).
+
+use proptest::prelude::*;
+use rppm::core::{predict, predict_crit, predict_main, ConfigSpace, PreparedProfile};
+use rppm::trace::{CacheGeometry, DesignPoint, MachineConfig};
+use rppm::Session;
+use std::sync::Arc;
+
+/// Workloads with distinct sync behaviour: barriers, critical sections and
+/// a task queue.
+const WORKLOADS: [&str; 3] = ["hotspot", "kmeans", "swaptions"];
+
+fn space() -> ConfigSpace {
+    ConfigSpace::default_space()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random profile × random design points: every batched evaluation
+    /// equals the scalar prediction bit for bit, whatever the worker
+    /// count.
+    #[test]
+    fn batched_is_bit_identical_to_scalar(
+        which in 0usize..WORKLOADS.len(),
+        seed in 1u64..50,
+        jobs in 1usize..5,
+        indices in proptest::collection::vec(0usize..108_000, 1..12),
+    ) {
+        let space = space();
+        let session = Session::builder().jobs(jobs).build();
+        let profile = session
+            .workload(WORKLOADS[which])
+            .expect("catalog workload")
+            .scale(0.02)
+            .seed(seed)
+            .profile();
+        let configs: Vec<MachineConfig> =
+            indices.iter().map(|&i| space.config(i % space.len())).collect();
+
+        let batch = profile.prepared().predict_batch(&configs);
+        prop_assert_eq!(batch.len(), configs.len());
+        for (cycles, config) in batch.iter().zip(&configs) {
+            let scalar = profile.predict(config);
+            prop_assert_eq!(
+                cycles.to_bits(),
+                scalar.total_cycles.to_bits(),
+                "config {} diverged",
+                &config.name
+            );
+        }
+    }
+
+    /// The prepared baselines agree with the scalar MAIN/CRIT paths.
+    #[test]
+    fn prepared_baselines_are_bit_identical(
+        which in 0usize..WORKLOADS.len(),
+        index in 0usize..108_000,
+    ) {
+        let space = space();
+        let config = space.config(index % space.len());
+        let session = Session::new();
+        let profile = session
+            .workload(WORKLOADS[which])
+            .expect("catalog workload")
+            .scale(0.02)
+            .seed(7)
+            .profile();
+        let prep = PreparedProfile::new(Arc::clone(profile.profile()));
+        prop_assert_eq!(
+            prep.predict_main(&config).to_bits(),
+            predict_main(profile.profile(), &config).to_bits()
+        );
+        prop_assert_eq!(
+            prep.predict_crit(&config).to_bits(),
+            predict_crit(profile.profile(), &config).to_bits()
+        );
+        // And the full Prediction structure, not just total cycles.
+        let a = prep.predict(&config);
+        let b = predict(profile.profile(), &config);
+        prop_assert_eq!(a.total_cycles.to_bits(), b.total_cycles.to_bits());
+        prop_assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        prop_assert_eq!(a.threads.len(), b.threads.len());
+    }
+}
+
+#[test]
+fn degenerate_single_point_space() {
+    let session = Session::new();
+    let profile = session
+        .workload("lud")
+        .expect("catalog")
+        .scale(0.02)
+        .profile();
+    let config = DesignPoint::Base.config();
+    let batch = profile.predict_batch(std::slice::from_ref(&config));
+    assert_eq!(batch.len(), 1);
+    assert_eq!(
+        batch[0].to_bits(),
+        profile.predict(&config).total_cycles.to_bits()
+    );
+}
+
+#[test]
+fn duplicate_configs_get_identical_bits() {
+    let session = Session::builder().jobs(4).build();
+    let profile = session
+        .workload("nn")
+        .expect("catalog")
+        .scale(0.02)
+        .profile();
+    // The same configuration many times, split across workers: memoized
+    // rate columns and fresh ones must produce the same bits.
+    let configs = vec![DesignPoint::Big.config(); 9];
+    let batch = profile.predict_batch(&configs);
+    for w in batch.windows(2) {
+        assert_eq!(w[0].to_bits(), w[1].to_bits());
+    }
+    assert_eq!(
+        batch[0].to_bits(),
+        profile.predict(&configs[0]).total_cycles.to_bits()
+    );
+}
+
+#[test]
+fn extreme_cache_geometries_stay_identical() {
+    let session = Session::new();
+    let profile = session
+        .workload("streamcluster")
+        .expect("catalog")
+        .scale(0.02)
+        .profile();
+    let mut tiny = DesignPoint::Base.config();
+    tiny.name = "tiny-caches".into();
+    tiny.l1d = CacheGeometry::new(64, 1, 64, tiny.l1d.latency);
+    tiny.l1i = CacheGeometry::new(128, 1, 64, tiny.l1i.latency);
+    let mut huge = DesignPoint::Base.config();
+    huge.name = "huge-l3".into();
+    huge.l3 = CacheGeometry::new(1 << 30, 16, 64, huge.l3.latency);
+    let configs = [tiny, huge];
+    let batch = profile.predict_batch(&configs);
+    for (cycles, config) in batch.iter().zip(&configs) {
+        assert_eq!(
+            cycles.to_bits(),
+            profile.predict(config).total_cycles.to_bits(),
+            "{} diverged",
+            config.name
+        );
+    }
+}
+
+/// The batched path underlying `rppm_core::sweep` finds exactly the
+/// optimum a scalar scan over the same space finds.
+#[test]
+fn sweep_optimum_equals_scalar_scan() {
+    use rppm::core::{sweep, Constraints};
+    let mut space = ConfigSpace::tiny();
+    space.mshrs = vec![8];
+    let session = Session::new();
+    let profile = session
+        .workload("kmeans")
+        .expect("catalog")
+        .scale(0.02)
+        .profile();
+    let prep = PreparedProfile::new(Arc::clone(profile.profile()));
+    let swept = sweep(&prep, &space, &Constraints::none(), &[0.0], 2).expect("nonempty");
+    let scalar_best = (0..space.len())
+        .map(|i| profile.predict(&space.config(i)).total_seconds)
+        .fold(f64::MAX, f64::min);
+    assert_eq!(swept.best.seconds.to_bits(), scalar_best.to_bits());
+}
