@@ -13,6 +13,7 @@ mod dse;
 mod fig4;
 mod fig5;
 mod fig6;
+mod sim_profile;
 mod table1;
 mod table2;
 mod table3;
@@ -24,6 +25,7 @@ pub use dse::dse;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use fig6::fig6;
+pub use sim_profile::sim_profile;
 pub use table1::table1;
 pub use table2::table2;
 pub use table3::table3;

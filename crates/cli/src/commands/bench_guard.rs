@@ -13,6 +13,12 @@
 //! ```
 //!
 //! where baseline values are the `after_mean_ns` fields.
+//!
+//! A second guard form checks the committed baseline itself: entries with a
+//! `bench` field assert `after_mean_ns / before_mean_ns <= max_after_over_before`
+//! for that benchmark — pinning a claimed cross-version improvement (the
+//! before/after columns are captured back-to-back on one machine, the only
+//! honest cross-version comparison a single fresh binary cannot make).
 
 use super::is_help;
 use crate::args::{ArgStream, CliError};
@@ -100,6 +106,37 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
                 .ok_or_else(|| CliError::user(format!("guard missing string field `{k}`")))
         };
         let name = get_str("name")?;
+
+        // Baseline self-check form: `bench` + `max_after_over_before`.
+        if let Some(bench) = Value::get(entries, "bench").and_then(Value::as_str) {
+            let max_ratio = Value::get(entries, "max_after_over_before")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| {
+                    CliError::user(format!("guard `{name}` missing `max_after_over_before`"))
+                })?;
+            let entry = Value::get(benchmarks, bench)
+                .and_then(Value::as_object)
+                .ok_or_else(|| CliError::user(format!("guard `{name}`: no benchmark `{bench}`")))?;
+            let before = Value::get(entry, "before_mean_ns").and_then(Value::as_f64);
+            let after = Value::get(entry, "after_mean_ns").and_then(Value::as_f64);
+            let (Some(before), Some(after)) = (before, after) else {
+                return Err(CliError::user(format!(
+                    "guard `{name}`: `{bench}` lacks before/after means"
+                )));
+            };
+            let ratio = after / before;
+            let verdict = if ratio <= max_ratio { "ok  " } else { "FAIL" };
+            println!(
+                "  {verdict} {name}: committed {bench} after/before = {ratio:.3} \
+                 (limit {max_ratio}, i.e. >= {:.2}x speedup)",
+                1.0 / max_ratio
+            );
+            if ratio > max_ratio {
+                failures += 1;
+            }
+            continue;
+        }
+
         let num = get_str("num")?;
         let den = get_str("den")?;
         let max_regression = Value::get(entries, "max_regression")

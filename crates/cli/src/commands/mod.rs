@@ -7,6 +7,7 @@ pub mod golden;
 pub mod import;
 pub mod report;
 pub mod run_all;
+pub mod sim_profile;
 
 use crate::args::{Arg, ArgStream, CliError};
 

@@ -18,6 +18,8 @@ reports (and their optional positional arguments):
   ablation [scale]        model-component ablation      (default 0.2)
   dse    [scale]          batched DSE engine: optimum, frontier,
                           deficiency on the tiny space (default 0.3)
+  sim_profile [scale]     simulator self-profile: op mix, hot pairs,
+                          fusion/dispatch statistics (default 0.3)
 
 The report text is printed to stdout, byte-identical to the retired
 per-report binaries.";
@@ -77,6 +79,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         "fig6" => reports::fig6(scale_arg(0.3)?, &ctx),
         "ablation" => reports::ablation(scale_arg(0.2)?, &ctx),
         "dse" => reports::dse(scale_arg(0.3)?, &ctx),
+        "sim_profile" => reports::sim_profile(scale_arg(0.3)?, &ctx),
         other => return Err(args.error(format!("unknown report `{other}`"))),
     };
     print!("{}", report.text);

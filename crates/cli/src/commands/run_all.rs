@@ -81,6 +81,10 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         ("fig6", Box::new(|| reports::fig6(dse_scale, &ctx))),
         ("ablation", Box::new(|| reports::ablation(dse_scale, &ctx))),
         ("dse", Box::new(|| reports::dse(dse_scale, &ctx))),
+        (
+            "sim_profile",
+            Box::new(|| reports::sim_profile(dse_scale, &ctx)),
+        ),
     ];
     for (name, job) in jobs_list {
         eprintln!("running {name} ({jobs} jobs)...");

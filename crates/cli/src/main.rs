@@ -34,6 +34,8 @@ commands:
   convert IN OUT          convert a trace between the JSON and RPT1 containers
   dse WORKLOAD [args]     sweep a 10^5-point design space from one profile:
                           batched Eq.1, constraint filters, Pareto frontier
+  sim-profile [args]      the simulator profiling itself: op mix, hot op
+                          pairs, fusion/dispatch stats (PGO observation)
   golden diff|update      accuracy-regression gate over results/golden/
   bench guard FRESH.json  perf-regression gate over BENCH_speed.json ratios
   help                    show this message
@@ -57,6 +59,7 @@ fn run() -> i32 {
         "import" => commands::import::run(argv),
         "convert" => commands::convert::run(argv),
         "dse" => commands::dse::run(argv),
+        "sim-profile" => commands::sim_profile::run(argv),
         "golden" => commands::golden::run(argv),
         "bench" => commands::bench_guard::run(argv),
         "help" | "--help" | "-h" => {

@@ -10,6 +10,10 @@ use rppm_trace::CacheGeometry;
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     sets: u64,
+    /// `sets - 1` when `sets` is a power of two (every geometry in the
+    /// config space), letting [`SetAssocCache::set_of`] mask instead of
+    /// dividing; 0 falls back to the general modulo.
+    set_mask: u64,
     assoc: usize,
     /// `tags[set * assoc + way]`: line index or `EMPTY`.
     tags: Vec<u64>,
@@ -20,6 +24,13 @@ pub struct SetAssocCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Most recently touched line and its slot in `tags` — a one-entry
+    /// shortcut that skips the set scan on back-to-back accesses to the
+    /// same line (streams revisit lines; code lines repeat). Pure fast
+    /// path: every state update it performs is exactly what the scan-hit
+    /// path would have done.
+    mru_line: u64,
+    mru_slot: usize,
 }
 
 const EMPTY: u64 = u64::MAX;
@@ -31,6 +42,7 @@ impl SetAssocCache {
         let assoc = geom.assoc as usize;
         SetAssocCache {
             sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
             assoc,
             tags: vec![EMPTY; (sets as usize) * assoc],
             stamps: vec![0; (sets as usize) * assoc],
@@ -38,12 +50,18 @@ impl SetAssocCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            mru_line: EMPTY,
+            mru_slot: 0,
         }
     }
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets) as usize
+        if self.set_mask != 0 {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets) as usize
+        }
     }
 
     /// Probes for `line` without modifying state (except statistics are not
@@ -58,6 +76,17 @@ impl SetAssocCache {
     /// fill, if any.
     pub fn access(&mut self, line: u64, is_write: bool) -> (bool, Option<u64>) {
         self.clock += 1;
+        // MRU shortcut: identical updates to the scan-hit path below.
+        if line == self.mru_line {
+            let s = self.mru_slot;
+            debug_assert_eq!(self.tags[s], line);
+            self.stamps[s] = self.clock;
+            if is_write {
+                self.dirty[s] = true;
+            }
+            self.hits += 1;
+            return (true, None);
+        }
         let base = self.set_of(line) * self.assoc;
         // Hit path.
         for w in 0..self.assoc {
@@ -67,6 +96,8 @@ impl SetAssocCache {
                     self.dirty[base + w] = true;
                 }
                 self.hits += 1;
+                self.mru_line = line;
+                self.mru_slot = base + w;
                 return (true, None);
             }
         }
@@ -91,12 +122,17 @@ impl SetAssocCache {
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.clock;
         self.dirty[base + victim] = is_write;
+        self.mru_line = line;
+        self.mru_slot = base + victim;
         (false, evicted)
     }
 
     /// Removes `line` if present (coherence invalidation); returns whether
     /// it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
+        if line == self.mru_line {
+            self.mru_line = EMPTY;
+        }
         let base = self.set_of(line) * self.assoc;
         for w in 0..self.assoc {
             if self.tags[base + w] == line {

@@ -7,14 +7,105 @@
 //! thread with the smallest local clock goes next), so shared-cache and
 //! coherence interactions are observed in approximately correct order and
 //! the whole simulation is deterministic.
+//!
+//! The engine is generic over two plug points, both monomorphized away in
+//! the default build: the per-thread timing model (a `CoreTiming` — the
+//! optimized [`CoreModel`] or the pinned naive dispatch in
+//! [`crate::reference`]) and a [`SimProbe`] observation hook
+//! ([`NoProbe`] by default, a [`ProfileCollector`] under
+//! [`simulate_profiled`]). Uninterrupted op runs are handed to the core as
+//! whole zero-copy block slices (`CoreTiming::run_ops`), keeping the
+//! per-op quantum bookkeeping out of this loop; the cold synchronization
+//! path stays here.
 
-use crate::core::CoreModel;
+use crate::core::{CoreCounters, CoreModel};
 use crate::mem::MemorySystem;
-use rppm_trace::{BlockItem, CpiStack, MachineConfig, Program, SyncOp, ThreadCursor};
+use crate::simprof::{NoProbe, ProfileCollector, SimProbe, SimProfile};
+use rppm_trace::{BlockItem, CpiStack, MachineConfig, MicroOp, Program, SyncOp, ThreadCursor};
 use std::collections::{HashMap, VecDeque};
 
 /// Scheduling quantum in cycles.
 const QUANTUM: f64 = 500.0;
+
+/// A per-thread timing model the engine can schedule.
+///
+/// Implemented by the optimized [`CoreModel`] and by the naive
+/// reference core (see [`crate::reference`]); both must produce
+/// bit-identical timing, which the differential equivalence tests pin.
+pub(crate) trait CoreTiming {
+    /// Creates a core in reset state with its clock at `start_time`.
+    fn new(config: &MachineConfig, start_time: f64) -> Self;
+    /// Current thread-local time in cycles.
+    fn time(&self) -> f64;
+    /// Sets the initial clock (thread creation).
+    fn set_start_time(&mut self, t: f64);
+    /// Advances the clock to `t`, charging the jump to sync.
+    fn resume_at(&mut self, t: f64);
+    /// Charges sync-library overhead cycles.
+    fn charge_sync_overhead(&mut self, cycles: f64);
+    /// Total sync-library overhead charged.
+    fn sync_overhead_charged(&self) -> f64;
+    /// Drains in-flight ops and returns the final time.
+    fn finish(&mut self) -> f64;
+    /// Stall attribution accumulated so far.
+    fn stalls(&self) -> &CpiStack;
+    /// Execution counters.
+    fn counters(&self) -> &CoreCounters;
+    /// `(dispatch_actions, fused_pairs)` taken so far.
+    fn dispatch_stats(&self) -> (u64, u64);
+    /// Processes a prefix of `ops`, stopping after the first op that pushes
+    /// the clock past `limit`; returns `(ops_used, over_limit)`.
+    fn run_ops(
+        &mut self,
+        ops: &[MicroOp],
+        mem: &mut MemorySystem,
+        core_id: usize,
+        limit: f64,
+    ) -> (usize, bool);
+}
+
+impl CoreTiming for CoreModel {
+    fn new(config: &MachineConfig, start_time: f64) -> Self {
+        CoreModel::new(config, start_time)
+    }
+    fn time(&self) -> f64 {
+        self.time()
+    }
+    fn set_start_time(&mut self, t: f64) {
+        self.set_start_time(t)
+    }
+    fn resume_at(&mut self, t: f64) {
+        self.resume_at(t)
+    }
+    fn charge_sync_overhead(&mut self, cycles: f64) {
+        self.charge_sync_overhead(cycles)
+    }
+    fn sync_overhead_charged(&self) -> f64 {
+        self.sync_overhead_charged()
+    }
+    fn finish(&mut self) -> f64 {
+        self.finish()
+    }
+    fn stalls(&self) -> &CpiStack {
+        self.stalls()
+    }
+    fn counters(&self) -> &CoreCounters {
+        self.counters()
+    }
+    fn dispatch_stats(&self) -> (u64, u64) {
+        self.dispatch_stats()
+    }
+    #[inline]
+    fn run_ops(
+        &mut self,
+        ops: &[MicroOp],
+        mem: &mut MemorySystem,
+        core_id: usize,
+        limit: f64,
+    ) -> (usize, bool) {
+        self.run_ops(ops, mem, core_id, limit)
+    }
+}
 
 /// Dynamic synchronization-event counts by paper category (Table III).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +208,8 @@ enum Status {
     Done,
 }
 
-struct ThreadCtx {
-    core: CoreModel,
+struct ThreadCtx<C> {
+    core: C,
     status: Status,
     block_time: f64,
     start: f64,
@@ -155,6 +246,45 @@ struct QueueState {
 /// [`Program::validate`]), uses more threads than the machine has cores, or
 /// deadlocks (e.g. consuming from a queue nothing ever produces).
 pub fn simulate(program: &Program, config: &MachineConfig) -> SimResult {
+    run_simulation::<CoreModel, _>(program, config, &mut NoProbe)
+}
+
+/// Simulates `program` on `config` with a [`SimProbe`] observing the
+/// dispatch loop. With [`NoProbe`] this monomorphizes to exactly
+/// [`simulate`]; the timing result never depends on the probe.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_with_probe<P: SimProbe>(
+    program: &Program,
+    config: &MachineConfig,
+    probe: &mut P,
+) -> SimResult {
+    run_simulation::<CoreModel, _>(program, config, probe)
+}
+
+/// Simulates `program` on `config` while collecting the simulator
+/// self-profile (op frequencies, pair histogram, sync mix, dispatch-batch
+/// shapes, fusion statistics). The [`SimResult`] is bit-identical to
+/// [`simulate`]'s.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_profiled(program: &Program, config: &MachineConfig) -> (SimResult, SimProfile) {
+    let mut collector = ProfileCollector::new();
+    let result = run_simulation::<CoreModel, _>(program, config, &mut collector);
+    (result, collector.into_profile())
+}
+
+/// Validates inputs and runs the engine with the given timing model and
+/// probe. Shared by the optimized and reference entry points.
+pub(crate) fn run_simulation<C: CoreTiming, P: SimProbe>(
+    program: &Program,
+    config: &MachineConfig,
+    probe: &mut P,
+) -> SimResult {
     program.validate().expect("invalid program");
     config.validate().expect("invalid machine configuration");
     // RPPM assumes one thread per core. One extra thread is tolerated to
@@ -167,17 +297,17 @@ pub fn simulate(program: &Program, config: &MachineConfig) -> SimResult {
         program.num_threads(),
         config.cores
     );
-    Engine::new(program, config).run()
+    Engine::<C>::new(program, config).run(probe)
 }
 
-struct Engine<'p> {
+struct Engine<'p, C> {
     config: &'p MachineConfig,
     program: &'p Program,
     /// Per-thread stream cursors, parallel to `threads`. Kept separate so
     /// the zero-copy op slices a cursor lends out can be fed to a core
     /// model while the shared memory system is mutated.
     cursors: Vec<ThreadCursor<'p>>,
-    threads: Vec<ThreadCtx>,
+    threads: Vec<ThreadCtx<C>>,
     mem: MemorySystem,
     barriers: HashMap<u32, BarrierState>,
     participants: HashMap<u32, usize>,
@@ -187,12 +317,12 @@ struct Engine<'p> {
     counts: SyncEventCounts,
 }
 
-impl<'p> Engine<'p> {
+impl<'p, C: CoreTiming> Engine<'p, C> {
     fn new(program: &'p Program, config: &'p MachineConfig) -> Self {
         let cursors = program.threads.iter().map(ThreadCursor::new).collect();
         let threads = (0..program.num_threads())
             .map(|i| ThreadCtx {
-                core: CoreModel::new(config, 0.0),
+                core: C::new(config, 0.0),
                 status: if i == 0 {
                     Status::Ready
                 } else {
@@ -287,7 +417,10 @@ impl<'p> Engine<'p> {
     }
 
     /// Handles one synchronization event for thread `i`. Returns `true` if
-    /// the thread blocked.
+    /// the thread blocked. This is the cold path of the run loop: every op
+    /// between two sync events flows through `CoreTiming::run_ops` without
+    /// touching any of this bookkeeping.
+    #[cold]
     fn handle_sync(&mut self, i: usize, op: SyncOp) -> bool {
         let overhead = self.config.sync_overhead_cycles as f64;
         self.threads[i].core.charge_sync_overhead(overhead);
@@ -401,7 +534,7 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run<P: SimProbe>(mut self, probe: &mut P) -> SimResult {
         loop {
             // Pick the runnable thread with the smallest local clock.
             let mut best: Option<(usize, f64)> = None;
@@ -445,6 +578,7 @@ impl<'p> Engine<'p> {
                     }
                     Some(BlockItem::Sync(op)) => {
                         cursors[i].consume_sync();
+                        probe.on_sync(i, &op);
                         if self.handle_sync(i, op) {
                             break;
                         }
@@ -453,21 +587,13 @@ impl<'p> Engine<'p> {
                         }
                     }
                     Some(BlockItem::Ops(ops)) => {
-                        // Feed the lent slice to the core model, checking
-                        // the quantum after each op exactly like the per-op
-                        // cursor did (op latencies vary, so the budget
-                        // cannot be precomputed as an op count).
+                        // Hand the whole lent slice to the core model; it
+                        // enforces the quantum after each op exactly like
+                        // the per-op loop did (op latencies vary, so the
+                        // budget cannot be precomputed as an op count).
                         let th = &mut threads[i];
-                        let mut used = 0;
-                        let mut over = false;
-                        for op in ops {
-                            th.core.process(op, mem, i);
-                            used += 1;
-                            if th.core.time() > limit {
-                                over = true;
-                                break;
-                            }
-                        }
+                        let (used, over) = th.core.run_ops(ops, mem, i, limit);
+                        probe.on_ops(i, &ops[..used]);
                         cursors[i].consume_ops(used);
                         if over {
                             break;
@@ -475,6 +601,11 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
+        }
+
+        for (i, th) in self.threads.iter().enumerate() {
+            let (dispatches, fused) = th.core.dispatch_stats();
+            probe.on_thread_finish(i, dispatches, fused);
         }
 
         self.collect()
@@ -799,5 +930,45 @@ mod tests {
         let r = simulate(&p, &base());
         // Join wait should be ~0 (child done long ago).
         assert!(r.threads[0].cpi.sync < 5000.0, "{}", r.threads[0].cpi.sync);
+    }
+
+    #[test]
+    fn profiled_result_matches_simulate_bit_for_bit() {
+        let mut b = ProgramBuilder::new("profiled", 2);
+        let bar = b.alloc_barrier();
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .block(
+                    BlockSpec::new(20_000, t as u64 + 3)
+                        .loads(0.25)
+                        .branches(0.08),
+                )
+                .barrier(bar);
+        }
+        b.join_workers();
+        let p = b.build();
+        let plain = simulate(&p, &base());
+        let (probed, profile) = simulate_profiled(&p, &base());
+        assert_eq!(plain.total_cycles.to_bits(), probed.total_cycles.to_bits());
+        for (a, b) in plain.threads.iter().zip(probed.threads.iter()) {
+            assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+            assert_eq!(a.ops, b.ops);
+        }
+        // The profile saw every executed op and the sync mix.
+        assert_eq!(profile.total_ops(), plain.total_ops());
+        assert_eq!(
+            profile.sync.barriers + profile.sync.cond_barriers,
+            plain.sync_events.barriers + plain.sync_events.cond_vars,
+            "barrier count mismatch: {:?} vs {:?}",
+            profile.sync,
+            plain.sync_events
+        );
+        assert_eq!(
+            profile.dispatches + profile.fused_pairs,
+            profile.total_ops()
+        );
+        assert!(profile.fused_pairs > 0, "compute blocks must fuse");
+        assert!(profile.threads.iter().all(|t| t.runs > 0));
     }
 }

@@ -36,9 +36,15 @@ pub mod cache;
 pub mod core;
 pub mod engine;
 pub mod mem;
+pub mod reference;
+pub mod simprof;
 
 pub use crate::core::{CoreCounters, CoreModel};
 pub use bpred::TournamentPredictor;
 pub use cache::SetAssocCache;
-pub use engine::{simulate, SimResult, SyncEventCounts, ThreadResult};
+pub use engine::{
+    simulate, simulate_profiled, simulate_with_probe, SimResult, SyncEventCounts, ThreadResult,
+};
 pub use mem::{MemStats, MemorySystem, ServiceLevel};
+pub use reference::{simulate_reference, simulate_reference_profiled};
+pub use simprof::{NoProbe, ProfileCollector, SimProbe, SimProfile, SyncMix, ThreadShape};

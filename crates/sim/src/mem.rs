@@ -9,6 +9,36 @@
 use crate::cache::SetAssocCache;
 use rppm_trace::MachineConfig;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for the directory's u64 line keys (the Fx/rustc
+/// construction). The directory sits on the L2-miss path of every data
+/// access; SipHash was a measurable fraction of simulation time, and map
+/// *order* is never observed — only point lookups — so a weaker, faster
+/// hash changes nothing observable.
+#[derive(Debug, Default)]
+pub(crate) struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 
 /// Where a data access was serviced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +91,7 @@ pub struct MemorySystem {
     l1d: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
     l3: SetAssocCache,
-    directory: HashMap<u64, DirEntry>,
+    directory: LineMap<DirEntry>,
     stats: Vec<MemStats>,
     lat_l1: f64,
     lat_l2: f64,
@@ -86,7 +116,7 @@ impl MemorySystem {
             l1d: (0..n).map(|_| SetAssocCache::new(&config.l1d)).collect(),
             l2: (0..n).map(|_| SetAssocCache::new(&config.l2)).collect(),
             l3: SetAssocCache::new(&config.l3),
-            directory: HashMap::new(),
+            directory: LineMap::default(),
             stats: vec![MemStats::default(); n],
             lat_l1: config.l1d.latency as f64,
             lat_l2: config.l2.latency as f64,
@@ -124,6 +154,29 @@ impl MemorySystem {
         stolen
     }
 
+    /// Directory update for a write by `core`: claim exclusive dirty
+    /// ownership, invalidating every other holder's private copies. One
+    /// hash lookup — state-equivalent to [`MemorySystem::invalidate_others`]
+    /// followed by an `entry(line)` holder/dirty-owner update.
+    fn claim_for_write(&mut self, line: u64, core: usize) {
+        let e = self.directory.entry(line).or_default();
+        let holders = e.holders;
+        e.holders = 1 << core;
+        e.dirty_owner = Some(core as u8);
+        let others = holders & !(1u8 << core);
+        if others != 0 {
+            for c in 0..self.l1d.len() {
+                if others & (1 << c) != 0 {
+                    let a = self.l1d[c].invalidate(line);
+                    let b = self.l2[c].invalidate(line);
+                    if a || b {
+                        self.stats[c].invalidations += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Performs a data access by `core` to `line`.
     ///
     /// Returns the load-to-use latency in cycles and the level that serviced
@@ -136,10 +189,7 @@ impl MemorySystem {
         let (l1_hit, _) = self.l1d[core].access(line, is_write);
         if l1_hit {
             if is_write {
-                self.invalidate_others(line, core);
-                let e = self.directory.entry(line).or_default();
-                e.holders |= 1 << core;
-                e.dirty_owner = Some(core as u8);
+                self.claim_for_write(line, core);
             }
             return (self.lat_l1, ServiceLevel::L1);
         }
@@ -158,10 +208,7 @@ impl MemorySystem {
         }
         if l2_hit {
             if is_write {
-                self.invalidate_others(line, core);
-                let e = self.directory.entry(line).or_default();
-                e.holders |= 1 << core;
-                e.dirty_owner = Some(core as u8);
+                self.claim_for_write(line, core);
             }
             return (self.lat_l2, ServiceLevel::L2);
         }
@@ -207,12 +254,10 @@ impl MemorySystem {
 
         // Fill the private hierarchy and update the directory.
         if is_write {
-            self.invalidate_others(line, core);
-        }
-        let e = self.directory.entry(line).or_default();
-        e.holders |= 1 << core;
-        if is_write {
-            e.dirty_owner = Some(core as u8);
+            self.claim_for_write(line, core);
+        } else {
+            let e = self.directory.entry(line).or_default();
+            e.holders |= 1 << core;
         }
         self.l1d[core].access(line, is_write);
 

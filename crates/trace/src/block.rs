@@ -205,9 +205,19 @@ impl BlockSpec {
 
     /// Expands the block, appending to `out` (reuses its capacity).
     pub fn expand_into(&self, out: &mut Vec<MicroOp>) {
+        self.expander().expand_chunk(out, usize::MAX);
+    }
+
+    /// Creates a streaming expander positioned at the start of the block.
+    ///
+    /// Chunked expansion yields exactly the stream [`BlockSpec::expand`]
+    /// produces, regardless of chunk boundaries — all generator state lives
+    /// in the expander. The trace cursor uses this to hand the simulator
+    /// cache-sized slices instead of materializing multi-hundred-KB blocks.
+    pub fn expander(&self) -> BlockExpander<'_> {
         let mut rng = Rng::new(self.seed);
-        let mut addr_rng = rng.fork(1);
-        let mut branch_rng = rng.fork(2);
+        let addr_rng = rng.fork(1);
+        let branch_rng = rng.fork(2);
 
         let mut load_samplers: Vec<(AddrSampler, f64)> = Vec::new();
         let mut total_w = 0.0;
@@ -222,10 +232,9 @@ impl BlockSpec {
             store_samplers.push((p.sampler(), store_w));
         }
 
-        let mut sites: Vec<BranchSampler> = (0..self.n_sites)
+        let sites: Vec<BranchSampler> = (0..self.n_sites)
             .map(|k| self.branch.sampler(k.wrapping_mul(7)))
             .collect();
-        let mut next_site = 0usize;
 
         // Cumulative class thresholds.
         let t_load = self.f_load;
@@ -237,10 +246,100 @@ impl BlockSpec {
         let t_imul = t_fpd + self.f_int_mul;
         let t_idiv = t_imul + self.f_int_div;
 
-        let mut last_load_at: Option<u32> = None;
-        let p_geo = 1.0 / self.dep_mean;
+        BlockExpander {
+            spec: self,
+            rng,
+            addr_rng,
+            branch_rng,
+            load_samplers,
+            store_samplers,
+            sites,
+            next_site: 0,
+            thresholds: [
+                t_load, t_store, t_branch, t_fpa, t_fpm, t_fpd, t_imul, t_idiv,
+            ],
+            last_load_at: None,
+            ln_q: Rng::geometric_ln(1.0 / self.dep_mean),
+            code_lines: self.code_lines.max(1),
+            line_rel: 0,
+            line_rep: 0,
+            i: 0,
+        }
+    }
 
-        for i in 0..self.ops {
+    fn pick_addr(samplers: &mut [(AddrSampler, f64)], rng: &mut Rng) -> u64 {
+        if samplers.is_empty() {
+            return 0;
+        }
+        let total = samplers.last().map(|(_, w)| *w).unwrap_or(0.0);
+        if samplers.len() == 1 || total <= 0.0 {
+            return samplers[0].0.next(rng);
+        }
+        let u = rng.next_f64() * total;
+        for (s, cum) in samplers.iter_mut() {
+            if u < *cum {
+                return s.next(rng);
+            }
+        }
+        let last = samplers.len() - 1;
+        samplers[last].0.next(rng)
+    }
+}
+
+/// Streaming expansion state for one block (see [`BlockSpec::expander`]).
+#[derive(Debug, Clone)]
+pub struct BlockExpander<'s> {
+    spec: &'s BlockSpec,
+    rng: Rng,
+    addr_rng: Rng,
+    branch_rng: Rng,
+    load_samplers: Vec<(AddrSampler, f64)>,
+    store_samplers: Vec<(AddrSampler, f64)>,
+    sites: Vec<BranchSampler>,
+    next_site: usize,
+    /// Cumulative class thresholds: load, store, branch, fpa, fpm, fpd,
+    /// imul, idiv.
+    thresholds: [f64; 8],
+    last_load_at: Option<u32>,
+    /// Precomputed `ln(1 - 1/dep_mean)` for geometric dependence draws.
+    ln_q: f64,
+    /// `(i / OPS_PER_CODE_LINE) % code_lines` strength-reduced to a pair of
+    /// wrapping counters: a u64 div+mod per op is measurable in the
+    /// expansion-bound simulator pipeline.
+    code_lines: u64,
+    line_rel: u64,
+    line_rep: u64,
+    /// Next op index.
+    i: u32,
+}
+
+impl BlockExpander<'_> {
+    /// Micro-ops not yet expanded.
+    pub fn remaining(&self) -> u32 {
+        self.spec.ops - self.i
+    }
+
+    /// Expands up to `max` further micro-ops, appending to `out`.
+    /// Returns the number appended (0 when the block is exhausted).
+    pub fn expand_chunk(&mut self, out: &mut Vec<MicroOp>, max: usize) -> usize {
+        let end = self.i + (self.remaining() as usize).min(max) as u32;
+        let produced = (end - self.i) as usize;
+        // `Range` is `TrustedLen`, so this extend reserves once and skips
+        // the per-push capacity check.
+        let start = self.i;
+        out.extend((start..end).map(|i| self.gen_op(i)));
+        self.i = end;
+        produced
+    }
+
+    /// Generates the micro-op at index `i`, advancing all generator state.
+    #[inline(always)]
+    fn gen_op(&mut self, i: u32) -> MicroOp {
+        let spec = self.spec;
+        let rng = &mut self.rng;
+        let [t_load, t_store, t_branch, t_fpa, t_fpm, t_fpd, t_imul, t_idiv] = self.thresholds;
+
+        {
             let u = rng.next_f64();
             let class = if u < t_load {
                 OpClass::Load
@@ -264,24 +363,32 @@ impl BlockSpec {
 
             let mut src1: u16 = 0;
             let mut src2: u16 = 0;
-            if rng.chance(self.p_dep) {
-                src1 = rng.geometric(p_geo).min(u16::MAX as u64) as u16;
+            if rng.chance(spec.p_dep) {
+                src1 = rng.geometric_with(self.ln_q).min(u16::MAX as u64) as u16;
             }
-            if rng.chance(self.p_dep2) {
-                src2 = rng.geometric(p_geo).min(u16::MAX as u64) as u16;
+            if rng.chance(spec.p_dep2) {
+                src2 = rng.geometric_with(self.ln_q).min(u16::MAX as u64) as u16;
             }
 
-            let code_line = self.code_base + (i as u64 / OPS_PER_CODE_LINE) % self.code_lines;
+            let code_line = spec.code_base + self.line_rel;
+            self.line_rep += 1;
+            if self.line_rep == OPS_PER_CODE_LINE {
+                self.line_rep = 0;
+                self.line_rel += 1;
+                if self.line_rel == self.code_lines {
+                    self.line_rel = 0;
+                }
+            }
 
-            let op = match class {
+            match class {
                 OpClass::Load => {
-                    if let Some(prev) = last_load_at {
-                        if rng.chance(self.p_load_chain) {
+                    if let Some(prev) = self.last_load_at {
+                        if rng.chance(spec.p_load_chain) {
                             src1 = (i - prev).min(u16::MAX as u32) as u16;
                         }
                     }
-                    last_load_at = Some(i);
-                    let line = Self::pick_addr(&mut load_samplers, &mut addr_rng);
+                    self.last_load_at = Some(i);
+                    let line = BlockSpec::pick_addr(&mut self.load_samplers, &mut self.addr_rng);
                     MicroOp {
                         class,
                         src1,
@@ -293,10 +400,10 @@ impl BlockSpec {
                     }
                 }
                 OpClass::Store => {
-                    let line = if store_samplers.is_empty() {
-                        Self::pick_addr(&mut load_samplers, &mut addr_rng)
+                    let line = if self.store_samplers.is_empty() {
+                        BlockSpec::pick_addr(&mut self.load_samplers, &mut self.addr_rng)
                     } else {
-                        Self::pick_addr(&mut store_samplers, &mut addr_rng)
+                        BlockSpec::pick_addr(&mut self.store_samplers, &mut self.addr_rng)
                     };
                     MicroOp {
                         class,
@@ -309,16 +416,16 @@ impl BlockSpec {
                     }
                 }
                 OpClass::Branch => {
-                    let k = next_site;
-                    next_site = (next_site + 1) % sites.len();
-                    let taken = sites[k].next(&mut branch_rng);
+                    let k = self.next_site;
+                    self.next_site = (self.next_site + 1) % self.sites.len();
+                    let taken = self.sites[k].next(&mut self.branch_rng);
                     MicroOp {
                         class,
                         src1,
                         src2,
                         line: 0,
                         code_line,
-                        site: self.site_base + k as u32,
+                        site: spec.site_base + k as u32,
                         taken,
                     }
                 }
@@ -331,27 +438,8 @@ impl BlockSpec {
                     site: 0,
                     taken: false,
                 },
-            };
-            out.push(op);
-        }
-    }
-
-    fn pick_addr(samplers: &mut [(AddrSampler, f64)], rng: &mut Rng) -> u64 {
-        if samplers.is_empty() {
-            return 0;
-        }
-        let total = samplers.last().map(|(_, w)| *w).unwrap_or(0.0);
-        if samplers.len() == 1 || total <= 0.0 {
-            return samplers[0].0.next(rng);
-        }
-        let u = rng.next_f64() * total;
-        for (s, cum) in samplers.iter_mut() {
-            if u < *cum {
-                return s.next(rng);
             }
         }
-        let last = samplers.len() - 1;
-        samplers[last].0.next(rng)
     }
 }
 
@@ -378,6 +466,36 @@ mod tests {
     fn expansion_has_exact_count() {
         let b = mem_block();
         assert_eq!(b.expand().len(), 10_000);
+    }
+
+    #[test]
+    fn chunked_expansion_is_boundary_invariant() {
+        // A realistic mix (deps, branches, stores, load chain) so every
+        // piece of expander state crosses chunk boundaries.
+        let b = BlockSpec::new(10_000, 42)
+            .loads(0.3)
+            .stores(0.1)
+            .branches(0.1)
+            .deps(0.4, 6.0)
+            .deps2(0.2)
+            .load_chain(0.3)
+            .code_footprint(7)
+            .addr(AddressPattern::stream(Region::new(0, 512)), 0.7)
+            .addr(AddressPattern::random(Region::new(512, 512)), 0.3);
+        let whole = b.expand();
+        for chunk in [1usize, 3, 64, 377, 1024, 9_999, 20_000] {
+            let mut e = b.expander();
+            let mut out = Vec::new();
+            loop {
+                let got = e.expand_chunk(&mut out, chunk);
+                assert!(got <= chunk);
+                if got == 0 {
+                    break;
+                }
+            }
+            assert_eq!(e.remaining(), 0);
+            assert_eq!(out, whole, "chunk size {chunk}");
+        }
     }
 
     #[test]

@@ -1,8 +1,18 @@
 //! Streaming traversal of a thread's dynamic instruction stream.
 
+use crate::block::BlockExpander;
 use crate::op::MicroOp;
 use crate::program::{Segment, ThreadScript};
 use crate::sync::SyncOp;
+
+/// Micro-ops expanded per refill of the cursor's buffer.
+///
+/// 1024 ops x 32 B/op = 32 KB — one chunk stays resident in the host L1/L2
+/// while the simulator walks it. Whole-block expansion of the multi-ten-
+/// thousand-op epoch blocks real workloads use writes hundreds of KB per
+/// block; with eight thread cursors interleaved per scheduling quantum that
+/// round-trips every op through host DRAM between expansion and simulation.
+const EXPAND_CHUNK: usize = 1024;
 
 /// The item currently under a [`ThreadCursor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,14 +26,15 @@ pub enum CursorItem {
 /// A zero-copy view of the next run of items under a [`ThreadCursor`].
 ///
 /// Where [`CursorItem`] hands out one copied micro-op per call,
-/// `BlockItem::Ops` borrows the *remainder of the current block* directly
-/// from the cursor's expansion buffer: consumers iterate the slice in a
-/// tight loop and then tell the cursor how far they got with
-/// [`ThreadCursor::consume_ops`]. This is the hot-path API both the
-/// profiler and the simulator drive.
+/// `BlockItem::Ops` borrows a *run of unconsumed micro-ops* of the current
+/// block directly from the cursor's expansion buffer: consumers iterate the
+/// slice in a tight loop and then tell the cursor how far they got with
+/// [`ThreadCursor::consume_ops`]. The run covers at most one expansion
+/// chunk, so a large block is lent as several successive slices. This is
+/// the hot-path API both the profiler and the simulator drive.
 #[derive(Debug, PartialEq)]
 pub enum BlockItem<'c> {
-    /// The unconsumed micro-ops of the current block (never empty).
+    /// A run of unconsumed micro-ops of the current block (never empty).
     Ops(&'c [MicroOp]),
     /// A synchronization event (consume with
     /// [`ThreadCursor::consume_sync`]).
@@ -32,10 +43,11 @@ pub enum BlockItem<'c> {
 
 /// Streaming cursor over one thread's dynamic stream.
 ///
-/// Blocks are expanded one at a time into an internal buffer, so traversing a
-/// multi-million-op thread costs O(largest block) memory. Both the profiler
-/// and the simulator drive the same cursor type, guaranteeing they observe
-/// the identical stream.
+/// Blocks are expanded in cache-sized chunks (`EXPAND_CHUNK` ops) into an
+/// internal buffer, so traversing a multi-million-op thread costs O(chunk)
+/// memory and the expanded ops are still warm in the host cache when the
+/// consumer reads them. Both the profiler and the simulator drive the same
+/// cursor type, guaranteeing they observe the identical stream.
 ///
 /// Two access granularities are offered: the per-op [`ThreadCursor::item`] /
 /// [`ThreadCursor::advance`] pair (simple, copies each op out), and the
@@ -63,9 +75,11 @@ pub enum BlockItem<'c> {
 pub struct ThreadCursor<'p> {
     script: &'p ThreadScript,
     seg: usize,
+    /// Streaming expander for `segments[seg]`, carried across chunk refills.
+    expander: Option<BlockExpander<'p>>,
     buf: Vec<MicroOp>,
     buf_pos: usize,
-    /// Whether `buf` holds the expansion of `segments[seg]`.
+    /// Whether `buf` holds an unconsumed chunk of `segments[seg]`.
     filled: bool,
     ops_consumed: u64,
 }
@@ -76,6 +90,7 @@ impl<'p> ThreadCursor<'p> {
         ThreadCursor {
             script,
             seg: 0,
+            expander: None,
             buf: Vec::new(),
             buf_pos: 0,
             filled: false,
@@ -83,10 +98,11 @@ impl<'p> ThreadCursor<'p> {
         }
     }
 
-    /// Skips empty blocks and materializes the current block if needed.
+    /// Skips empty blocks and materializes the current chunk if needed.
     fn ensure(&mut self) {
+        let script = self.script;
         loop {
-            match self.script.segments.get(self.seg) {
+            match script.segments.get(self.seg) {
                 Some(Segment::Block(b)) => {
                     if b.ops == 0 {
                         self.seg += 1;
@@ -94,9 +110,10 @@ impl<'p> ThreadCursor<'p> {
                         continue;
                     }
                     if !self.filled {
+                        let e = self.expander.get_or_insert_with(|| b.expander());
                         self.buf.clear();
-                        b.expand_into(&mut self.buf);
                         self.buf_pos = 0;
+                        e.expand_chunk(&mut self.buf, EXPAND_CHUNK);
                         self.filled = true;
                     }
                     return;
@@ -106,13 +123,15 @@ impl<'p> ThreadCursor<'p> {
         }
     }
 
-    /// Returns the remainder of the current block as a borrowed slice, the
-    /// pending synchronization event, or `None` at end of stream.
+    /// Returns a run of unconsumed micro-ops of the current block as a
+    /// borrowed slice, the pending synchronization event, or `None` at end
+    /// of stream.
     ///
-    /// An `Ops` slice is never empty. Consume it (fully or partially) with
-    /// [`ThreadCursor::consume_ops`]; consume a `Sync` item with
-    /// [`ThreadCursor::consume_sync`]. Peeking repeatedly without consuming
-    /// returns the same view.
+    /// An `Ops` slice is never empty, but may cover only part of the block
+    /// (one expansion chunk); the following peek lends the next run. Consume
+    /// it (fully or partially) with [`ThreadCursor::consume_ops`]; consume a
+    /// `Sync` item with [`ThreadCursor::consume_sync`]. Peeking repeatedly
+    /// without consuming returns the same view.
     pub fn peek_block(&mut self) -> Option<BlockItem<'_>> {
         self.ensure();
         match self.script.segments.get(self.seg) {
@@ -135,8 +154,14 @@ impl<'p> ThreadCursor<'p> {
         self.ops_consumed += n as u64;
         self.buf_pos += n;
         if self.buf_pos >= self.buf.len() {
-            self.seg += 1;
             self.filled = false;
+            // Advance to the next segment only once the expander is drained;
+            // otherwise the next ensure() refills the buffer with the
+            // block's next chunk.
+            if self.expander.as_ref().is_none_or(|e| e.remaining() == 0) {
+                self.expander = None;
+                self.seg += 1;
+            }
         }
     }
 
@@ -198,11 +223,17 @@ impl<'p> ThreadCursor<'p> {
         match self.script.segments.get(self.seg) {
             Some(Segment::Block(_)) => {
                 let start = self.buf_pos;
+                // Materialize the block's remaining chunks so the whole
+                // remainder is one contiguous slice.
+                if let Some(e) = self.expander.as_mut() {
+                    e.expand_chunk(&mut self.buf, usize::MAX);
+                }
                 let len = self.buf.len() - start;
                 self.ops_consumed += len as u64;
                 self.buf_pos = self.buf.len();
                 self.seg += 1;
                 self.filled = false;
+                self.expander = None;
                 &self.buf[start..]
             }
             _ => &[],
@@ -380,6 +411,47 @@ mod tests {
         }
         assert_eq!(streamed, direct);
         assert!(c.at_end());
+    }
+
+    #[test]
+    fn chunked_block_streams_identically() {
+        // Block larger than one expansion chunk: the cursor must lend it as
+        // several runs whose concatenation equals the direct expansion.
+        let b = BlockSpec::new(EXPAND_CHUNK as u32 * 3 + 17, 11)
+            .loads(0.3)
+            .stores(0.1)
+            .branches(0.1);
+        let direct = b.expand();
+        let s = script(vec![Segment::Block(b), barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        let mut streamed = Vec::new();
+        let mut runs = 0;
+        while let Some(BlockItem::Ops(ops)) = c.peek_block() {
+            assert!(ops.len() <= EXPAND_CHUNK);
+            streamed.extend_from_slice(ops);
+            let n = ops.len();
+            c.consume_ops(n);
+            runs += 1;
+        }
+        assert!(runs >= 4, "expected several chunk runs, got {runs}");
+        assert_eq!(streamed, direct);
+        assert_eq!(c.ops_consumed(), direct.len() as u64);
+        assert!(matches!(c.peek_block(), Some(BlockItem::Sync(_))));
+    }
+
+    #[test]
+    fn take_block_spanning_chunks_returns_whole_remainder() {
+        let b = BlockSpec::new(EXPAND_CHUNK as u32 * 2 + 5, 13).loads(0.2);
+        let direct = b.expand();
+        let s = script(vec![Segment::Block(b), barrier()]);
+        let mut c = ThreadCursor::new(&s);
+        c.advance();
+        c.advance();
+        let rest = c.take_block().to_vec();
+        assert_eq!(rest.len(), direct.len() - 2);
+        assert_eq!(rest, direct[2..]);
+        assert!(matches!(c.item(), Some(CursorItem::Sync(_))));
+        assert_eq!(c.ops_consumed(), direct.len() as u64);
     }
 
     #[test]

@@ -154,9 +154,23 @@ impl AddressPattern {
 
     /// Instantiates the stateful sampler for one block expansion.
     pub(crate) fn sampler(&self) -> AddrSampler {
+        // Stream advances are strength-reduced: `(start + pos * stride) %
+        // lines` becomes a running offset bumped by the pre-reduced stride
+        // with one conditional wrap — the same value without a u64 mod on
+        // every access.
+        let (cur, stride_r) = match self {
+            AddressPattern::Stream {
+                region,
+                stride,
+                start,
+                ..
+            } => (start % region.lines, stride % region.lines),
+            _ => (0, 0),
+        };
         AddrSampler {
             pattern: self.clone(),
-            pos: 0,
+            cur,
+            stride_r,
             rep: 0,
         }
     }
@@ -166,7 +180,11 @@ impl AddressPattern {
 #[derive(Debug, Clone)]
 pub(crate) struct AddrSampler {
     pattern: AddressPattern,
-    pos: u64,
+    /// Stream patterns: current offset within the region, already reduced
+    /// mod `region.lines`.
+    cur: u64,
+    /// Stream patterns: stride reduced mod `region.lines`.
+    stride_r: u64,
     rep: u32,
 }
 
@@ -175,15 +193,17 @@ impl AddrSampler {
         match &self.pattern {
             AddressPattern::Stream {
                 region,
-                stride,
                 repeats_per_line,
-                start,
+                ..
             } => {
-                let line = region.base + (start + self.pos * stride) % region.lines;
+                let line = region.base + self.cur;
                 self.rep += 1;
                 if self.rep >= *repeats_per_line {
                     self.rep = 0;
-                    self.pos += 1;
+                    self.cur += self.stride_r;
+                    if self.cur >= region.lines {
+                        self.cur -= region.lines;
+                    }
                 }
                 line
             }

@@ -84,9 +84,23 @@ impl Rng {
     /// Samples a geometric distribution with success probability `p`,
     /// returning a value `>= 1`. Used for register dependence distances.
     pub fn geometric(&mut self, p: f64) -> u64 {
+        self.geometric_with(Self::geometric_ln(p))
+    }
+
+    /// Precomputed denominator for [`Rng::geometric_with`]: `ln(1 - p)` with
+    /// the same clamping [`Rng::geometric`] applies. Hot expansion loops
+    /// compute this once per block instead of once per sample; the division
+    /// operands are unchanged, so the sampled stream is bit-identical.
+    pub fn geometric_ln(p: f64) -> f64 {
         let p = p.clamp(1e-9, 1.0);
+        (1.0 - p).max(1e-12).ln()
+    }
+
+    /// Samples a geometric distribution whose `ln(1 - p)` denominator was
+    /// precomputed by [`Rng::geometric_ln`].
+    pub fn geometric_with(&mut self, ln_q: f64) -> u64 {
         let u = self.next_f64().max(1e-300);
-        (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u64 + 1
+        (u.ln() / ln_q).floor() as u64 + 1
     }
 
     /// Derives an independent generator for a sub-stream.

@@ -44,7 +44,10 @@ fn reports_match_golden_baselines() {
         }
         checked += 1;
     }
-    assert_eq!(checked, 4, "golden set covers fig4, table3, table5, dse");
+    assert_eq!(
+        checked, 5,
+        "golden set covers fig4, table3, table5, dse, sim_profile"
+    );
     assert!(
         failures.is_empty(),
         "accuracy drifted from golden baselines:\n{failures}\
