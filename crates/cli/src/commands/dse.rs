@@ -2,10 +2,9 @@
 
 use super::{is_help, take_jobs};
 use crate::args::{ArgStream, CliError};
-use rppm::core::{find_best, sweep, ConfigSpace, Constraints, DseError, DsePoint};
-use rppm::trace::MachineConfig;
+use rppm::core::{find_best, sweep, ConfigSpace, Constraints, DseError};
+use rppm::docs::{describe_config as describe, dse_best_doc, dse_bounds_ladder, dse_sweep_doc};
 use rppm::Session;
-use serde_json::Value;
 
 const USAGE: &str = "usage: rppm dse WORKLOAD [--scale S] [--seed N] [--jobs N]
        [--max-area A] [--max-power P] [--bound B] [--tiny] [--best-only] [--json]
@@ -22,37 +21,6 @@ over (time, area, power) and the candidate counts within --bound
 12-point golden space. --best-only skips the frontier and hunts only the
 optimum, pruning points whose throughput lower bound cannot beat the
 running best. --json emits the machine-readable twin.";
-
-/// Bounds reported by the sweep (the paper's Table V ladder); `--bound`
-/// appends to / replaces the last rung.
-const BOUNDS: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
-
-fn describe(c: &MachineConfig) -> String {
-    format!(
-        "{}w/{}rob @{:.2}GHz l1={}K l2={}K l3={}M mshr={} bp={}K",
-        c.dispatch_width,
-        c.rob_size,
-        c.freq_ghz,
-        c.l1d.size_bytes >> 10,
-        c.l2.size_bytes >> 10,
-        c.l3.size_bytes >> 20,
-        c.mshrs,
-        c.bpred.size_bytes >> 10
-    )
-}
-
-fn point_json(space: &ConfigSpace, p: &DsePoint) -> Value {
-    Value::Object(vec![
-        ("index".into(), Value::U64(p.index as u64)),
-        (
-            "config".into(),
-            Value::String(describe(&space.config(p.index))),
-        ),
-        ("seconds".into(), Value::F64(p.seconds)),
-        ("area".into(), Value::F64(p.area)),
-        ("power".into(), Value::F64(p.power)),
-    ])
-}
 
 pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     let mut args = ArgStream::new(argv, USAGE);
@@ -113,15 +81,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
             find_best(prepared.inner(), &space, &constraints, bound, jobs).map_err(dse_err)?;
         let cfg = space.config(out.best.index);
         if json {
-            let doc = Value::Object(vec![
-                ("workload".into(), Value::String(workload)),
-                ("points".into(), Value::U64(out.points as u64)),
-                ("feasible".into(), Value::U64(out.feasible as u64)),
-                ("pruned".into(), Value::U64(out.pruned as u64)),
-                ("bound".into(), Value::F64(out.bound)),
-                ("candidates".into(), Value::U64(out.candidates as u64)),
-                ("best".into(), point_json(&space, &out.best)),
-            ]);
+            let doc = dse_best_doc(&workload, &space, &out);
             println!("{}", serde_json::to_string(&doc).expect("doc serializes"));
         } else {
             println!(
@@ -145,38 +105,11 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         return Ok(0);
     }
 
-    let mut bounds: Vec<f64> = BOUNDS.to_vec();
-    if !bounds.iter().any(|b| (b - bound).abs() < 1e-15) {
-        bounds.push(bound);
-        bounds.sort_by(f64::total_cmp);
-    }
+    let bounds = dse_bounds_ladder(bound);
     let out = sweep(prepared.inner(), &space, &constraints, &bounds, jobs).map_err(dse_err)?;
 
     if json {
-        let doc = Value::Object(vec![
-            ("workload".into(), Value::String(workload)),
-            ("points".into(), Value::U64(out.points as u64)),
-            ("feasible".into(), Value::U64(out.feasible as u64)),
-            ("best".into(), point_json(&space, &out.best)),
-            (
-                "frontier".into(),
-                Value::Array(out.frontier.iter().map(|p| point_json(&space, p)).collect()),
-            ),
-            (
-                "candidates".into(),
-                Value::Array(
-                    out.candidates
-                        .iter()
-                        .map(|&(b, n)| {
-                            Value::Object(vec![
-                                ("bound".into(), Value::F64(b)),
-                                ("count".into(), Value::U64(n as u64)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
+        let doc = dse_sweep_doc(&workload, &space, &out);
         println!("{}", serde_json::to_string(&doc).expect("doc serializes"));
         return Ok(0);
     }

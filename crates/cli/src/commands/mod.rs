@@ -5,8 +5,10 @@ pub mod convert;
 pub mod dse;
 pub mod golden;
 pub mod import;
+pub mod load_gen;
 pub mod report;
 pub mod run_all;
+pub mod serve;
 pub mod sim_profile;
 
 use crate::args::{Arg, ArgStream, CliError};
@@ -18,10 +20,15 @@ pub fn is_help(arg: &Arg) -> bool {
 }
 
 /// Parses the shared `--jobs N` / `-j N` flag into `jobs`; returns whether
-/// the flag matched.
+/// the flag matched. Zero workers cannot run anything, so `--jobs 0` is a
+/// usage error rather than a silent clamp.
 pub fn take_jobs(args: &mut ArgStream, arg: &Arg, jobs: &mut usize) -> Result<bool, CliError> {
     if matches!(arg.as_str(), "--jobs" | "-j") {
-        *jobs = args.parse_of(arg)?;
+        let n: usize = args.parse_of(arg)?;
+        if n == 0 {
+            return Err(args.error(format!("{} must be at least 1, got 0", arg.as_str())));
+        }
+        *jobs = n;
         Ok(true)
     } else {
         Ok(false)

@@ -1,0 +1,75 @@
+//! `rppm serve` — run the long-lived prediction service.
+
+use super::{is_help, take_jobs};
+use crate::args::{ArgStream, CliError};
+use rppm::CacheBudget;
+use rppm_serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: rppm serve [--addr HOST:PORT] [--workers N] [--runners N] [--jobs N]
+       [--max-entries N] [--max-bytes BYTES] [--max-body BYTES] [--max-uploads N]
+
+Serves the profile-once session over HTTP/1.1 until POST /shutdown:
+
+  GET  /healthz              liveness probe
+  GET  /stats                cache + job-queue counters
+  POST /traces               upload an RPT1/JSON trace -> profiling job id
+  GET  /jobs/<id>            poll a profiling job
+  GET  /predict?workload=N   one prediction (&design=, &scale=, &seed=, or &trace=FP)
+  GET  /sweep?workload=N     all five Table IV design points
+  GET  /dse?workload=N       design-space sweep, byte-identical to `rppm dse --json`
+  POST /shutdown             drain and exit
+
+--max-entries / --max-bytes bound the profile cache (LRU eviction; default
+unbounded like the offline tools — long-lived deployments should set one).
+--max-body caps trace uploads (default 64 MiB). --workers sizes the HTTP
+pool, --runners the profiling-job pool, --jobs the threads per sweep.";
+
+pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
+    let mut args = ArgStream::new(argv, USAGE);
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7077".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut budget = CacheBudget::unbounded();
+    while let Some(arg) = args.next() {
+        if is_help(&arg) {
+            println!("{USAGE}");
+            return Ok(0);
+        }
+        if take_jobs(&mut args, &arg, &mut config.jobs)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--addr" => config.addr = args.value_of(&arg)?,
+            "--workers" => {
+                let n: usize = args.parse_of(&arg)?;
+                if n == 0 {
+                    return Err(args.error("--workers must be at least 1, got 0"));
+                }
+                config.workers = n;
+            }
+            "--runners" => {
+                let n: usize = args.parse_of(&arg)?;
+                if n == 0 {
+                    return Err(args.error("--runners must be at least 1, got 0"));
+                }
+                config.runners = n;
+            }
+            "--max-entries" => budget = budget.with_entries(args.parse_of(&arg)?),
+            "--max-bytes" => budget = budget.with_bytes(args.parse_of(&arg)?),
+            "--max-body" => config.max_body_bytes = args.parse_of(&arg)?,
+            "--max-uploads" => config.max_uploads = args.parse_of(&arg)?,
+            _ if arg.is_flag() => return Err(args.unknown(&arg)),
+            _ => return Err(args.error(format!("unexpected argument `{}`", arg.into_positional()))),
+        }
+    }
+    config.budget = budget;
+
+    let addr = config.addr.clone();
+    let server =
+        Server::bind(config).map_err(|e| CliError::user(format!("cannot bind {addr}: {e}")))?;
+    println!("rppm serve listening on http://{}", server.local_addr());
+    server.wait();
+    println!("rppm serve: shut down cleanly");
+    Ok(0)
+}

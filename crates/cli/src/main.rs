@@ -36,6 +36,10 @@ commands:
                           batched Eq.1, constraint filters, Pareto frontier
   sim-profile [args]      the simulator profiling itself: op mix, hot op
                           pairs, fusion/dispatch stats (PGO observation)
+  serve [args]            long-lived HTTP prediction service over the
+                          profile-once cache (bounded memory, job queue)
+  load-gen [args]         benchmark client for `rppm serve`; emits a
+                          CRITERION_JSON capture for `rppm bench guard`
   golden diff|update      accuracy-regression gate over results/golden/
   bench guard FRESH.json  perf-regression gate over BENCH_speed.json ratios
   help                    show this message
@@ -60,6 +64,8 @@ fn run() -> i32 {
         "convert" => commands::convert::run(argv),
         "dse" => commands::dse::run(argv),
         "sim-profile" => commands::sim_profile::run(argv),
+        "serve" => commands::serve::run(argv),
+        "load-gen" => commands::load_gen::run(argv),
         "golden" => commands::golden::run(argv),
         "bench" => commands::bench_guard::run(argv),
         "help" | "--help" | "-h" => {

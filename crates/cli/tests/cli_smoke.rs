@@ -43,7 +43,7 @@ fn top_level_help_lists_every_subcommand() {
         assert_eq!(out.status.code(), Some(0));
         let text = stdout(&out);
         for cmd in [
-            "report", "run-all", "import", "convert", "dse", "golden", "bench",
+            "report", "run-all", "import", "convert", "dse", "serve", "load-gen", "golden", "bench",
         ] {
             assert!(text.contains(cmd), "help lists `{cmd}`: {text}");
         }
@@ -58,6 +58,8 @@ fn every_subcommand_prints_usage_on_help() {
         (["import", "--help"], "usage: rppm import"),
         (["convert", "--help"], "usage: rppm convert"),
         (["dse", "--help"], "usage: rppm dse"),
+        (["serve", "--help"], "usage: rppm serve"),
+        (["load-gen", "--help"], "usage: rppm load-gen"),
         (["golden", "--help"], "usage: rppm golden diff"),
         (["bench", "--help"], "usage: rppm bench guard"),
     ] {
@@ -107,6 +109,35 @@ fn unknown_command_and_flags_exit_2_with_usage() {
 
     let out = rppm(&["bench"]);
     assert_user_error(&out, "missing bench action");
+}
+
+#[test]
+fn numeric_flag_values_are_validated_not_panicked_on() {
+    // `--jobs 0` would deadlock a worker pool; every subcommand that
+    // accepts it rejects zero up front with exit 2.
+    for argv in [
+        vec!["serve", "--jobs", "0"],
+        vec!["load-gen", "--jobs=0"],
+        vec!["dse", "kmeans", "--tiny", "--jobs", "0"],
+    ] {
+        let out = rppm(&argv);
+        assert_user_error(&out, "--jobs must be at least 1, got 0");
+    }
+    let out = rppm(&["serve", "--workers", "0"]);
+    assert_user_error(&out, "--workers must be at least 1, got 0");
+    let out = rppm(&["serve", "--runners=0"]);
+    assert_user_error(&out, "--runners must be at least 1, got 0");
+
+    // Malformed numerics in the `--flag=value` spelling are one-line
+    // exit-2 errors naming the flag, never a parse panic.
+    let out = rppm(&["serve", "--max-entries=lots"]);
+    assert_user_error(&out, "--max-entries: cannot parse `lots`");
+    let out = rppm(&["serve", "--max-bytes=-1"]);
+    assert_user_error(&out, "--max-bytes: cannot parse `-1`");
+    let out = rppm(&["load-gen", "--requests=many"]);
+    assert_user_error(&out, "--requests: cannot parse `many`");
+    let out = rppm(&["dse", "kmeans", "--tiny", "--bound=fast"]);
+    assert_user_error(&out, "--bound: cannot parse `fast`");
 }
 
 #[test]

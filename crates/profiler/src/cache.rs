@@ -9,6 +9,28 @@
 //! requests for the same key block on the single profiling run; requests
 //! for different keys proceed in parallel.
 //!
+//! # Memory bounds
+//!
+//! By default the cache is **unbounded** — the right behavior for batch
+//! runs (an `ExperimentPlan` touches each workload a handful of times and
+//! exits). A long-lived process (`rppm serve`) instead constructs the
+//! cache with a [`CacheBudget`]: a cap on resident entries and/or
+//! approximate resident bytes. When a freshly collected profile pushes the
+//! cache over its budget, least-recently-used **resident** entries are
+//! evicted until the budget holds again ([`ProfileCache::evictions`]
+//! counts them). Three guarantees survive eviction:
+//!
+//! * **Handles stay valid.** Eviction drops the cache's reference, not the
+//!   caller's: a [`ProfiledWorkload`] obtained earlier keeps its `Arc`s
+//!   alive for as long as the caller holds them.
+//! * **In-flight keys still coalesce.** A key currently being profiled is
+//!   never evicted, so concurrent requests — including requests for a key
+//!   that was evicted and is being re-profiled — always fold onto one
+//!   profiling run.
+//! * **Re-profiling is bit-identical.** Builders are deterministic, so an
+//!   evicted-then-re-requested key yields the same bytes it did the first
+//!   time; eviction changes cost, never results.
+//!
 //! The cache is thread-safe and lives behind an `Arc` in the `rppm`
 //! session facade; the `rppm-bench` experiment engine shares the same
 //! type, so a harness run and a library caller observe the one contract.
@@ -73,26 +95,164 @@ pub struct ProfiledWorkload {
     pub profile: Arc<ApplicationProfile>,
 }
 
+impl ProfiledWorkload {
+    /// Approximate resident size of this entry (program + profile heap),
+    /// the unit [`CacheBudget::max_bytes`] is accounted in.
+    pub fn approx_bytes(&self) -> u64 {
+        self.program.approx_bytes() + self.profile.approx_bytes()
+    }
+}
+
+/// Memory budget for a [`ProfileCache`]: maximum resident entries and/or
+/// approximate resident bytes (see [`ProfiledWorkload::approx_bytes`]).
+///
+/// The default ([`CacheBudget::unbounded`]) imposes no limit — existing
+/// batch callers keep the grow-only behavior. Either cap may be set alone;
+/// when both are set, exceeding either triggers eviction. A bound is
+/// enforced over **resident** (fully profiled) entries: profiling runs in
+/// flight are not counted (their size is unknown until they finish) and
+/// are never evicted, preserving the profile-once coalescing guarantee.
+/// The most recently completed entry itself is always retained, so a
+/// single profile larger than `max_bytes` still serves its callers — the
+/// cache then holds that one oversized entry alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum resident entries, or `None` for unlimited.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate resident bytes, or `None` for unlimited.
+    pub max_bytes: Option<u64>,
+}
+
+impl CacheBudget {
+    /// No limits: the cache only grows (the pre-existing behavior).
+    pub fn unbounded() -> Self {
+        CacheBudget::default()
+    }
+
+    /// Caps the number of resident profiles.
+    pub fn entries(n: usize) -> Self {
+        CacheBudget {
+            max_entries: Some(n),
+            max_bytes: None,
+        }
+    }
+
+    /// Caps the approximate resident bytes.
+    pub fn bytes(n: u64) -> Self {
+        CacheBudget {
+            max_entries: None,
+            max_bytes: Some(n),
+        }
+    }
+
+    /// Adds an entry cap to this budget.
+    pub fn with_entries(mut self, n: usize) -> Self {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// Adds a byte cap to this budget.
+    pub fn with_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    /// Whether this budget imposes no limit.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// One cache slot: the shared profiling cell plus bookkeeping for LRU
+/// eviction and byte accounting.
+#[derive(Debug)]
+struct Entry {
+    slot: Arc<OnceLock<ProfiledWorkload>>,
+    /// Monotonic use tick; smallest = least recently used.
+    last_used: u64,
+    /// Approximate bytes once resident; `None` while profiling is in
+    /// flight (in-flight entries are uncounted and unevictable).
+    bytes: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<ProfileKey, Entry>,
+    tick: u64,
+    resident: usize,
+    resident_bytes: u64,
+}
+
+impl Inner {
+    /// Evicts least-recently-used resident entries until the budget holds,
+    /// never touching in-flight entries or `keep` (the entry that just
+    /// became resident). Returns the number of evictions.
+    fn enforce(&mut self, budget: &CacheBudget, keep: &ProfileKey) -> usize {
+        let over = |inner: &Inner| {
+            budget.max_entries.is_some_and(|m| inner.resident > m)
+                || budget.max_bytes.is_some_and(|m| inner.resident_bytes > m)
+        };
+        let mut evicted = 0;
+        while over(self) {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, e)| e.bytes.is_some() && *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
+                // Only `keep` (or in-flight entries) remain: an oversized
+                // single profile is retained rather than thrashing.
+                break;
+            };
+            let entry = self.map.remove(&victim).expect("victim exists");
+            self.resident -= 1;
+            self.resident_bytes -= entry.bytes.unwrap_or(0);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// Shared profile store: each [`ProfileKey`] is built and profiled exactly
 /// once per cache, no matter how many experiments, configurations, or
-/// worker threads ask for it.
+/// worker threads ask for it. Optionally memory-bounded — see
+/// [`CacheBudget`] and [`ProfileCache::with_budget`].
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    map: Mutex<HashMap<ProfileKey, Arc<OnceLock<ProfiledWorkload>>>>,
+    inner: Mutex<Inner>,
+    budget: CacheBudget,
     lookups: AtomicUsize,
     profiled: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl ProfileCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache (the batch-run default).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache enforcing `budget` (see [`CacheBudget`]).
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        ProfileCache {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The budget this cache enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
     }
 
     /// Returns the profiled workload for `key`, materializing the program
     /// with `build` and profiling it on first use. Concurrent callers for
     /// the same key block until the single profiling run finishes; callers
-    /// for different keys proceed in parallel.
+    /// for different keys proceed in parallel. Under a [`CacheBudget`],
+    /// completing a fresh profile may evict least-recently-used resident
+    /// entries (the returned workload itself is never the victim of its
+    /// own insertion).
     pub fn get_or_profile(
         &self,
         key: ProfileKey,
@@ -100,32 +260,104 @@ impl ProfileCache {
     ) -> ProfiledWorkload {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let slot = {
-            let mut map = self.map.lock().expect("cache lock");
-            Arc::clone(map.entry(key).or_default())
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner.map.entry(key.clone()).or_insert_with(|| Entry {
+                slot: Arc::default(),
+                last_used: tick,
+                bytes: None,
+            });
+            entry.last_used = tick;
+            Arc::clone(&entry.slot)
         };
-        slot.get_or_init(|| {
-            // Release pairs with the Acquire load in `profiles_collected`:
-            // a reader that sees this increment also sees the `lookups`
-            // increment above, keeping `hits()` non-negative.
-            self.profiled.fetch_add(1, Ordering::Release);
-            let program = build();
-            let prof = Arc::new(profile(&program));
-            ProfiledWorkload {
-                program,
-                profile: prof,
-            }
-        })
-        .clone()
+        let mut fresh = false;
+        let workload = slot
+            .get_or_init(|| {
+                // Release pairs with the Acquire load in
+                // `profiles_collected`: a reader that sees this increment
+                // also sees the `lookups` increment above, keeping `hits()`
+                // non-negative.
+                self.profiled.fetch_add(1, Ordering::Release);
+                fresh = true;
+                let program = build();
+                let prof = Arc::new(profile(&program));
+                ProfiledWorkload {
+                    program,
+                    profile: prof,
+                }
+            })
+            .clone();
+        if fresh {
+            self.mark_resident(&key, &slot, &workload);
+        }
+        workload
     }
 
-    /// Number of distinct workloads profiled so far.
+    /// Returns the cached workload for `key` if (and only if) its profile
+    /// is already resident, refreshing its LRU position. Never profiles;
+    /// does not touch the lookup/hit counters (use [`ProfileCache::
+    /// get_or_profile`] for the counted amortization path). This is the
+    /// serving fast path: answer instantly on a hit, queue a profiling job
+    /// on a miss.
+    pub fn peek(&self, key: &ProfileKey) -> Option<ProfiledWorkload> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = tick;
+        let workload = entry.slot.get()?.clone();
+        Some(workload)
+    }
+
+    /// Records a freshly profiled entry as resident and enforces the
+    /// budget. The entry may already have been evicted (and even replaced)
+    /// by a concurrent completion; only the slot this caller actually
+    /// filled is accounted.
+    fn mark_resident(
+        &self,
+        key: &ProfileKey,
+        slot: &Arc<OnceLock<ProfiledWorkload>>,
+        workload: &ProfiledWorkload,
+    ) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(entry) = inner.map.get_mut(key) {
+            if Arc::ptr_eq(&entry.slot, slot) && entry.bytes.is_none() {
+                let bytes = workload.approx_bytes();
+                entry.bytes = Some(bytes);
+                inner.resident += 1;
+                inner.resident_bytes += bytes;
+            }
+        }
+        if !self.budget.is_unbounded() {
+            let evicted = inner.enforce(&self.budget, key);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of distinct workload slots currently tracked (resident
+    /// profiles plus profiling runs in flight).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.inner.lock().expect("cache lock").map.len()
     }
 
     /// Returns whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of fully profiled entries currently resident (what
+    /// [`CacheBudget::max_entries`] bounds).
+    pub fn resident(&self) -> usize {
+        self.inner.lock().expect("cache lock").resident
+    }
+
+    /// Approximate bytes held by resident entries (what
+    /// [`CacheBudget::max_bytes`] bounds).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("cache lock").resident_bytes
     }
 
     /// Total lookups served (hits + profiling runs).
@@ -147,6 +379,12 @@ impl ProfileCache {
     /// Number of profiling runs this cache has performed.
     pub fn profiles_collected(&self) -> usize {
         self.profiled.load(Ordering::Acquire)
+    }
+
+    /// Number of resident entries evicted to hold the [`CacheBudget`]
+    /// (always 0 for unbounded caches).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -174,6 +412,7 @@ mod tests {
         assert_eq!(cache.profiles_collected(), 1);
         assert_eq!(cache.lookups(), 2);
         assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -198,5 +437,83 @@ mod tests {
             ProfileKey::generated("t", 0.5, 2)
         );
         assert_eq!(ProfileKey::fingerprint(7), ProfileKey::fingerprint(7));
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let cache = ProfileCache::with_budget(CacheBudget::entries(2));
+        let k = |s: u64| ProfileKey::generated("t", 0.5, s);
+        cache.get_or_profile(k(1), || tiny("t", 1));
+        cache.get_or_profile(k(2), || tiny("t", 2));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.get_or_profile(k(1), || panic!("cached"));
+        cache.get_or_profile(k(3), || tiny("t", 3));
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Key 1 survived; key 2 was evicted and must rebuild.
+        cache.get_or_profile(k(1), || panic!("still cached"));
+        let rebuilt = std::sync::atomic::AtomicUsize::new(0);
+        cache.get_or_profile(k(2), || {
+            rebuilt.fetch_add(1, Ordering::Relaxed);
+            tiny("t", 2)
+        });
+        assert_eq!(rebuilt.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn byte_budget_holds_and_keeps_newest_oversized_entry() {
+        // A budget smaller than any single profile: each insertion evicts
+        // everything else but retains itself.
+        let cache = ProfileCache::with_budget(CacheBudget::bytes(1));
+        let k = |s: u64| ProfileKey::generated("t", 0.5, s);
+        let a = cache.get_or_profile(k(1), || tiny("t", 1));
+        assert!(a.approx_bytes() > 1);
+        assert_eq!(cache.resident(), 1, "oversized entry retained");
+        cache.get_or_profile(k(2), || tiny("t", 2));
+        assert_eq!(cache.resident(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn eviction_and_reprofile_are_bit_identical() {
+        let cache = ProfileCache::with_budget(CacheBudget::entries(1));
+        let k = |s: u64| ProfileKey::generated("t", 0.5, s);
+        let first = cache.get_or_profile(k(1), || tiny("t", 1));
+        cache.get_or_profile(k(2), || tiny("t", 2)); // evicts key 1
+        assert_eq!(cache.evictions(), 1);
+        let again = cache.get_or_profile(k(1), || tiny("t", 1));
+        assert!(!Arc::ptr_eq(&first.profile, &again.profile));
+        assert_eq!(
+            first.profile.to_json(),
+            again.profile.to_json(),
+            "re-profile after eviction is bit-identical"
+        );
+        // The evicted caller's handle stayed valid throughout.
+        assert_eq!(first.program.name, "t");
+    }
+
+    #[test]
+    fn peek_never_profiles() {
+        let cache = ProfileCache::new();
+        let key = ProfileKey::generated("t", 0.5, 1);
+        assert!(cache.peek(&key).is_none());
+        assert_eq!(cache.profiles_collected(), 0);
+        assert_eq!(cache.lookups(), 0, "peek is uncounted");
+        cache.get_or_profile(key.clone(), || tiny("t", 1));
+        assert!(cache.peek(&key).is_some());
+        assert_eq!(cache.profiles_collected(), 1);
+    }
+
+    #[test]
+    fn peek_refreshes_lru_position() {
+        let cache = ProfileCache::with_budget(CacheBudget::entries(2));
+        let k = |s: u64| ProfileKey::generated("t", 0.5, s);
+        cache.get_or_profile(k(1), || tiny("t", 1));
+        cache.get_or_profile(k(2), || tiny("t", 2));
+        assert!(cache.peek(&k(1)).is_some(), "refreshes key 1");
+        cache.get_or_profile(k(3), || tiny("t", 3));
+        assert!(cache.peek(&k(1)).is_some(), "key 1 survived");
+        assert!(cache.peek(&k(2)).is_none(), "key 2 was the LRU victim");
     }
 }

@@ -44,7 +44,7 @@ pub mod logical;
 pub mod microtrace;
 pub mod profile;
 
-pub use cache::{ProfileCache, ProfileKey, ProfiledWorkload};
+pub use cache::{CacheBudget, ProfileCache, ProfileKey, ProfiledWorkload};
 pub use curves::{ln_window, EpochCurves};
 pub use logical::{profile, profile_call_count};
 pub use microtrace::{analyze, MicroTraceAnalysis, WINDOWS};

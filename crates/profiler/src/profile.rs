@@ -41,6 +41,22 @@ pub struct EpochProfile {
 }
 
 impl EpochProfile {
+    /// Approximate heap + inline size in bytes (cache memory-budget
+    /// accounting; see `ProfileCache`).
+    pub fn approx_bytes(&self) -> u64 {
+        let ilp: usize = self
+            .ilp
+            .iter()
+            .map(|c| std::mem::size_of::<Vec<(u32, f64)>>() + c.capacity() * 16)
+            .sum();
+        std::mem::size_of::<Self>() as u64
+            + ilp as u64
+            + (self.mlp.capacity() * 16) as u64
+            + self.private_rd.approx_bytes()
+            + self.global_rd.approx_bytes()
+            + self.icache_rd.approx_bytes()
+    }
+
     /// Loads in the epoch.
     pub fn loads(&self) -> u64 {
         self.mix[OpClass::Load.index()]
@@ -140,6 +156,17 @@ impl ThreadProfile {
     pub fn is_consistent(&self) -> bool {
         self.epochs.len() == self.events.len() + 1
     }
+
+    /// Approximate heap + inline size in bytes (cache memory-budget
+    /// accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(EpochProfile::approx_bytes)
+            .sum::<u64>()
+            + (self.events.capacity() * std::mem::size_of::<SyncOp>()) as u64
+            + std::mem::size_of::<Self>() as u64
+    }
 }
 
 /// How a condition variable is used, recognized from the profile
@@ -195,6 +222,16 @@ impl ApplicationProfile {
     /// Checks structural invariants of every thread profile.
     pub fn is_consistent(&self) -> bool {
         self.threads.iter().all(ThreadProfile::is_consistent)
+    }
+
+    /// Approximate heap + inline size in bytes — what a memory-bounded
+    /// `ProfileCache` accounts a resident profile at.
+    pub fn approx_bytes(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(ThreadProfile::approx_bytes)
+            .sum::<u64>()
+            + (self.name.capacity() + std::mem::size_of::<Self>()) as u64
     }
 
     /// Dynamic synchronization-event counts by paper category (Table III).

@@ -1,0 +1,142 @@
+//! A deliberately tiny blocking HTTP/1.1 client — enough for the
+//! `rppm load-gen` bench driver, the CI smoke job, and the integration
+//! tests to talk to the service without external dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A kept-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+}
+
+/// A response: status code plus the full body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes (always JSON from `rppm serve`).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl Client {
+    /// A client for `addr`; connects lazily on first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr, conn: None }
+    }
+
+    /// Sends `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, &[])
+    }
+
+    /// Sends `POST path` with `body`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        // One retry: a kept-alive connection the server has since closed
+        // surfaces as an error on the first write/read after reconnecting.
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.conn = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let stream = self.connect()?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: rppm\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", status_line.trim_end()),
+                )
+            })?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => {
+                        content_length = value.trim().parse().map_err(|_| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "bad Content-Length in response",
+                            )
+                        })?;
+                    }
+                    "connection" if value.trim().eq_ignore_ascii_case("close") => close = true,
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok(ClientResponse { status, body })
+    }
+}

@@ -1,0 +1,36 @@
+//! `rppm serve` — the profile-once workflow as a long-lived service.
+//!
+//! A hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] (no
+//! external dependencies) exposing the [`rppm::Session`] facade:
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /stats` | cache hit/miss/eviction counters, job counts |
+//! | `POST /traces` | upload an `RPT1` or JSON trace (format sniffed by magic bytes, streamed — the binary path never buffers the body); returns a profiling job id |
+//! | `GET /jobs/<id>` | poll a profiling job |
+//! | `GET /predict?workload=…&design=…` | one prediction (synchronous when the profile is resident; `202` + job id otherwise) |
+//! | `GET /sweep?…` | all five Table IV design points |
+//! | `GET /dse?…` | design-space exploration; byte-identical to `rppm dse --json` |
+//! | `POST /shutdown` | drain and exit |
+//!
+//! Predictions from a resident profile take microseconds; collecting a
+//! profile takes seconds. The service keeps those on different threads:
+//! HTTP workers serve resident-profile requests synchronously and turn
+//! everything else into queued jobs ([`jobs::JobQueue`]) handled by
+//! dedicated runners. The session's [`rppm::CacheBudget`] bounds resident
+//! profiles with LRU eviction, so memory stays flat under workload churn
+//! — the `profile-once` contract still holds for everything resident and
+//! for concurrent requests to the same key (in-flight profiling runs are
+//! never evicted and always coalesce).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use server::{ServeConfig, Server};

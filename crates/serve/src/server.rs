@@ -1,0 +1,659 @@
+//! The prediction service: a fixed pool of HTTP workers over one
+//! profile-once [`Session`] with a bounded cache, plus runner threads
+//! draining the profiling [`JobQueue`].
+//!
+//! Request handling is two-speed by construction: anything answerable
+//! from a resident profile (predictions, sweeps, DSE) is served
+//! synchronously on the HTTP worker, and anything that would have to
+//! *profile* is converted into a job — the client gets `202 Accepted`
+//! with a job id and polls `/jobs/<id>`. HTTP workers therefore never
+//! block behind a profiling run.
+
+use crate::http::{read_request_head, write_response, HttpError, RequestHead};
+use crate::jobs::{job_doc, JobQueue};
+use rppm::core::{find_best, sweep, ConfigSpace, Constraints};
+use rppm::docs::{dse_best_doc, dse_bounds_ladder, dse_sweep_doc, prediction_doc, sweep_doc};
+use rppm::trace::{program_fingerprint, read_program_stream, DesignPoint, MachineConfig};
+use rppm::{CacheBudget, Session, WorkloadHandle};
+use serde_json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (`:0` picks a free port).
+    pub addr: String,
+    /// HTTP worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Profiling runner threads draining the job queue.
+    pub runners: usize,
+    /// Worker threads per parallel sweep inside one request.
+    pub jobs: usize,
+    /// Profile-cache budget. Unlike offline runs, a long-lived service
+    /// should set one — see [`CacheBudget`].
+    pub budget: CacheBudget,
+    /// Largest accepted request body (trace upload), in bytes.
+    pub max_body_bytes: u64,
+    /// Uploaded-trace handles retained for re-profiling after eviction;
+    /// beyond this the oldest upload is forgotten (clients re-upload).
+    pub max_uploads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            runners: 2,
+            jobs: rppm::core::default_jobs(),
+            budget: CacheBudget::unbounded(),
+            max_body_bytes: 64 * 1024 * 1024,
+            max_uploads: 256,
+        }
+    }
+}
+
+/// Everything the handlers share.
+struct State {
+    session: Session,
+    jobs: JobQueue,
+    uploads: Mutex<Uploads>,
+    requests: AtomicU64,
+    started: Instant,
+    stopping: AtomicBool,
+    max_body_bytes: u64,
+    max_uploads: usize,
+    jobs_hint: usize,
+    /// The bound address, kept so an HTTP-initiated shutdown can poke the
+    /// accept loop out of its blocking `accept()`.
+    addr: SocketAddr,
+}
+
+/// FIFO-capped registry of uploaded traces, keyed by content fingerprint.
+/// Retaining the [`WorkloadHandle`] keeps the *program* alive so an
+/// evicted profile can be re-collected without a re-upload; the cap
+/// bounds that retention like the cache budget bounds profiles.
+#[derive(Default)]
+struct Uploads {
+    by_fingerprint: HashMap<u64, WorkloadHandle>,
+    order: VecDeque<u64>,
+}
+
+impl Uploads {
+    fn insert(&mut self, fingerprint: u64, handle: WorkloadHandle, cap: usize) {
+        if self.by_fingerprint.insert(fingerprint, handle).is_none() {
+            self.order.push_back(fingerprint);
+            while self.order.len() > cap.max(1) {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_fingerprint.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// A handler-level failure: one HTTP status plus a one-line message,
+/// rendered as `{"error": "..."}`. Every hostile or malformed input along
+/// the serve surface lands here — a 4xx response, never a worker death.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            message: message.into(),
+        }
+    }
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+    fn not_found(message: impl Into<String>) -> Self {
+        Self::new(404, message)
+    }
+}
+
+type ApiResult = Result<(u16, Value), ApiError>;
+
+fn error_doc(message: &str) -> Value {
+    Value::Object(vec![(
+        "error".to_string(),
+        Value::String(message.to_string()),
+    )])
+}
+
+fn parse_query_num<T: std::str::FromStr>(
+    head: &RequestHead,
+    key: &str,
+) -> Result<Option<T>, ApiError> {
+    match head.query_value(key) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+            ApiError::bad_request(format!(
+                "query parameter `{key}={raw}` is not a valid number"
+            ))
+        }),
+    }
+}
+
+fn design_config(head: &RequestHead) -> Result<(String, MachineConfig), ApiError> {
+    let name = head.query_value("design").unwrap_or("base");
+    DesignPoint::ALL
+        .iter()
+        .find(|d| d.to_string() == name)
+        .map(|d| (d.to_string(), d.config()))
+        .ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "unknown design point `{name}` (expected one of smallest/small/base/big/biggest)"
+            ))
+        })
+}
+
+impl State {
+    /// Resolves `?workload=NAME[&scale=S][&seed=N]` or `?trace=FP` to a
+    /// workload handle.
+    fn resolve(&self, head: &RequestHead) -> Result<WorkloadHandle, ApiError> {
+        match (head.query_value("workload"), head.query_value("trace")) {
+            (Some(_), Some(_)) => Err(ApiError::bad_request(
+                "pass either `workload` (catalog) or `trace` (uploaded fingerprint), not both",
+            )),
+            (Some(name), None) => {
+                let scale = parse_query_num::<f64>(head, "scale")?.unwrap_or(1.0);
+                let seed = parse_query_num::<u64>(head, "seed")?.unwrap_or(1);
+                let handle = self
+                    .session
+                    .workload(name)
+                    .map_err(|e| ApiError::not_found(e.to_string()))?;
+                Ok(handle.scale(scale).seed(seed))
+            }
+            (None, Some(fp)) => {
+                let fp = u64::from_str_radix(fp, 16).map_err(|_| {
+                    ApiError::bad_request(format!("`trace={fp}` is not a hex fingerprint"))
+                })?;
+                self.uploads
+                    .lock()
+                    .expect("uploads lock")
+                    .by_fingerprint
+                    .get(&fp)
+                    .cloned()
+                    .ok_or_else(|| {
+                        ApiError::not_found(format!(
+                            "no uploaded trace {fp:016x} (expired or never uploaded; POST /traces)"
+                        ))
+                    })
+            }
+            (None, None) => Err(ApiError::bad_request(
+                "missing `workload=<catalog name>` or `trace=<fingerprint>` query parameter",
+            )),
+        }
+    }
+
+    /// The resident-profile fast path: `Ok` with the profile when cached,
+    /// otherwise a `202 Accepted` document pointing at a freshly submitted
+    /// profiling job.
+    fn profile_or_job(&self, handle: &WorkloadHandle) -> Result<rppm::ProfileHandle, (u16, Value)> {
+        if let Some(profile) = handle.profile_if_cached() {
+            return Ok(profile);
+        }
+        let id = self.jobs.submit(handle.clone());
+        Err((
+            202,
+            Value::Object(vec![
+                ("job".to_string(), Value::U64(id)),
+                (
+                    "status".to_string(),
+                    Value::String(format!("profiling; poll /jobs/{id}, then retry")),
+                ),
+            ]),
+        ))
+    }
+
+    fn handle_predict(&self, head: &RequestHead) -> ApiResult {
+        let handle = self.resolve(head)?;
+        let (_, config) = design_config(head)?;
+        match self.profile_or_job(&handle) {
+            Ok(profile) => Ok((200, prediction_doc(&profile.predict(&config)))),
+            Err(accepted) => Ok(accepted),
+        }
+    }
+
+    fn handle_sweep(&self, head: &RequestHead) -> ApiResult {
+        let handle = self.resolve(head)?;
+        match self.profile_or_job(&handle) {
+            Ok(profile) => {
+                let configs: Vec<MachineConfig> =
+                    DesignPoint::ALL.iter().map(|d| d.config()).collect();
+                let labelled: Vec<(String, rppm::core::Prediction)> = DesignPoint::ALL
+                    .iter()
+                    .map(|d| d.to_string())
+                    .zip(profile.predict_sweep(&configs))
+                    .collect();
+                Ok((200, sweep_doc(handle.name(), &labelled)))
+            }
+            Err(accepted) => Ok(accepted),
+        }
+    }
+
+    fn handle_dse(&self, head: &RequestHead) -> ApiResult {
+        let handle = self.resolve(head)?;
+        let tiny = matches!(head.query_value("tiny"), Some("1") | Some("true"));
+        let best_only = matches!(head.query_value("best_only"), Some("1") | Some("true"));
+        let bound = parse_query_num::<f64>(head, "bound")?.unwrap_or(0.05);
+        if !(0.0..1.0).contains(&bound) {
+            return Err(ApiError::bad_request(format!(
+                "`bound={bound}` is not in [0, 1)"
+            )));
+        }
+        let mut constraints = Constraints::none();
+        constraints.max_area = parse_query_num::<f64>(head, "max_area")?;
+        constraints.max_power = parse_query_num::<f64>(head, "max_power")?;
+        let profile = match self.profile_or_job(&handle) {
+            Ok(p) => p,
+            Err(accepted) => return Ok(accepted),
+        };
+        let prepared = profile.prepared();
+        let space = if tiny {
+            ConfigSpace::tiny()
+        } else {
+            ConfigSpace::default_space()
+        };
+        let jobs = self.session_jobs();
+        if best_only {
+            let out = find_best(prepared.inner(), &space, &constraints, bound, jobs)
+                .map_err(|e| ApiError::bad_request(format!("{}: {e}", handle.name())))?;
+            return Ok((200, dse_best_doc(handle.name(), &space, &out)));
+        }
+        let bounds = dse_bounds_ladder(bound);
+        let out = sweep(prepared.inner(), &space, &constraints, &bounds, jobs)
+            .map_err(|e| ApiError::bad_request(format!("{}: {e}", handle.name())))?;
+        Ok((200, dse_sweep_doc(handle.name(), &space, &out)))
+    }
+
+    fn handle_upload(&self, head: &RequestHead, body: &mut dyn Read) -> ApiResult {
+        if head.content_length == 0 {
+            return Err(ApiError::new(
+                411,
+                "trace upload needs a Content-Length body",
+            ));
+        }
+        if head.content_length > self.max_body_bytes {
+            return Err(ApiError::new(
+                413,
+                format!(
+                    "body of {} bytes exceeds the {}-byte limit",
+                    head.content_length, self.max_body_bytes
+                ),
+            ));
+        }
+        let mut limited = body.take(head.content_length);
+        let program = read_program_stream(&mut limited)
+            .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?;
+        // Binary traces can end before Content-Length does; drain so the
+        // connection stays framed for keep-alive.
+        std::io::copy(&mut limited, &mut std::io::sink())
+            .map_err(|e| ApiError::bad_request(format!("body read failed: {e}")))?;
+        let fingerprint = program_fingerprint(&program);
+        let name = program.name.clone();
+        let handle = self
+            .session
+            .program(program)
+            .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?;
+        self.uploads.lock().expect("uploads lock").insert(
+            fingerprint,
+            handle.clone(),
+            self.max_uploads,
+        );
+        let id = self.jobs.submit(handle);
+        Ok((
+            202,
+            Value::Object(vec![
+                ("job".to_string(), Value::U64(id)),
+                ("workload".to_string(), Value::String(name)),
+                (
+                    "trace".to_string(),
+                    Value::String(format!("{fingerprint:016x}")),
+                ),
+            ]),
+        ))
+    }
+
+    fn handle_job(&self, path: &str) -> ApiResult {
+        let id = path
+            .strip_prefix("/jobs/")
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| ApiError::bad_request("job ids are decimal: /jobs/<n>"))?;
+        let state = self
+            .jobs
+            .state(id)
+            .ok_or_else(|| ApiError::not_found(format!("no job {id}")))?;
+        Ok((200, job_doc(id, &state)))
+    }
+
+    fn handle_stats(&self) -> ApiResult {
+        let cache = self.session.cache();
+        let counts = self.jobs.counts();
+        let budget = cache.budget();
+        let opt_u64 = |v: Option<u64>| v.map(Value::U64).unwrap_or(Value::Null);
+        Ok((
+            200,
+            Value::Object(vec![
+                (
+                    "uptime_seconds".to_string(),
+                    Value::F64(self.started.elapsed().as_secs_f64()),
+                ),
+                (
+                    "requests".to_string(),
+                    Value::U64(self.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "cache".to_string(),
+                    Value::Object(vec![
+                        ("lookups".to_string(), Value::U64(cache.lookups() as u64)),
+                        ("hits".to_string(), Value::U64(cache.hits() as u64)),
+                        (
+                            "profiles_collected".to_string(),
+                            Value::U64(cache.profiles_collected() as u64),
+                        ),
+                        (
+                            "evictions".to_string(),
+                            Value::U64(cache.evictions() as u64),
+                        ),
+                        ("resident".to_string(), Value::U64(cache.resident() as u64)),
+                        (
+                            "resident_bytes".to_string(),
+                            Value::U64(cache.resident_bytes()),
+                        ),
+                        (
+                            "max_entries".to_string(),
+                            opt_u64(budget.max_entries.map(|n| n as u64)),
+                        ),
+                        ("max_bytes".to_string(), opt_u64(budget.max_bytes)),
+                    ]),
+                ),
+                (
+                    "uploads".to_string(),
+                    Value::U64(self.uploads.lock().expect("uploads lock").order.len() as u64),
+                ),
+                (
+                    "jobs".to_string(),
+                    Value::Object(vec![
+                        ("queued".to_string(), Value::U64(counts.queued as u64)),
+                        ("running".to_string(), Value::U64(counts.running as u64)),
+                        ("done".to_string(), Value::U64(counts.done as u64)),
+                        ("failed".to_string(), Value::U64(counts.failed as u64)),
+                    ]),
+                ),
+            ]),
+        ))
+    }
+
+    fn session_jobs(&self) -> usize {
+        // Sweeps fan out over the session's configured worker count; the
+        // session stores it per-handle, so recover it from any handle.
+        self.jobs_hint
+    }
+
+    fn route(&self, head: &RequestHead, body: &mut dyn Read) -> (u16, Value) {
+        let result = match (head.method.as_str(), head.path.as_str()) {
+            ("GET", "/healthz") => Ok((
+                200,
+                Value::Object(vec![("ok".to_string(), Value::Bool(true))]),
+            )),
+            ("GET", "/stats") => self.handle_stats(),
+            ("GET", "/predict") => self.handle_predict(head),
+            ("GET", "/sweep") => self.handle_sweep(head),
+            ("GET", "/dse") => self.handle_dse(head),
+            ("POST", "/traces") => self.handle_upload(head, body),
+            ("POST", "/shutdown") => {
+                self.stopping.store(true, Ordering::SeqCst);
+                self.jobs.shutdown();
+                // The accept thread is parked in `accept()`; without this
+                // poke it would only notice `stopping` on the next organic
+                // connection — i.e. never, for a drained service.
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+                Ok((
+                    200,
+                    Value::Object(vec![("stopping".to_string(), Value::Bool(true))]),
+                ))
+            }
+            ("GET", p) if p.starts_with("/jobs/") => self.handle_job(p),
+            (m, _) if m != "GET" && m != "POST" => {
+                Err(ApiError::new(405, format!("method {m} not supported")))
+            }
+            (_, p) => Err(ApiError::not_found(format!("no such endpoint `{p}`"))),
+        };
+        match result {
+            Ok((status, doc)) => (status, doc),
+            Err(e) => (e.status, error_doc(&e.message)),
+        }
+    }
+}
+
+/// The running service: accept thread + HTTP worker pool + job runners.
+///
+/// [`Server::bind`] starts everything; [`Server::wait`] parks the caller
+/// until a `POST /shutdown` arrives (or [`Server::shutdown`] is called
+/// from another thread).
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the worker pool and job runners, and
+    /// returns the handle. The service is accepting requests when this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let session = Session::builder()
+            .jobs(config.jobs)
+            .cache_budget(config.budget)
+            .build();
+        let state = Arc::new(State {
+            session,
+            jobs: JobQueue::new(),
+            uploads: Mutex::new(Uploads::default()),
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+            stopping: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+            max_uploads: config.max_uploads,
+            jobs_hint: config.jobs.max(1),
+            addr,
+        });
+
+        let mut threads = Vec::new();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        for w in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rppm-serve-http-{w}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().expect("conn queue lock").recv() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        };
+                        serve_connection(&state, stream);
+                    })
+                    .expect("spawn http worker"),
+            );
+        }
+
+        for r in 0..config.runners.max(1) {
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rppm-serve-runner-{r}"))
+                    .spawn(move || {
+                        while let Some((id, handle)) = state.jobs.next_job() {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| handle.profile()))
+                                .map(|_profile| handle.name().to_string())
+                                .map_err(|_| "profiling run panicked".to_string());
+                            state.jobs.finish(id, outcome);
+                        }
+                    })
+                    .expect("spawn job runner"),
+            );
+        }
+
+        {
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rppm-serve-accept".to_string())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if state.stopping.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Ok(stream) = stream {
+                                if tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        // Dropping `tx` drains the worker pool.
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        Ok(Server {
+            state,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with `addr: "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server state accessors for embedding callers and tests.
+    pub fn session(&self) -> &Session {
+        &self.state.session
+    }
+
+    /// Initiates shutdown: stops accepting, wakes the job runners, and
+    /// unblocks the accept loop.
+    pub fn shutdown(&self) {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.jobs.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+
+    /// Blocks until every thread exits (after [`Server::shutdown`] or an
+    /// HTTP `POST /shutdown`).
+    pub fn wait(mut self) {
+        // If shutdown came over HTTP, the accept loop may still be parked
+        // in `accept()`; poke it.
+        if self.state.stopping.load(Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.state.stopping.load(Ordering::SeqCst)
+    }
+}
+
+/// Serves one connection: keep-alive request loop with panic isolation —
+/// a handler panic produces a 500 and closes this connection, never kills
+/// the worker.
+fn serve_connection(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // Responses are small and latency-bound; never wait on Nagle.
+    let _ = stream.set_nodelay(true);
+    let peer_ok = stream.try_clone();
+    let Ok(write_half) = peer_ok else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    const MAX_REQUESTS_PER_CONN: usize = 10_000;
+    for _ in 0..MAX_REQUESTS_PER_CONN {
+        let head = match read_request_head(&mut reader) {
+            Ok(h) => h,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::HeadTooLarge) => {
+                let body =
+                    serde_json::to_string(&error_doc("request head too large")).unwrap_or_default();
+                let _ =
+                    write_response(&mut writer, 431, "application/json", body.as_bytes(), false);
+                return;
+            }
+            Err(e) => {
+                let body = serde_json::to_string(&error_doc(&e.to_string())).unwrap_or_default();
+                let _ =
+                    write_response(&mut writer, 400, "application/json", body.as_bytes(), false);
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut body = (&mut reader).take(head.content_length);
+            let response = state.route(&head, &mut body);
+            // Drain whatever the handler left unread so the next request
+            // on this connection starts at a frame boundary — but never
+            // slurp a body the handler rejected as oversized; close the
+            // connection instead.
+            let drained = head.content_length <= state.max_body_bytes
+                && std::io::copy(&mut body, &mut std::io::sink()).is_ok();
+            (response, drained)
+        }));
+        let (response, keep_alive) = match outcome {
+            Ok(((status, doc), drained)) => {
+                let keep = head.keep_alive && drained && !state.stopping.load(Ordering::SeqCst);
+                ((status, doc), keep)
+            }
+            Err(_) => ((500, error_doc("internal error")), false),
+        };
+        let (status, doc) = response;
+        let body = serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string());
+        if write_response(
+            &mut writer,
+            status,
+            "application/json",
+            body.as_bytes(),
+            keep_alive,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}

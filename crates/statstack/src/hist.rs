@@ -100,6 +100,12 @@ impl ReuseHistogram {
         self.invalidated += n;
     }
 
+    /// Approximate heap + inline size of this histogram in bytes (cache
+    /// memory-budget accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// Total recorded accesses (finite + cold + invalidated).
     pub fn total(&self) -> u64 {
         self.total_finite + self.cold + self.invalidated

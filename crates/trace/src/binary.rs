@@ -1038,6 +1038,44 @@ pub fn read_program_any(path: impl AsRef<Path>) -> Result<Program, TraceFileErro
     file::import_program(&text)
 }
 
+/// Reads a trace in either format from an arbitrary byte stream (e.g. an
+/// HTTP request body), auto-detected by magic bytes: streams opening with
+/// `RPT1` parse section by section through [`TraceReader`] — the binary
+/// path never buffers the whole body — and everything else is read to the
+/// end and parsed as JSON. Callers are responsible for bounding the
+/// stream (e.g. `Read::take`); a truncated stream surfaces as a typed
+/// [`TraceFileError`], never a panic.
+///
+/// # Errors
+///
+/// [`TraceFileError::Io`] (with the synthetic path `<stream>`) on read
+/// failures, and the selected format's import failures.
+pub fn read_program_stream(source: impl Read) -> Result<Program, TraceFileError> {
+    let io_err = |source| TraceFileError::Io {
+        path: std::path::PathBuf::from("<stream>"),
+        source,
+    };
+    let mut source = source;
+    let mut magic = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match source.read(&mut magic[got..]).map_err(io_err)? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    if got == 4 && magic == BINARY_TRACE_MAGIC {
+        let stream = std::io::Cursor::new(magic).chain(source);
+        return TraceReader::new(stream)?.read_program();
+    }
+    let mut text = Vec::from(&magic[..got]);
+    source.read_to_end(&mut text).map_err(io_err)?;
+    let text = String::from_utf8(text).map_err(|_| TraceFileError::NotATraceFile {
+        detail: "stream is neither an RPT1 binary trace nor UTF-8 JSON".to_string(),
+    })?;
+    file::import_program(&text)
+}
+
 /// Whether `path`'s extension conventionally denotes the binary container
 /// (`.rpt` / `.bin`). Writers use this to pick an *output* format; readers
 /// never trust extensions — they sniff the magic bytes instead (see
@@ -1133,6 +1171,29 @@ mod tests {
         for &v in &values {
             assert_eq!(b.delta(&mut prev, "test").unwrap(), v);
         }
+    }
+
+    #[test]
+    fn stream_reader_detects_both_formats() {
+        let p = sample();
+        let bin = export_program_binary(&p).unwrap();
+        assert_eq!(read_program_stream(&bin[..]).unwrap(), p);
+        let json = export_program(&p).unwrap();
+        assert_eq!(read_program_stream(json.as_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn stream_reader_rejects_truncated_and_garbage_input() {
+        let p = sample();
+        let bin = export_program_binary(&p).unwrap();
+        for cut in [0, 2, 5, bin.len() / 2, bin.len() - 1] {
+            assert!(
+                read_program_stream(&bin[..cut]).is_err(),
+                "truncation at {cut} must be a typed error"
+            );
+        }
+        assert!(read_program_stream(&b"\xff\xfe\x00\x01garbage"[..]).is_err());
+        assert!(read_program_stream(&b"not json at all"[..]).is_err());
     }
 
     #[test]

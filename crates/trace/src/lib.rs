@@ -73,8 +73,8 @@ pub mod sync;
 
 pub use binary::{
     export_program_binary, has_binary_extension, import_program_binary, import_program_bytes,
-    read_program_any, read_program_binary, write_program_binary, TraceReader, TraceWriter,
-    BINARY_TRACE_MAGIC, BINARY_TRACE_VERSION,
+    read_program_any, read_program_binary, read_program_stream, write_program_binary, TraceReader,
+    TraceWriter, BINARY_TRACE_MAGIC, BINARY_TRACE_VERSION,
 };
 pub use block::BlockSpec;
 pub use builder::{ProgramBuilder, ThreadBuilder};

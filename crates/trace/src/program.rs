@@ -76,6 +76,29 @@ impl Program {
         self.threads.len()
     }
 
+    /// Approximate heap + inline size in bytes — what a memory-bounded
+    /// profile cache accounts a resident program at.
+    pub fn approx_bytes(&self) -> u64 {
+        let segment_bytes = |s: &Segment| {
+            std::mem::size_of::<Segment>()
+                + match s {
+                    Segment::Block(b) => {
+                        (b.addr.capacity() + b.store_addr.capacity())
+                            * std::mem::size_of::<(crate::pattern::AddressPattern, f64)>()
+                    }
+                    Segment::Sync(_) => 0,
+                }
+        };
+        self.threads
+            .iter()
+            .map(|t| {
+                std::mem::size_of::<ThreadScript>()
+                    + t.segments.iter().map(segment_bytes).sum::<usize>()
+            })
+            .sum::<usize>() as u64
+            + (self.name.capacity() + std::mem::size_of::<Self>()) as u64
+    }
+
     /// The script of `thread`.
     ///
     /// # Panics

@@ -37,7 +37,7 @@
 //! the amortization contract.
 
 use rppm_core::{parallel_map, Prediction, PreparedProfile};
-use rppm_profiler::{ApplicationProfile, ProfileCache, ProfileKey, ProfiledWorkload};
+use rppm_profiler::{ApplicationProfile, CacheBudget, ProfileCache, ProfileKey, ProfiledWorkload};
 use rppm_sim::{simulate, SimProfile, SimResult};
 use rppm_trace::{program_fingerprint, MachineConfig, Program, ProgramError, TraceFileError};
 use rppm_workloads::{Benchmark, Params};
@@ -120,6 +120,7 @@ impl From<ProgramError> for Error {
 pub struct SessionBuilder {
     params: Params,
     jobs: usize,
+    budget: CacheBudget,
 }
 
 impl SessionBuilder {
@@ -138,10 +139,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Memory budget for the session's profile cache. The default is
+    /// [`CacheBudget::unbounded`] — the historical behaviour, where every
+    /// profile ever collected stays resident. Long-lived callers (e.g.
+    /// `rppm serve`) should cap the cache by entry count and/or
+    /// approximate bytes; least-recently-used resident profiles are then
+    /// evicted at insert time, while in-flight profiling runs are never
+    /// evicted, so the profile-once coalescing contract is unaffected.
+    pub fn cache_budget(mut self, budget: CacheBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
         Session {
-            cache: Arc::new(ProfileCache::new()),
+            cache: Arc::new(ProfileCache::with_budget(self.budget)),
             params: self.params,
             jobs: self.jobs,
         }
@@ -153,6 +166,7 @@ impl Default for SessionBuilder {
         SessionBuilder {
             params: Params::full(),
             jobs: rppm_core::default_jobs(),
+            budget: CacheBudget::unbounded(),
         }
     }
 }
@@ -230,6 +244,12 @@ impl Session {
     /// Profile requests served from the cache instead of re-profiling.
     pub fn cache_hits(&self) -> usize {
         self.cache.hits()
+    }
+
+    /// Profiles evicted to stay within the session's [`CacheBudget`].
+    /// Always zero for the default unbounded budget.
+    pub fn cache_evictions(&self) -> usize {
+        self.cache.evictions()
     }
 
     /// The shared profile cache (e.g. to hand to an
@@ -311,29 +331,45 @@ impl WorkloadHandle {
         }
     }
 
+    /// The cache key this workload profiles under.
+    fn key(&self) -> ProfileKey {
+        match &self.source {
+            Source::Catalog { bench, params } => {
+                ProfileKey::generated(bench.name, params.scale, params.seed)
+            }
+            Source::Fixed { fingerprint, .. } => ProfileKey::fingerprint(*fingerprint),
+        }
+    }
+
     /// Builds and profiles the workload **at most once per session** —
     /// every further call (same scale/seed, or same trace content, from
     /// any thread) returns the cached profile. The returned
     /// [`ProfileHandle`] carries the shared [`Arc`]s.
     pub fn profile(&self) -> ProfileHandle {
+        let key = self.key();
         let workload = match &self.source {
-            Source::Catalog { bench, params } => self.cache.get_or_profile(
-                ProfileKey::generated(bench.name, params.scale, params.seed),
-                || Arc::new(bench.build(params)),
-            ),
-            Source::Fixed {
-                program,
-                fingerprint,
-            } => self
+            Source::Catalog { bench, params } => self
                 .cache
-                .get_or_profile(ProfileKey::fingerprint(*fingerprint), || {
-                    Arc::clone(program)
-                }),
+                .get_or_profile(key, || Arc::new(bench.build(params))),
+            Source::Fixed { program, .. } => self.cache.get_or_profile(key, || Arc::clone(program)),
         };
         ProfileHandle {
             workload,
             jobs: self.jobs,
         }
+    }
+
+    /// Returns the profile only if it is already resident in the cache —
+    /// the non-blocking fast path for services that must not stall a
+    /// request behind a profiling run. Refreshes the entry's LRU position
+    /// but never profiles and never counts toward the hit/miss statistics;
+    /// `None` means a [`WorkloadHandle::profile`] call would have to do
+    /// (or join) a profiling run.
+    pub fn profile_if_cached(&self) -> Option<ProfileHandle> {
+        self.cache.peek(&self.key()).map(|workload| ProfileHandle {
+            workload,
+            jobs: self.jobs,
+        })
     }
 }
 
@@ -518,6 +554,25 @@ mod tests {
             );
         }
         assert_eq!(session.profiles_collected(), 1);
+    }
+
+    #[test]
+    fn bounded_session_evicts_and_serves_fast_path() {
+        let session = Session::builder()
+            .jobs(1)
+            .cache_budget(CacheBudget::entries(1))
+            .build();
+        let a = session.workload("nn").expect("catalog").scale(0.02).seed(1);
+        let b = session.workload("nn").expect("catalog").scale(0.02).seed(2);
+        assert!(a.profile_if_cached().is_none(), "cold cache has nothing");
+        let first = a.profile();
+        assert!(a.profile_if_cached().is_some(), "resident after profiling");
+        b.profile(); // budget of one entry: this evicts `a`
+        assert_eq!(session.cache_evictions(), 1);
+        assert!(a.profile_if_cached().is_none(), "evicted entry not served");
+        let again = a.profile(); // re-profiles, bit-identical
+        assert_eq!(session.profiles_collected(), 3);
+        assert_eq!(first.profile().to_json(), again.profile().to_json());
     }
 
     #[test]

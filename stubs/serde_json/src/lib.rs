@@ -26,6 +26,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
@@ -110,12 +111,29 @@ fn write_string(s: &str, out: &mut String) {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting accepted by the recursive-descent parser.
+/// The parser recurses once per `[` / `{`, so without a cap hostile input
+/// like `[[[[…` overflows the stack — an abort, not an `Err`. Real
+/// serde_json defaults to 128; match it.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom(format!(
+                "JSON nested deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -169,10 +187,12 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -183,6 +203,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
@@ -192,10 +213,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -211,6 +234,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
@@ -312,5 +336,25 @@ impl<'a> Parser<'a> {
         text.parse::<f64>()
             .map(Value::F64)
             .map_err(|_| Error::custom(format!("invalid JSON number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use crate::Value;
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let evil = "[".repeat(100_000);
+        let err = crate::from_str::<Value>(&evil).unwrap_err();
+        assert!(err.to_string().contains("nested deeper"), "{err}");
+        let evil_obj = "{\"k\":".repeat(100_000);
+        assert!(crate::from_str::<Value>(&evil_obj).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(crate::from_str::<Value>(&ok).is_ok());
     }
 }
