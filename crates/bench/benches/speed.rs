@@ -250,5 +250,55 @@ fn components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline, dse, components, cursor, trace_io);
+fn sched(c: &mut Criterion) {
+    // The shape the event queue exists for: thread 0 grinds through a
+    // long stream of uncontended lock/unlock events while the other
+    // N-1 threads sit in the heap on one far-future compute epoch. The
+    // retired linear scan paid O(N) per thread-0 step here; the heap
+    // pays O(log N), so the 1024-thread run must stay within a small
+    // constant of its 32-thread twin (gated by the `sched_1024_over_32`
+    // ratio in BENCH_speed.json).
+    fn mostly_idle(n: u32, lock_pairs: usize) -> Vec<ThreadTimeline> {
+        (0..n)
+            .map(|t| {
+                let mut rng = Rng::new(t as u64);
+                if t == 0 {
+                    let mut events: Vec<SyncOp> =
+                        (1..n).map(|c| SyncOp::Create { child: c.into() }).collect();
+                    for _ in 0..lock_pairs {
+                        events.push(SyncOp::Lock { id: 0.into() });
+                        events.push(SyncOp::Unlock { id: 0.into() });
+                    }
+                    events.extend((1..n).map(|c| SyncOp::Join { child: c.into() }));
+                    let epochs = (0..events.len() + 1)
+                        .map(|_| 1000.0 + rng.next_f64() * 200.0)
+                        .collect();
+                    ThreadTimeline { epochs, events }
+                } else {
+                    // One enormous epoch: created early, resident in the
+                    // queue for the whole grind, joined at the end.
+                    ThreadTimeline {
+                        epochs: vec![80_000_000.0 + rng.next_f64() * 1000.0],
+                        events: Vec::new(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    let config = DesignPoint::Base.config();
+    let idle_32 = mostly_idle(32, 40_000);
+    let idle_1024 = mostly_idle(1024, 40_000);
+
+    let mut g = c.benchmark_group("sched");
+    g.bench_function("symexec_idle_32", |b| {
+        b.iter(|| execute(std::hint::black_box(&idle_32), &config))
+    });
+    g.bench_function("symexec_idle_1024", |b| {
+        b.iter(|| execute(std::hint::black_box(&idle_1024), &config))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipeline, dse, components, cursor, trace_io, sched);
 criterion_main!(benches);

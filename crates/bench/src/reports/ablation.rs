@@ -12,7 +12,6 @@
 use super::{arr, obj, Report, RunCtx};
 use crate::runner::{parallel_for, ExperimentPlan, Row};
 use rppm_core::predict;
-use rppm_trace::DesignPoint;
 use rppm_workloads::Params;
 use serde_json::Value;
 use std::sync::Mutex;
@@ -46,7 +45,7 @@ pub fn ablation(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let config = DesignPoint::Base.config();
+    let config = ctx.base.clone();
     let runs =
         ExperimentPlan::single_config(ctx.specs(rppm_workloads::all()), params, config.clone())
             .run(ctx.cache, ctx.jobs);

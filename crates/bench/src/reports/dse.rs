@@ -23,7 +23,7 @@ pub fn dse(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let space = ConfigSpace::tiny();
+    let space = ConfigSpace::tiny_from(ctx.base.clone());
     let configs: Vec<_> = (0..space.len()).map(|i| space.config(i)).collect();
     let spec = WorkloadSpec::from(rppm_workloads::by_name(WORKLOAD).expect("catalog workload"));
     let runs = ExperimentPlan::cross(vec![spec], params, configs).run(ctx.cache, ctx.jobs);

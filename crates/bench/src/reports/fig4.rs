@@ -7,7 +7,6 @@
 
 use super::{arr, obj, Report, RunCtx};
 use crate::runner::{ExperimentPlan, Row};
-use rppm_trace::DesignPoint;
 use rppm_workloads::Params;
 use serde_json::Value;
 
@@ -17,12 +16,9 @@ pub fn fig4(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let runs = ExperimentPlan::single_config(
-        ctx.specs(rppm_workloads::all()),
-        params,
-        DesignPoint::Base.config(),
-    )
-    .run(ctx.cache, ctx.jobs);
+    let runs =
+        ExperimentPlan::single_config(ctx.specs(rppm_workloads::all()), params, ctx.base.clone())
+            .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
     out.push_str(&format!(

@@ -6,7 +6,7 @@
 
 use super::{arr, obj, Report, RunCtx};
 use crate::runner::{ExperimentPlan, Row};
-use rppm_trace::{CpiStack, DesignPoint};
+use rppm_trace::CpiStack;
 use rppm_workloads::Params;
 use serde_json::Value;
 
@@ -41,8 +41,8 @@ pub fn fig5(scale: f64, only: Option<&str>, ctx: &RunCtx<'_>) -> Report {
         .into_iter()
         .filter(|s| only.is_none_or(|f| s.name() == f))
         .collect();
-    let runs = ExperimentPlan::single_config(specs, params, DesignPoint::Base.config())
-        .run(ctx.cache, ctx.jobs);
+    let runs =
+        ExperimentPlan::single_config(specs, params, ctx.base.clone()).run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();
     out.push_str(&format!(

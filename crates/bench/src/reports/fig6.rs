@@ -7,7 +7,6 @@
 use super::{arr, obj, Report, RunCtx};
 use crate::runner::ExperimentPlan;
 use rppm_core::Bottlegraph;
-use rppm_trace::DesignPoint;
 use rppm_workloads::{Params, PARSEC};
 use serde_json::Value;
 
@@ -45,7 +44,7 @@ pub fn fig6(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let runs = ExperimentPlan::single_config(ctx.specs(PARSEC), params, DesignPoint::Base.config())
+    let runs = ExperimentPlan::single_config(ctx.specs(PARSEC), params, ctx.base.clone())
         .run(ctx.cache, ctx.jobs);
 
     let mut out = String::new();

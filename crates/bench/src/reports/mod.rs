@@ -33,6 +33,7 @@ pub use table4::table4;
 pub use table5::table5;
 
 use crate::runner::{ImportedTrace, ProfileCache, WorkloadSpec};
+use rppm_trace::{DesignPoint, MachineConfig};
 use rppm_workloads::Benchmark;
 use serde_json::Value;
 
@@ -47,6 +48,12 @@ pub struct RunCtx<'a> {
     /// Imported trace files, appended to every workload-running report's
     /// plan so they appear alongside the built-in benchmarks.
     pub imports: Vec<ImportedTrace>,
+    /// The machine configuration single-config reports evaluate (and the
+    /// base the `dse` report's space is built around). Defaults to the
+    /// paper's base design point; `rppm report --machine FILE` swaps in a
+    /// parsed `.machine` description. Reports that are *about* the five
+    /// Table IV points (table4, table5) ignore it.
+    pub base: MachineConfig,
 }
 
 impl<'a> RunCtx<'a> {
@@ -56,12 +63,19 @@ impl<'a> RunCtx<'a> {
             cache,
             jobs,
             imports: Vec::new(),
+            base: DesignPoint::Base.config(),
         }
     }
 
     /// Adds imported traces to the context.
     pub fn with_imports(mut self, imports: Vec<ImportedTrace>) -> Self {
         self.imports = imports;
+        self
+    }
+
+    /// Sets the machine configuration single-config reports evaluate.
+    pub fn with_base(mut self, base: MachineConfig) -> Self {
+        self.base = base;
         self
     }
 

@@ -11,7 +11,6 @@
 
 use super::{arr, obj, Report, RunCtx};
 use rppm_sim::{simulate_profiled, SimProfile};
-use rppm_trace::DesignPoint;
 use rppm_workloads::Params;
 use serde_json::Value;
 
@@ -30,7 +29,7 @@ pub fn sim_profile(scale: f64, ctx: &RunCtx<'_>) -> Report {
         scale,
         ..Params::full()
     };
-    let config = DesignPoint::Base.config();
+    let config = ctx.base.clone();
 
     let mut merged = SimProfile::default();
     let mut rows = Vec::new();

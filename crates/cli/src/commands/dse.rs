@@ -4,10 +4,12 @@ use super::{is_help, take_jobs};
 use crate::args::{ArgStream, CliError};
 use rppm::core::{find_best, sweep, ConfigSpace, Constraints, DseError};
 use rppm::docs::{describe_config as describe, dse_best_doc, dse_bounds_ladder, dse_sweep_doc};
+use rppm::trace::{read_machine, DesignPoint};
 use rppm::Session;
 
 const USAGE: &str = "usage: rppm dse WORKLOAD [--scale S] [--seed N] [--jobs N]
-       [--max-area A] [--max-power P] [--bound B] [--tiny] [--best-only] [--json]
+       [--max-area A] [--max-power P] [--bound B] [--tiny] [--best-only]
+       [--machine FILE] [--json]
 
 Profiles WORKLOAD once, precomputes the configuration-independent model
 state, then sweeps the default 108000-point design space (core family x
@@ -20,7 +22,10 @@ over (time, area, power) and the candidate counts within --bound
 (arbitrary units; see rppm_core::area_proxy). --tiny swaps in the fixed
 12-point golden space. --best-only skips the frontier and hunts only the
 optimum, pruning points whose throughput lower bound cannot beat the
-running best. --json emits the machine-readable twin.";
+running best. --machine FILE builds the space around the `.machine`
+description in FILE instead of the paper's base design point (the swept
+axes override its core geometry; everything else is inherited). --json
+emits the machine-readable twin.";
 
 pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     let mut args = ArgStream::new(argv, USAGE);
@@ -32,6 +37,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     let mut bound = 0.05f64;
     let mut tiny = false;
     let mut best_only = false;
+    let mut machine: Option<String> = None;
     let mut json = false;
     while let Some(arg) = args.next() {
         if is_help(&arg) {
@@ -49,6 +55,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
             "--bound" => bound = args.parse_of(&arg)?,
             "--tiny" => tiny = true,
             "--best-only" => best_only = true,
+            "--machine" => machine = Some(args.value_of(&arg)?),
             "--json" => json = true,
             _ if arg.is_flag() => return Err(args.unknown(&arg)),
             _ if workload.is_none() => workload = Some(arg.into_positional()),
@@ -68,10 +75,14 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
         .seed(seed)
         .profile();
     let prepared = profile.prepared();
+    let base = match &machine {
+        Some(path) => read_machine(path).map_err(CliError::user)?,
+        None => DesignPoint::Base.config(),
+    };
     let space = if tiny {
-        ConfigSpace::tiny()
+        ConfigSpace::tiny_from(base)
     } else {
-        ConfigSpace::default_space()
+        ConfigSpace::default_space_from(base)
     };
 
     let dse_err = |e: DseError| CliError::user(format!("{workload}: {e}"));

@@ -4,7 +4,7 @@ use super::{is_help, take_jobs};
 use crate::args::{parse_with, ArgStream, CliError};
 use rppm_bench::{reports, ProfileCache, RunCtx};
 
-const USAGE: &str = "usage: rppm report <name> [args] [--jobs N]
+const USAGE: &str = "usage: rppm report <name> [args] [--jobs N] [--machine FILE]
 
 reports (and their optional positional arguments):
   table1 [iterations]     error accumulation study      (default 1000000)
@@ -21,12 +21,18 @@ reports (and their optional positional arguments):
   sim_profile [scale]     simulator self-profile: op mix, hot pairs,
                           fusion/dispatch statistics (default 0.3)
 
+--machine FILE evaluates single-configuration reports (and the dse
+report's space base) on the `.machine` description in FILE instead of
+the paper's base design point; reports about the five Table IV points
+themselves (table4, table5) ignore it.
+
 The report text is printed to stdout, byte-identical to the retired
 per-report binaries.";
 
 pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     let mut args = ArgStream::new(argv, USAGE);
     let mut jobs = rppm_bench::default_jobs();
+    let mut machine: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         if is_help(&arg) {
@@ -34,6 +40,10 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
             return Ok(0);
         }
         if take_jobs(&mut args, &arg, &mut jobs)? {
+            continue;
+        }
+        if arg.as_str() == "--machine" {
+            machine = Some(args.value_of(&arg)?);
             continue;
         }
         if arg.is_flag() {
@@ -61,7 +71,10 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     };
 
     let cache = ProfileCache::new();
-    let ctx = RunCtx::new(&cache, jobs);
+    let mut ctx = RunCtx::new(&cache, jobs);
+    if let Some(path) = &machine {
+        ctx = ctx.with_base(rppm::trace::read_machine(path).map_err(CliError::user)?);
+    }
     let report = match name.as_str() {
         "table1" => {
             let iterations = rest

@@ -16,8 +16,8 @@ use rppm::workloads::Params;
 use serde_json::Value;
 
 const USAGE: &str = "usage: rppm sim-profile [WORKLOAD] [--catalog] [--scale S] [--seed N]
-       [--point smallest|small|base|big|biggest] [--top N] [--reference]
-       [--json] [--out FILE]
+       [--point smallest|small|base|big|biggest] [--machine FILE] [--top N]
+       [--reference] [--json] [--out FILE]
 
 Runs WORKLOAD (or, with --catalog, every catalog workload, merging the
 profiles) through the golden simulator with the self-profiling probe
@@ -27,9 +27,11 @@ mix, per-thread block shape and dispatch/fusion statistics.
 
 --reference profiles the naive one-op-at-a-time reference engine instead
 (the PGO \"before\": one dispatch per op, zero fusion). --point picks the
-machine (default base). --top N sets how many op pairs are listed
-(default 8). --json prints the machine-readable document instead of
-text; --out FILE additionally writes that document to FILE.";
+machine (default base); --machine FILE simulates the `.machine`
+description in FILE instead and overrides --point. --top N sets how many
+op pairs are listed (default 8). --json prints the machine-readable
+document instead of text; --out FILE additionally writes that document
+to FILE.";
 
 fn parse_point(s: &str) -> Result<DesignPoint, String> {
     Ok(match s {
@@ -105,6 +107,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     let mut scale = 1.0f64;
     let mut seed = 0x5EEDu64;
     let mut point = DesignPoint::Base;
+    let mut machine: Option<String> = None;
     let mut top = 8usize;
     let mut reference = false;
     let mut json = false;
@@ -126,6 +129,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
                 let s: String = args.value_of(&arg)?;
                 point = parse_point(&s).map_err(|e| args.error(e))?;
             }
+            "--machine" => machine = Some(args.value_of(&arg)?),
             "--top" => top = args.parse_of(&arg)?,
             "--reference" => reference = true,
             "--json" => json = true,
@@ -143,8 +147,14 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     }
 
     let params = Params { scale, seed };
-    let config = point.config();
-    let point_name = format!("{point:?}").to_lowercase();
+    let (config, point_name) = match &machine {
+        Some(path) => {
+            let cfg = rppm::trace::read_machine(path).map_err(CliError::user)?;
+            let name = cfg.name.clone();
+            (cfg, name)
+        }
+        None => (point.config(), format!("{point:?}").to_lowercase()),
+    };
     let engine = if reference { "reference" } else { "optimized" };
 
     let (scope, profile, per_workload) = if catalog {

@@ -250,6 +250,76 @@ fn dse_sweeps_the_tiny_space_with_twins() {
 }
 
 #[test]
+fn machine_flag_swaps_the_design_and_rejects_malformed_files() {
+    // The committed base preset is the default config, so --machine with
+    // it must be byte-identical to not passing the flag at all.
+    let base = "../../examples/machines/base.machine";
+    let plain = rppm(&[
+        "dse", "nn", "--tiny", "--scale", "0.02", "--jobs", "2", "--json",
+    ]);
+    assert_eq!(plain.status.code(), Some(0), "stderr: {}", stderr(&plain));
+    let with_machine = rppm(&[
+        "dse",
+        "nn",
+        "--tiny",
+        "--scale",
+        "0.02",
+        "--jobs",
+        "2",
+        "--json",
+        "--machine",
+        base,
+    ]);
+    assert_eq!(
+        with_machine.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&with_machine)
+    );
+    assert_eq!(
+        stdout(&plain),
+        stdout(&with_machine),
+        "--machine base.machine must equal the built-in default"
+    );
+
+    // sim-profile reports the machine's own name from the file.
+    let out = rppm(&[
+        "sim-profile",
+        "nn",
+        "--scale",
+        "0.02",
+        "--machine",
+        "../../examples/machines/small.machine",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("@ small"), "{}", stdout(&out));
+
+    // A malformed machine file is a one-line exit-2 error on every
+    // subcommand taking the flag — with the parser's line diagnostic.
+    let dir = std::env::temp_dir().join("rppm-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let broken = dir.join("broken.machine");
+    std::fs::write(
+        &broken,
+        "rppm-machine v1\n[machine]\nname = broken\ncores = four\n",
+    )
+    .unwrap();
+    let broken = broken.to_str().unwrap();
+    for args in [
+        vec!["report", "fig4", "0.02", "--machine", broken],
+        vec!["dse", "nn", "--tiny", "--machine", broken],
+        vec!["sim-profile", "nn", "--machine", broken],
+    ] {
+        let out = rppm(&args);
+        assert_user_error(&out, "bad value for `cores`");
+    }
+
+    // A missing machine file carries the path.
+    let out = rppm(&["dse", "nn", "--tiny", "--machine", "/no/such.machine"]);
+    assert_user_error(&out, "/no/such.machine");
+}
+
+#[test]
 fn golden_diff_detects_drift_against_perturbed_baseline() {
     // Against a bogus golden dir every baseline is missing: exit 1.
     let empty = std::env::temp_dir().join("rppm-cli-smoke-empty-golden");

@@ -212,7 +212,9 @@ pub struct ConfigSpace {
 
 impl ConfigSpace {
     /// A single-point space equal to `base` (every axis has one value).
-    pub fn point(base: MachineConfig) -> Self {
+    /// Any [`MachineConfig`] works — a Table IV preset, a builder product,
+    /// or a parsed `.machine` file.
+    pub fn single(base: MachineConfig) -> Self {
         ConfigSpace {
             cores: vec![CoreFamily {
                 freq_ghz: base.freq_ghz,
@@ -228,12 +230,25 @@ impl ConfigSpace {
         }
     }
 
-    /// The default exploration space of `rppm dse`: the five Table IV core
-    /// sizings crossed with six frequencies (decoupled, unlike the
-    /// constant-peak Table IV line), six L1/L2 capacities, five L3
-    /// capacities, five MSHR counts and four predictor budgets —
-    /// 108 000 points.
+    /// Renamed to [`ConfigSpace::single`].
+    #[deprecated(since = "0.10.0", note = "renamed to ConfigSpace::single")]
+    pub fn point(base: MachineConfig) -> Self {
+        Self::single(base)
+    }
+
+    /// The default exploration space of `rppm dse` around the Table IV base
+    /// configuration; see [`ConfigSpace::default_space_from`].
     pub fn default_space() -> Self {
+        Self::default_space_from(rppm_trace::DesignPoint::Base.config())
+    }
+
+    /// The default exploration space of `rppm dse` around an arbitrary base
+    /// configuration: the five Table IV core sizings crossed with six
+    /// frequencies (decoupled, unlike the constant-peak Table IV line), six
+    /// L1/L2 capacities, five L3 capacities, five MSHR counts and four
+    /// predictor budgets — 108 000 points. Parameters without an axis
+    /// (core count, latencies, associativities, ...) come from `base`.
+    pub fn default_space_from(base: MachineConfig) -> Self {
         let mut cores = Vec::new();
         for &(width, rob) in &[(2u32, 32u32), (3, 72), (4, 128), (5, 200), (6, 288)] {
             for &freq_ghz in &[1.66, 2.0, 2.5, 3.0, 3.33, 5.0] {
@@ -245,7 +260,7 @@ impl ConfigSpace {
             }
         }
         ConfigSpace {
-            base: rppm_trace::DesignPoint::Base.config(),
+            base,
             cores,
             l1_kb: vec![8, 16, 32, 64, 128, 256],
             l2_kb: vec![128, 256, 512, 1024, 2048, 4096],
@@ -255,12 +270,19 @@ impl ConfigSpace {
         }
     }
 
-    /// The fixed 12-point space of the `dse` golden report: three Table IV
-    /// core sizings × two L3 capacities × two MSHR counts. Small enough to
-    /// simulate every point for ground-truth deficiency.
+    /// The fixed 12-point space of the `dse` golden report around the
+    /// Table IV base configuration; see [`ConfigSpace::tiny_from`].
     pub fn tiny() -> Self {
+        Self::tiny_from(rppm_trace::DesignPoint::Base.config())
+    }
+
+    /// The fixed 12-point space of the `dse` golden report around an
+    /// arbitrary base: three Table IV core sizings × two L3 capacities ×
+    /// two MSHR counts. Small enough to simulate every point for
+    /// ground-truth deficiency.
+    pub fn tiny_from(base: MachineConfig) -> Self {
         ConfigSpace {
-            base: rppm_trace::DesignPoint::Base.config(),
+            base,
             cores: vec![
                 CoreFamily {
                     freq_ghz: 5.0,
@@ -284,6 +306,11 @@ impl ConfigSpace {
             mshrs: vec![8, 16],
             bpred_kb: vec![4],
         }
+    }
+
+    /// The base configuration axis values are applied onto.
+    pub fn base(&self) -> &MachineConfig {
+        &self.base
     }
 
     /// Number of points in the space (product of the axis lengths).
@@ -327,13 +354,7 @@ impl ConfigSpace {
         c.dispatch_width = core.width;
         c.rob_size = core.rob;
         c.issue_queue = (core.rob / 2).max(core.width);
-        c.fu = rppm_trace::FuConfig {
-            int_alu: core.width,
-            int_mul: (core.width / 3).max(1),
-            fp: (core.width / 2).max(1),
-            mem: (core.width / 2).max(1),
-            branch: (core.width / 2).max(1),
-        };
+        c.fu = rppm_trace::FuConfig::scaled(core.width);
         c.l1i = CacheGeometry::new(
             u64::from(l1_kb) << 10,
             self.base.l1i.assoc,
@@ -773,6 +794,41 @@ mod tests {
         assert_eq!(evaluate_choice(&[], &[], 0.0), Err(DseError::EmptySpace));
         let err = evaluate_choice(&[], &[], 0.0).unwrap_err();
         assert!(err.to_string().contains("empty design space"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn single_point_space_wraps_any_config() {
+        let base = MachineConfig::builder("custom")
+            .dispatch_width(3)
+            .rob_size(72)
+            .issue_queue(36)
+            .build()
+            .expect("valid");
+        let s = ConfigSpace::single(base.clone());
+        assert_eq!(s.len(), 1);
+        let c = s.config(0);
+        assert_eq!(c.dispatch_width, 3);
+        assert_eq!(c.rob_size, 72);
+        assert!(c.validate().is_ok());
+        // The deprecated alias behaves identically.
+        assert_eq!(ConfigSpace::point(base).config(0), c);
+    }
+
+    #[test]
+    fn spaces_inherit_an_arbitrary_base() {
+        let mut base = DesignPoint::Base.config();
+        base.cores = 8;
+        base.mem_latency_ns = 120.0;
+        for space in [
+            ConfigSpace::tiny_from(base.clone()),
+            ConfigSpace::default_space_from(base.clone()),
+        ] {
+            assert_eq!(space.base(), &base);
+            let c = space.config(0);
+            assert_eq!(c.cores, 8, "axis-free parameters come from the base");
+            assert_eq!(c.mem_latency_ns, 120.0);
+        }
     }
 
     #[test]

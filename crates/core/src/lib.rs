@@ -51,6 +51,7 @@ pub mod par;
 pub mod predict;
 pub mod prepared;
 pub mod report;
+pub mod sched;
 pub mod symexec;
 
 pub use accumulation::{accumulation_bias, accumulation_error};
@@ -64,4 +65,5 @@ pub use par::{default_jobs, parallel_for, parallel_map};
 pub use predict::{predict, predict_crit, predict_main, Prediction, ThreadPrediction};
 pub use prepared::{BatchedEq1, PreparedProfile};
 pub use report::{abs_pct_error, max, mean, signed_pct_error};
+pub use sched::EventQueue;
 pub use symexec::{execute, Schedule, ThreadSchedule, ThreadTimeline};

@@ -16,6 +16,7 @@
 //! configurations and skips interval recording. Both produce bit-identical
 //! times: the interval bookkeeping never feeds back into the schedule.
 
+use crate::sched::EventQueue;
 use rppm_trace::{MachineConfig, SyncOp};
 use std::collections::{HashMap, VecDeque};
 
@@ -136,6 +137,39 @@ struct QueueState {
     waiting: VecDeque<usize>,
 }
 
+#[derive(Debug, Default)]
+struct RwLockState {
+    writer: Option<usize>,
+    readers: usize,
+    /// Blocked acquirers in arrival order: `(thread, wants_write)`.
+    queue: VecDeque<(usize, bool)>,
+}
+
+impl RwLockState {
+    /// Admits queued acquirers after a release, FIFO by arrival: a run of
+    /// consecutive readers at the front enters together; a writer at the
+    /// front enters alone once the lock is fully free. Appends the threads
+    /// to wake to `wake`.
+    fn admit(&mut self, wake: &mut Vec<usize>) {
+        if self.writer.is_some() {
+            return;
+        }
+        if let Some(&(_, true)) = self.queue.front() {
+            if self.readers == 0 {
+                let (w, _) = self.queue.pop_front().expect("nonempty");
+                self.writer = Some(w);
+                wake.push(w);
+            }
+            return;
+        }
+        while let Some(&(_, false)) = self.queue.front() {
+            let (w, _) = self.queue.pop_front().expect("nonempty");
+            self.readers += 1;
+            wake.push(w);
+        }
+    }
+}
+
 /// Reusable state for repeated symbolic executions of the *same* profile
 /// under different configurations: all maps and vectors retain their
 /// allocations between runs, so a design-space sweep performs no per-point
@@ -146,10 +180,15 @@ pub(crate) struct SymScratch {
     barriers: HashMap<u32, BarrierState>,
     mutexes: HashMap<u32, MutexState>,
     queues: HashMap<u32, QueueState>,
+    rwlocks: HashMap<u32, RwLockState>,
+    /// Semaphores reuse queue bookkeeping: posted permits carry the time
+    /// they became available, exactly like produced items.
+    sems: HashMap<u32, QueueState>,
     joiners: HashMap<usize, Vec<usize>>,
     finish: Vec<f64>,
     wake: Vec<usize>,
     wake_items: Vec<(usize, f64)>,
+    queue: EventQueue,
 }
 
 impl SymScratch {
@@ -188,9 +227,19 @@ impl SymScratch {
             q.items.clear();
             q.waiting.clear();
         }
+        for rw in self.rwlocks.values_mut() {
+            rw.writer = None;
+            rw.readers = 0;
+            rw.queue.clear();
+        }
+        for s in self.sems.values_mut() {
+            s.items.clear();
+            s.waiting.clear();
+        }
         self.joiners.clear();
         self.finish.clear();
         self.finish.resize(n_threads, 0.0);
+        self.queue.clear();
     }
 }
 
@@ -315,6 +364,27 @@ struct SymExec<'e, 's> {
 }
 
 impl SymExec<'_, '_> {
+    /// Arrival time of thread `i` at its next synchronization event (its
+    /// accumulated time plus the pending epoch, if any) — the wake key the
+    /// old linear scan minimized.
+    fn eta(&self, i: usize) -> f64 {
+        let th = &self.st.threads[i];
+        let (off, len) = self.tl.ranges[i];
+        if th.at_epoch && th.idx < len {
+            th.time + self.tl.cycles[off + th.idx]
+        } else {
+            th.time
+        }
+    }
+
+    /// Posts a wake-up for thread `i`, which must have just become ready.
+    /// Called on every transition into `Status::Ready` (and only there), so
+    /// each thread has at most one live event in the queue.
+    fn post(&mut self, i: usize) {
+        let eta = self.eta(i);
+        self.st.queue.post_at(eta, i);
+    }
+
     fn block(&mut self, i: usize) {
         let th = &mut self.st.threads[i];
         th.status = Status::Blocked;
@@ -332,6 +402,7 @@ impl SymExec<'_, '_> {
         }
         th.status = Status::Ready;
         th.open = th.time;
+        self.post(i);
     }
 
     /// Thread `i`, while running, waits in place until `t`.
@@ -383,6 +454,7 @@ impl SymExec<'_, '_> {
                 ch.time = start;
                 ch.start = start;
                 ch.open = start;
+                self.post(c);
                 false
             }
             SyncOp::Join { child } => {
@@ -483,38 +555,101 @@ impl SymExec<'_, '_> {
                     true
                 }
             }
+            SyncOp::RwLock { id, write } => {
+                let rw = self.st.rwlocks.entry(id.0).or_default();
+                let free = rw.writer.is_none() && rw.queue.is_empty();
+                let grant = if write { free && rw.readers == 0 } else { free };
+                if grant {
+                    if write {
+                        rw.writer = Some(i);
+                    } else {
+                        rw.readers += 1;
+                    }
+                    false
+                } else {
+                    rw.queue.push_back((i, write));
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::RwUnlock { id } => {
+                let mut wake = std::mem::take(&mut self.st.wake);
+                {
+                    let rw = self.st.rwlocks.entry(id.0).or_default();
+                    if rw.writer == Some(i) {
+                        rw.writer = None;
+                    } else {
+                        rw.readers = rw.readers.saturating_sub(1);
+                    }
+                    wake.clear();
+                    rw.admit(&mut wake);
+                }
+                for &w in &wake {
+                    self.resume(w, t);
+                }
+                wake.clear();
+                self.st.wake = wake;
+                false
+            }
+            SyncOp::SemWait { id } => {
+                let s = self.st.sems.entry(id.0).or_default();
+                if let Some(item) = s.items.pop_front() {
+                    if item > t {
+                        self.wait_running(i, item);
+                    }
+                    false
+                } else {
+                    s.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::SemPost { id, count } => {
+                let mut wake = std::mem::take(&mut self.st.wake_items);
+                {
+                    let s = self.st.sems.entry(id.0).or_default();
+                    for _ in 0..count {
+                        s.items.push_back(t);
+                    }
+                    wake.clear();
+                    while !s.items.is_empty() && !s.waiting.is_empty() {
+                        let item = s.items.pop_front().expect("nonempty");
+                        let w = s.waiting.pop_front().expect("nonempty");
+                        wake.push((w, item));
+                    }
+                }
+                for &(w, item) in &wake {
+                    let at = item.max(self.st.threads[w].block_time);
+                    self.resume(w, at);
+                }
+                wake.clear();
+                self.st.wake_items = wake;
+                false
+            }
         }
     }
 
     fn run(mut self) -> f64 {
+        // Algorithm 2 picks the unblocked thread with the shortest
+        // accumulated time. We schedule by *arrival time at the next
+        // synchronization event* (time + pending epoch), the discrete-event
+        // refinement: every synchronization state change is processed in
+        // globally nondecreasing time order, so untimed lock/queue state is
+        // always consistent with wall-clock order. Ready threads live in a
+        // min-heap keyed by that arrival time (ties to the lowest thread
+        // index, matching the old scan); blocked and finished threads cost
+        // nothing per scheduling step.
+        if !self.st.threads.is_empty() {
+            self.post(0); // main thread starts ready at t=0
+        }
         loop {
-            // Algorithm 2 picks the unblocked thread with the shortest
-            // accumulated time. We schedule by *arrival time at the next
-            // synchronization event* (time + pending epoch), the
-            // discrete-event refinement: every synchronization state change
-            // is then processed in globally nondecreasing time order, so
-            // untimed lock/queue state is always consistent with wall-clock
-            // order.
-            let mut best: Option<(usize, f64)> = None;
-            for (i, th) in self.st.threads.iter().enumerate() {
-                if th.status == Status::Ready {
-                    let (off, len) = self.tl.ranges[i];
-                    let eta = if th.at_epoch && th.idx < len {
-                        th.time + self.tl.cycles[off + th.idx]
-                    } else {
-                        th.time
-                    };
-                    if best.is_none_or(|(_, bt)| eta < bt) {
-                        best = Some((i, eta));
-                    }
-                }
-            }
-            let Some((i, _)) = best else {
+            let Some((_, i)) = self.st.queue.pop() else {
                 if self.st.threads.iter().all(|t| t.status == Status::Done) {
                     break;
                 }
                 panic!("symbolic execution deadlocked");
             };
+            debug_assert_eq!(self.st.threads[i].status, Status::Ready);
 
             // Proceed thread i to its next synchronization event (or end).
             loop {
@@ -545,6 +680,11 @@ impl SymExec<'_, '_> {
                     self.handle_event(i, ev);
                     break;
                 }
+            }
+            // Re-post the thread if it is still runnable after its event
+            // (blocked threads are re-posted by whoever wakes them).
+            if self.st.threads[i].status == Status::Ready {
+                self.post(i);
             }
         }
 

@@ -16,7 +16,8 @@ use rppm_branch_model::EntropyCollector;
 use rppm_statstack::{MultiThreadCollector, ReuseHistogram, ReuseTracker};
 use rppm_trace::op::NUM_OP_CLASSES;
 use rppm_trace::{BlockItem, MicroOp, OpClass, Program, SyncOp, ThreadCursor};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ops per scheduling chunk of the unit-cost executor.
@@ -209,6 +210,41 @@ struct QueueState {
     waiting: VecDeque<usize>,
 }
 
+#[derive(Debug, Default)]
+struct RwLockState {
+    writer: Option<usize>,
+    readers: usize,
+    /// Blocked acquirers in arrival order: `(thread, wants_write)`.
+    queue: VecDeque<(usize, bool)>,
+}
+
+impl RwLockState {
+    /// Admits queued acquirers after a release, FIFO by arrival: a run of
+    /// consecutive readers at the front enters together; a writer at the
+    /// front enters alone once the lock is fully free. Returns the threads
+    /// to wake.
+    fn admit(&mut self) -> Vec<usize> {
+        let mut wake = Vec::new();
+        if self.writer.is_some() {
+            return wake;
+        }
+        if let Some(&(_, true)) = self.queue.front() {
+            if self.readers == 0 {
+                let (w, _) = self.queue.pop_front().expect("nonempty");
+                self.writer = Some(w);
+                wake.push(w);
+            }
+            return wake;
+        }
+        while let Some(&(_, false)) = self.queue.front() {
+            let (w, _) = self.queue.pop_front().expect("nonempty");
+            self.readers += 1;
+            wake.push(w);
+        }
+        wake
+    }
+}
+
 struct Profiler<'p> {
     program: &'p Program,
     /// Per-thread stream cursors, parallel to `threads`. Kept separate so
@@ -222,8 +258,18 @@ struct Profiler<'p> {
     participants: HashMap<u32, usize>,
     mutexes: HashMap<u32, MutexState>,
     queues: HashMap<u32, QueueState>,
+    rwlocks: HashMap<u32, RwLockState>,
+    /// Semaphores reuse queue bookkeeping: posted permits carry the tick
+    /// they became available, exactly like produced items.
+    sems: HashMap<u32, QueueState>,
     joiners: HashMap<usize, Vec<usize>>,
     finish_tick: Vec<u64>,
+    /// Discrete-event ready queue: `(wake_tick, thread)` min-heap, the
+    /// tick-domain twin of `rppm-core`'s scheduler (which this crate cannot
+    /// depend on — the dependency points the other way). Threads are posted
+    /// when they become runnable and popped in tick order, so blocked and
+    /// finished threads cost nothing per scheduling step.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl<'p> Profiler<'p> {
@@ -268,8 +314,11 @@ impl<'p> Profiler<'p> {
             participants,
             mutexes: HashMap::new(),
             queues: HashMap::new(),
+            rwlocks: HashMap::new(),
+            sems: HashMap::new(),
             joiners: HashMap::new(),
             finish_tick: vec![0; n],
+            ready: BinaryHeap::new(),
         }
     }
 
@@ -337,8 +386,11 @@ impl<'p> Profiler<'p> {
 
     fn resume(&mut self, i: usize, tick: u64) {
         let th = &mut self.threads[i];
+        debug_assert_eq!(th.status, Status::Blocked);
         th.tick = th.tick.max(tick);
         th.status = Status::Ready;
+        let wake = th.tick;
+        self.ready.push(Reverse((wake, i)));
     }
 
     fn finish_thread(&mut self, i: usize) {
@@ -363,6 +415,7 @@ impl<'p> Profiler<'p> {
                 assert_eq!(self.threads[c].status, Status::NotStarted);
                 self.threads[c].status = Status::Ready;
                 self.threads[c].tick = t;
+                self.ready.push(Reverse((t, c)));
                 false
             }
             SyncOp::Join { child } => {
@@ -445,26 +498,83 @@ impl<'p> Profiler<'p> {
                     true
                 }
             }
+            SyncOp::RwLock { id, write } => {
+                let rw = self.rwlocks.entry(id.0).or_default();
+                let free = rw.writer.is_none() && rw.queue.is_empty();
+                let grant = if write { free && rw.readers == 0 } else { free };
+                if grant {
+                    if write {
+                        rw.writer = Some(i);
+                    } else {
+                        rw.readers += 1;
+                    }
+                    false
+                } else {
+                    rw.queue.push_back((i, write));
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::RwUnlock { id } => {
+                let rw = self.rwlocks.entry(id.0).or_default();
+                if rw.writer == Some(i) {
+                    rw.writer = None;
+                } else {
+                    rw.readers = rw.readers.saturating_sub(1);
+                }
+                let wake = rw.admit();
+                for w in wake {
+                    self.resume(w, t);
+                }
+                false
+            }
+            SyncOp::SemWait { id } => {
+                let s = self.sems.entry(id.0).or_default();
+                if let Some(item) = s.items.pop_front() {
+                    self.threads[i].tick = t.max(item);
+                    false
+                } else {
+                    s.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::SemPost { id, count } => {
+                let s = self.sems.entry(id.0).or_default();
+                for _ in 0..count {
+                    s.items.push_back(t);
+                }
+                let mut wakeups = Vec::new();
+                while !s.items.is_empty() && !s.waiting.is_empty() {
+                    let item = s.items.pop_front().expect("nonempty");
+                    let w = s.waiting.pop_front().expect("nonempty");
+                    wakeups.push((w, item));
+                }
+                for (w, item) in wakeups {
+                    self.resume(w, item);
+                }
+                false
+            }
         }
     }
 
     fn run(mut self) -> ApplicationProfile {
+        // Discrete-event scheduling: pop the runnable thread with the
+        // smallest tick (ties to the lowest thread index, matching the
+        // historical linear scan bit for bit).
+        if !self.threads.is_empty() {
+            let t = self.threads[0].tick;
+            self.ready.push(Reverse((t, 0))); // main thread starts ready
+        }
         loop {
-            let mut best: Option<(usize, u64)> = None;
-            for (i, th) in self.threads.iter().enumerate() {
-                if th.status == Status::Ready {
-                    let t = th.tick;
-                    if best.is_none_or(|(_, bt)| t < bt) {
-                        best = Some((i, t));
-                    }
-                }
-            }
-            let Some((i, t0)) = best else {
+            let Some(Reverse((_, i))) = self.ready.pop() else {
                 if self.threads.iter().all(|t| t.status == Status::Done) {
                     break;
                 }
                 panic!("deadlock during profiling of {}", self.program.name);
             };
+            debug_assert_eq!(self.threads[i].status, Status::Ready);
+            let t0 = self.threads[i].tick;
 
             let limit = t0 + CHUNK;
             loop {
@@ -503,6 +613,12 @@ impl<'p> Profiler<'p> {
                         }
                     }
                 }
+            }
+            // Re-post the thread if it is still runnable after its chunk
+            // (blocked threads are re-posted by whoever wakes them).
+            if self.threads[i].status == Status::Ready {
+                let t = self.threads[i].tick;
+                self.ready.push(Reverse((t, i)));
             }
         }
 
@@ -678,6 +794,33 @@ mod tests {
         let p1 = profile(&simple_program(20_000));
         let p2 = profile(&simple_program(20_000));
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn rwlock_and_semaphore_profile_cleanly() {
+        let mut b = ProgramBuilder::new("rw-sem", 3);
+        let rw = b.alloc_rwlock();
+        let s = b.alloc_sem();
+        b.spawn_workers();
+        for t in 0..2u32 {
+            b.thread(t)
+                .rw_lock(rw, false)
+                .block(BlockSpec::new(5_000, t as u64))
+                .rw_unlock(rw);
+        }
+        b.thread(2u32)
+            .rw_lock(rw, true)
+            .block(BlockSpec::new(1_000, 9))
+            .rw_unlock(rw)
+            .sem_post(s, 1);
+        b.thread(0u32).sem_wait(s);
+        b.join_workers();
+        let prof = profile(&b.build());
+        assert!(prof.is_consistent());
+        let (cs, bar, cond) = prof.sync_event_counts();
+        assert_eq!(cs, 3, "three rw acquisitions are critical sections");
+        assert_eq!(bar, 0);
+        assert_eq!(cond, 2, "sem post + wait are cond-var events");
     }
 
     #[test]

@@ -243,7 +243,9 @@ impl ApplicationProfile {
             for ev in &th.events {
                 match ev.category() {
                     rppm_trace::sync::SyncCategory::CriticalSection => {
-                        if matches!(ev, SyncOp::Lock { .. }) {
+                        // Acquisitions only — releases belong to the same
+                        // critical section and would double-count it.
+                        if matches!(ev, SyncOp::Lock { .. } | SyncOp::RwLock { .. }) {
                             cs += 1;
                         }
                     }

@@ -8,11 +8,16 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /stats` | cache hit/miss/eviction counters, job counts |
 //! | `POST /traces` | upload an `RPT1` or JSON trace (format sniffed by magic bytes, streamed — the binary path never buffers the body); returns a profiling job id |
+//! | `POST /machines` | upload a `.machine` description; registered under its `[machine] name` for the `machine=` query parameter |
 //! | `GET /jobs/<id>` | poll a profiling job |
-//! | `GET /predict?workload=…&design=…` | one prediction (synchronous when the profile is resident; `202` + job id otherwise) |
-//! | `GET /sweep?…` | all five Table IV design points |
-//! | `GET /dse?…` | design-space exploration; byte-identical to `rppm dse --json` |
+//! | `GET /predict?workload=…&design=…` | one prediction (synchronous when the profile is resident; `202` + job id otherwise); `machine=<name>` predicts a registered machine instead |
+//! | `GET /sweep?…` | all five Table IV design points, or `machine=<a,b,…>` registered machines |
+//! | `GET /dse?…` | design-space exploration; byte-identical to `rppm dse --json`; `machine=<name>` rebases the space |
 //! | `POST /shutdown` | drain and exit |
+//!
+//! The machine registry is seeded with the five Table IV presets
+//! (`smallest` … `biggest`), so `machine=base` works on a fresh service;
+//! uploads are FIFO-capped like trace uploads (presets are never evicted).
 //!
 //! Predictions from a resident profile take microseconds; collecting a
 //! profile takes seconds. The service keeps those on different threads:

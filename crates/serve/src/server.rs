@@ -12,8 +12,12 @@
 use crate::http::{read_request_head, write_response, HttpError, RequestHead};
 use crate::jobs::{job_doc, JobQueue};
 use rppm::core::{find_best, sweep, ConfigSpace, Constraints};
-use rppm::docs::{dse_best_doc, dse_bounds_ladder, dse_sweep_doc, prediction_doc, sweep_doc};
-use rppm::trace::{program_fingerprint, read_program_stream, DesignPoint, MachineConfig};
+use rppm::docs::{
+    describe_config, dse_best_doc, dse_bounds_ladder, dse_sweep_doc, prediction_doc, sweep_doc,
+};
+use rppm::trace::{
+    parse_machine, program_fingerprint, read_program_stream, DesignPoint, MachineConfig,
+};
 use rppm::{CacheBudget, Session, WorkloadHandle};
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
@@ -65,6 +69,7 @@ struct State {
     session: Session,
     jobs: JobQueue,
     uploads: Mutex<Uploads>,
+    machines: Mutex<Machines>,
     requests: AtomicU64,
     started: Instant,
     stopping: AtomicBool,
@@ -93,6 +98,39 @@ impl Uploads {
             while self.order.len() > cap.max(1) {
                 if let Some(old) = self.order.pop_front() {
                     self.by_fingerprint.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Named machine-description registry. Seeded with the five Table IV
+/// presets at startup; `POST /machines` adds (or replaces) entries under
+/// their `[machine] name`. Uploads are FIFO-capped like trace uploads;
+/// the seeded presets are not part of the FIFO and are never evicted.
+struct Machines {
+    by_name: HashMap<String, MachineConfig>,
+    order: VecDeque<String>,
+}
+
+impl Machines {
+    fn seeded() -> Self {
+        Machines {
+            by_name: DesignPoint::ALL
+                .iter()
+                .map(|d| (d.to_string(), d.config()))
+                .collect(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, config: MachineConfig, cap: usize) {
+        let name = config.name.clone();
+        if self.by_name.insert(name.clone(), config).is_none() {
+            self.order.push_back(name);
+            while self.order.len() > cap.max(1) {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_name.remove(&old);
                 }
             }
         }
@@ -159,6 +197,34 @@ fn design_config(head: &RequestHead) -> Result<(String, MachineConfig), ApiError
 }
 
 impl State {
+    /// Looks up `name` in the machine registry, 404 on a miss.
+    fn machine(&self, name: &str) -> Result<MachineConfig, ApiError> {
+        self.machines
+            .lock()
+            .expect("machines lock")
+            .by_name
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                ApiError::not_found(format!(
+                    "no machine `{name}` in the registry (POST /machines to add it)"
+                ))
+            })
+    }
+
+    /// The machine a single-config endpoint evaluates: `machine=<name>`
+    /// (registry lookup) or `design=<point>` (Table IV preset, default
+    /// `base`) — passing both is an error.
+    fn machine_or_design(&self, head: &RequestHead) -> Result<(String, MachineConfig), ApiError> {
+        match (head.query_value("machine"), head.query_value("design")) {
+            (Some(_), Some(_)) => Err(ApiError::bad_request(
+                "pass either `design` (Table IV point) or `machine` (registry name), not both",
+            )),
+            (Some(name), None) => Ok((name.to_string(), self.machine(name)?)),
+            (None, _) => design_config(head),
+        }
+    }
+
     /// Resolves `?workload=NAME[&scale=S][&seed=N]` or `?trace=FP` to a
     /// workload handle.
     fn resolve(&self, head: &RequestHead) -> Result<WorkloadHandle, ApiError> {
@@ -219,7 +285,7 @@ impl State {
 
     fn handle_predict(&self, head: &RequestHead) -> ApiResult {
         let handle = self.resolve(head)?;
-        let (_, config) = design_config(head)?;
+        let (_, config) = self.machine_or_design(head)?;
         match self.profile_or_job(&handle) {
             Ok(profile) => Ok((200, prediction_doc(&profile.predict(&config)))),
             Err(accepted) => Ok(accepted),
@@ -228,13 +294,27 @@ impl State {
 
     fn handle_sweep(&self, head: &RequestHead) -> ApiResult {
         let handle = self.resolve(head)?;
+        // Default sweep: the five Table IV points. `machine=a,b,c` sweeps
+        // registered machines instead, labelled by registry name.
+        let targets: Vec<(String, MachineConfig)> = match head.query_value("machine") {
+            Some(list) => list
+                .split(',')
+                .map(|name| {
+                    let name = name.trim();
+                    Ok((name.to_string(), self.machine(name)?))
+                })
+                .collect::<Result<_, ApiError>>()?,
+            None => DesignPoint::ALL
+                .iter()
+                .map(|d| (d.to_string(), d.config()))
+                .collect(),
+        };
         match self.profile_or_job(&handle) {
             Ok(profile) => {
-                let configs: Vec<MachineConfig> =
-                    DesignPoint::ALL.iter().map(|d| d.config()).collect();
-                let labelled: Vec<(String, rppm::core::Prediction)> = DesignPoint::ALL
-                    .iter()
-                    .map(|d| d.to_string())
+                let configs: Vec<MachineConfig> = targets.iter().map(|(_, c)| c.clone()).collect();
+                let labelled: Vec<(String, rppm::core::Prediction)> = targets
+                    .into_iter()
+                    .map(|(name, _)| name)
                     .zip(profile.predict_sweep(&configs))
                     .collect();
                 Ok((200, sweep_doc(handle.name(), &labelled)))
@@ -261,10 +341,14 @@ impl State {
             Err(accepted) => return Ok(accepted),
         };
         let prepared = profile.prepared();
+        let base = match head.query_value("machine") {
+            Some(name) => self.machine(name)?,
+            None => DesignPoint::Base.config(),
+        };
         let space = if tiny {
-            ConfigSpace::tiny()
+            ConfigSpace::tiny_from(base)
         } else {
-            ConfigSpace::default_space()
+            ConfigSpace::default_space_from(base)
         };
         let jobs = self.session_jobs();
         if best_only {
@@ -322,6 +406,43 @@ impl State {
                     "trace".to_string(),
                     Value::String(format!("{fingerprint:016x}")),
                 ),
+            ]),
+        ))
+    }
+
+    fn handle_machine_upload(&self, head: &RequestHead, body: &mut dyn Read) -> ApiResult {
+        if head.content_length == 0 {
+            return Err(ApiError::new(
+                411,
+                "machine upload needs a Content-Length body",
+            ));
+        }
+        if head.content_length > self.max_body_bytes {
+            return Err(ApiError::new(
+                413,
+                format!(
+                    "body of {} bytes exceeds the {}-byte limit",
+                    head.content_length, self.max_body_bytes
+                ),
+            ));
+        }
+        let mut text = String::new();
+        body.take(head.content_length)
+            .read_to_string(&mut text)
+            .map_err(|e| ApiError::bad_request(format!("body read failed: {e}")))?;
+        let config = parse_machine(&text)
+            .map_err(|e| ApiError::bad_request(format!("machine rejected: {e}")))?;
+        let name = config.name.clone();
+        let description = describe_config(&config);
+        self.machines
+            .lock()
+            .expect("machines lock")
+            .insert(config, self.max_uploads);
+        Ok((
+            200,
+            Value::Object(vec![
+                ("machine".to_string(), Value::String(name)),
+                ("config".to_string(), Value::String(description)),
             ]),
         ))
     }
@@ -384,6 +505,10 @@ impl State {
                     Value::U64(self.uploads.lock().expect("uploads lock").order.len() as u64),
                 ),
                 (
+                    "machines".to_string(),
+                    Value::U64(self.machines.lock().expect("machines lock").by_name.len() as u64),
+                ),
+                (
                     "jobs".to_string(),
                     Value::Object(vec![
                         ("queued".to_string(), Value::U64(counts.queued as u64)),
@@ -413,6 +538,7 @@ impl State {
             ("GET", "/sweep") => self.handle_sweep(head),
             ("GET", "/dse") => self.handle_dse(head),
             ("POST", "/traces") => self.handle_upload(head, body),
+            ("POST", "/machines") => self.handle_machine_upload(head, body),
             ("POST", "/shutdown") => {
                 self.stopping.store(true, Ordering::SeqCst);
                 self.jobs.shutdown();
@@ -474,6 +600,7 @@ impl Server {
             session,
             jobs: JobQueue::new(),
             uploads: Mutex::new(Uploads::default()),
+            machines: Mutex::new(Machines::seeded()),
             requests: AtomicU64::new(0),
             started: Instant::now(),
             stopping: AtomicBool::new(false),

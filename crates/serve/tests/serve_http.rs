@@ -309,6 +309,99 @@ fn stats_text(stats: &Value) -> String {
     serde_json::to_string(stats).unwrap_or_default()
 }
 
+/// The machine registry round-trip: the five presets are pre-seeded
+/// (`machine=base` answers exactly like `design=base`), `POST /machines`
+/// registers a `.machine` upload under its own name, predictions against
+/// it match the offline pipeline on the same parsed config, and the
+/// `machine=` sweep/error paths behave.
+#[test]
+fn machine_upload_round_trip_and_registry_errors() {
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let mut client = Client::new(server.local_addr());
+
+    // Warm one catalog profile through the job queue.
+    let query = "workload=hotspot&scale=0.02&seed=1";
+    let first = client.get(&format!("/predict?{query}")).expect("warm");
+    if first.status == 202 {
+        let doc: Value = serde_json::from_str(&first.text()).expect("202 doc");
+        await_job(&mut client, field(&doc, "job").as_u64().expect("job id"));
+    }
+
+    // Seeded preset: `machine=base` is byte-identical to `design=base`.
+    let by_design = client
+        .get(&format!("/predict?{query}&design=base"))
+        .expect("design=base");
+    let by_machine = client
+        .get(&format!("/predict?{query}&machine=base"))
+        .expect("machine=base");
+    assert_eq!(by_design.status, 200, "{}", by_design.text());
+    assert_eq!(by_machine.status, 200, "{}", by_machine.text());
+    assert_eq!(by_design.text(), by_machine.text(), "preset seeding drift");
+
+    // Upload a custom machine description.
+    let custom = rppm::trace::MachineConfig::builder("wide-box")
+        .dispatch_width(6)
+        .cores(8)
+        .build()
+        .expect("valid custom machine");
+    let text = rppm::trace::format_machine(&custom);
+    let posted = client
+        .post("/machines", text.as_bytes())
+        .expect("post machine");
+    assert_eq!(posted.status, 200, "{}", posted.text());
+    let doc: Value = serde_json::from_str(&posted.text()).expect("machine doc");
+    assert_eq!(field(&doc, "machine").as_str(), Some("wide-box"));
+
+    // Predictions against it match the offline pipeline on the same config.
+    let online = client
+        .get(&format!("/predict?{query}&machine=wide-box"))
+        .expect("predict wide-box");
+    assert_eq!(online.status, 200, "{}", online.text());
+    let session = Session::builder().build();
+    let offline = session
+        .workload("hotspot")
+        .expect("catalog workload")
+        .scale(0.02)
+        .seed(1)
+        .profile()
+        .predict(&custom);
+    let offline_body = serde_json::to_string(&prediction_doc(&offline)).expect("doc");
+    assert_eq!(online.text(), offline_body, "serve/offline machine drift");
+
+    // `machine=` sweeps over named registry entries, labelled by name.
+    let sweep = client
+        .get(&format!("/sweep?{query}&machine=base,wide-box"))
+        .expect("machine sweep");
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+    let sweep: Value = serde_json::from_str(&sweep.text()).expect("sweep doc");
+    let rows = field(&sweep, "sweep").as_array().expect("sweep rows");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(field(&rows[1], "design").as_str(), Some("wide-box"));
+
+    // Registry misses are 404s, ambiguity and bad uploads are 400s.
+    let missing = client
+        .get(&format!("/predict?{query}&machine=absent"))
+        .expect("missing machine");
+    assert_eq!(missing.status, 404, "{}", missing.text());
+    let both = client
+        .get(&format!("/predict?{query}&design=base&machine=base"))
+        .expect("both params");
+    assert_eq!(both.status, 400, "{}", both.text());
+    let garbage = client
+        .post("/machines", b"not a machine file")
+        .expect("garbage machine");
+    assert_eq!(garbage.status, 400, "{}", garbage.text());
+    assert!(garbage.text().contains("machine rejected"));
+
+    // The registry count shows 5 presets + 1 upload.
+    let stats = client.get("/stats").expect("stats");
+    let stats: Value = serde_json::from_str(&stats.text()).expect("stats doc");
+    assert_eq!(field(&stats, "machines").as_u64(), Some(6));
+
+    server.shutdown();
+    server.wait();
+}
+
 /// The CLI parks in `Server::wait()` from startup; an HTTP-initiated
 /// shutdown must unpark it without any further organic connections
 /// (regression: the accept loop used to stay blocked in `accept()`).

@@ -6,7 +6,11 @@
 //! Cores advance in quantum-sized slices in global-time order (the runnable
 //! thread with the smallest local clock goes next), so shared-cache and
 //! coherence interactions are observed in approximately correct order and
-//! the whole simulation is deterministic.
+//! the whole simulation is deterministic. Scheduling is discrete-event: the
+//! runnable threads live in an [`rppm_core::sched::EventQueue`] min-heap
+//! keyed by their local clocks, so blocked and idle threads cost nothing
+//! per scheduling step and thread counts far beyond the paper's 4–8 stay
+//! cheap.
 //!
 //! The engine is generic over two plug points, both monomorphized away in
 //! the default build: the per-thread timing model (a `CoreTiming` — the
@@ -21,6 +25,7 @@
 use crate::core::{CoreCounters, CoreModel};
 use crate::mem::MemorySystem;
 use crate::simprof::{NoProbe, ProfileCollector, SimProbe, SimProfile};
+use rppm_core::sched::EventQueue;
 use rppm_trace::{BlockItem, CpiStack, MachineConfig, MicroOp, Program, SyncOp, ThreadCursor};
 use std::collections::{HashMap, VecDeque};
 
@@ -238,6 +243,41 @@ struct QueueState {
     waiting: VecDeque<usize>,
 }
 
+#[derive(Debug, Default)]
+struct RwLockState {
+    writer: Option<usize>,
+    readers: usize,
+    /// Blocked acquirers in arrival order: `(thread, wants_write)`.
+    queue: VecDeque<(usize, bool)>,
+}
+
+impl RwLockState {
+    /// Admits queued acquirers after a release, FIFO by arrival: a run of
+    /// consecutive readers at the front enters together; a writer at the
+    /// front enters alone once the lock is fully free. Returns the threads
+    /// to wake.
+    fn admit(&mut self) -> Vec<usize> {
+        let mut wake = Vec::new();
+        if self.writer.is_some() {
+            return wake;
+        }
+        if let Some(&(_, true)) = self.queue.front() {
+            if self.readers == 0 {
+                let (w, _) = self.queue.pop_front().expect("nonempty");
+                self.writer = Some(w);
+                wake.push(w);
+            }
+            return wake;
+        }
+        while let Some(&(_, false)) = self.queue.front() {
+            let (w, _) = self.queue.pop_front().expect("nonempty");
+            self.readers += 1;
+            wake.push(w);
+        }
+        wake
+    }
+}
+
 /// Simulates `program` on `config`, returning the golden-reference timing.
 ///
 /// # Panics
@@ -313,8 +353,16 @@ struct Engine<'p, C> {
     participants: HashMap<u32, usize>,
     mutexes: HashMap<u32, MutexState>,
     queues: HashMap<u32, QueueState>,
+    rwlocks: HashMap<u32, RwLockState>,
+    /// Semaphores reuse queue bookkeeping: posted permits carry the time
+    /// they became available, exactly like produced items.
+    sems: HashMap<u32, QueueState>,
     joiners: HashMap<usize, Vec<usize>>,
     counts: SyncEventCounts,
+    /// Discrete-event ready queue: `(wake_time, thread)` min-heap. Threads
+    /// are posted when they become runnable and popped in global time
+    /// order; blocked threads are re-posted by whoever wakes them.
+    queue: EventQueue,
 }
 
 impl<'p, C: CoreTiming> Engine<'p, C> {
@@ -360,8 +408,11 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
             participants,
             mutexes: HashMap::new(),
             queues: HashMap::new(),
+            rwlocks: HashMap::new(),
+            sems: HashMap::new(),
             joiners: HashMap::new(),
             counts: SyncEventCounts::default(),
+            queue: EventQueue::new(),
         }
     }
 
@@ -397,6 +448,8 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
         th.core.resume_at(t);
         th.status = Status::Ready;
         th.open = th.core.time();
+        let wake = th.core.time();
+        self.queue.post_at(wake, i);
     }
 
     fn finish_thread(&mut self, i: usize) {
@@ -436,6 +489,8 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
                 th.status = Status::Ready;
                 th.start = start;
                 th.open = start;
+                let wake = th.core.time();
+                self.queue.post_at(wake, c);
                 false
             }
             SyncOp::Join { child } => {
@@ -531,22 +586,82 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
                     true
                 }
             }
+            SyncOp::RwLock { id, write } => {
+                self.counts.critical_sections += 1;
+                let rw = self.rwlocks.entry(id.0).or_default();
+                let free = rw.writer.is_none() && rw.queue.is_empty();
+                let grant = if write { free && rw.readers == 0 } else { free };
+                if grant {
+                    if write {
+                        rw.writer = Some(i);
+                    } else {
+                        rw.readers += 1;
+                    }
+                    false
+                } else {
+                    rw.queue.push_back((i, write));
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::RwUnlock { id } => {
+                let rw = self.rwlocks.entry(id.0).or_default();
+                if rw.writer == Some(i) {
+                    rw.writer = None;
+                } else {
+                    rw.readers = rw.readers.saturating_sub(1);
+                }
+                let wake = rw.admit();
+                for w in wake {
+                    self.resume(w, t);
+                }
+                false
+            }
+            SyncOp::SemWait { id } => {
+                self.counts.cond_vars += 1;
+                let s = self.sems.entry(id.0).or_default();
+                if let Some(item) = s.items.pop_front() {
+                    if item > t {
+                        self.wait_running(i, item);
+                    }
+                    false
+                } else {
+                    s.waiting.push_back(i);
+                    self.block(i);
+                    true
+                }
+            }
+            SyncOp::SemPost { id, count } => {
+                self.counts.cond_vars += 1;
+                let s = self.sems.entry(id.0).or_default();
+                for _ in 0..count {
+                    s.items.push_back(t);
+                }
+                let mut wakeups = Vec::new();
+                while !s.items.is_empty() && !s.waiting.is_empty() {
+                    let item = s.items.pop_front().expect("nonempty");
+                    let w = s.waiting.pop_front().expect("nonempty");
+                    wakeups.push((w, item));
+                }
+                for (w, item) in wakeups {
+                    self.resume(w, item.max(self.threads[w].block_time));
+                }
+                false
+            }
         }
     }
 
     fn run<P: SimProbe>(mut self, probe: &mut P) -> SimResult {
+        // Discrete-event scheduling: pop the runnable thread with the
+        // smallest local clock from the ready queue (ties to the lowest
+        // thread index, matching the historical scan bit for bit); blocked
+        // and finished threads cost nothing per scheduling step.
+        if !self.threads.is_empty() {
+            let t = self.threads[0].core.time();
+            self.queue.post_at(t, 0); // main thread starts ready
+        }
         loop {
-            // Pick the runnable thread with the smallest local clock.
-            let mut best: Option<(usize, f64)> = None;
-            for (i, th) in self.threads.iter().enumerate() {
-                if th.status == Status::Ready {
-                    let t = th.core.time();
-                    if best.is_none_or(|(_, bt)| t < bt) {
-                        best = Some((i, t));
-                    }
-                }
-            }
-            let Some((i, t0)) = best else {
+            let Some((_, i)) = self.queue.pop() else {
                 if self.threads.iter().all(|t| t.status == Status::Done) {
                     break;
                 }
@@ -562,6 +677,8 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
                     self.program.name
                 );
             };
+            debug_assert_eq!(self.threads[i].status, Status::Ready);
+            let t0 = self.threads[i].core.time();
 
             let limit = t0 + QUANTUM;
             loop {
@@ -600,6 +717,12 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
                         }
                     }
                 }
+            }
+            // Re-post the thread if it is still runnable after its slice
+            // (blocked threads are re-posted by whoever wakes them).
+            if self.threads[i].status == Status::Ready {
+                let t = self.threads[i].core.time();
+                self.queue.post_at(t, i);
             }
         }
 
@@ -759,6 +882,67 @@ mod tests {
         // With 3 threads contending, at least one accumulated lock wait.
         let total_sync: f64 = r.threads.iter().map(|t| t.cpi.sync).sum();
         assert!(total_sync > 1000.0, "total sync {total_sync}");
+    }
+
+    #[test]
+    fn rwlock_readers_share_writer_excludes() {
+        let mut b = ProgramBuilder::new("rwlock", 3);
+        let rw = b.alloc_rwlock();
+        b.spawn_workers();
+        // Two readers hold the lock through long work; a late writer must
+        // wait for both to release.
+        for t in 0..2u32 {
+            b.thread(t)
+                .rw_lock(rw, false)
+                .block(compute_block(50_000, t as u64))
+                .rw_unlock(rw);
+        }
+        b.thread(2u32)
+            .block(compute_block(1_000, 9))
+            .rw_lock(rw, true)
+            .block(compute_block(1_000, 10))
+            .rw_unlock(rw);
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // Acquisitions count as critical sections (releases do not).
+        assert_eq!(r.sync_events.critical_sections, 3);
+        // Readers enter concurrently, so neither waits on the other; the
+        // writer queues behind both and eats the read-section latency.
+        let writer_wait = r.threads[2].cpi.sync;
+        assert!(writer_wait > 1_000.0, "writer wait {writer_wait}");
+        for t in 0..2 {
+            assert!(
+                r.threads[t].cpi.sync < writer_wait,
+                "reader {t} waited {} >= writer {writer_wait}",
+                r.threads[t].cpi.sync
+            );
+        }
+    }
+
+    #[test]
+    fn semaphore_permits_gate_waiters() {
+        let mut b = ProgramBuilder::new("sem", 2);
+        let s = b.alloc_sem();
+        b.spawn_workers();
+        b.thread(0u32)
+            .block(compute_block(50_000, 1))
+            .sem_post(s, 2);
+        b.thread(1u32)
+            .sem_wait(s)
+            .sem_wait(s)
+            .block(compute_block(1_000, 2));
+        b.join_workers();
+        let p = b.build();
+        let r = simulate(&p, &base());
+        // The waiter blocked until the post: most of its time is sync wait.
+        assert!(
+            r.threads[1].cpi.sync > r.threads[1].cpi.base,
+            "waiter should be starved: {:?}",
+            r.threads[1].cpi
+        );
+        // One post plus two waits, all condition-variable events.
+        assert_eq!(r.sync_events.cond_vars, 3);
     }
 
     #[test]

@@ -361,6 +361,13 @@ impl SimProbe for ProfileCollector {
             SyncOp::Unlock { .. } => m.unlocks += 1,
             SyncOp::Produce { .. } => m.produces += 1,
             SyncOp::Consume { .. } => m.consumes += 1,
+            // Version-2 events fold into their closest version-1 kin so the
+            // SimProfile schema (and its goldens) stay unchanged: rwlocks
+            // are critical sections, semaphores are produce/consume pairs.
+            SyncOp::RwLock { .. } => m.locks += 1,
+            SyncOp::RwUnlock { .. } => m.unlocks += 1,
+            SyncOp::SemPost { .. } => m.produces += 1,
+            SyncOp::SemWait { .. } => m.consumes += 1,
         }
     }
 

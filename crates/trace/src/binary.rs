@@ -12,11 +12,11 @@
 //!
 //! ```text
 //! magic    4 bytes   "RPT1"
-//! version  varint    container schema version (currently 1)
+//! version  varint    container schema version (1 or 2)
 //! sections repeated  [tag: varint][len: varint][payload: len bytes]
 //! ```
 //!
-//! Three section kinds exist in version 1:
+//! Three section kinds exist in every version:
 //!
 //! | tag | name   | payload |
 //! |-----|--------|---------|
@@ -43,10 +43,16 @@
 //! # Versioning policy
 //!
 //! Same contract as the JSON format: within a version the container only
-//! changes additively (new section tags bump the version, because an old
+//! changes additively (new segment tags bump the version, because an old
 //! reader cannot skip content it does not understand and still guarantee a
-//! faithful program). Readers accept exactly [`BINARY_TRACE_VERSION`];
-//! newer files fail with [`TraceFileError::UnsupportedVersion`].
+//! faithful program). Readers accept versions 1 through
+//! [`BINARY_TRACE_VERSION`]; newer files fail with
+//! [`TraceFileError::UnsupportedVersion`]. Writers emit the *smallest*
+//! version able to carry the program — a trace without version-2 events
+//! (reader-writer locks, semaphores) is byte-identical to what a version-1
+//! tool would have written. The version-2 segment tags are rejected as
+//! [`TraceFileError::Corrupt`] when they appear in a stream that declares
+//! version 1.
 //!
 //! # Example
 //!
@@ -77,9 +83,11 @@ use std::path::Path;
 /// The four magic bytes opening every binary trace file.
 pub const BINARY_TRACE_MAGIC: [u8; 4] = *b"RPT1";
 
-/// Container schema version written by [`TraceWriter`] and accepted by
-/// [`TraceReader`].
-pub const BINARY_TRACE_VERSION: u32 = 1;
+/// Newest container schema version this build understands. Readers accept
+/// versions `1..=BINARY_TRACE_VERSION`; whole-program writers emit the
+/// smallest version able to carry the program (see
+/// [`Program::format_version`]).
+pub const BINARY_TRACE_VERSION: u32 = 2;
 
 /// Maximum segments buffered into one ops section before the writer
 /// flushes. Bounds writer and reader memory to O(section), not O(program).
@@ -106,6 +114,19 @@ const SEG_LOCK: u8 = 4;
 const SEG_UNLOCK: u8 = 5;
 const SEG_PRODUCE: u8 = 6;
 const SEG_CONSUME: u8 = 7;
+// Version-2 segment tags; invalid in a stream that declares version 1.
+const SEG_RWLOCK: u8 = 8;
+const SEG_RWUNLOCK: u8 = 9;
+const SEG_SEMWAIT: u8 = 10;
+const SEG_SEMPOST: u8 = 11;
+
+/// Smallest container version able to carry `seg`.
+fn segment_min_version(seg: &Segment) -> u32 {
+    match seg {
+        Segment::Block(_) => 1,
+        Segment::Sync(op) => op.min_format_version(),
+    }
+}
 
 const ADDR_STREAM: u8 = 0;
 const ADDR_RANDOM: u8 = 1;
@@ -285,6 +306,24 @@ fn encode_segment(buf: &mut Vec<u8>, d: &mut DeltaState, seg: &Segment) {
                 buf.push(SEG_CONSUME);
                 push_varint(buf, queue.0 as u64);
             }
+            SyncOp::RwLock { id, write } => {
+                buf.push(SEG_RWLOCK);
+                push_varint(buf, id.0 as u64);
+                buf.push(*write as u8);
+            }
+            SyncOp::RwUnlock { id } => {
+                buf.push(SEG_RWUNLOCK);
+                push_varint(buf, id.0 as u64);
+            }
+            SyncOp::SemWait { id } => {
+                buf.push(SEG_SEMWAIT);
+                push_varint(buf, id.0 as u64);
+            }
+            SyncOp::SemPost { id, count } => {
+                buf.push(SEG_SEMPOST);
+                push_varint(buf, id.0 as u64);
+                push_varint(buf, *count as u64);
+            }
         },
     }
 }
@@ -303,6 +342,7 @@ fn encode_segment(buf: &mut Vec<u8>, d: &mut DeltaState, seg: &Segment) {
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     sink: W,
+    version: u32,
     num_threads: u32,
     deltas: Vec<DeltaState>,
     cur_thread: u32,
@@ -319,15 +359,43 @@ fn stream_err(context: &str, source: std::io::Error) -> TraceFileError {
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Starts a binary trace: writes the magic, version and header section.
+    /// Starts a version-1 binary trace: writes the magic, version and
+    /// header section. The container version is fixed at construction (it
+    /// is the first thing on the wire), so streams that will carry
+    /// version-2 events (reader-writer locks, semaphores) must be opened
+    /// with [`TraceWriter::with_version`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`TraceFileError::Stream`] if the sink rejects the write.
-    pub fn new(mut sink: W, name: &str, num_threads: u32) -> Result<Self, TraceFileError> {
+    pub fn new(sink: W, name: &str, num_threads: u32) -> Result<Self, TraceFileError> {
+        Self::with_version(sink, name, num_threads, 1)
+    }
+
+    /// Starts a binary trace with an explicit container `version`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Unserializable`] if `version` is outside
+    /// `1..=BINARY_TRACE_VERSION`, and [`TraceFileError::Stream`] if the
+    /// sink rejects the write.
+    pub fn with_version(
+        mut sink: W,
+        name: &str,
+        num_threads: u32,
+        version: u32,
+    ) -> Result<Self, TraceFileError> {
+        if !(1..=BINARY_TRACE_VERSION).contains(&version) {
+            return Err(TraceFileError::Unserializable {
+                detail: format!(
+                    "cannot write container version {version}; this build writes versions \
+                     1 through {BINARY_TRACE_VERSION}"
+                ),
+            });
+        }
         let mut head = Vec::with_capacity(16 + name.len());
         head.extend_from_slice(&BINARY_TRACE_MAGIC);
-        push_varint(&mut head, BINARY_TRACE_VERSION as u64);
+        push_varint(&mut head, version as u64);
         let mut payload = Vec::with_capacity(8 + name.len());
         push_varint(&mut payload, name.len() as u64);
         payload.extend_from_slice(name.as_bytes());
@@ -339,6 +407,7 @@ impl<W: Write> TraceWriter<W> {
             .map_err(|e| stream_err("writing the container header", e))?;
         Ok(TraceWriter {
             sink,
+            version,
             num_threads,
             deltas: vec![DeltaState::default(); num_threads as usize],
             cur_thread: 0,
@@ -346,6 +415,11 @@ impl<W: Write> TraceWriter<W> {
             buf_segments: 0,
             total_segments: 0,
         })
+    }
+
+    /// Container version this stream was opened with.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Appends one segment of `thread`'s stream.
@@ -357,8 +431,9 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Returns [`TraceFileError::Corrupt`] if `thread` is outside the
-    /// declared thread count, and [`TraceFileError::Stream`] on sink I/O
-    /// failure.
+    /// declared thread count, [`TraceFileError::Unserializable`] if the
+    /// segment needs a newer container version than the stream was opened
+    /// with, and [`TraceFileError::Stream`] on sink I/O failure.
     pub fn write_segment(&mut self, thread: u32, seg: &Segment) -> Result<(), TraceFileError> {
         if thread >= self.num_threads {
             return Err(TraceFileError::Corrupt {
@@ -366,6 +441,17 @@ impl<W: Write> TraceWriter<W> {
                     "segment written for thread {thread}, but the header declares only \
                      {} threads",
                     self.num_threads
+                ),
+            });
+        }
+        let needs = segment_min_version(seg);
+        if needs > self.version {
+            return Err(TraceFileError::Unserializable {
+                detail: format!(
+                    "segment requires container version {needs} (reader-writer locks and \
+                     semaphores are version-2 events), but this stream was opened as \
+                     version {}; open the writer with TraceWriter::with_version",
+                    self.version
                 ),
             });
         }
@@ -581,8 +667,20 @@ fn decode_branch_pattern(b: &mut Bytes<'_>) -> Result<BranchPattern, TraceFileEr
     }
 }
 
-fn decode_segment(b: &mut Bytes<'_>, d: &mut DeltaState) -> Result<Segment, TraceFileError> {
+fn decode_segment(
+    b: &mut Bytes<'_>,
+    d: &mut DeltaState,
+    version: u32,
+) -> Result<Segment, TraceFileError> {
     let tag = b.u8("a segment tag")?;
+    if tag >= SEG_RWLOCK && version < 2 {
+        return Err(TraceFileError::Corrupt {
+            detail: format!(
+                "segment tag {tag} requires container version 2, but the stream declares \
+                 version {version}"
+            ),
+        });
+    }
     let seg = match tag {
         SEG_BLOCK => {
             let ops = b.varint_u32("a block op count")?;
@@ -674,6 +772,20 @@ fn decode_segment(b: &mut Bytes<'_>, d: &mut DeltaState) -> Result<Segment, Trac
         SEG_CONSUME => Segment::Sync(SyncOp::Consume {
             queue: b.varint_u32("a queue id")?.into(),
         }),
+        SEG_RWLOCK => Segment::Sync(SyncOp::RwLock {
+            id: b.varint_u32("a rwlock id")?.into(),
+            write: b.u8("a rwlock write flag")? != 0,
+        }),
+        SEG_RWUNLOCK => Segment::Sync(SyncOp::RwUnlock {
+            id: b.varint_u32("a rwlock id")?.into(),
+        }),
+        SEG_SEMWAIT => Segment::Sync(SyncOp::SemWait {
+            id: b.varint_u32("a semaphore id")?.into(),
+        }),
+        SEG_SEMPOST => Segment::Sync(SyncOp::SemPost {
+            id: b.varint_u32("a semaphore id")?.into(),
+            count: b.varint_u32("a post count")?,
+        }),
         t => {
             return Err(TraceFileError::Corrupt {
                 detail: format!("unknown segment tag {t}"),
@@ -695,6 +807,7 @@ fn decode_segment(b: &mut Bytes<'_>, d: &mut DeltaState) -> Result<Segment, Trac
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     source: R,
+    version: u32,
     name: String,
     num_threads: u32,
     deltas: Vec<DeltaState>,
@@ -723,12 +836,13 @@ impl<R: Read> TraceReader<R> {
             return Err(TraceFileError::BadMagic { found: magic });
         }
         let version = read_varint(&mut source, "the container version")?;
-        if version != BINARY_TRACE_VERSION as u64 {
+        if !(1..=BINARY_TRACE_VERSION as u64).contains(&version) {
             return Err(TraceFileError::UnsupportedVersion {
                 found: version,
                 supported: BINARY_TRACE_VERSION,
             });
         }
+        let version = version as u32;
         let (tag, payload) = read_section(&mut source, "the header section")?;
         if tag != TAG_HEADER {
             return Err(TraceFileError::Corrupt {
@@ -757,6 +871,7 @@ impl<R: Read> TraceReader<R> {
         }
         Ok(TraceReader {
             source,
+            version,
             name,
             num_threads,
             deltas: vec![DeltaState::default(); num_threads as usize],
@@ -767,6 +882,11 @@ impl<R: Read> TraceReader<R> {
             segments_seen: 0,
             done: false,
         })
+    }
+
+    /// Container version declared by the stream.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Workload name recorded in the header.
@@ -849,7 +969,11 @@ impl<R: Read> TraceReader<R> {
         }
         let mut b = Bytes::new(&self.section);
         b.pos = self.section_pos;
-        let seg = decode_segment(&mut b, &mut self.deltas[self.section_thread as usize])?;
+        let seg = decode_segment(
+            &mut b,
+            &mut self.deltas[self.section_thread as usize],
+            self.version,
+        )?;
         self.section_pos = b.pos;
         self.section_remaining -= 1;
         self.segments_seen += 1;
@@ -940,7 +1064,12 @@ fn read_section<R: Read>(source: &mut R, context: &str) -> Result<(u64, Vec<u8>)
 /// Never fails for in-memory sinks in practice; the `Result` mirrors the
 /// streaming API.
 pub fn export_program_binary(program: &Program) -> Result<Vec<u8>, TraceFileError> {
-    let mut w = TraceWriter::new(Vec::new(), &program.name, program.threads.len() as u32)?;
+    let mut w = TraceWriter::with_version(
+        Vec::new(),
+        &program.name,
+        program.threads.len() as u32,
+        program.format_version(),
+    )?;
     for (t, script) in program.threads.iter().enumerate() {
         w.write_script(t as u32, script)?;
     }
@@ -976,10 +1105,11 @@ pub fn write_program_binary(
         source,
     };
     let file = std::fs::File::create(path).map_err(io_err)?;
-    let mut w = TraceWriter::new(
+    let mut w = TraceWriter::with_version(
         std::io::BufWriter::new(file),
         &program.name,
         program.threads.len() as u32,
+        program.format_version(),
     )?;
     for (t, script) in program.threads.iter().enumerate() {
         w.write_script(t as u32, script)?;
@@ -1280,6 +1410,82 @@ mod tests {
         let json = export_program(&p).unwrap();
         assert_eq!(import_program_bytes(&bin).unwrap(), p);
         assert_eq!(import_program_bytes(json.as_bytes()).unwrap(), p);
+    }
+
+    fn sample_v2() -> Program {
+        let mut b = ProgramBuilder::new("bin-v2", 2);
+        let rw = b.alloc_rwlock();
+        let s = b.alloc_sem();
+        b.spawn_workers();
+        b.thread(0u32)
+            .rw_lock(rw, true)
+            .block(BlockSpec::new(64, 9))
+            .rw_unlock(rw)
+            .sem_post(s, 3);
+        b.thread(1u32).sem_wait(s).rw_lock(rw, false).rw_unlock(rw);
+        b.join_workers();
+        b.build()
+    }
+
+    #[test]
+    fn v2_programs_round_trip_at_version_2() {
+        let p = sample_v2();
+        let bytes = export_program_binary(&p).unwrap();
+        // Version varint immediately follows the 4-byte magic.
+        assert_eq!(bytes[4], 2);
+        let back = import_program_binary(&bytes).unwrap();
+        assert_eq!(p, back);
+        // Canonical: re-export is byte-identical.
+        assert_eq!(bytes, export_program_binary(&back).unwrap());
+    }
+
+    #[test]
+    fn v1_programs_still_written_as_version_1() {
+        let bytes = export_program_binary(&sample()).unwrap();
+        assert_eq!(bytes[4], 1);
+    }
+
+    #[test]
+    fn v1_writer_rejects_v2_segments() {
+        let mut w = TraceWriter::new(Vec::new(), "x", 1).unwrap();
+        let seg = Segment::Sync(SyncOp::SemWait { id: 0u32.into() });
+        let err = w.write_segment(0, &seg).unwrap_err();
+        assert!(
+            matches!(err, TraceFileError::Unserializable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v2_tags_in_v1_stream_are_corrupt() {
+        let mut bytes = export_program_binary(&sample_v2()).unwrap();
+        assert_eq!(bytes[4], 2);
+        bytes[4] = 1; // lie about the container version
+        let err = import_program_binary(&bytes).unwrap_err();
+        assert!(matches!(err, TraceFileError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn writer_rejects_unknown_versions() {
+        for v in [0u32, BINARY_TRACE_VERSION + 1] {
+            let err = TraceWriter::with_version(Vec::new(), "x", 1, v).unwrap_err();
+            assert!(
+                matches!(err, TraceFileError::Unserializable { .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_rejects_future_versions() {
+        let mut bytes = export_program_binary(&sample()).unwrap();
+        bytes[4] = (BINARY_TRACE_VERSION + 1) as u8;
+        let err = import_program_binary(&bytes).unwrap_err();
+        assert!(
+            matches!(err, TraceFileError::UnsupportedVersion { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::block::BlockSpec;
 use crate::pattern::Region;
 use crate::program::{Program, ProgramError, Segment};
-use crate::sync::{BarrierId, MutexId, QueueId, SyncOp, ThreadId};
+use crate::sync::{BarrierId, MutexId, QueueId, RwLockId, SemId, SyncOp, ThreadId};
 
 /// Builder for [`Program`]s.
 ///
@@ -41,6 +41,8 @@ pub struct ProgramBuilder {
     next_barrier: u32,
     next_mutex: u32,
     next_queue: u32,
+    next_rwlock: u32,
+    next_sem: u32,
     next_site: u32,
     next_code_line: u64,
 }
@@ -64,6 +66,8 @@ impl ProgramBuilder {
             next_barrier: 0,
             next_mutex: 0,
             next_queue: 0,
+            next_rwlock: 0,
+            next_sem: 0,
             next_site: 1,
             next_code_line: 1,
         }
@@ -99,6 +103,20 @@ impl ProgramBuilder {
     pub fn alloc_queue(&mut self) -> QueueId {
         let id = QueueId(self.next_queue);
         self.next_queue += 1;
+        id
+    }
+
+    /// Allocates a fresh reader-writer lock (format version 2).
+    pub fn alloc_rwlock(&mut self) -> RwLockId {
+        let id = RwLockId(self.next_rwlock);
+        self.next_rwlock += 1;
+        id
+    }
+
+    /// Allocates a fresh counting semaphore (format version 2).
+    pub fn alloc_sem(&mut self) -> SemId {
+        let id = SemId(self.next_sem);
+        self.next_sem += 1;
         id
     }
 
@@ -246,6 +264,30 @@ impl ThreadBuilder<'_> {
         self.push(Segment::Sync(SyncOp::Consume { queue }))
     }
 
+    /// Appends a reader-writer acquire: exclusive when `write` is true,
+    /// shared otherwise. Requires trace format version 2.
+    pub fn rw_lock(&mut self, id: RwLockId, write: bool) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::RwLock { id, write }))
+    }
+
+    /// Appends a reader-writer release (matches the innermost
+    /// [`rw_lock`](Self::rw_lock)). Requires trace format version 2.
+    pub fn rw_unlock(&mut self, id: RwLockId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::RwUnlock { id }))
+    }
+
+    /// Appends a semaphore wait (may block until a permit is posted).
+    /// Requires trace format version 2.
+    pub fn sem_wait(&mut self, id: SemId) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::SemWait { id }))
+    }
+
+    /// Appends a semaphore post releasing `count` permits. Requires trace
+    /// format version 2.
+    pub fn sem_post(&mut self, id: SemId, count: u32) -> &mut Self {
+        self.push(Segment::Sync(SyncOp::SemPost { id, count }))
+    }
+
     /// Appends a thread-creation event.
     pub fn create(&mut self, child: ThreadId) -> &mut Self {
         self.push(Segment::Sync(SyncOp::Create { child }))
@@ -341,6 +383,29 @@ mod tests {
     fn thread_index_checked() {
         let mut b = ProgramBuilder::new("t", 1);
         b.thread(3u32);
+    }
+
+    #[test]
+    fn rwlock_and_sem_chain() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let rw = b.alloc_rwlock();
+        let s = b.alloc_sem();
+        b.thread(0u32)
+            .sem_post(s, 2)
+            .rw_lock(rw, false)
+            .block(BlockSpec::new(10, 1))
+            .rw_unlock(rw)
+            .sem_wait(s);
+        let p = b.build();
+        assert_eq!(p.threads[0].sync_count(), 4);
+        assert_eq!(p.format_version(), 2);
+    }
+
+    #[test]
+    fn rwlock_ids_are_fresh() {
+        let mut b = ProgramBuilder::new("t", 1);
+        assert_ne!(b.alloc_rwlock(), b.alloc_rwlock());
+        assert_ne!(b.alloc_sem(), b.alloc_sem());
     }
 
     #[test]

@@ -67,6 +67,22 @@ pub struct FuConfig {
     pub branch: u32,
 }
 
+impl FuConfig {
+    /// The standard width-derived port mix used by every Table IV design
+    /// point and by the DSE core axis: one ALU per dispatch slot, one
+    /// multiplier per three slots, and one FP/memory/branch port per two
+    /// slots (each class at least one port).
+    pub fn scaled(width: u32) -> Self {
+        FuConfig {
+            int_alu: width.max(1),
+            int_mul: (width / 3).max(1),
+            fp: (width / 2).max(1),
+            mem: (width / 2).max(1),
+            branch: (width / 2).max(1),
+        }
+    }
+}
+
 /// Branch predictor specification (a 4 KB tournament predictor in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BranchPredictorConfig {
@@ -193,6 +209,203 @@ impl MachineConfig {
         }
         Ok(())
     }
+
+    /// Starts a builder seeded from the paper's base configuration with the
+    /// given name. Every parameter can then be overridden; [`MachineConfigBuilder::build`]
+    /// validates the result (see its docs for the rules) instead of letting
+    /// an inconsistent configuration reach the model.
+    pub fn builder(name: &str) -> MachineConfigBuilder {
+        let mut cfg = DesignPoint::Base.config();
+        cfg.name = name.to_string();
+        MachineConfigBuilder { cfg }
+    }
+
+    /// Reopens this configuration as a builder (e.g. to derive a variant).
+    pub fn to_builder(&self) -> MachineConfigBuilder {
+        MachineConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Validating constructor for [`MachineConfig`].
+///
+/// Obtained from [`MachineConfig::builder`] (seeded from the base design
+/// point) or [`MachineConfig::to_builder`] (seeded from an existing
+/// configuration). Setters override individual parameters;
+/// [`MachineConfigBuilder::build`] is the only exit and refuses
+/// configurations the engines cannot sensibly run:
+///
+/// * everything [`MachineConfig::validate`] checks (positive core count,
+///   width, frequency, MSHRs; ROB at least one dispatch group; uniform line
+///   size across cache levels), plus
+/// * nonzero functional-unit counts in every class,
+/// * power-of-two cache geometry (line size and set count) at every level,
+/// * a nonzero issue queue and branch-predictor budget.
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Sets the configuration name.
+    pub fn name(mut self, name: &str) -> Self {
+        self.cfg.name = name.to_string();
+        self
+    }
+
+    /// Sets the core count.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cfg.cores = cores;
+        self
+    }
+
+    /// Sets the clock frequency in GHz.
+    pub fn freq_ghz(mut self, freq_ghz: f64) -> Self {
+        self.cfg.freq_ghz = freq_ghz;
+        self
+    }
+
+    /// Sets the dispatch width **and** rescales the functional-unit mix to
+    /// the standard width-derived ports ([`FuConfig::scaled`]). Call
+    /// [`MachineConfigBuilder::fu`] afterwards to pin an explicit mix.
+    pub fn dispatch_width(mut self, width: u32) -> Self {
+        self.cfg.dispatch_width = width;
+        self.cfg.fu = FuConfig::scaled(width);
+        self
+    }
+
+    /// Sets the reorder-buffer capacity.
+    pub fn rob_size(mut self, rob: u32) -> Self {
+        self.cfg.rob_size = rob;
+        self
+    }
+
+    /// Sets the issue-queue capacity.
+    pub fn issue_queue(mut self, iq: u32) -> Self {
+        self.cfg.issue_queue = iq;
+        self
+    }
+
+    /// Sets the front-end pipeline depth (misprediction refill penalty).
+    pub fn frontend_depth(mut self, depth: u32) -> Self {
+        self.cfg.frontend_depth = depth;
+        self
+    }
+
+    /// Pins an explicit functional-unit mix.
+    pub fn fu(mut self, fu: FuConfig) -> Self {
+        self.cfg.fu = fu;
+        self
+    }
+
+    /// Sets the branch predictor.
+    pub fn bpred(mut self, bpred: BranchPredictorConfig) -> Self {
+        self.cfg.bpred = bpred;
+        self
+    }
+
+    /// Sets the L1 instruction cache geometry.
+    pub fn l1i(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l1i = g;
+        self
+    }
+
+    /// Sets the L1 data cache geometry.
+    pub fn l1d(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l1d = g;
+        self
+    }
+
+    /// Sets the private L2 geometry.
+    pub fn l2(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l2 = g;
+        self
+    }
+
+    /// Sets the shared L3 geometry.
+    pub fn l3(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l3 = g;
+        self
+    }
+
+    /// Sets the main-memory latency in nanoseconds.
+    pub fn mem_latency_ns(mut self, ns: f64) -> Self {
+        self.cfg.mem_latency_ns = ns;
+        self
+    }
+
+    /// Sets the MSHR count (memory-level-parallelism bound).
+    pub fn mshrs(mut self, mshrs: u32) -> Self {
+        self.cfg.mshrs = mshrs;
+        self
+    }
+
+    /// Sets the coherence intervention latency in cycles.
+    pub fn coherence_latency(mut self, cycles: u32) -> Self {
+        self.cfg.coherence_latency = cycles;
+        self
+    }
+
+    /// Sets the synchronization-call overhead in cycles.
+    pub fn sync_overhead_cycles(mut self, cycles: u32) -> Self {
+        self.cfg.sync_overhead_cycles = cycles;
+        self
+    }
+
+    /// Sets the thread-spawn latency in cycles.
+    pub fn spawn_latency_cycles(mut self, cycles: u32) -> Self {
+        self.cfg.spawn_latency_cycles = cycles;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency (see the type
+    /// docs for the full rule set).
+    pub fn build(self) -> Result<MachineConfig, String> {
+        let c = self.cfg;
+        for (class, ports) in [
+            ("int_alu", c.fu.int_alu),
+            ("int_mul", c.fu.int_mul),
+            ("fp", c.fu.fp),
+            ("mem", c.fu.mem),
+            ("branch", c.fu.branch),
+        ] {
+            if ports == 0 {
+                return Err(format!(
+                    "functional-unit class {class} needs at least one port"
+                ));
+            }
+        }
+        if c.issue_queue == 0 {
+            return Err("issue queue must be positive".into());
+        }
+        if c.bpred.size_bytes == 0 {
+            return Err("branch predictor budget must be positive".into());
+        }
+        for (level, g) in [("l1i", c.l1i), ("l1d", c.l1d), ("l2", c.l2), ("l3", c.l3)] {
+            if g.size_bytes == 0 || g.assoc == 0 || g.line_bytes == 0 {
+                return Err(format!("{level} geometry must be nonzero"));
+            }
+            if !g.line_bytes.is_power_of_two() {
+                return Err(format!(
+                    "{level} line size {} is not a power of two",
+                    g.line_bytes
+                ));
+            }
+            let sets = g.sets();
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(format!(
+                    "{level} has {sets} sets ({} B / ({} ways × {} B lines)): \
+                     set count must be a nonzero power of two",
+                    g.size_bytes, g.assoc, g.line_bytes
+                ));
+            }
+        }
+        c.validate()?;
+        Ok(c)
+    }
 }
 
 /// The five design points of Table IV.
@@ -246,13 +459,7 @@ impl DesignPoint {
             rob_size: rob,
             issue_queue: iq,
             frontend_depth: 6,
-            fu: FuConfig {
-                int_alu: width,
-                int_mul: (width / 3).max(1),
-                fp: (width / 2).max(1),
-                mem: (width / 2).max(1),
-                branch: (width / 2).max(1),
-            },
+            fu: FuConfig::scaled(width),
             bpred: BranchPredictorConfig::tournament_4kb(),
             l1i: CacheGeometry::new(32 * 1024, 4, 64, 3),
             l1d: CacheGeometry::new(32 * 1024, 4, 64, 3),
@@ -377,6 +584,63 @@ mod tests {
         let c = DesignPoint::Base.config();
         for class in OpClass::ALL {
             assert!(c.ports_for(class) >= 1);
+        }
+    }
+
+    #[test]
+    fn builder_reproduces_design_points() {
+        // Rebuilding each preset through the builder (same parameters) is
+        // the identity — the builder adds validation, not behaviour.
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            assert_eq!(c.to_builder().build().expect("preset validates"), c);
+        }
+        let derived = MachineConfig::builder("wide")
+            .dispatch_width(6)
+            .rob_size(288)
+            .issue_queue(144)
+            .freq_ghz(1.66)
+            .build()
+            .expect("valid");
+        assert_eq!(derived.name, "wide");
+        assert_eq!(derived.fu, FuConfig::scaled(6));
+        assert_eq!(derived.l1d, DesignPoint::Base.config().l1d);
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry() {
+        // Non-power-of-two set count.
+        let bad = MachineConfig::builder("bad").l1d(CacheGeometry {
+            size_bytes: 48 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 3,
+        });
+        let err = bad.build().unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+
+        let err = MachineConfig::builder("bad")
+            .fu(FuConfig {
+                int_alu: 4,
+                int_mul: 0,
+                fp: 2,
+                mem: 2,
+                branch: 2,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("int_mul"), "{err}");
+
+        // The base validate() rules still apply through the builder.
+        let err = MachineConfig::builder("bad").mshrs(0).build().unwrap_err();
+        assert!(err.contains("MSHR"), "{err}");
+    }
+
+    #[test]
+    fn scaled_fu_matches_table_iv_derivation() {
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            assert_eq!(c.fu, FuConfig::scaled(c.dispatch_width));
         }
     }
 

@@ -23,8 +23,12 @@
 //! * `format` must be the literal string `"rppm-trace"`; anything else is
 //!   rejected as [`TraceFileError::NotATraceFile`].
 //! * `version` is the schema version this file was written with. Importers
-//!   accept exactly [`TRACE_VERSION`]; newer files fail with
+//!   accept versions 1 through [`TRACE_VERSION`]; newer files fail with
 //!   [`TraceFileError::UnsupportedVersion`] rather than being misread.
+//!   Exporters write the *smallest* version able to carry the program
+//!   ([`Program::format_version`]), so traces without version-2 events
+//!   (reader-writer locks, semaphores) stay byte-identical to what a
+//!   version-1 tool would have written.
 //! * `program` is the [`Program`] body. Each thread's `segments` hold
 //!   `{"Block": {...}}` instruction blocks ([`crate::BlockSpec`], all fields
 //!   required) and `{"Sync": {...}}` synchronization events
@@ -61,9 +65,10 @@ use std::path::{Path, PathBuf};
 /// The `format` tag every trace file must carry.
 pub const TRACE_FORMAT: &str = "rppm-trace";
 
-/// Current schema version written by [`export_program`] and accepted by
-/// [`import_program`].
-pub const TRACE_VERSION: u32 = 1;
+/// Newest schema version this build understands. [`import_program`]
+/// accepts versions `1..=TRACE_VERSION`; [`export_program`] writes the
+/// smallest version able to carry the program.
+pub const TRACE_VERSION: u32 = 2;
 
 /// Everything that can go wrong exporting or importing a trace file.
 ///
@@ -161,7 +166,7 @@ impl std::fmt::Display for TraceFileError {
             TraceFileError::UnsupportedVersion { found, supported } => write!(
                 f,
                 "trace file uses schema version {found}, but this build reads only \
-                 version {supported}; re-export the trace with a matching tool"
+                 versions 1 through {supported}; re-export the trace with a matching tool"
             ),
             TraceFileError::Schema { detail } => {
                 write!(
@@ -225,7 +230,10 @@ pub fn export_program(program: &Program) -> Result<String, TraceFileError> {
             "format".to_string(),
             Value::String(TRACE_FORMAT.to_string()),
         ),
-        ("version".to_string(), Value::U64(TRACE_VERSION as u64)),
+        (
+            "version".to_string(),
+            Value::U64(program.format_version() as u64),
+        ),
         ("program".to_string(), program.to_value()),
     ]);
     serde_json::to_string(&envelope).map_err(|e| TraceFileError::Unserializable {
@@ -285,7 +293,7 @@ pub fn import_program(text: &str) -> Result<Program, TraceFileError> {
             ),
         })?,
     };
-    if version != TRACE_VERSION as u64 {
+    if !(1..=TRACE_VERSION as u64).contains(&version) {
         return Err(TraceFileError::UnsupportedVersion {
             found: version,
             supported: TRACE_VERSION,
@@ -298,6 +306,15 @@ pub fn import_program(text: &str) -> Result<Program, TraceFileError> {
     let program = Program::from_value(body).map_err(|e| TraceFileError::Schema {
         detail: e.to_string(),
     })?;
+    let needs = program.format_version();
+    if (needs as u64) > version {
+        return Err(TraceFileError::Schema {
+            detail: format!(
+                "file declares schema version {version} but contains events that require \
+                 version {needs} (reader-writer locks or semaphores)"
+            ),
+        });
+    }
     program.validate().map_err(TraceFileError::InvalidProgram)?;
     Ok(program)
 }
@@ -464,10 +481,44 @@ mod tests {
 
     #[test]
     fn envelope_carries_format_and_version() {
+        // A program without version-2 events is written as version 1, so
+        // existing traces stay byte-identical across the format bump.
         let text = export_program(&sample()).unwrap();
-        assert!(text.starts_with(&format!(
-            "{{\"format\":\"{TRACE_FORMAT}\",\"version\":{TRACE_VERSION},"
-        )));
+        assert!(text.starts_with(&format!("{{\"format\":\"{TRACE_FORMAT}\",\"version\":1,")));
+    }
+
+    fn sample_v2() -> Program {
+        let mut b = crate::builder::ProgramBuilder::new("v2-demo", 2);
+        let rw = b.alloc_rwlock();
+        let s = b.alloc_sem();
+        b.spawn_workers();
+        b.thread(0u32)
+            .rw_lock(rw, true)
+            .block(BlockSpec::new(100, 3))
+            .rw_unlock(rw)
+            .sem_post(s, 1);
+        b.thread(1u32).sem_wait(s).rw_lock(rw, false).rw_unlock(rw);
+        b.join_workers();
+        b.build()
+    }
+
+    #[test]
+    fn v2_programs_round_trip_at_version_2() {
+        let p = sample_v2();
+        let text = export_program(&p).unwrap();
+        assert!(text.starts_with(&format!("{{\"format\":\"{TRACE_FORMAT}\",\"version\":2,")));
+        let back = import_program(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn v2_events_in_v1_file_are_rejected() {
+        let p = sample_v2();
+        let text = export_program(&p).unwrap();
+        let lied = text.replacen("\"version\":2", "\"version\":1", 1);
+        let err = import_program(&lied).unwrap_err();
+        assert!(matches!(err, TraceFileError::Schema { .. }), "{err}");
+        assert!(err.to_string().contains("version 2"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`MachineConfig`] — the target multicore description shared by the
 //!   golden-reference simulator (`rppm-sim`) and the analytical model
 //!   (`rppm-core`). Includes the five design points of Table IV.
+//! * [`machine`][mod@machine] — the `.machine` text format for machine
+//!   descriptions: [`read_machine`] / [`write_machine`] with a versioned
+//!   key=value layout and typed [`MachineFileError`]s, so design points
+//!   come from files instead of code.
 //! * [`file`][mod@file] — the versioned on-disk trace interchange format:
 //!   [`export_program`] / [`import_program`] with schema-version checking
 //!   and typed, actionable errors, so externally collected traces can be
@@ -65,6 +69,7 @@ pub mod config;
 pub mod cpi;
 pub mod cursor;
 pub mod file;
+pub mod machine;
 pub mod op;
 pub mod pattern;
 pub mod program;
@@ -78,12 +83,19 @@ pub use binary::{
 };
 pub use block::BlockSpec;
 pub use builder::{ProgramBuilder, ThreadBuilder};
-pub use config::{BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig};
+pub use config::{
+    BranchPredictorConfig, CacheGeometry, DesignPoint, FuConfig, MachineConfig,
+    MachineConfigBuilder,
+};
 pub use cpi::CpiStack;
 pub use cursor::{BlockItem, CursorItem, ThreadCursor};
 pub use file::{
     export_program, import_program, program_fingerprint, read_program, write_program,
     TraceFileError, TRACE_FORMAT, TRACE_VERSION,
+};
+pub use machine::{
+    format_machine, parse_machine, read_machine, write_machine, MachineFileError, MACHINE_FORMAT,
+    MACHINE_VERSION,
 };
 pub use op::{MicroOp, OpClass};
 pub use pattern::{AddressPattern, BranchPattern, Region};

@@ -1,0 +1,629 @@
+//! The `.machine` text format: machine descriptions as config files.
+//!
+//! A machine file is the on-disk form of a [`MachineConfig`], so design
+//! points come from files instead of the five hardcoded [`DesignPoint`]
+//! presets (those presets are committed as files under `examples/machines/`
+//! and asserted equal to the constants). The format is a versioned,
+//! comment-friendly key=value layout:
+//!
+//! ```text
+//! rppm-machine v1
+//!
+//! [machine]
+//! name = base
+//! cores = 4
+//! freq_ghz = 2.5
+//! dispatch_width = 4
+//! rob_size = 128
+//! issue_queue = 64
+//! frontend_depth = 6
+//! mem_latency_ns = 80
+//! mshrs = 10
+//! coherence_latency = 40
+//! sync_overhead_cycles = 40
+//! spawn_latency_cycles = 1500
+//!
+//! [fu]
+//! int_alu = 4
+//! ...
+//! ```
+//!
+//! * The first significant line is the header `rppm-machine v<N>`. Readers
+//!   accept versions 1 through [`MACHINE_VERSION`]; newer files fail with
+//!   [`MachineFileError::UnsupportedVersion`] rather than being misread.
+//! * Blank lines and lines starting with `#` are ignored.
+//! * Sections are `[machine]`, `[fu]`, `[bpred]`, `[l1i]`, `[l1d]`, `[l2]`
+//!   and `[l3]`; every section and every key is required, may appear in any
+//!   order, and may appear only once. Unknown sections and keys are typed
+//!   errors, never silently skipped — a typo cannot yield a config that
+//!   differs from the one the file describes.
+//! * Floats are written with Rust's shortest round-trippable `Display`
+//!   form, so [`format_machine`] → [`parse_machine`] is the identity.
+//!
+//! Parsed configurations pass through [`MachineConfig::to_builder`]'s
+//! validation (nonzero widths, power-of-two cache geometry, ...), so a
+//! file that parses always yields a configuration the engines can run.
+//!
+//! # Versioning policy
+//!
+//! Within a version the format only changes additively; any change to the
+//! meaning of existing keys bumps [`MACHINE_VERSION`].
+//!
+//! # Example
+//!
+//! ```
+//! use rppm_trace::{machine, DesignPoint};
+//!
+//! let text = machine::format_machine(&DesignPoint::Base.config());
+//! let back = machine::parse_machine(&text)?;
+//! assert_eq!(back, DesignPoint::Base.config());
+//! # Ok::<(), rppm_trace::machine::MachineFileError>(())
+//! ```
+
+use crate::config::{BranchPredictorConfig, CacheGeometry, FuConfig, MachineConfig};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+#[cfg(doc)]
+use crate::config::DesignPoint;
+
+/// The header tag every machine file must carry.
+pub const MACHINE_FORMAT: &str = "rppm-machine";
+
+/// Newest format version this build understands. [`parse_machine`] accepts
+/// versions `1..=MACHINE_VERSION`; [`format_machine`] writes exactly this
+/// version.
+pub const MACHINE_VERSION: u32 = 1;
+
+/// The sections of a machine file, each with its required keys.
+const SECTIONS: &[(&str, &[&str])] = &[
+    (
+        "machine",
+        &[
+            "name",
+            "cores",
+            "freq_ghz",
+            "dispatch_width",
+            "rob_size",
+            "issue_queue",
+            "frontend_depth",
+            "mem_latency_ns",
+            "mshrs",
+            "coherence_latency",
+            "sync_overhead_cycles",
+            "spawn_latency_cycles",
+        ],
+    ),
+    ("fu", &["int_alu", "int_mul", "fp", "mem", "branch"]),
+    ("bpred", &["size_bytes", "history_bits"]),
+    ("l1i", &["size_bytes", "assoc", "line_bytes", "latency"]),
+    ("l1d", &["size_bytes", "assoc", "line_bytes", "latency"]),
+    ("l2", &["size_bytes", "assoc", "line_bytes", "latency"]),
+    ("l3", &["size_bytes", "assoc", "line_bytes", "latency"]),
+];
+
+/// Everything that can go wrong reading or writing a machine file.
+///
+/// Every variant renders an actionable one-line message with the offending
+/// line number where one exists.
+#[derive(Debug)]
+pub enum MachineFileError {
+    /// Reading or writing the file failed.
+    Io {
+        /// File being accessed.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `rppm-machine v<N>` header.
+    NotAMachineFile {
+        /// What was found instead.
+        detail: String,
+    },
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version declared by the file.
+        found: u64,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// A line is neither a section header, a `key = value` pair, a comment
+    /// nor blank — or a pair appears before any section.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong.
+        detail: String,
+    },
+    /// A section this format does not define.
+    UnknownSection {
+        /// 1-based line number.
+        line: usize,
+        /// The section name found.
+        section: String,
+    },
+    /// A key its section does not define (or a duplicate of one it does).
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// Section the key appeared in.
+        section: String,
+        /// The key found.
+        key: String,
+    },
+    /// A value that does not parse as its key's type.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// Section of the offending key.
+        section: String,
+        /// The offending key.
+        key: String,
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent section.
+        section: String,
+    },
+    /// A required key is absent from a present section.
+    MissingKey {
+        /// Section the key belongs to.
+        section: String,
+        /// The absent key.
+        key: String,
+    },
+    /// The file parsed but describes a configuration the engines cannot
+    /// run (zero width, non-power-of-two cache geometry, ...).
+    Invalid {
+        /// Validation diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for MachineFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineFileError::Io { path, source } => {
+                write!(f, "cannot access `{}`: {source}", path.display())
+            }
+            MachineFileError::NotAMachineFile { detail } => write!(
+                f,
+                "not a machine file: expected a `{MACHINE_FORMAT} v<N>` header, {detail}"
+            ),
+            MachineFileError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported machine-file version {found}: this build reads only versions 1 \
+                 through {supported}; re-export the machine with a current tool or upgrade"
+            ),
+            MachineFileError::Syntax { line, detail } => {
+                write!(f, "line {line}: {detail}")
+            }
+            MachineFileError::UnknownSection { line, section } => write!(
+                f,
+                "line {line}: unknown section [{section}] (expected one of {})",
+                section_names()
+            ),
+            MachineFileError::UnknownKey { line, section, key } => write!(
+                f,
+                "line {line}: unknown or duplicate key `{key}` in section [{section}]"
+            ),
+            MachineFileError::BadValue {
+                line,
+                section,
+                key,
+                detail,
+            } => write!(
+                f,
+                "line {line}: bad value for `{key}` in section [{section}]: {detail}"
+            ),
+            MachineFileError::MissingSection { section } => {
+                write!(f, "missing section [{section}]")
+            }
+            MachineFileError::MissingKey { section, key } => {
+                write!(f, "missing key `{key}` in section [{section}]")
+            }
+            MachineFileError::Invalid { detail } => {
+                write!(f, "invalid machine configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineFileError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn section_names() -> String {
+    SECTIONS
+        .iter()
+        .map(|(s, _)| format!("[{s}]"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a configuration in the current format version.
+/// [`parse_machine`] of the result returns a configuration equal to
+/// `config`.
+pub fn format_machine(config: &MachineConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MACHINE_FORMAT} v{MACHINE_VERSION}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "[machine]");
+    let _ = writeln!(out, "name = {}", config.name);
+    let _ = writeln!(out, "cores = {}", config.cores);
+    let _ = writeln!(out, "freq_ghz = {}", config.freq_ghz);
+    let _ = writeln!(out, "dispatch_width = {}", config.dispatch_width);
+    let _ = writeln!(out, "rob_size = {}", config.rob_size);
+    let _ = writeln!(out, "issue_queue = {}", config.issue_queue);
+    let _ = writeln!(out, "frontend_depth = {}", config.frontend_depth);
+    let _ = writeln!(out, "mem_latency_ns = {}", config.mem_latency_ns);
+    let _ = writeln!(out, "mshrs = {}", config.mshrs);
+    let _ = writeln!(out, "coherence_latency = {}", config.coherence_latency);
+    let _ = writeln!(
+        out,
+        "sync_overhead_cycles = {}",
+        config.sync_overhead_cycles
+    );
+    let _ = writeln!(
+        out,
+        "spawn_latency_cycles = {}",
+        config.spawn_latency_cycles
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "[fu]");
+    let _ = writeln!(out, "int_alu = {}", config.fu.int_alu);
+    let _ = writeln!(out, "int_mul = {}", config.fu.int_mul);
+    let _ = writeln!(out, "fp = {}", config.fu.fp);
+    let _ = writeln!(out, "mem = {}", config.fu.mem);
+    let _ = writeln!(out, "branch = {}", config.fu.branch);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "[bpred]");
+    let _ = writeln!(out, "size_bytes = {}", config.bpred.size_bytes);
+    let _ = writeln!(out, "history_bits = {}", config.bpred.history_bits);
+    for (name, g) in [
+        ("l1i", config.l1i),
+        ("l1d", config.l1d),
+        ("l2", config.l2),
+        ("l3", config.l3),
+    ] {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[{name}]");
+        let _ = writeln!(out, "size_bytes = {}", g.size_bytes);
+        let _ = writeln!(out, "assoc = {}", g.assoc);
+        let _ = writeln!(out, "line_bytes = {}", g.line_bytes);
+        let _ = writeln!(out, "latency = {}", g.latency);
+    }
+    out
+}
+
+/// The parsed `(line, value)` of every key, keyed by `(section, key)`.
+struct Pairs {
+    seen_sections: Vec<String>,
+    values: HashMap<(String, String), (usize, String)>,
+}
+
+impl Pairs {
+    fn take(&mut self, section: &str, key: &str) -> Result<(usize, String), MachineFileError> {
+        self.values
+            .remove(&(section.to_string(), key.to_string()))
+            .ok_or_else(|| {
+                if self.seen_sections.iter().any(|s| s == section) {
+                    MachineFileError::MissingKey {
+                        section: section.to_string(),
+                        key: key.to_string(),
+                    }
+                } else {
+                    MachineFileError::MissingSection {
+                        section: section.to_string(),
+                    }
+                }
+            })
+    }
+
+    fn string(&mut self, section: &str, key: &str) -> Result<String, MachineFileError> {
+        Ok(self.take(section, key)?.1)
+    }
+
+    fn parse<T: std::str::FromStr>(
+        &mut self,
+        section: &str,
+        key: &str,
+    ) -> Result<T, MachineFileError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let (line, raw) = self.take(section, key)?;
+        raw.parse().map_err(|e: T::Err| MachineFileError::BadValue {
+            line,
+            section: section.to_string(),
+            key: key.to_string(),
+            detail: format!("`{raw}`: {e}"),
+        })
+    }
+
+    fn f64(&mut self, section: &str, key: &str) -> Result<f64, MachineFileError> {
+        let (line, raw) = self.take(section, key)?;
+        match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            Ok(v) => Err(MachineFileError::BadValue {
+                line,
+                section: section.to_string(),
+                key: key.to_string(),
+                detail: format!("`{raw}`: {v} is not finite"),
+            }),
+            Err(e) => Err(MachineFileError::BadValue {
+                line,
+                section: section.to_string(),
+                key: key.to_string(),
+                detail: format!("`{raw}`: {e}"),
+            }),
+        }
+    }
+
+    fn cache(&mut self, section: &str) -> Result<CacheGeometry, MachineFileError> {
+        Ok(CacheGeometry {
+            size_bytes: self.parse(section, "size_bytes")?,
+            assoc: self.parse(section, "assoc")?,
+            line_bytes: self.parse(section, "line_bytes")?,
+            latency: self.parse(section, "latency")?,
+        })
+    }
+}
+
+/// Parses machine-file text into a validated [`MachineConfig`].
+///
+/// # Errors
+///
+/// Every [`MachineFileError`] variant except [`MachineFileError::Io`]: a
+/// missing or future-versioned header, malformed lines, unknown sections or
+/// keys, unparseable values, absent sections or keys, and configurations
+/// that fail builder validation.
+pub fn parse_machine(text: &str) -> Result<MachineConfig, MachineFileError> {
+    let mut pairs = scan(text)?;
+
+    let name = pairs.string("machine", "name")?;
+    let mut b = MachineConfig::builder(&name)
+        .cores(pairs.parse("machine", "cores")?)
+        .freq_ghz(pairs.f64("machine", "freq_ghz")?)
+        .dispatch_width(pairs.parse("machine", "dispatch_width")?)
+        .rob_size(pairs.parse("machine", "rob_size")?)
+        .issue_queue(pairs.parse("machine", "issue_queue")?)
+        .frontend_depth(pairs.parse("machine", "frontend_depth")?)
+        .mem_latency_ns(pairs.f64("machine", "mem_latency_ns")?)
+        .mshrs(pairs.parse("machine", "mshrs")?)
+        .coherence_latency(pairs.parse("machine", "coherence_latency")?)
+        .sync_overhead_cycles(pairs.parse("machine", "sync_overhead_cycles")?)
+        .spawn_latency_cycles(pairs.parse("machine", "spawn_latency_cycles")?);
+    b = b.fu(FuConfig {
+        int_alu: pairs.parse("fu", "int_alu")?,
+        int_mul: pairs.parse("fu", "int_mul")?,
+        fp: pairs.parse("fu", "fp")?,
+        mem: pairs.parse("fu", "mem")?,
+        branch: pairs.parse("fu", "branch")?,
+    });
+    b = b.bpred(BranchPredictorConfig {
+        size_bytes: pairs.parse("bpred", "size_bytes")?,
+        history_bits: pairs.parse("bpred", "history_bits")?,
+    });
+    b = b.l1i(pairs.cache("l1i")?);
+    b = b.l1d(pairs.cache("l1d")?);
+    b = b.l2(pairs.cache("l2")?);
+    b = b.l3(pairs.cache("l3")?);
+    b.build()
+        .map_err(|detail| MachineFileError::Invalid { detail })
+}
+
+/// Lexes the header, sections and `key = value` pairs of `text`.
+fn scan(text: &str) -> Result<Pairs, MachineFileError> {
+    let mut pairs = Pairs {
+        seen_sections: Vec::new(),
+        values: HashMap::new(),
+    };
+    let mut header_seen = false;
+    let mut current: Option<String> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            let rest = line.strip_prefix(MACHINE_FORMAT).and_then(|r| {
+                let r = r.trim_start();
+                r.strip_prefix('v')
+            });
+            let Some(version_str) = rest else {
+                return Err(MachineFileError::NotAMachineFile {
+                    detail: format!("found `{line}` on line {line_no}"),
+                });
+            };
+            let version: u64 =
+                version_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| MachineFileError::NotAMachineFile {
+                        detail: format!("found a malformed version in `{line}` on line {line_no}"),
+                    })?;
+            if !(1..=MACHINE_VERSION as u64).contains(&version) {
+                return Err(MachineFileError::UnsupportedVersion {
+                    found: version,
+                    supported: MACHINE_VERSION,
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let section = section.trim();
+            if !SECTIONS.iter().any(|(s, _)| *s == section) {
+                return Err(MachineFileError::UnknownSection {
+                    line: line_no,
+                    section: section.to_string(),
+                });
+            }
+            pairs.seen_sections.push(section.to_string());
+            current = Some(section.to_string());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(MachineFileError::Syntax {
+                line: line_no,
+                detail: format!(
+                    "expected `key = value`, a [section] header or a comment, found `{line}`"
+                ),
+            });
+        };
+        let Some(section) = current.clone() else {
+            return Err(MachineFileError::Syntax {
+                line: line_no,
+                detail: format!("key `{}` before any [section] header", key.trim()),
+            });
+        };
+        let key = key.trim().to_string();
+        let known = SECTIONS
+            .iter()
+            .find(|(s, _)| *s == section)
+            .is_some_and(|(_, keys)| keys.contains(&key.as_str()));
+        let slot = (section.clone(), key.clone());
+        if !known || pairs.values.contains_key(&slot) {
+            return Err(MachineFileError::UnknownKey {
+                line: line_no,
+                section,
+                key,
+            });
+        }
+        pairs
+            .values
+            .insert(slot, (line_no, value.trim().to_string()));
+    }
+    if !header_seen {
+        return Err(MachineFileError::NotAMachineFile {
+            detail: "found an empty file".to_string(),
+        });
+    }
+    Ok(pairs)
+}
+
+/// Reads and parses the machine file at `path`.
+///
+/// # Errors
+///
+/// [`MachineFileError::Io`] on read failure, otherwise [`parse_machine`]'s
+/// errors.
+pub fn read_machine(path: impl AsRef<Path>) -> Result<MachineConfig, MachineFileError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|source| MachineFileError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    parse_machine(&text)
+}
+
+/// Writes `config` to `path` in the current format version.
+///
+/// # Errors
+///
+/// [`MachineFileError::Io`] on write failure.
+pub fn write_machine(
+    path: impl AsRef<Path>,
+    config: &MachineConfig,
+) -> Result<(), MachineFileError> {
+    let path = path.as_ref();
+    std::fs::write(path, format_machine(config)).map_err(|source| MachineFileError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesignPoint;
+
+    #[test]
+    fn presets_round_trip_exactly() {
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            let text = format_machine(&c);
+            let back = parse_machine(&text).expect("round-trips");
+            assert_eq!(back, c, "{dp}");
+        }
+    }
+
+    #[test]
+    fn comments_blank_lines_and_reordering_are_fine() {
+        let c = DesignPoint::Small.config();
+        let text = format_machine(&c);
+        let body = text
+            .strip_prefix(&format!("{MACHINE_FORMAT} v{MACHINE_VERSION}\n"))
+            .expect("header");
+        // Re-order the sections and sprinkle comments.
+        let mut sections: Vec<&str> = body.trim().split("\n\n").collect();
+        sections.rotate_left(2);
+        let shuffled = format!(
+            "# a machine file\n\n  {MACHINE_FORMAT} v{MACHINE_VERSION}\n\n{}\n# trailing comment\n",
+            sections.join("\n\n# separator\n")
+        );
+        assert_eq!(parse_machine(&shuffled).expect("parses"), c);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = format_machine(&DesignPoint::Base.config()).replacen(
+            &format!("{MACHINE_FORMAT} v{MACHINE_VERSION}"),
+            &format!("{MACHINE_FORMAT} v{}", MACHINE_VERSION + 1),
+            1,
+        );
+        let err = parse_machine(&text).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MachineFileError::UnsupportedVersion { found, supported }
+                    if found == (MACHINE_VERSION + 1) as u64 && supported == MACHINE_VERSION
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn write_and_read_files() {
+        let dir = std::env::temp_dir().join(format!("rppm-machine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("big.machine");
+        let c = DesignPoint::Big.config();
+        write_machine(&path, &c).expect("writes");
+        assert_eq!(read_machine(&path).expect("reads"), c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn committed_preset_files_equal_the_constants() {
+        // The five Table IV presets are committed as `.machine` files; each
+        // must parse to exactly the hardcoded `DesignPoint` configuration.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines");
+        for dp in DesignPoint::ALL {
+            let path = dir.join(format!("{dp}.machine"));
+            let parsed = read_machine(&path)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            assert_eq!(parsed, dp.config(), "{dp}");
+            // And the committed bytes are exactly what this build writes.
+            let text = std::fs::read_to_string(&path).expect("readable");
+            assert_eq!(text, format_machine(&dp.config()), "{dp} file is stale");
+        }
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let err = read_machine("/nonexistent/rppm.machine").unwrap_err();
+        assert!(matches!(err, MachineFileError::Io { .. }));
+        assert!(err.to_string().contains("/nonexistent/rppm.machine"));
+    }
+}

@@ -113,6 +113,17 @@ impl Program {
         self.threads.iter().map(ThreadScript::total_ops).sum()
     }
 
+    /// Smallest trace-format schema version able to carry this program:
+    /// the maximum of [`SyncOp::min_format_version`] over every sync event
+    /// (1 for programs without reader-writer locks or semaphores).
+    pub fn format_version(&self) -> u32 {
+        self.threads
+            .iter()
+            .flat_map(ThreadScript::sync_ops)
+            .map(SyncOp::min_format_version)
+            .fold(1, u32::max)
+    }
+
     /// Validates structural invariants:
     ///
     /// * every non-main thread is created exactly once, by an earlier thread;
@@ -127,6 +138,7 @@ impl Program {
         let mut created = vec![0usize; n];
         for (tid, script) in self.threads.iter().enumerate() {
             let mut held: Vec<u32> = Vec::new();
+            let mut held_rw: Vec<u32> = Vec::new();
             for seg in &script.segments {
                 if let Segment::Sync(op) = seg {
                     match op {
@@ -159,12 +171,26 @@ impl Program {
                                 });
                             }
                         }
+                        SyncOp::RwLock { id, .. } => held_rw.push(id.0),
+                        #[allow(clippy::collapsible_match)]
+                        SyncOp::RwUnlock { id } => {
+                            if held_rw.pop() != Some(id.0) {
+                                return Err(ProgramError::UnbalancedRwLock {
+                                    thread: ThreadId(tid as u32),
+                                });
+                            }
+                        }
                         _ => {}
                     }
                 }
             }
             if !held.is_empty() {
                 return Err(ProgramError::UnbalancedLock {
+                    thread: ThreadId(tid as u32),
+                });
+            }
+            if !held_rw.is_empty() {
+                return Err(ProgramError::UnbalancedRwLock {
                     thread: ThreadId(tid as u32),
                 });
             }
@@ -215,6 +241,11 @@ pub enum ProgramError {
         /// Offending thread.
         thread: ThreadId,
     },
+    /// Mismatched or badly nested rwlock/rwunlock events.
+    UnbalancedRwLock {
+        /// Offending thread.
+        thread: ThreadId,
+    },
 }
 
 impl std::fmt::Display for ProgramError {
@@ -234,6 +265,12 @@ impl std::fmt::Display for ProgramError {
                 write!(
                     f,
                     "unbalanced or badly nested lock/unlock in thread {thread}"
+                )
+            }
+            ProgramError::UnbalancedRwLock { thread } => {
+                write!(
+                    f,
+                    "unbalanced or badly nested rwlock/rwunlock in thread {thread}"
                 )
             }
         }
@@ -344,6 +381,38 @@ mod tests {
     }
 
     #[test]
+    fn validate_catches_unbalanced_rwlocks() {
+        use crate::sync::RwLockId;
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![Segment::Sync(SyncOp::RwLock {
+            id: RwLockId(0),
+            write: true,
+        })];
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::UnbalancedRwLock {
+                thread: ThreadId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn format_version_tracks_v2_ops() {
+        use crate::sync::SemId;
+        let mut p = Program::new("t", 1);
+        p.threads[0].segments = vec![block(10), Segment::Sync(SyncOp::Lock { id: MutexId(0) })];
+        assert_eq!(p.format_version(), 1);
+        p.threads[0]
+            .segments
+            .push(Segment::Sync(SyncOp::Unlock { id: MutexId(0) }));
+        p.threads[0].segments.push(Segment::Sync(SyncOp::SemPost {
+            id: SemId(0),
+            count: 1,
+        }));
+        assert_eq!(p.format_version(), 2);
+    }
+
+    #[test]
     fn sync_ops_iterates_in_order() {
         let mut p = Program::new("t", 1);
         p.threads[0].segments = vec![
@@ -382,6 +451,9 @@ mod tests {
                 thread: ThreadId(1),
             },
             ProgramError::UnbalancedLock {
+                thread: ThreadId(0),
+            },
+            ProgramError::UnbalancedRwLock {
                 thread: ThreadId(0),
             },
         ];

@@ -73,6 +73,20 @@ id_newtype!(
     /// variable.
     QueueId
 );
+id_newtype!(
+    /// Identifies a reader-writer lock object.
+    ///
+    /// Reader-writer events are trace-format version 2: traces containing
+    /// them cannot be serialized as version-1 artifacts.
+    RwLockId
+);
+id_newtype!(
+    /// Identifies a counting semaphore object.
+    ///
+    /// Semaphore events are trace-format version 2: traces containing them
+    /// cannot be serialized as version-1 artifacts.
+    SemId
+);
 
 /// A synchronization event in a thread's dynamic stream.
 ///
@@ -126,6 +140,42 @@ pub enum SyncOp {
         /// Queue (condition variable) identifier.
         queue: QueueId,
     },
+    /// Acquire reader-writer lock `id` (`pthread_rwlock_rdlock` /
+    /// `wrlock`). Readers share the lock; a writer is exclusive. Grants are
+    /// FIFO by arrival (writers are not starved by late readers).
+    ///
+    /// Trace-format version 2.
+    RwLock {
+        /// Reader-writer lock object.
+        id: RwLockId,
+        /// `true` for a writer (exclusive) acquisition.
+        write: bool,
+    },
+    /// Release reader-writer lock `id` (one reader share, or the writer).
+    ///
+    /// Trace-format version 2.
+    RwUnlock {
+        /// Reader-writer lock object.
+        id: RwLockId,
+    },
+    /// Decrement semaphore `id` (`sem_wait`), blocking while its count is
+    /// zero.
+    ///
+    /// Trace-format version 2.
+    SemWait {
+        /// Semaphore object.
+        id: SemId,
+    },
+    /// Increment semaphore `id` by `count` (`sem_post`), waking blocked
+    /// waiters.
+    ///
+    /// Trace-format version 2.
+    SemPost {
+        /// Semaphore object.
+        id: SemId,
+        /// Number of permits released.
+        count: u32,
+    },
 }
 
 impl SyncOp {
@@ -133,20 +183,43 @@ impl SyncOp {
     pub fn may_block(&self) -> bool {
         !matches!(
             self,
-            SyncOp::Create { .. } | SyncOp::Unlock { .. } | SyncOp::Produce { .. }
+            SyncOp::Create { .. }
+                | SyncOp::Unlock { .. }
+                | SyncOp::Produce { .. }
+                | SyncOp::RwUnlock { .. }
+                | SyncOp::SemPost { .. }
         )
     }
 
     /// Paper-taxonomy category used for Table III accounting.
     pub fn category(&self) -> SyncCategory {
         match self {
-            SyncOp::Lock { .. } | SyncOp::Unlock { .. } => SyncCategory::CriticalSection,
+            SyncOp::Lock { .. }
+            | SyncOp::Unlock { .. }
+            | SyncOp::RwLock { .. }
+            | SyncOp::RwUnlock { .. } => SyncCategory::CriticalSection,
             SyncOp::Barrier {
                 via_cond: false, ..
             } => SyncCategory::Barrier,
             SyncOp::Barrier { via_cond: true, .. } => SyncCategory::CondVar,
-            SyncOp::Produce { .. } | SyncOp::Consume { .. } => SyncCategory::CondVar,
+            SyncOp::Produce { .. }
+            | SyncOp::Consume { .. }
+            | SyncOp::SemWait { .. }
+            | SyncOp::SemPost { .. } => SyncCategory::CondVar,
             SyncOp::Create { .. } | SyncOp::Join { .. } => SyncCategory::ThreadMgmt,
+        }
+    }
+
+    /// Minimum trace-format version able to carry this event: version 1
+    /// for the paper's original event set, version 2 for reader-writer
+    /// locks and semaphores.
+    pub fn min_format_version(&self) -> u32 {
+        match self {
+            SyncOp::RwLock { .. }
+            | SyncOp::RwUnlock { .. }
+            | SyncOp::SemWait { .. }
+            | SyncOp::SemPost { .. } => 2,
+            _ => 1,
         }
     }
 }
@@ -167,6 +240,16 @@ impl std::fmt::Display for SyncOp {
             SyncOp::Unlock { id } => write!(f, "unlock({id})"),
             SyncOp::Produce { queue, count } => write!(f, "produce({queue}, {count})"),
             SyncOp::Consume { queue } => write!(f, "consume({queue})"),
+            SyncOp::RwLock { id, write } => {
+                if *write {
+                    write!(f, "rwlock({id}, write)")
+                } else {
+                    write!(f, "rwlock({id}, read)")
+                }
+            }
+            SyncOp::RwUnlock { id } => write!(f, "rwunlock({id})"),
+            SyncOp::SemWait { id } => write!(f, "sem_wait({id})"),
+            SyncOp::SemPost { id, count } => write!(f, "sem_post({id}, {count})"),
         }
     }
 }
@@ -275,10 +358,56 @@ mod tests {
                 count: 2,
             },
             SyncOp::Consume { queue: QueueId(4) },
+            SyncOp::RwLock {
+                id: RwLockId(5),
+                write: false,
+            },
+            SyncOp::RwLock {
+                id: RwLockId(5),
+                write: true,
+            },
+            SyncOp::RwUnlock { id: RwLockId(5) },
+            SyncOp::SemWait { id: SemId(6) },
+            SyncOp::SemPost {
+                id: SemId(6),
+                count: 2,
+            },
         ];
         for op in ops {
             assert!(!format!("{op}").is_empty());
         }
+    }
+
+    #[test]
+    fn v2_ops_classified() {
+        let rd = SyncOp::RwLock {
+            id: RwLockId(0),
+            write: false,
+        };
+        let wr = SyncOp::RwLock {
+            id: RwLockId(0),
+            write: true,
+        };
+        let un = SyncOp::RwUnlock { id: RwLockId(0) };
+        let sw = SyncOp::SemWait { id: SemId(0) };
+        let sp = SyncOp::SemPost {
+            id: SemId(0),
+            count: 1,
+        };
+        assert!(rd.may_block() && wr.may_block() && sw.may_block());
+        assert!(!un.may_block() && !sp.may_block());
+        assert_eq!(rd.category(), SyncCategory::CriticalSection);
+        assert_eq!(un.category(), SyncCategory::CriticalSection);
+        assert_eq!(sw.category(), SyncCategory::CondVar);
+        assert_eq!(sp.category(), SyncCategory::CondVar);
+        for op in [rd, wr, un, sw, sp] {
+            assert_eq!(op.min_format_version(), 2);
+        }
+        assert_eq!(
+            SyncOp::Lock { id: MutexId(0) }.min_format_version(),
+            1,
+            "original event set stays version 1"
+        );
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Malformed `.machine` files must yield typed, actionable errors — never
+//! a panic and never a silently-misread configuration. Each test corrupts
+//! one aspect of a known-good machine description and asserts the parser
+//! reports the matching [`MachineFileError`] variant, mirroring the trace
+//! importer's `import_errors` suite.
+
+use rppm_trace::{
+    format_machine, parse_machine, read_machine, DesignPoint, MachineFileError, MACHINE_FORMAT,
+    MACHINE_VERSION,
+};
+
+fn good_file() -> String {
+    format_machine(&DesignPoint::Base.config())
+}
+
+#[test]
+fn missing_header_is_not_a_machine_file() {
+    let text = good_file();
+    let headerless = text
+        .strip_prefix(&format!("{MACHINE_FORMAT} v{MACHINE_VERSION}\n"))
+        .expect("known header");
+    match parse_machine(headerless) {
+        Err(MachineFileError::NotAMachineFile { detail }) => {
+            assert!(detail.contains("[machine]"), "{detail}");
+        }
+        other => panic!("expected NotAMachineFile, got {other:?}"),
+    }
+    // Empty input reads differently: nothing was found at all.
+    match parse_machine("") {
+        Err(MachineFileError::NotAMachineFile { detail }) => {
+            assert!(detail.contains("empty"), "{detail}");
+        }
+        other => panic!("expected NotAMachineFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let future = MACHINE_VERSION + 1;
+    let text = good_file().replacen(
+        &format!("{MACHINE_FORMAT} v{MACHINE_VERSION}"),
+        &format!("{MACHINE_FORMAT} v{future}"),
+        1,
+    );
+    match parse_machine(&text) {
+        Err(MachineFileError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, future as u64);
+            assert_eq!(supported, MACHINE_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_version_is_not_a_machine_file() {
+    let text = good_file().replacen(
+        &format!("{MACHINE_FORMAT} v{MACHINE_VERSION}"),
+        &format!("{MACHINE_FORMAT} vtwo"),
+        1,
+    );
+    match parse_machine(&text) {
+        Err(MachineFileError::NotAMachineFile { detail }) => {
+            assert!(detail.contains("version"), "{detail}");
+        }
+        other => panic!("expected NotAMachineFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_pair_line_is_a_syntax_error_with_line_number() {
+    let text = good_file().replacen("cores = 4", "cores 4", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::Syntax { line, detail }) => {
+            assert!(line > 1, "line number should point into the body");
+            assert!(detail.contains("cores 4"), "{detail}");
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn key_before_any_section_is_a_syntax_error() {
+    let text = format!("{MACHINE_FORMAT} v{MACHINE_VERSION}\nname = rogue\n");
+    match parse_machine(&text) {
+        Err(MachineFileError::Syntax { line, detail }) => {
+            assert_eq!(line, 2);
+            assert!(detail.contains("before any"), "{detail}");
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_section_is_rejected_and_named() {
+    let text = good_file().replacen("[bpred]", "[bprediction]", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::UnknownSection { line, section }) => {
+            assert!(line > 1);
+            assert_eq!(section, "bprediction");
+        }
+        other => panic!("expected UnknownSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_key_is_rejected_and_named() {
+    let text = good_file().replacen("mshrs = 10", "mhsrs = 10", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::UnknownKey { section, key, .. }) => {
+            assert_eq!(section, "machine");
+            assert_eq!(key, "mhsrs");
+        }
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_key_is_rejected_like_an_unknown_one() {
+    // A duplicate would otherwise let the second value silently win; the
+    // parser treats it as the same class of error as a typo.
+    let text = good_file().replacen("cores = 4", "cores = 4\ncores = 8", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::UnknownKey { section, key, line }) => {
+            assert_eq!(section, "machine");
+            assert_eq!(key, "cores");
+            assert!(line > 1);
+        }
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn unparseable_value_is_a_bad_value_with_context() {
+    let text = good_file().replacen("cores = 4", "cores = four", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::BadValue {
+            section,
+            key,
+            detail,
+            ..
+        }) => {
+            assert_eq!(section, "machine");
+            assert_eq!(key, "cores");
+            assert!(detail.contains("four"), "{detail}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_float_is_a_bad_value() {
+    let text = good_file().replacen("mem_latency_ns = 80", "mem_latency_ns = inf", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::BadValue { key, detail, .. }) => {
+            assert_eq!(key, "mem_latency_ns");
+            assert!(detail.contains("finite"), "{detail}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_section_is_reported_by_name() {
+    let text = good_file();
+    let start = text.find("[l2]").expect("has [l2]");
+    let end = text.find("[l3]").expect("has [l3]");
+    let text = format!("{}{}", &text[..start], &text[end..]);
+    match parse_machine(&text) {
+        Err(MachineFileError::MissingSection { section }) => {
+            assert_eq!(section, "l2");
+        }
+        other => panic!("expected MissingSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_key_is_reported_with_its_section() {
+    let text = good_file().replacen("history_bits = 12\n", "", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::MissingKey { section, key }) => {
+            assert_eq!(section, "bpred");
+            assert_eq!(key, "history_bits");
+        }
+        other => panic!("expected MissingKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn structurally_invalid_machine_is_rejected() {
+    // Zero ALU ports parses fine but fails builder validation; the
+    // diagnostic names the offending functional-unit class.
+    let text = good_file().replacen("int_alu = 4", "int_alu = 0", 1);
+    match parse_machine(&text) {
+        Err(MachineFileError::Invalid { detail }) => {
+            assert!(detail.contains("int_alu"), "{detail}");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn io_error_carries_the_path() {
+    let err = read_machine("/no/such/dir/x.machine").unwrap_err();
+    match &err {
+        MachineFileError::Io { path, .. } => {
+            assert_eq!(path.to_str(), Some("/no/such/dir/x.machine"));
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+    assert!(err.to_string().contains("x.machine"));
+}
+
+#[test]
+fn every_error_message_is_actionable() {
+    // The user-facing contract: one line that says what to fix, with the
+    // offending line number where one exists.
+    let cases = [
+        parse_machine("").unwrap_err().to_string(),
+        parse_machine(&format!("{MACHINE_FORMAT} v99\n"))
+            .unwrap_err()
+            .to_string(),
+        parse_machine(&good_file().replacen("[fu]", "[eu]", 1))
+            .unwrap_err()
+            .to_string(),
+        parse_machine(&good_file().replacen("assoc = 4", "assoc = -1", 1))
+            .unwrap_err()
+            .to_string(),
+    ];
+    assert!(cases[1].contains("99"), "{}", cases[1]);
+    assert!(cases[2].contains("[eu]"), "{}", cases[2]);
+    for msg in cases {
+        assert!(msg.len() > 20, "too terse: {msg}");
+        assert!(!msg.contains('\n'), "must be one line: {msg}");
+    }
+}

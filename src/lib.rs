@@ -82,6 +82,9 @@ pub mod prelude {
     };
     pub use rppm_profiler::{profile, ApplicationProfile};
     pub use rppm_sim::{simulate, SimResult};
-    pub use rppm_trace::{BlockSpec, DesignPoint, MachineConfig, Program, ProgramBuilder};
+    pub use rppm_trace::{
+        read_machine, BlockSpec, DesignPoint, MachineConfig, MachineConfigBuilder, Program,
+        ProgramBuilder,
+    };
     pub use rppm_workloads::Params as WorkloadParams;
 }
