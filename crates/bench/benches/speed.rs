@@ -100,6 +100,45 @@ fn trace_io(c: &mut Criterion) {
     );
 }
 
+fn opstream(c: &mut Criterion) {
+    let bench = by_name("hotspot").expect("known benchmark");
+    let params = Params {
+        scale: 0.1,
+        ..Params::full()
+    };
+    let program = bench.build(&params);
+    let ops = rppm_trace::export_program_ops(&program).expect("records");
+    let path = std::env::temp_dir().join(format!("rppm-bench-opstream-{}.rpt", std::process::id()));
+    std::fs::write(&path, &ops).expect("write op stream");
+
+    let mut g = c.benchmark_group("opstream");
+    g.sample_size(10);
+    // Recording cost: expand once and serialize the raw micro-op stream.
+    // Like profile(), this walks every op, so the ratio between the two is
+    // a machine-independent throughput pin.
+    g.bench_function("record_ops_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::export_program_ops(std::hint::black_box(&program)).unwrap())
+    });
+    // Import throughput of a recorded stream: the full trusting-nobody
+    // open (header decode, section scan, recorded-vs-decoded cross-check).
+    g.bench_function("open_replay_hotspot_0.1", |b| {
+        b.iter(|| rppm_trace::OpReplay::open(std::hint::black_box(&path)).unwrap())
+    });
+    // Out-of-core profiling: replayed chunks must stay near the in-memory
+    // expansion speed (gated against pipeline/profile_hotspot_0.1).
+    let replay = rppm_trace::OpReplay::open(&path).expect("open");
+    g.bench_function("profile_replay_hotspot_0.1", |b| {
+        b.iter(|| rppm_profiler::profile_replay(std::hint::black_box(&replay)))
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+    eprintln!(
+        "  (recorded op stream: {} bytes for {} ops)",
+        ops.len(),
+        program.total_ops()
+    );
+}
+
 fn pipeline(c: &mut Criterion) {
     let bench = by_name("hotspot").expect("known benchmark");
     let params = Params {
@@ -300,5 +339,5 @@ fn sched(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline, dse, components, cursor, trace_io, sched);
+criterion_group!(benches, pipeline, dse, components, cursor, trace_io, opstream, sched);
 criterion_main!(benches);

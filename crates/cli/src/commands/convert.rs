@@ -5,17 +5,23 @@ use super::is_help;
 use crate::args::{ArgStream, CliError};
 use std::path::Path;
 
-const USAGE: &str = "usage: rppm convert IN OUT [--to json|binary]
+const USAGE: &str = "usage: rppm convert IN OUT [--to json|binary|ops] [--ops]
 
 The input format is auto-detected by magic bytes (RPT1 => binary, anything
 else => JSON). The output format follows --to when given, otherwise the
 output extension: .rpt / .bin write binary, everything else writes JSON.
-Conversion is lossless both ways.";
+Conversion is lossless both ways.
+
+--ops (or --to ops) writes a version-3 RPT1 container that additionally
+records the fully expanded micro-op stream, so profiling and simulation can
+replay it out-of-core without re-expansion (`rppm trace-info` shows the
+op-run/op-sync/op-meta sections).";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
     Json,
     Binary,
+    Ops,
 }
 
 impl Format {
@@ -23,6 +29,7 @@ impl Format {
         match self {
             Format::Json => "json",
             Format::Binary => "binary",
+            Format::Ops => "binary+ops",
         }
     }
 }
@@ -51,13 +58,15 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
                 to = Some(match v.as_str() {
                     "json" => Format::Json,
                     "binary" | "rpt" => Format::Binary,
+                    "ops" => Format::Ops,
                     other => {
                         return Err(args.error(format!(
-                            "unknown format `{other}` (expected json or binary)"
+                            "unknown format `{other}` (expected json, binary or ops)"
                         )))
                     }
                 });
             }
+            "--ops" => to = Some(Format::Ops),
             _ if arg.is_flag() => return Err(args.unknown(&arg)),
             _ => paths.push(arg.into_positional()),
         }
@@ -81,6 +90,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
     match out_format {
         Format::Json => rppm::trace::write_program(&program, output),
         Format::Binary => rppm::trace::write_program_binary(&program, output),
+        Format::Ops => rppm::trace::write_program_ops(&program, output),
     }
     .map_err(CliError::user)?;
 

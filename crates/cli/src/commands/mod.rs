@@ -10,6 +10,7 @@ pub mod report;
 pub mod run_all;
 pub mod serve;
 pub mod sim_profile;
+pub mod trace_info;
 
 use crate::args::{Arg, ArgStream, CliError};
 

@@ -6,7 +6,8 @@ use rppm::CacheBudget;
 use rppm_serve::{ServeConfig, Server};
 
 const USAGE: &str = "usage: rppm serve [--addr HOST:PORT] [--workers N] [--runners N] [--jobs N]
-       [--max-entries N] [--max-bytes BYTES] [--max-body BYTES] [--max-uploads N]
+       [--max-entries N] [--max-bytes BYTES] [--max-body BYTES]
+       [--spool-bytes BYTES] [--max-uploads N]
 
 Serves the profile-once session over HTTP/1.1 until POST /shutdown:
 
@@ -21,7 +22,9 @@ Serves the profile-once session over HTTP/1.1 until POST /shutdown:
 
 --max-entries / --max-bytes bound the profile cache (LRU eviction; default
 unbounded like the offline tools — long-lived deployments should set one).
---max-body caps trace uploads (default 64 MiB). --workers sizes the HTTP
+--max-body caps trace uploads (default 64 MiB); uploads above --spool-bytes
+(default 1 MiB) are spooled to disk and imported through the out-of-core
+streaming reader instead of being held in memory. --workers sizes the HTTP
 pool, --runners the profiling-job pool, --jobs the threads per sweep.";
 
 pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
@@ -58,6 +61,7 @@ pub fn run(argv: Vec<String>) -> Result<i32, CliError> {
             "--max-entries" => budget = budget.with_entries(args.parse_of(&arg)?),
             "--max-bytes" => budget = budget.with_bytes(args.parse_of(&arg)?),
             "--max-body" => config.max_body_bytes = args.parse_of(&arg)?,
+            "--spool-bytes" => config.spool_bytes = args.parse_of(&arg)?,
             "--max-uploads" => config.max_uploads = args.parse_of(&arg)?,
             _ if arg.is_flag() => return Err(args.unknown(&arg)),
             _ => return Err(args.error(format!("unexpected argument `{}`", arg.into_positional()))),

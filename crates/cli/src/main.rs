@@ -32,6 +32,9 @@ commands:
   import [args]           predict trace files across all design points, or
                           export a catalog workload as a trace file
   convert IN OUT          convert a trace between the JSON and RPT1 containers
+                          (--ops records a replayable micro-op stream)
+  trace-info FILE...      inspect RPT1 containers: version, per-section byte
+                          counts, recorded op-stream totals
   dse WORKLOAD [args]     sweep a 10^5-point design space from one profile:
                           batched Eq.1, constraint filters, Pareto frontier
   sim-profile [args]      the simulator profiling itself: op mix, hot op
@@ -42,6 +45,8 @@ commands:
                           CRITERION_JSON capture for `rppm bench guard`
   golden diff|update      accuracy-regression gate over results/golden/
   bench guard FRESH.json  perf-regression gate over BENCH_speed.json ratios
+  bench rss [args]        peak-RSS of in-memory vs out-of-core profiling,
+                          merged into the same capture as rss/* rows
   help                    show this message
 
 run `rppm <command> --help` for each command's usage.";
@@ -62,6 +67,7 @@ fn run() -> i32 {
         "run-all" => commands::run_all::run(argv),
         "import" => commands::import::run(argv),
         "convert" => commands::convert::run(argv),
+        "trace-info" => commands::trace_info::run(argv),
         "dse" => commands::dse::run(argv),
         "sim-profile" => commands::sim_profile::run(argv),
         "serve" => commands::serve::run(argv),

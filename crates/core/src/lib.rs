@@ -47,7 +47,6 @@ pub mod accumulation;
 pub mod bottlegraph;
 pub mod dse;
 pub mod eq1;
-pub mod par;
 pub mod predict;
 pub mod prepared;
 pub mod report;
@@ -61,9 +60,10 @@ pub use dse::{
     ConfigSpace, Constraints, CoreFamily, DseBest, DseChoice, DseError, DsePoint, DseRow, DseSweep,
 };
 pub use eq1::{predict_epoch, predict_epoch_isolated, EpochPrediction};
-pub use par::{default_jobs, parallel_for, parallel_map};
 pub use predict::{predict, predict_crit, predict_main, Prediction, ThreadPrediction};
 pub use prepared::{BatchedEq1, PreparedProfile};
 pub use report::{abs_pct_error, max, mean, signed_pct_error};
+pub use rppm_trace::par;
+pub use rppm_trace::par::{default_jobs, parallel_for, parallel_map};
 pub use sched::EventQueue;
 pub use symexec::{execute, Schedule, ThreadSchedule, ThreadTimeline};

@@ -15,7 +15,9 @@ use crate::profile::{ApplicationProfile, EpochProfile, ThreadProfile};
 use rppm_branch_model::EntropyCollector;
 use rppm_statstack::{MultiThreadCollector, ReuseHistogram, ReuseTracker};
 use rppm_trace::op::NUM_OP_CLASSES;
-use rppm_trace::{BlockItem, MicroOp, OpClass, Program, SyncOp, ThreadCursor};
+use rppm_trace::{
+    BlockItem, ExecSource, MicroOp, OpClass, OpReplay, Program, SyncOp, ThreadCursor,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,9 +54,31 @@ pub fn profile_call_count() -> u64 {
 ///
 /// Panics if the program is structurally invalid or deadlocks.
 pub fn profile(program: &Program) -> ApplicationProfile {
+    profile_source(program)
+}
+
+/// Profiles a recorded op stream replayed out-of-core (see
+/// [`OpReplay`]), producing a profile bit-identical to what
+/// [`profile`] yields on the same program — pinned by the differential
+/// suite in `tests/replay_differential.rs`.
+///
+/// # Panics
+///
+/// Same contract as [`profile`].
+pub fn profile_replay(replay: &OpReplay) -> ApplicationProfile {
+    profile_source(replay)
+}
+
+/// Profiles any [`ExecSource`] (expansion-backed program or out-of-core
+/// replay) through the shared cursor API.
+///
+/// # Panics
+///
+/// Panics if the underlying program is structurally invalid or deadlocks.
+pub fn profile_source<S: ExecSource>(source: &S) -> ApplicationProfile {
     PROFILE_CALLS.fetch_add(1, Ordering::Relaxed);
-    program.validate().expect("invalid program");
-    Profiler::new(program).run()
+    source.validate().expect("invalid program");
+    Profiler::new(source).run()
 }
 
 /// Accumulates one epoch's statistics for one thread.
@@ -245,8 +269,8 @@ impl RwLockState {
     }
 }
 
-struct Profiler<'p> {
-    program: &'p Program,
+struct Profiler<'p, S: ExecSource> {
+    source: &'p S,
     /// Per-thread stream cursors, parallel to `threads`. Kept separate so
     /// the zero-copy op slices a cursor lends out can be iterated while
     /// the thread's statistics (and the shared memory collector) are
@@ -272,10 +296,10 @@ struct Profiler<'p> {
     ready: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
-impl<'p> Profiler<'p> {
-    fn new(program: &'p Program) -> Self {
-        let n = program.num_threads();
-        let cursors = program.threads.iter().map(ThreadCursor::new).collect();
+impl<'p, S: ExecSource> Profiler<'p, S> {
+    fn new(source: &'p S) -> Self {
+        let n = source.num_threads();
+        let cursors = (0..n).map(|t| source.cursor(t)).collect();
         let threads = (0..n)
             .map(|i| ThreadState {
                 tick: 0,
@@ -294,9 +318,9 @@ impl<'p> Profiler<'p> {
             .collect();
 
         let mut participants: HashMap<u32, usize> = HashMap::new();
-        for script in &program.threads {
+        for t in 0..n {
             let mut seen = std::collections::HashSet::new();
-            for op in script.sync_ops() {
+            for op in source.sync_ops(t) {
                 if let SyncOp::Barrier { id, .. } = op {
                     if seen.insert(id.0) {
                         *participants.entry(id.0).or_insert(0) += 1;
@@ -306,7 +330,7 @@ impl<'p> Profiler<'p> {
         }
 
         Profiler {
-            program,
+            source,
             cursors,
             threads,
             mem: MultiThreadCollector::new(n),
@@ -571,7 +595,7 @@ impl<'p> Profiler<'p> {
                 if self.threads.iter().all(|t| t.status == Status::Done) {
                     break;
                 }
-                panic!("deadlock during profiling of {}", self.program.name);
+                panic!("deadlock during profiling of {}", self.source.name());
             };
             debug_assert_eq!(self.threads[i].status, Status::Ready);
             let t0 = self.threads[i].tick;
@@ -623,7 +647,7 @@ impl<'p> Profiler<'p> {
         }
 
         ApplicationProfile {
-            name: self.program.name.clone(),
+            name: self.source.name().to_string(),
             threads: self
                 .threads
                 .into_iter()

@@ -16,7 +16,8 @@ use rppm::docs::{
     describe_config, dse_best_doc, dse_bounds_ladder, dse_sweep_doc, prediction_doc, sweep_doc,
 };
 use rppm::trace::{
-    parse_machine, program_fingerprint, read_program_stream, DesignPoint, MachineConfig,
+    parse_machine, program_fingerprint, read_program, read_program_sections, read_program_stream,
+    DesignPoint, MachineConfig, Program, BINARY_TRACE_MAGIC,
 };
 use rppm::{CacheBudget, Session, WorkloadHandle};
 use serde_json::Value;
@@ -45,6 +46,11 @@ pub struct ServeConfig {
     pub budget: CacheBudget,
     /// Largest accepted request body (trace upload), in bytes.
     pub max_body_bytes: u64,
+    /// Trace uploads larger than this are spooled to a temporary file and
+    /// imported through the out-of-core streaming reader (mmap-backed,
+    /// section-parallel decode) instead of being parsed from the socket,
+    /// so a worker's peak memory stays bounded by sections, not bodies.
+    pub spool_bytes: u64,
     /// Uploaded-trace handles retained for re-profiling after eviction;
     /// beyond this the oldest upload is forgotten (clients re-upload).
     pub max_uploads: usize,
@@ -59,6 +65,7 @@ impl Default for ServeConfig {
             jobs: rppm::core::default_jobs(),
             budget: CacheBudget::unbounded(),
             max_body_bytes: 64 * 1024 * 1024,
+            spool_bytes: 1024 * 1024,
             max_uploads: 256,
         }
     }
@@ -74,6 +81,7 @@ struct State {
     started: Instant,
     stopping: AtomicBool,
     max_body_bytes: u64,
+    spool_bytes: u64,
     max_uploads: usize,
     jobs_hint: usize,
     /// The bound address, kept so an HTTP-initiated shutdown can poke the
@@ -194,6 +202,53 @@ fn design_config(head: &RequestHead) -> Result<(String, MachineConfig), ApiError
                 "unknown design point `{name}` (expected one of smallest/small/base/big/biggest)"
             ))
         })
+}
+
+/// A spooled upload on disk, removed when the guard drops (including on
+/// every import-error path).
+struct SpoolFile(std::path::PathBuf);
+
+impl Drop for SpoolFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Copies an oversized upload body to a temporary file and imports it
+/// through the out-of-core streaming reader: RPT1 containers (any version,
+/// including version-3 op streams) go through the mmap-backed
+/// section-parallel path, JSON traces are parsed from disk. Either way the
+/// worker never holds the whole body in memory.
+fn spool_and_read(body: &mut dyn Read, jobs: usize) -> Result<Program, ApiError> {
+    static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SPOOL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "rppm-serve-upload-{}-{seq}.spool",
+        std::process::id()
+    ));
+    let guard = SpoolFile(path.clone());
+    {
+        let file = std::fs::File::create(&path)
+            .map_err(|e| ApiError::new(500, format!("cannot spool upload: {e}")))?;
+        let mut writer = BufWriter::new(file);
+        std::io::copy(body, &mut writer)
+            .map_err(|e| ApiError::bad_request(format!("body read failed: {e}")))?;
+        std::io::Write::flush(&mut writer)
+            .map_err(|e| ApiError::new(500, format!("cannot spool upload: {e}")))?;
+    }
+    let mut magic = [0u8; 4];
+    let is_binary = std::fs::File::open(&path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| magic == BINARY_TRACE_MAGIC)
+        .unwrap_or(false);
+    let program = if is_binary {
+        read_program_sections(&path, jobs)
+    } else {
+        read_program(&path)
+    }
+    .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?;
+    drop(guard);
+    Ok(program)
 }
 
 impl State {
@@ -379,8 +434,12 @@ impl State {
             ));
         }
         let mut limited = body.take(head.content_length);
-        let program = read_program_stream(&mut limited)
-            .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?;
+        let program = if head.content_length > self.spool_bytes {
+            spool_and_read(&mut limited, self.jobs_hint)?
+        } else {
+            read_program_stream(&mut limited)
+                .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?
+        };
         // Binary traces can end before Content-Length does; drain so the
         // connection stays framed for keep-alive.
         std::io::copy(&mut limited, &mut std::io::sink())
@@ -605,6 +664,7 @@ impl Server {
             started: Instant::now(),
             stopping: AtomicBool::new(false),
             max_body_bytes: config.max_body_bytes,
+            spool_bytes: config.spool_bytes,
             max_uploads: config.max_uploads,
             jobs_hint: config.jobs.max(1),
             addr,

@@ -150,7 +150,7 @@ fn hostile_requests_get_4xx_not_a_dead_worker() {
     raw.write_all(b"POST /traces HTTP/1.1\r\nHost: t\r\nContent-Length: 1048576\r\n\r\n")
         .expect("send oversized head");
     let mut response = String::new();
-    raw.set_read_timeout(Some(Duration::from_secs(10)))
+    raw.set_read_timeout(Some(Duration::from_secs(60)))
         .expect("timeout");
     raw.read_to_string(&mut response).expect("read 413");
     assert!(response.starts_with("HTTP/1.1 413"), "{response}");
@@ -169,7 +169,7 @@ fn hostile_requests_get_4xx_not_a_dead_worker() {
         .expect("send half the body");
     raw.shutdown(std::net::Shutdown::Write).expect("half-close");
     let mut response = String::new();
-    raw.set_read_timeout(Some(Duration::from_secs(10)))
+    raw.set_read_timeout(Some(Duration::from_secs(60)))
         .expect("timeout");
     raw.read_to_string(&mut response).expect("read 400");
     assert!(response.starts_with("HTTP/1.1 400"), "{response}");
@@ -178,7 +178,7 @@ fn hostile_requests_get_4xx_not_a_dead_worker() {
     let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
     raw.write_all(b"NOT-HTTP\r\n\r\n").expect("send junk");
     let mut response = String::new();
-    raw.set_read_timeout(Some(Duration::from_secs(10)))
+    raw.set_read_timeout(Some(Duration::from_secs(60)))
         .expect("timeout");
     raw.read_to_string(&mut response).expect("read 400");
     assert!(response.starts_with("HTTP/1.1 400"), "{response}");
@@ -188,7 +188,7 @@ fn hostile_requests_get_4xx_not_a_dead_worker() {
     raw.write_all(b"DELETE /traces HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
         .expect("send delete");
     let mut response = String::new();
-    raw.set_read_timeout(Some(Duration::from_secs(10)))
+    raw.set_read_timeout(Some(Duration::from_secs(60)))
         .expect("timeout");
     raw.read_to_string(&mut response).expect("read 405");
     assert!(response.starts_with("HTTP/1.1 405"), "{response}");
@@ -402,6 +402,88 @@ fn machine_upload_round_trip_and_registry_errors() {
     server.wait();
 }
 
+/// Uploads above the spool threshold take the out-of-core path: the body
+/// is spooled to disk and imported through the streaming section reader
+/// rather than parsed from the socket. The answers must not change — a
+/// spooled version-3 op-stream container profiles and predicts exactly
+/// like the same program uploaded in-memory — and the 413 cap plus the
+/// corrupt-body 400 still hold on the spooled path.
+#[test]
+fn oversized_uploads_spool_through_the_streaming_reader() {
+    let server = Server::bind(ServeConfig {
+        spool_bytes: 1024, // force every realistic trace through the spool
+        max_body_bytes: 4 * 1024 * 1024,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::new(server.local_addr());
+
+    // A version-3 container with a recorded op stream, well above the
+    // spool threshold.
+    let program = rppm::workloads::by_name("hotspot")
+        .expect("catalog workload")
+        .build(&rppm::workloads::Params {
+            scale: 0.02,
+            seed: 7,
+        });
+    let body = rppm::trace::export_program_ops(&program).expect("record op stream");
+    assert!(
+        body.len() > 1024,
+        "test needs a body above the spool threshold, got {} bytes",
+        body.len()
+    );
+
+    let accepted = client.post("/traces", &body).expect("spooled upload");
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    let doc: Value = serde_json::from_str(&accepted.text()).expect("upload doc");
+    await_job(&mut client, field(&doc, "job").as_u64().expect("job id"));
+    let trace = field(&doc, "trace").as_str().expect("fingerprint");
+
+    // Byte-identical to the offline pipeline on the same program.
+    let online = client
+        .get(&format!("/predict?trace={trace}&design=base"))
+        .expect("predict spooled trace");
+    assert_eq!(online.status, 200, "{}", online.text());
+    let session = Session::builder().build();
+    let offline_pred = session
+        .program(program)
+        .expect("offline workload")
+        .profile()
+        .predict(&DesignPoint::Base.config());
+    let offline_body = serde_json::to_string(&prediction_doc(&offline_pred)).expect("doc");
+    assert_eq!(
+        online.text(),
+        offline_body,
+        "spooled upload changed answers"
+    );
+
+    // Corrupt oversized body: spooled, rejected with 400, worker survives.
+    let mut corrupt = body.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    corrupt.truncate(mid + 1);
+    let rejected = client.post("/traces", &corrupt).expect("corrupt spooled");
+    assert_eq!(rejected.status, 400, "{}", rejected.text());
+    assert!(rejected.text().contains("trace rejected"));
+
+    // The 413 cap still fronts the spool path.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"POST /traces HTTP/1.1\r\nHost: t\r\nContent-Length: 8388608\r\n\r\n")
+        .expect("send oversized head");
+    let mut response = String::new();
+    raw.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    raw.read_to_string(&mut response).expect("read 413");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+    // Still healthy afterwards.
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+
+    server.shutdown();
+    server.wait();
+}
+
 /// The CLI parks in `Server::wait()` from startup; an HTTP-initiated
 /// shutdown must unpark it without any further organic connections
 /// (regression: the accept loop used to stay blocked in `accept()`).
@@ -415,7 +497,7 @@ fn http_shutdown_unparks_a_server_already_waiting() {
     let bye = client.post("/shutdown", b"").expect("shutdown");
     assert_eq!(bye.status, 200);
 
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let deadline = Instant::now() + Duration::from_secs(60);
     while !waiter.is_finished() {
         assert!(
             Instant::now() < deadline,

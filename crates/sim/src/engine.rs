@@ -26,7 +26,10 @@ use crate::core::{CoreCounters, CoreModel};
 use crate::mem::MemorySystem;
 use crate::simprof::{NoProbe, ProfileCollector, SimProbe, SimProfile};
 use rppm_core::sched::EventQueue;
-use rppm_trace::{BlockItem, CpiStack, MachineConfig, MicroOp, Program, SyncOp, ThreadCursor};
+use rppm_trace::{
+    BlockItem, CpiStack, ExecSource, MachineConfig, MicroOp, OpReplay, Program, SyncOp,
+    ThreadCursor,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Scheduling quantum in cycles.
@@ -286,7 +289,19 @@ impl RwLockState {
 /// [`Program::validate`]), uses more threads than the machine has cores, or
 /// deadlocks (e.g. consuming from a queue nothing ever produces).
 pub fn simulate(program: &Program, config: &MachineConfig) -> SimResult {
-    run_simulation::<CoreModel, _>(program, config, &mut NoProbe)
+    run_simulation::<CoreModel, _, _>(program, config, &mut NoProbe)
+}
+
+/// Simulates a recorded op stream replayed out-of-core (see
+/// [`OpReplay`]) on `config`. The result is bit-identical to
+/// [`simulate`] on the program the stream was recorded from — pinned by
+/// the differential suite in `tests/replay_differential.rs`.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_replay(replay: &OpReplay, config: &MachineConfig) -> SimResult {
+    run_simulation::<CoreModel, _, _>(replay, config, &mut NoProbe)
 }
 
 /// Simulates `program` on `config` with a [`SimProbe`] observing the
@@ -301,7 +316,7 @@ pub fn simulate_with_probe<P: SimProbe>(
     config: &MachineConfig,
     probe: &mut P,
 ) -> SimResult {
-    run_simulation::<CoreModel, _>(program, config, probe)
+    run_simulation::<CoreModel, _, _>(program, config, probe)
 }
 
 /// Simulates `program` on `config` while collecting the simulator
@@ -314,35 +329,51 @@ pub fn simulate_with_probe<P: SimProbe>(
 /// Same conditions as [`simulate`].
 pub fn simulate_profiled(program: &Program, config: &MachineConfig) -> (SimResult, SimProfile) {
     let mut collector = ProfileCollector::new();
-    let result = run_simulation::<CoreModel, _>(program, config, &mut collector);
+    let result = run_simulation::<CoreModel, _, _>(program, config, &mut collector);
+    (result, collector.into_profile())
+}
+
+/// [`simulate_profiled`] over a replayed op stream instead of an
+/// expansion-backed program.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_profiled_replay(
+    replay: &OpReplay,
+    config: &MachineConfig,
+) -> (SimResult, SimProfile) {
+    let mut collector = ProfileCollector::new();
+    let result = run_simulation::<CoreModel, _, _>(replay, config, &mut collector);
     (result, collector.into_profile())
 }
 
 /// Validates inputs and runs the engine with the given timing model and
-/// probe. Shared by the optimized and reference entry points.
-pub(crate) fn run_simulation<C: CoreTiming, P: SimProbe>(
-    program: &Program,
+/// probe over any [`ExecSource`] (expansion-backed program or out-of-core
+/// replay). Shared by the optimized and reference entry points.
+pub(crate) fn run_simulation<C: CoreTiming, S: ExecSource, P: SimProbe>(
+    source: &S,
     config: &MachineConfig,
     probe: &mut P,
 ) -> SimResult {
-    program.validate().expect("invalid program");
+    source.validate().expect("invalid program");
     config.validate().expect("invalid machine configuration");
     // RPPM assumes one thread per core. One extra thread is tolerated to
     // support the common Parsec structure (a main thread that spawns
     // `cores` workers and then sleeps in join); it gets its own private
     // hierarchy, which is harmless as long as it stays quiescent.
     assert!(
-        program.num_threads() <= config.cores as usize + 1,
+        source.num_threads() <= config.cores as usize + 1,
         "RPPM assumes one thread per core: {} threads > {} cores",
-        program.num_threads(),
+        source.num_threads(),
         config.cores
     );
-    Engine::<C>::new(program, config).run(probe)
+    Engine::<C, S>::new(source, config).run(probe)
 }
 
-struct Engine<'p, C> {
+struct Engine<'p, C, S: ExecSource> {
     config: &'p MachineConfig,
-    program: &'p Program,
+    source: &'p S,
     /// Per-thread stream cursors, parallel to `threads`. Kept separate so
     /// the zero-copy op slices a cursor lends out can be fed to a core
     /// model while the shared memory system is mutated.
@@ -365,10 +396,11 @@ struct Engine<'p, C> {
     queue: EventQueue,
 }
 
-impl<'p, C: CoreTiming> Engine<'p, C> {
-    fn new(program: &'p Program, config: &'p MachineConfig) -> Self {
-        let cursors = program.threads.iter().map(ThreadCursor::new).collect();
-        let threads = (0..program.num_threads())
+impl<'p, C: CoreTiming, S: ExecSource> Engine<'p, C, S> {
+    fn new(source: &'p S, config: &'p MachineConfig) -> Self {
+        let n = source.num_threads();
+        let cursors = (0..n).map(|t| source.cursor(t)).collect();
+        let threads = (0..n)
             .map(|i| ThreadCtx {
                 core: C::new(config, 0.0),
                 status: if i == 0 {
@@ -387,9 +419,9 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
         // Barrier participation is static: every thread whose script names
         // the barrier takes part in each instance.
         let mut participants: HashMap<u32, usize> = HashMap::new();
-        for script in &program.threads {
+        for t in 0..n {
             let mut seen = std::collections::HashSet::new();
-            for op in script.sync_ops() {
+            for op in source.sync_ops(t) {
                 if let SyncOp::Barrier { id, .. } = op {
                     if seen.insert(id.0) {
                         *participants.entry(id.0).or_insert(0) += 1;
@@ -400,10 +432,10 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
 
         Engine {
             config,
-            program,
+            source,
             cursors,
             threads,
-            mem: MemorySystem::with_cores(config, program.num_threads().max(1)),
+            mem: MemorySystem::with_cores(config, n.max(1)),
             barriers: HashMap::new(),
             participants,
             mutexes: HashMap::new(),
@@ -674,7 +706,7 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
                     .collect();
                 panic!(
                     "deadlock: threads {stuck:?} blocked forever in {}",
-                    self.program.name
+                    self.source.name()
                 );
             };
             debug_assert_eq!(self.threads[i].status, Status::Ready);
@@ -775,7 +807,7 @@ impl<'p, C: CoreTiming> Engine<'p, C> {
             intervals.push(th.intervals.clone());
         }
         SimResult {
-            program: self.program.name.clone(),
+            program: self.source.name().to_string(),
             config: self.config.name.clone(),
             total_cycles,
             total_seconds: self.config.cycles_to_seconds(total_cycles),

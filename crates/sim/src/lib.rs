@@ -43,8 +43,9 @@ pub use crate::core::{CoreCounters, CoreModel};
 pub use bpred::TournamentPredictor;
 pub use cache::SetAssocCache;
 pub use engine::{
-    simulate, simulate_profiled, simulate_with_probe, SimResult, SyncEventCounts, ThreadResult,
+    simulate, simulate_profiled, simulate_profiled_replay, simulate_replay, simulate_with_probe,
+    SimResult, SyncEventCounts, ThreadResult,
 };
 pub use mem::{MemStats, MemorySystem, ServiceLevel};
-pub use reference::{simulate_reference, simulate_reference_profiled};
+pub use reference::{simulate_reference, simulate_reference_profiled, simulate_reference_replay};
 pub use simprof::{NoProbe, ProfileCollector, SimProbe, SimProfile, SyncMix, ThreadShape};

@@ -20,7 +20,7 @@ use crate::engine::{run_simulation, CoreTiming};
 use crate::mem::{MemorySystem, ServiceLevel};
 use crate::simprof::{NoProbe, ProfileCollector, SimProfile};
 use crate::SimResult;
-use rppm_trace::{CpiStack, MachineConfig, MicroOp, OpClass, Program};
+use rppm_trace::{CpiStack, MachineConfig, MicroOp, OpClass, OpReplay, Program};
 use std::collections::VecDeque;
 
 /// The original out-of-order core timing model: per-op nine-way match
@@ -298,7 +298,18 @@ impl CoreTiming for ReferenceCore {
 ///
 /// Same conditions as [`simulate`](crate::simulate).
 pub fn simulate_reference(program: &Program, config: &MachineConfig) -> SimResult {
-    run_simulation::<ReferenceCore, _>(program, config, &mut NoProbe)
+    run_simulation::<ReferenceCore, _, _>(program, config, &mut NoProbe)
+}
+
+/// [`simulate_reference`] over a replayed op stream — the out-of-core
+/// counterpart, pinned bit-identical to the expansion-backed path by the
+/// differential suite.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`](crate::simulate).
+pub fn simulate_reference_replay(replay: &OpReplay, config: &MachineConfig) -> SimResult {
+    run_simulation::<ReferenceCore, _, _>(replay, config, &mut NoProbe)
 }
 
 /// [`simulate_reference`] with self-profile collection — the "before"
@@ -313,7 +324,7 @@ pub fn simulate_reference_profiled(
     config: &MachineConfig,
 ) -> (SimResult, SimProfile) {
     let mut collector = ProfileCollector::new();
-    let result = run_simulation::<ReferenceCore, _>(program, config, &mut collector);
+    let result = run_simulation::<ReferenceCore, _, _>(program, config, &mut collector);
     (result, collector.into_profile())
 }
 

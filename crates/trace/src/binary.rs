@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic    4 bytes   "RPT1"
-//! version  varint    container schema version (1 or 2)
+//! version  varint    container schema version (1, 2 or 3)
 //! sections repeated  [tag: varint][len: varint][payload: len bytes]
 //! ```
 //!
@@ -23,6 +23,16 @@
 //! | 1   | header | workload name (varint length + UTF-8), thread count (varint) |
 //! | 2   | ops    | thread id (varint), segment count (varint), segment records |
 //! | 3   | end    | total segment count across all ops sections (varint) |
+//!
+//! Version 3 adds three *op-stream* section kinds carrying the recorded
+//! raw [`MicroOp`](crate::MicroOp) stream (see [`crate::ops`] for their
+//! payload encodings and the record/replay machinery):
+//!
+//! | tag | name    | payload |
+//! |-----|---------|---------|
+//! | 4   | op-run  | thread id (varint), op count (varint), encoded micro-ops |
+//! | 5   | op-sync | thread id (varint), one encoded synchronization event |
+//! | 6   | op-meta | op-section count, total ops, total syncs, per-thread op counts (varints) |
 //!
 //! The header section must come first, exactly once; the end section must
 //! come last and is followed by nothing (trailing bytes are rejected). A
@@ -36,9 +46,13 @@
 //! instruction-line bases (PCs) and branch-site bases are each encoded as
 //! the signed difference from the previous value *in the same thread*.
 //! Model fractions/probabilities are stored as 8-byte little-endian IEEE
-//! doubles (their bit patterns do not compress under varint). Per-thread
-//! delta state persists across sections, so a long thread split over many
-//! ops sections costs nothing extra.
+//! doubles (their bit patterns do not compress under varint). In versions
+//! 1 and 2 the per-thread delta state persists across sections, so a long
+//! thread split over many ops sections costs nothing extra; version 3
+//! resets it at every section boundary instead, which costs a few bytes
+//! per section but makes every section independently decodable — the
+//! property the section-parallel importer and the out-of-core replay
+//! cursors in [`crate::ops`] are built on.
 //!
 //! # Versioning policy
 //!
@@ -50,9 +64,11 @@
 //! [`TraceFileError::UnsupportedVersion`]. Writers emit the *smallest*
 //! version able to carry the program — a trace without version-2 events
 //! (reader-writer locks, semaphores) is byte-identical to what a version-1
-//! tool would have written. The version-2 segment tags are rejected as
+//! tool would have written, and version 3 is only emitted when op streams
+//! are recorded. The version-2 segment tags are rejected as
 //! [`TraceFileError::Corrupt`] when they appear in a stream that declares
-//! version 1.
+//! version 1, and the version-3 op-stream section tags are rejected the
+//! same way in streams declaring version 1 or 2.
 //!
 //! # Example
 //!
@@ -87,24 +103,32 @@ pub const BINARY_TRACE_MAGIC: [u8; 4] = *b"RPT1";
 /// versions `1..=BINARY_TRACE_VERSION`; whole-program writers emit the
 /// smallest version able to carry the program (see
 /// [`Program::format_version`]).
-pub const BINARY_TRACE_VERSION: u32 = 2;
+pub const BINARY_TRACE_VERSION: u32 = 3;
+
+/// First container version whose sections are independently decodable
+/// (per-section delta reset) and which may carry op-stream sections.
+pub(crate) const OPS_MIN_VERSION: u32 = 3;
 
 /// Maximum segments buffered into one ops section before the writer
 /// flushes. Bounds writer and reader memory to O(section), not O(program).
-const SECTION_SEGMENTS: u64 = 256;
+pub(crate) const SECTION_SEGMENTS: u64 = 256;
 
 /// Upper bound on a declared section payload size. A corrupt length prefix
 /// must not make the reader allocate unbounded memory.
-const MAX_SECTION_BYTES: u64 = 1 << 26; // 64 MiB
+pub(crate) const MAX_SECTION_BYTES: u64 = 1 << 26; // 64 MiB
 
 /// Upper bound on a declared thread count, for the same reason: the reader
 /// allocates per-thread state up front, and a corrupt header must not turn
 /// that into an unbounded allocation.
-const MAX_THREADS: u64 = 1 << 20;
+pub(crate) const MAX_THREADS: u64 = 1 << 20;
 
-const TAG_HEADER: u64 = 1;
-const TAG_OPS: u64 = 2;
-const TAG_END: u64 = 3;
+pub(crate) const TAG_HEADER: u64 = 1;
+pub(crate) const TAG_OPS: u64 = 2;
+pub(crate) const TAG_END: u64 = 3;
+// Version-3 op-stream section tags; invalid in streams declaring 1 or 2.
+pub(crate) const TAG_OP_RUN: u64 = 4;
+pub(crate) const TAG_OP_SYNC: u64 = 5;
+pub(crate) const TAG_OP_META: u64 = 6;
 
 const SEG_BLOCK: u8 = 0;
 const SEG_CREATE: u8 = 1;
@@ -139,7 +163,7 @@ const BRANCH_PERIODIC: u8 = 2;
 // ---------------------------------------------------------------------------
 // varint / zigzag primitives
 
-fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -151,22 +175,22 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Encodes `new` as a zigzag delta against `prev` (wrapping, so the full
 /// `u64` domain round-trips) and updates `prev`.
-fn push_delta(buf: &mut Vec<u8>, prev: &mut u64, new: u64) {
+pub(crate) fn push_delta(buf: &mut Vec<u8>, prev: &mut u64, new: u64) {
     push_varint(buf, zigzag(new.wrapping_sub(*prev) as i64));
     *prev = new;
 }
 
-fn push_f64(buf: &mut Vec<u8>, v: f64) {
+pub(crate) fn push_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
@@ -174,7 +198,7 @@ fn push_f64(buf: &mut Vec<u8>, v: f64) {
 // Per-thread delta state (shared by writer and reader so they stay in sync)
 
 #[derive(Debug, Clone, Copy, Default)]
-struct DeltaState {
+pub(crate) struct DeltaState {
     region_base: u64,
     code_base: u64,
     site_base: u64,
@@ -237,7 +261,7 @@ fn encode_branch_pattern(buf: &mut Vec<u8>, p: &BranchPattern) {
     }
 }
 
-fn encode_segment(buf: &mut Vec<u8>, d: &mut DeltaState, seg: &Segment) {
+pub(crate) fn encode_segment(buf: &mut Vec<u8>, d: &mut DeltaState, seg: &Segment) {
     match seg {
         Segment::Block(b) => {
             buf.push(SEG_BLOCK);
@@ -351,7 +375,7 @@ pub struct TraceWriter<W: Write> {
     total_segments: u64,
 }
 
-fn stream_err(context: &str, source: std::io::Error) -> TraceFileError {
+pub(crate) fn stream_err(context: &str, source: std::io::Error) -> TraceFileError {
     TraceFileError::Stream {
         context: context.to_string(),
         source,
@@ -501,6 +525,32 @@ impl<W: Write> TraceWriter<W> {
             .map_err(|e| stream_err("writing an ops section payload", e))?;
         self.buf.clear();
         self.buf_segments = 0;
+        // Version 3 sections are independently decodable: the delta chain
+        // restarts at every section boundary (readers reset symmetrically).
+        if self.version >= OPS_MIN_VERSION {
+            self.deltas[self.cur_thread as usize] = DeltaState::default();
+        }
+        Ok(())
+    }
+
+    /// Writes one raw section (flushing any pending segment section first).
+    /// Used by [`crate::ops`] for the version-3 op-stream sections, which
+    /// are not counted as program segments.
+    pub(crate) fn write_raw_section(
+        &mut self,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<(), TraceFileError> {
+        self.flush_section()?;
+        let mut head = Vec::with_capacity(16);
+        push_varint(&mut head, tag);
+        push_varint(&mut head, payload.len() as u64);
+        self.sink
+            .write_all(&head)
+            .map_err(|e| stream_err("writing a raw section header", e))?;
+        self.sink
+            .write_all(payload)
+            .map_err(|e| stream_err("writing a raw section payload", e))?;
         Ok(())
     }
 
@@ -531,21 +581,21 @@ impl<W: Write> TraceWriter<W> {
 // ---------------------------------------------------------------------------
 // Section payload decoding
 
-struct Bytes<'a> {
-    b: &'a [u8],
-    pos: usize,
+pub(crate) struct Bytes<'a> {
+    pub(crate) b: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Bytes<'a> {
-    fn new(b: &'a [u8]) -> Self {
+    pub(crate) fn new(b: &'a [u8]) -> Self {
         Bytes { b, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.b.len() - self.pos
     }
 
-    fn u8(&mut self, context: &str) -> Result<u8, TraceFileError> {
+    pub(crate) fn u8(&mut self, context: &str) -> Result<u8, TraceFileError> {
         if self.pos >= self.b.len() {
             return Err(TraceFileError::Truncated {
                 context: context.to_string(),
@@ -556,7 +606,7 @@ impl<'a> Bytes<'a> {
         Ok(v)
     }
 
-    fn varint(&mut self, context: &str) -> Result<u64, TraceFileError> {
+    pub(crate) fn varint(&mut self, context: &str) -> Result<u64, TraceFileError> {
         let mut v: u64 = 0;
         for shift in 0..10u32 {
             let byte = self.u8(context)?;
@@ -575,14 +625,14 @@ impl<'a> Bytes<'a> {
         })
     }
 
-    fn varint_u32(&mut self, context: &str) -> Result<u32, TraceFileError> {
+    pub(crate) fn varint_u32(&mut self, context: &str) -> Result<u32, TraceFileError> {
         let v = self.varint(context)?;
         u32::try_from(v).map_err(|_| TraceFileError::Corrupt {
             detail: format!("{context}: value {v} does not fit in 32 bits"),
         })
     }
 
-    fn f64(&mut self, context: &str) -> Result<f64, TraceFileError> {
+    pub(crate) fn f64(&mut self, context: &str) -> Result<f64, TraceFileError> {
         if self.remaining() < 8 {
             return Err(TraceFileError::Truncated {
                 context: context.to_string(),
@@ -600,7 +650,7 @@ impl<'a> Bytes<'a> {
         Ok(v)
     }
 
-    fn delta(&mut self, prev: &mut u64, context: &str) -> Result<u64, TraceFileError> {
+    pub(crate) fn delta(&mut self, prev: &mut u64, context: &str) -> Result<u64, TraceFileError> {
         let d = unzigzag(self.varint(context)?);
         *prev = prev.wrapping_add(d as u64);
         Ok(*prev)
@@ -667,7 +717,7 @@ fn decode_branch_pattern(b: &mut Bytes<'_>) -> Result<BranchPattern, TraceFileEr
     }
 }
 
-fn decode_segment(
+pub(crate) fn decode_segment(
     b: &mut Bytes<'_>,
     d: &mut DeltaState,
     version: u32,
@@ -926,10 +976,18 @@ impl<R: Read> TraceReader<R> {
                         });
                     }
                     let count = b.varint("an ops-section segment count")?;
+                    if self.version >= OPS_MIN_VERSION {
+                        self.deltas[thread as usize] = DeltaState::default();
+                    }
                     self.section_thread = thread;
                     self.section_remaining = count;
                     self.section_pos = b.pos;
                     self.section = payload;
+                }
+                TAG_OP_RUN | TAG_OP_SYNC | TAG_OP_META if self.version >= OPS_MIN_VERSION => {
+                    // Op-stream sections are replay payload, not program
+                    // structure; the program reader skips them (see
+                    // crate::ops for the reader that consumes them).
                 }
                 TAG_END => {
                     let mut b = Bytes::new(&payload);
@@ -958,6 +1016,15 @@ impl<R: Read> TraceReader<R> {
                 TAG_HEADER => {
                     return Err(TraceFileError::Corrupt {
                         detail: "duplicate header section".to_string(),
+                    })
+                }
+                TAG_OP_RUN | TAG_OP_SYNC | TAG_OP_META => {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "op-stream section tag {tag} requires container version 3, but the \
+                             stream declares version {}",
+                            self.version
+                        ),
                     })
                 }
                 t => {
@@ -1004,7 +1071,7 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
-fn read_exact_or<R: Read>(
+pub(crate) fn read_exact_or<R: Read>(
     source: &mut R,
     buf: &mut [u8],
     context: &str,
@@ -1020,7 +1087,7 @@ fn read_exact_or<R: Read>(
     })
 }
 
-fn read_varint<R: Read>(source: &mut R, context: &str) -> Result<u64, TraceFileError> {
+pub(crate) fn read_varint<R: Read>(source: &mut R, context: &str) -> Result<u64, TraceFileError> {
     let mut v: u64 = 0;
     for shift in 0..10u32 {
         let mut byte = [0u8; 1];
@@ -1041,7 +1108,10 @@ fn read_varint<R: Read>(source: &mut R, context: &str) -> Result<u64, TraceFileE
     })
 }
 
-fn read_section<R: Read>(source: &mut R, context: &str) -> Result<(u64, Vec<u8>), TraceFileError> {
+pub(crate) fn read_section<R: Read>(
+    source: &mut R,
+    context: &str,
+) -> Result<(u64, Vec<u8>), TraceFileError> {
     let tag = read_varint(source, context)?;
     let len = read_varint(source, "a section length")?;
     if len > MAX_SECTION_BYTES {
@@ -1486,6 +1556,45 @@ mod tests {
             matches!(err, TraceFileError::UnsupportedVersion { .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn v3_program_stream_round_trips_with_section_delta_reset() {
+        // A version-3 stream resets the delta chain at every section
+        // boundary; writer and reader must stay in sync across many
+        // sections of one thread.
+        let mut p = Program::new("v3-many", 2);
+        for k in 0..(SECTION_SEGMENTS + 40) {
+            let mut b = BlockSpec::new(1, k);
+            b.code_base = k * 977;
+            p.threads[0].segments.push(Segment::Block(b));
+        }
+        p.threads[0].segments.push(Segment::Sync(SyncOp::Create {
+            child: crate::sync::ThreadId(1),
+        }));
+        p.threads[1]
+            .segments
+            .push(Segment::Block(BlockSpec::new(1, 7)));
+        let mut w = TraceWriter::with_version(Vec::new(), &p.name, 2, 3).unwrap();
+        for (t, script) in p.threads.iter().enumerate() {
+            w.write_script(t as u32, script).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[4], 3);
+        let back = import_program_binary(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn op_stream_tags_in_v2_stream_are_corrupt() {
+        // Hand-build a v2 stream containing an op-run section: readers must
+        // reject the tag, not skip it silently.
+        let mut w = TraceWriter::with_version(Vec::new(), "x", 1, 2).unwrap();
+        w.write_raw_section(TAG_OP_RUN, &[0, 0]).unwrap();
+        let bytes = w.finish().unwrap();
+        let err = import_program_binary(&bytes).unwrap_err();
+        assert!(matches!(err, TraceFileError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("version 3"), "{err}");
     }
 
     #[test]

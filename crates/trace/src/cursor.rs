@@ -2,7 +2,8 @@
 
 use crate::block::BlockExpander;
 use crate::op::MicroOp;
-use crate::program::{Segment, ThreadScript};
+use crate::ops::ReplayCursor;
+use crate::program::{Program, ProgramError, Segment, ThreadScript};
 use crate::sync::SyncOp;
 
 /// Micro-ops expanded per refill of the cursor's buffer.
@@ -12,7 +13,7 @@ use crate::sync::SyncOp;
 /// thousand-op epoch blocks real workloads use writes hundreds of KB per
 /// block; with eight thread cursors interleaved per scheduling quantum that
 /// round-trips every op through host DRAM between expansion and simulation.
-const EXPAND_CHUNK: usize = 1024;
+pub(crate) const EXPAND_CHUNK: usize = 1024;
 
 /// The item currently under a [`ThreadCursor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,38 +42,10 @@ pub enum BlockItem<'c> {
     Sync(SyncOp),
 }
 
-/// Streaming cursor over one thread's dynamic stream.
-///
-/// Blocks are expanded in cache-sized chunks (`EXPAND_CHUNK` ops) into an
-/// internal buffer, so traversing a multi-million-op thread costs O(chunk)
-/// memory and the expanded ops are still warm in the host cache when the
-/// consumer reads them. Both the profiler and the simulator drive the same
-/// cursor type, guaranteeing they observe the identical stream.
-///
-/// Two access granularities are offered: the per-op [`ThreadCursor::item`] /
-/// [`ThreadCursor::advance`] pair (simple, copies each op out), and the
-/// zero-copy block API ([`ThreadCursor::peek_block`] +
-/// [`ThreadCursor::consume_ops`] / [`ThreadCursor::consume_sync`]) that
-/// lends out the remainder of the current block as a slice — the hot-path
-/// form the profiler and simulator use.
-///
-/// # Example
-///
-/// ```
-/// use rppm_trace::{BlockSpec, Program, Segment, ThreadCursor, CursorItem};
-///
-/// let mut p = Program::new("demo", 1);
-/// p.threads[0].segments = vec![Segment::Block(BlockSpec::new(3, 1))];
-/// let mut cur = ThreadCursor::new(&p.threads[0]);
-/// let mut ops = 0;
-/// while let Some(item) = cur.item() {
-///     if let CursorItem::Op(_) = item { ops += 1; }
-///     cur.advance();
-/// }
-/// assert_eq!(ops, 3);
-/// ```
+/// The expansion-backed cursor over a [`ThreadScript`] (the original and
+/// still the default [`ThreadCursor`] backing).
 #[derive(Debug)]
-pub struct ThreadCursor<'p> {
+struct ScriptCursor<'p> {
     script: &'p ThreadScript,
     seg: usize,
     /// Streaming expander for `segments[seg]`, carried across chunk refills.
@@ -84,10 +57,10 @@ pub struct ThreadCursor<'p> {
     ops_consumed: u64,
 }
 
-impl<'p> ThreadCursor<'p> {
+impl<'p> ScriptCursor<'p> {
     /// Creates a cursor positioned at the start of `script`.
-    pub fn new(script: &'p ThreadScript) -> Self {
-        ThreadCursor {
+    fn new(script: &'p ThreadScript) -> Self {
+        ScriptCursor {
             script,
             seg: 0,
             expander: None,
@@ -132,7 +105,7 @@ impl<'p> ThreadCursor<'p> {
     /// it (fully or partially) with [`ThreadCursor::consume_ops`]; consume a
     /// `Sync` item with [`ThreadCursor::consume_sync`]. Peeking repeatedly
     /// without consuming returns the same view.
-    pub fn peek_block(&mut self) -> Option<BlockItem<'_>> {
+    fn peek_block(&mut self) -> Option<BlockItem<'_>> {
         self.ensure();
         match self.script.segments.get(self.seg) {
             Some(Segment::Block(_)) => Some(BlockItem::Ops(&self.buf[self.buf_pos..])),
@@ -146,7 +119,7 @@ impl<'p> ThreadCursor<'p> {
     /// `n` must not exceed the length of the `Ops` slice the latest
     /// [`ThreadCursor::peek_block`] returned; consuming the whole slice
     /// moves the cursor to the next segment.
-    pub fn consume_ops(&mut self, n: usize) {
+    fn consume_ops(&mut self, n: usize) {
         debug_assert!(
             self.filled && self.buf_pos + n <= self.buf.len(),
             "consume_ops({n}) without a matching peek_block"
@@ -169,7 +142,7 @@ impl<'p> ThreadCursor<'p> {
     ///
     /// Must only be called after [`ThreadCursor::peek_block`] returned
     /// [`BlockItem::Sync`].
-    pub fn consume_sync(&mut self) {
+    fn consume_sync(&mut self) {
         debug_assert!(
             matches!(self.script.segments.get(self.seg), Some(Segment::Sync(_))),
             "consume_sync without a pending sync event"
@@ -178,36 +151,14 @@ impl<'p> ThreadCursor<'p> {
         self.filled = false;
     }
 
-    /// Returns the current item, or `None` at end of stream.
-    ///
-    /// Per-op convenience over [`ThreadCursor::peek_block`]; hot loops
-    /// should consume whole blocks instead.
-    pub fn item(&mut self) -> Option<CursorItem> {
-        match self.peek_block() {
-            Some(BlockItem::Ops(ops)) => Some(CursorItem::Op(ops[0])),
-            Some(BlockItem::Sync(op)) => Some(CursorItem::Sync(op)),
-            None => None,
-        }
-    }
-
-    /// Advances past the current item.
-    pub fn advance(&mut self) {
-        self.ensure();
-        match self.script.segments.get(self.seg) {
-            Some(Segment::Block(_)) => self.consume_ops(1),
-            Some(Segment::Sync(_)) => self.consume_sync(),
-            None => {}
-        }
-    }
-
     /// Whether the stream is exhausted.
-    pub fn at_end(&mut self) -> bool {
+    fn at_end(&mut self) -> bool {
         self.ensure();
         self.seg >= self.script.segments.len()
     }
 
     /// Number of micro-ops consumed so far.
-    pub fn ops_consumed(&self) -> u64 {
+    fn ops_consumed(&self) -> u64 {
         self.ops_consumed
     }
 
@@ -218,7 +169,7 @@ impl<'p> ThreadCursor<'p> {
     ///
     /// This is the bulk API used by the profiler, which consumes whole
     /// epochs at a time.
-    pub fn take_block(&mut self) -> &[MicroOp] {
+    fn take_block(&mut self) -> &[MicroOp] {
         self.ensure();
         match self.script.segments.get(self.seg) {
             Some(Segment::Block(_)) => {
@@ -238,6 +189,237 @@ impl<'p> ThreadCursor<'p> {
             }
             _ => &[],
         }
+    }
+}
+
+/// Streaming cursor over one thread's dynamic stream.
+///
+/// Two backings exist behind the same API, so every consumer — profiler,
+/// both simulator cores — observes the identical stream whichever way the
+/// trace arrives:
+///
+/// * **expansion-backed** ([`ThreadCursor::new`]): blocks of a
+///   [`ThreadScript`] are expanded deterministically in cache-sized chunks
+///   (`EXPAND_CHUNK` ops) into an internal buffer, so traversing a
+///   multi-million-op thread costs O(chunk) memory;
+/// * **replay-backed** ([`crate::ops::OpReplay::cursor`]): a recorded raw
+///   micro-op stream is decoded out-of-core from a version-3 `RPT1`
+///   container, section by section, without re-expansion.
+///
+/// Two access granularities are offered: the per-op [`ThreadCursor::item`] /
+/// [`ThreadCursor::advance`] pair (simple, copies each op out), and the
+/// zero-copy block API ([`ThreadCursor::peek_block`] +
+/// [`ThreadCursor::consume_ops`] / [`ThreadCursor::consume_sync`]) that
+/// lends out a run of unconsumed micro-ops as a slice — the hot-path form
+/// the profiler and simulator use.
+///
+/// # Example
+///
+/// ```
+/// use rppm_trace::{BlockSpec, Program, Segment, ThreadCursor, CursorItem};
+///
+/// let mut p = Program::new("demo", 1);
+/// p.threads[0].segments = vec![Segment::Block(BlockSpec::new(3, 1))];
+/// let mut cur = ThreadCursor::new(&p.threads[0]);
+/// let mut ops = 0;
+/// while let Some(item) = cur.item() {
+///     if let CursorItem::Op(_) = item { ops += 1; }
+///     cur.advance();
+/// }
+/// assert_eq!(ops, 3);
+/// ```
+#[derive(Debug)]
+pub struct ThreadCursor<'p> {
+    inner: CursorInner<'p>,
+}
+
+// One cursor exists per thread per run and both variants sit on the
+// caller's stack; boxing the larger one would put an indirection on the
+// per-op hot path (the `cursor` bench group) to save a few hundred bytes.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum CursorInner<'p> {
+    Script(ScriptCursor<'p>),
+    Replay(ReplayCursor<'p>),
+}
+
+impl<'p> ThreadCursor<'p> {
+    /// Creates an expansion-backed cursor positioned at the start of
+    /// `script`.
+    pub fn new(script: &'p ThreadScript) -> Self {
+        ThreadCursor {
+            inner: CursorInner::Script(ScriptCursor::new(script)),
+        }
+    }
+
+    /// Wraps a replay-backed cursor (see [`crate::ops::OpReplay`]).
+    pub(crate) fn from_replay(replay: ReplayCursor<'p>) -> Self {
+        ThreadCursor {
+            inner: CursorInner::Replay(replay),
+        }
+    }
+
+    /// Returns a run of unconsumed micro-ops of the current block as a
+    /// borrowed slice, the pending synchronization event, or `None` at end
+    /// of stream.
+    ///
+    /// An `Ops` slice is never empty, but may cover only part of the block
+    /// (one expansion chunk); the following peek lends the next run. Consume
+    /// it (fully or partially) with [`ThreadCursor::consume_ops`]; consume a
+    /// `Sync` item with [`ThreadCursor::consume_sync`]. Peeking repeatedly
+    /// without consuming returns the same view.
+    pub fn peek_block(&mut self) -> Option<BlockItem<'_>> {
+        match &mut self.inner {
+            CursorInner::Script(c) => c.peek_block(),
+            CursorInner::Replay(c) => c.peek_block(),
+        }
+    }
+
+    /// Advances past `n` micro-ops of the current block.
+    ///
+    /// `n` must not exceed the length of the `Ops` slice the latest
+    /// [`ThreadCursor::peek_block`] returned; consuming the whole slice
+    /// moves the cursor to the next segment.
+    pub fn consume_ops(&mut self, n: usize) {
+        match &mut self.inner {
+            CursorInner::Script(c) => c.consume_ops(n),
+            CursorInner::Replay(c) => c.consume_ops(n),
+        }
+    }
+
+    /// Advances past the pending synchronization event.
+    ///
+    /// Must only be called after [`ThreadCursor::peek_block`] returned
+    /// [`BlockItem::Sync`].
+    pub fn consume_sync(&mut self) {
+        match &mut self.inner {
+            CursorInner::Script(c) => c.consume_sync(),
+            CursorInner::Replay(c) => c.consume_sync(),
+        }
+    }
+
+    /// Returns the current item, or `None` at end of stream.
+    ///
+    /// Per-op convenience over [`ThreadCursor::peek_block`]; hot loops
+    /// should consume whole blocks instead.
+    pub fn item(&mut self) -> Option<CursorItem> {
+        match self.peek_block() {
+            Some(BlockItem::Ops(ops)) => Some(CursorItem::Op(ops[0])),
+            Some(BlockItem::Sync(op)) => Some(CursorItem::Sync(op)),
+            None => None,
+        }
+    }
+
+    /// Advances past the current item.
+    pub fn advance(&mut self) {
+        enum Kind {
+            Ops,
+            Sync,
+            End,
+        }
+        let kind = match self.peek_block() {
+            Some(BlockItem::Ops(_)) => Kind::Ops,
+            Some(BlockItem::Sync(_)) => Kind::Sync,
+            None => Kind::End,
+        };
+        match kind {
+            Kind::Ops => self.consume_ops(1),
+            Kind::Sync => self.consume_sync(),
+            Kind::End => {}
+        }
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn at_end(&mut self) -> bool {
+        match &mut self.inner {
+            CursorInner::Script(c) => c.at_end(),
+            CursorInner::Replay(c) => c.at_end(),
+        }
+    }
+
+    /// Number of micro-ops consumed so far.
+    pub fn ops_consumed(&self) -> u64 {
+        match &self.inner {
+            CursorInner::Script(c) => c.ops_consumed(),
+            CursorInner::Replay(c) => c.ops_consumed(),
+        }
+    }
+
+    /// Consumes the remainder of the current run of micro-ops (if
+    /// positioned inside one), returning them as a slice valid until the
+    /// next method call. Returns an empty slice when positioned at a sync
+    /// event or at the end.
+    ///
+    /// For an expansion-backed cursor the run is the current block; for a
+    /// replay-backed cursor it is the current recorded op run (consecutive
+    /// blocks merge into one run when recorded).
+    pub fn take_block(&mut self) -> &[MicroOp] {
+        match &mut self.inner {
+            CursorInner::Script(c) => c.take_block(),
+            CursorInner::Replay(c) => c.take_block(),
+        }
+    }
+}
+
+/// A source of per-thread dynamic instruction streams the profiler and the
+/// simulator can execute.
+///
+/// Two implementations exist: [`Program`] (micro-ops expanded on the fly
+/// from parametric block specifications — the original path) and
+/// [`crate::ops::OpReplay`] (micro-ops replayed out-of-core from a
+/// version-3 `RPT1` container without re-expansion). Consumers generic
+/// over `ExecSource` are guaranteed the two backings yield bit-identical
+/// streams — that property is pinned by the differential suites in
+/// `rppm-profiler` and `rppm-sim`.
+pub trait ExecSource {
+    /// Workload name (benchmark identifier).
+    fn name(&self) -> &str;
+
+    /// Number of threads in the workload.
+    fn num_threads(&self) -> usize;
+
+    /// Validates the structural invariants of the underlying program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] describing the first violation found.
+    fn validate(&self) -> Result<(), ProgramError>;
+
+    /// Opens a streaming cursor over `thread`'s dynamic stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not exist.
+    fn cursor(&self, thread: usize) -> ThreadCursor<'_>;
+
+    /// The synchronization events of `thread`, in stream order (used for
+    /// barrier-participant counting before execution starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not exist.
+    fn sync_ops(&self, thread: usize) -> Vec<SyncOp>;
+}
+
+impl ExecSource for Program {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        Program::validate(self)
+    }
+
+    fn cursor(&self, thread: usize) -> ThreadCursor<'_> {
+        ThreadCursor::new(&self.threads[thread])
+    }
+
+    fn sync_ops(&self, thread: usize) -> Vec<SyncOp> {
+        self.threads[thread].sync_ops().copied().collect()
     }
 }
 

@@ -33,6 +33,17 @@
 //!   and a [`TraceWriter`] / [`TraceReader`] pair that never holds more
 //!   than one section in memory. [`read_program_any`] auto-detects either
 //!   format by magic bytes.
+//! * [`ops`][mod@ops] — out-of-core op streams: [`write_program_ops`]
+//!   records the fully expanded micro-op stream into a version-3 `RPT1`
+//!   container, [`OpReplay`] replays it without re-expansion through a
+//!   chunk-pooled streaming reader (mmap-backed where available) under a
+//!   configurable [`StreamOptions`] memory budget, and
+//!   [`read_program_sections`] decodes sections in parallel. Both
+//!   [`Program`] and [`OpReplay`] implement [`ExecSource`], so the
+//!   profiler and simulators drive either through one cursor API.
+//! * [`par`][mod@par] — the tiny scoped-thread parallel runtime
+//!   ([`par::parallel_for`] / [`par::parallel_map`] / [`par::default_jobs`])
+//!   shared by section decoding here and every crate above.
 //!
 //! # Example
 //!
@@ -71,6 +82,8 @@ pub mod cursor;
 pub mod file;
 pub mod machine;
 pub mod op;
+pub mod ops;
+pub mod par;
 pub mod pattern;
 pub mod program;
 pub mod rng;
@@ -88,7 +101,7 @@ pub use config::{
     MachineConfigBuilder,
 };
 pub use cpi::CpiStack;
-pub use cursor::{BlockItem, CursorItem, ThreadCursor};
+pub use cursor::{BlockItem, CursorItem, ExecSource, ThreadCursor};
 pub use file::{
     export_program, import_program, program_fingerprint, read_program, write_program,
     TraceFileError, TRACE_FORMAT, TRACE_VERSION,
@@ -98,6 +111,10 @@ pub use machine::{
     MACHINE_VERSION,
 };
 pub use op::{MicroOp, OpClass};
+pub use ops::{
+    container_info, export_program_ops, read_program_sections, record_ops, write_program_ops,
+    ContainerInfo, OpReplay, SectionSummary, StreamOptions,
+};
 pub use pattern::{AddressPattern, BranchPattern, Region};
 pub use program::{Program, ProgramError, Segment, ThreadScript};
 pub use rng::Rng;

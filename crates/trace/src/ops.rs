@@ -1,0 +1,1669 @@
+//! Raw micro-op record/replay and out-of-core streaming over `RPT1` files.
+//!
+//! The rest of the crate treats a workload as parametric block
+//! specifications that are *expanded* into micro-ops on every traversal.
+//! This module adds the complementary path: the expanded [`MicroOp`] stream
+//! itself is **recorded** into version-3 `RPT1` containers (section tags
+//! 4–6, see [`crate::binary`]) and later **replayed** without re-expansion,
+//! bit-identical to what expansion would have produced. Replay is
+//! *out-of-core*: the container is mapped (or `pread` on platforms without
+//! `mmap`) and decoded one bounded chunk at a time, so traces far larger
+//! than memory profile and simulate under a configurable budget.
+//!
+//! # Layout of the op-stream sections
+//!
+//! | tag | name      | payload |
+//! |-----|-----------|---------|
+//! | 4   | `op-run`  | thread varint, op count varint, encoded micro-ops |
+//! | 5   | `op-sync` | thread varint, one encoded sync event |
+//! | 6   | `op-meta` | run-section count, total ops, total syncs, per-thread op counts |
+//!
+//! Each micro-op encodes as one class/outcome byte (`class.index() |
+//! taken << 7`), two varint dependence distances, and three
+//! zigzag-delta-coded address fields (`line`, `code_line`, `site`) whose
+//! delta chains restart at every run-section boundary — sections decode
+//! independently, which is what makes section-parallel verification and
+//! bounded-memory replay possible.
+//!
+//! # Entry points
+//!
+//! * [`write_program_ops`] / [`export_program_ops`] / [`record_ops`] —
+//!   record a program *and* its expanded op stream into one container
+//!   (what `rppm convert --ops` calls).
+//! * [`OpReplay`] — open a recorded container for streaming replay; it
+//!   implements [`ExecSource`], so the profiler and both simulator cores
+//!   consume it through the same cursor API as a [`Program`].
+//! * [`container_info`] — inspect any `RPT1` container (all versions)
+//!   without decoding payloads: per-section byte counts, totals, versions.
+//! * [`read_program_sections`] — decode just the program (tag-2) sections,
+//!   in parallel for version-3 files.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::binary::{
+    decode_segment, encode_segment, push_delta, push_varint, read_program_binary, Bytes,
+    DeltaState, TraceWriter, BINARY_TRACE_MAGIC, BINARY_TRACE_VERSION, MAX_SECTION_BYTES,
+    MAX_THREADS, OPS_MIN_VERSION, SECTION_SEGMENTS, TAG_END, TAG_HEADER, TAG_OPS, TAG_OP_META,
+    TAG_OP_RUN, TAG_OP_SYNC,
+};
+use crate::cursor::{BlockItem, ExecSource, ThreadCursor, EXPAND_CHUNK};
+use crate::file::TraceFileError;
+use crate::op::{MicroOp, OpClass, NUM_OP_CLASSES};
+use crate::par::{default_jobs, parallel_for, parallel_map};
+use crate::program::{Program, ProgramError, Segment};
+use crate::sync::SyncOp;
+
+/// Target number of micro-ops per `op-run` section.
+///
+/// Runs are also split at every sync boundary, so this is an upper target,
+/// not an exact size. 4096 ops × ~10 encoded bytes keeps sections well
+/// under the container's section-size limit while amortizing the
+/// per-section header and delta-chain restart.
+const OP_RUN_OPS: u64 = 4096;
+
+// ---------------------------------------------------------------------------
+// Per-op encoding
+
+/// Delta-chain state for the three address-like fields of a micro-op.
+///
+/// Reset at every `op-run` section boundary (writer and reader
+/// symmetrically), so sections decode independently.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpDelta {
+    line: u64,
+    code_line: u64,
+    site: u64,
+}
+
+fn encode_op(buf: &mut Vec<u8>, d: &mut OpDelta, op: &MicroOp) {
+    buf.push(op.class.index() as u8 | ((op.taken as u8) << 7));
+    push_varint(buf, op.src1 as u64);
+    push_varint(buf, op.src2 as u64);
+    push_delta(buf, &mut d.line, op.line);
+    push_delta(buf, &mut d.code_line, op.code_line);
+    push_delta(buf, &mut d.site, op.site as u64);
+}
+
+fn decode_op(b: &mut Bytes<'_>, d: &mut OpDelta) -> Result<MicroOp, TraceFileError> {
+    let b0 = b.u8("an op header byte")?;
+    let taken = b0 & 0x80 != 0;
+    let ci = (b0 & 0x7F) as usize;
+    if ci >= NUM_OP_CLASSES {
+        return Err(TraceFileError::Corrupt {
+            detail: format!("unknown op class {ci} in an op-run section"),
+        });
+    }
+    let class = OpClass::ALL[ci];
+    let src1 = b.varint("an op src1 distance")?;
+    let src2 = b.varint("an op src2 distance")?;
+    let (src1, src2) = match (u16::try_from(src1), u16::try_from(src2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("op dependence distance ({src1}, {src2}) does not fit in 16 bits"),
+            })
+        }
+    };
+    let line = b.delta(&mut d.line, "an op data line")?;
+    let code_line = b.delta(&mut d.code_line, "an op code line")?;
+    let site = b.delta(&mut d.site, "an op branch site")?;
+    let site = u32::try_from(site).map_err(|_| TraceFileError::Corrupt {
+        detail: format!("op branch site {site} does not fit in 32 bits"),
+    })?;
+    Ok(MicroOp {
+        class,
+        src1,
+        src2,
+        line,
+        code_line,
+        site,
+        taken,
+    })
+}
+
+/// Decodes one op during replay, where [`OpReplay::open`] has already
+/// verified every section: a failure here means the file changed on disk
+/// after open (the one TOCTOU window streaming replay cannot close).
+fn decode_op_verified(b: &mut Bytes<'_>, d: &mut OpDelta) -> MicroOp {
+    decode_op(b, d).unwrap_or_else(|e| {
+        panic!("op stream corrupt mid-replay ({e}); OpReplay::open verified this section, so the trace file must have changed on disk")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+
+/// Records `program` **and** its fully expanded micro-op stream into a
+/// version-3 `RPT1` container written to `sink`, returning the sink.
+///
+/// The container holds the ordinary program sections first (so every
+/// existing reader still works on it), followed by the op-stream sections:
+/// per-thread runs of encoded micro-ops split at sync boundaries and at
+/// roughly 4096-op targets, explicit sync-event sections, and a final
+/// `op-meta` section with totals. Threads are recorded sequentially, one
+/// expansion chunk at a time — memory stays bounded regardless of trace
+/// size.
+///
+/// # Errors
+///
+/// [`TraceFileError::InvalidProgram`] if the program fails validation, and
+/// [`TraceFileError::Stream`] on sink I/O failure.
+pub fn record_ops<W: Write>(program: &Program, sink: W) -> Result<W, TraceFileError> {
+    program.validate().map_err(TraceFileError::InvalidProgram)?;
+    let n = program.num_threads();
+    let mut w = TraceWriter::with_version(sink, &program.name, n as u32, OPS_MIN_VERSION)?;
+    for (t, script) in program.threads.iter().enumerate() {
+        w.write_script(t as u32, script)?;
+    }
+
+    let mut run_sections = 0u64;
+    let mut total_syncs = 0u64;
+    let mut per_thread = vec![0u64; n];
+    let mut payload = Vec::new();
+    let mut opbuf = Vec::new();
+    for (t, script) in program.threads.iter().enumerate() {
+        let mut cur = ThreadCursor::new(script);
+        let mut delta = OpDelta::default();
+        let mut run_ops = 0u64;
+        loop {
+            enum Step {
+                Ops(usize),
+                Sync(SyncOp),
+                End,
+            }
+            let step = match cur.peek_block() {
+                Some(BlockItem::Ops(ops)) => {
+                    for op in ops {
+                        encode_op(&mut opbuf, &mut delta, op);
+                    }
+                    run_ops += ops.len() as u64;
+                    Step::Ops(ops.len())
+                }
+                Some(BlockItem::Sync(op)) => Step::Sync(op),
+                None => Step::End,
+            };
+            match step {
+                Step::Ops(k) => {
+                    cur.consume_ops(k);
+                    if run_ops >= OP_RUN_OPS {
+                        flush_run(&mut w, t as u64, &mut opbuf, &mut run_ops, &mut delta)?;
+                        run_sections += 1;
+                    }
+                }
+                Step::Sync(op) => {
+                    if run_ops > 0 {
+                        flush_run(&mut w, t as u64, &mut opbuf, &mut run_ops, &mut delta)?;
+                        run_sections += 1;
+                    }
+                    payload.clear();
+                    push_varint(&mut payload, t as u64);
+                    encode_segment(&mut payload, &mut DeltaState::default(), &Segment::Sync(op));
+                    w.write_raw_section(TAG_OP_SYNC, &payload)?;
+                    total_syncs += 1;
+                    cur.consume_sync();
+                }
+                Step::End => {
+                    if run_ops > 0 {
+                        flush_run(&mut w, t as u64, &mut opbuf, &mut run_ops, &mut delta)?;
+                        run_sections += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        per_thread[t] = cur.ops_consumed();
+    }
+
+    payload.clear();
+    push_varint(&mut payload, run_sections);
+    push_varint(&mut payload, per_thread.iter().sum());
+    push_varint(&mut payload, total_syncs);
+    for c in &per_thread {
+        push_varint(&mut payload, *c);
+    }
+    w.write_raw_section(TAG_OP_META, &payload)?;
+    w.finish()
+}
+
+fn flush_run<W: Write>(
+    w: &mut TraceWriter<W>,
+    thread: u64,
+    opbuf: &mut Vec<u8>,
+    run_ops: &mut u64,
+    delta: &mut OpDelta,
+) -> Result<(), TraceFileError> {
+    let mut payload = Vec::with_capacity(opbuf.len() + 12);
+    push_varint(&mut payload, thread);
+    push_varint(&mut payload, *run_ops);
+    payload.extend_from_slice(opbuf);
+    w.write_raw_section(TAG_OP_RUN, &payload)?;
+    opbuf.clear();
+    *run_ops = 0;
+    *delta = OpDelta::default();
+    Ok(())
+}
+
+/// [`record_ops`] into an in-memory byte buffer.
+///
+/// # Errors
+///
+/// Same failure modes as [`record_ops`].
+pub fn export_program_ops(program: &Program) -> Result<Vec<u8>, TraceFileError> {
+    record_ops(program, Vec::new())
+}
+
+/// [`record_ops`] into the file at `path` (buffered).
+///
+/// # Errors
+///
+/// [`TraceFileError::Io`] if the file cannot be created, plus the
+/// [`record_ops`] failure modes.
+pub fn write_program_ops(program: &Program, path: impl AsRef<Path>) -> Result<(), TraceFileError> {
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|e| TraceFileError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    record_ops(program, std::io::BufWriter::new(file))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Random-access section source (mmap where available, pread fallback)
+
+#[cfg(unix)]
+mod mm {
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MAP_FAILED: isize = -1;
+
+    /// A read-only private mapping of a whole file.
+    pub(super) struct Map {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime (PROT_READ) and the
+    // pointer is owned: sharing &Map across decode threads is sound.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file`, or `None` if the kernel refuses
+        /// (callers then fall back to `pread`).
+        pub(super) fn new(file: &std::fs::File, len: usize) -> Option<Map> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == MAP_FAILED {
+                None
+            } else {
+                Some(Map { ptr, len })
+            }
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Map {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Map").field("len", &self.len).finish()
+        }
+    }
+}
+
+/// Positional-read fallback used when `mmap` is unavailable or declined.
+#[derive(Debug)]
+struct FileSource {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+    len: u64,
+}
+
+impl FileSource {
+    fn read_into(&self, off: u64, len: usize, out: &mut Vec<u8>) -> Result<(), TraceFileError> {
+        out.clear();
+        out.resize(len, 0);
+        let res;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            res = self.file.read_exact_at(out, off);
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.lock().unwrap();
+            res = f.seek(SeekFrom::Start(off)).and_then(|_| f.read_exact(out));
+        }
+        res.map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceFileError::Truncated {
+                    context: "a section payload".to_string(),
+                }
+            } else {
+                crate::binary::stream_err("reading a trace section", e)
+            }
+        })
+    }
+}
+
+/// Random-access byte source for one `RPT1` file.
+///
+/// `slice` is zero-copy (mmap only); `read_into` works on every backing.
+#[derive(Debug)]
+enum SectionSource {
+    #[cfg(unix)]
+    Mmap(mm::Map),
+    File(FileSource),
+}
+
+impl SectionSource {
+    fn open(path: &Path, use_mmap: bool) -> Result<Self, TraceFileError> {
+        let io_err = |e| TraceFileError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        };
+        let file = File::open(path).map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        #[cfg(unix)]
+        if use_mmap && len > 0 && len <= usize::MAX as u64 {
+            if let Some(map) = mm::Map::new(&file, len as usize) {
+                return Ok(SectionSource::Mmap(map));
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = use_mmap;
+        Ok(SectionSource::File(FileSource {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: Mutex::new(file),
+            len,
+        }))
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            #[cfg(unix)]
+            SectionSource::Mmap(m) => m.bytes().len() as u64,
+            SectionSource::File(f) => f.len,
+        }
+    }
+
+    /// Borrows `len` bytes at `off` without copying; `None` when the
+    /// backing cannot lend (non-mmap) or the range is out of bounds.
+    fn slice(&self, off: u64, len: usize) -> Option<&[u8]> {
+        match self {
+            #[cfg(unix)]
+            SectionSource::Mmap(m) => {
+                let b = m.bytes();
+                let off = usize::try_from(off).ok()?;
+                b.get(off..off.checked_add(len)?)
+            }
+            SectionSource::File(_) => None,
+        }
+    }
+
+    fn read_into(&self, off: u64, len: usize, out: &mut Vec<u8>) -> Result<(), TraceFileError> {
+        match self {
+            #[cfg(unix)]
+            SectionSource::Mmap(_) => match self.slice(off, len) {
+                Some(b) => {
+                    out.clear();
+                    out.extend_from_slice(b);
+                    Ok(())
+                }
+                None => Err(TraceFileError::Truncated {
+                    context: "a section payload".to_string(),
+                }),
+            },
+            SectionSource::File(f) => f.read_into(off, len, out),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container scan (section index, no payload decode except op-sync headers)
+
+/// Reference to one recorded `op-run` section (payload past the
+/// thread/count prefix).
+#[derive(Debug, Clone, Copy)]
+struct RunRef {
+    off: u64,
+    len: u64,
+    ops: u64,
+}
+
+/// One item of a thread's recorded stream, in stream order.
+#[derive(Debug, Clone, Copy)]
+enum StreamItem {
+    Run(RunRef),
+    Sync(SyncOp),
+}
+
+/// Reference to one program (tag-2) section.
+#[derive(Debug, Clone, Copy)]
+struct ProgRef {
+    thread: u32,
+    count: u64,
+    off: u64,
+    len: u64,
+    /// Bytes of the thread/count prefix inside the payload.
+    head: usize,
+}
+
+#[derive(Debug)]
+struct Scan {
+    version: u32,
+    name: String,
+    num_threads: u32,
+    file_bytes: u64,
+    prog_sections: Vec<ProgRef>,
+    items: Vec<Vec<StreamItem>>,
+    per_thread_ops: Vec<u64>,
+    total_syncs: u64,
+    run_sections: u64,
+    segments: u64,
+    has_meta: bool,
+    /// `(count, payload bytes)` indexed by `tag - 1` for tags 1–6.
+    tag_stats: [(u64, u64); 6],
+}
+
+fn varint_at(
+    src: &SectionSource,
+    pos: &mut u64,
+    context: &str,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, TraceFileError> {
+    let take = src.len().saturating_sub(*pos).min(10) as usize;
+    src.read_into(*pos, take, scratch)?;
+    let mut b = Bytes::new(scratch);
+    let v = b.varint(context)?;
+    *pos += (take - b.remaining()) as u64;
+    Ok(v)
+}
+
+/// Walks every section of the container, validating structure and building
+/// the section index. Payloads of program and op-run sections are *not*
+/// decoded — only their small thread/count prefixes are read — so a scan of
+/// a multi-gigabyte trace touches a few bytes per section.
+fn scan(src: &SectionSource) -> Result<Scan, TraceFileError> {
+    let file_bytes = src.len();
+    let mut scratch = Vec::new();
+    if file_bytes < 4 {
+        return Err(TraceFileError::Truncated {
+            context: "the RPT1 magic".to_string(),
+        });
+    }
+    src.read_into(0, 4, &mut scratch)?;
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&scratch);
+    if magic != BINARY_TRACE_MAGIC {
+        return Err(TraceFileError::BadMagic { found: magic });
+    }
+    let mut pos = 4u64;
+    let version = varint_at(src, &mut pos, "the container version", &mut scratch)?;
+    if !(1..=BINARY_TRACE_VERSION as u64).contains(&version) {
+        return Err(TraceFileError::UnsupportedVersion {
+            found: version,
+            supported: BINARY_TRACE_VERSION,
+        });
+    }
+    let version = version as u32;
+
+    let mut s = Scan {
+        version,
+        name: String::new(),
+        num_threads: 0,
+        file_bytes,
+        prog_sections: Vec::new(),
+        items: Vec::new(),
+        per_thread_ops: Vec::new(),
+        total_syncs: 0,
+        run_sections: 0,
+        segments: 0,
+        has_meta: false,
+        tag_stats: [(0, 0); 6],
+    };
+    let mut seen_header = false;
+    let mut seen_end = false;
+    let mut meta = None;
+    let mut total_ops_counted = 0u64;
+    while !seen_end {
+        if pos >= file_bytes {
+            return Err(TraceFileError::Truncated {
+                context: "the end section".to_string(),
+            });
+        }
+        let tag = varint_at(src, &mut pos, "a section tag", &mut scratch)?;
+        let len = varint_at(src, &mut pos, "a section length", &mut scratch)?;
+        if len > MAX_SECTION_BYTES {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("section declares {len} bytes (limit {MAX_SECTION_BYTES})"),
+            });
+        }
+        let off = pos;
+        if len > file_bytes - off {
+            return Err(TraceFileError::Truncated {
+                context: "a section payload".to_string(),
+            });
+        }
+        pos = off + len;
+        if (1..=6).contains(&tag) {
+            let e = &mut s.tag_stats[(tag - 1) as usize];
+            e.0 += 1;
+            e.1 += len;
+        }
+        if !seen_header && tag != TAG_HEADER {
+            return Err(TraceFileError::Corrupt {
+                detail: format!("first section has tag {tag}, expected header (tag {TAG_HEADER})"),
+            });
+        }
+        if (TAG_OP_RUN..=TAG_OP_META).contains(&tag) && version < OPS_MIN_VERSION {
+            return Err(TraceFileError::Corrupt {
+                detail: format!(
+                    "op-stream section tag {tag} requires container version 3, but the \
+                     stream declares version {version}"
+                ),
+            });
+        }
+        match tag {
+            TAG_HEADER => {
+                if seen_header {
+                    return Err(TraceFileError::Corrupt {
+                        detail: "duplicate header section".to_string(),
+                    });
+                }
+                seen_header = true;
+                src.read_into(off, len as usize, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let name_len = b.varint("the workload name length")?;
+                if b.pos as u64 + name_len > scratch.len() as u64 {
+                    return Err(TraceFileError::Truncated {
+                        context: "the workload name".to_string(),
+                    });
+                }
+                let name_bytes = &scratch[b.pos..b.pos + name_len as usize];
+                s.name = std::str::from_utf8(name_bytes)
+                    .map_err(|_| TraceFileError::Corrupt {
+                        detail: "workload name is not valid UTF-8".to_string(),
+                    })?
+                    .to_string();
+                b.pos += name_len as usize;
+                let num_threads = b.varint_u32("the thread count")?;
+                if num_threads as u64 > MAX_THREADS {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "header declares {num_threads} threads (limit {MAX_THREADS})"
+                        ),
+                    });
+                }
+                s.num_threads = num_threads;
+                s.items = vec![Vec::new(); num_threads as usize];
+                s.per_thread_ops = vec![0; num_threads as usize];
+            }
+            TAG_OPS => {
+                let window = len.min(20) as usize;
+                src.read_into(off, window, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let thread = b.varint_u32("an ops-section thread id")?;
+                let count = b.varint("an ops-section segment count")?;
+                let head = window - b.remaining();
+                if thread >= s.num_threads {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "ops section for thread {thread}, but the header declares only \
+                             {} threads",
+                            s.num_threads
+                        ),
+                    });
+                }
+                if count == 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: "empty segment section".to_string(),
+                    });
+                }
+                s.segments += count;
+                s.prog_sections.push(ProgRef {
+                    thread,
+                    count,
+                    off,
+                    len,
+                    head,
+                });
+            }
+            TAG_OP_RUN => {
+                let window = len.min(20) as usize;
+                src.read_into(off, window, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let thread = b.varint_u32("an op-run thread id")?;
+                let ops = b.varint("an op-run op count")?;
+                let head = (window - b.remaining()) as u64;
+                if thread >= s.num_threads {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "op-run section for thread {thread}, but the header declares \
+                             only {} threads",
+                            s.num_threads
+                        ),
+                    });
+                }
+                if ops == 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: "empty op-run section".to_string(),
+                    });
+                }
+                s.items[thread as usize].push(StreamItem::Run(RunRef {
+                    off: off + head,
+                    len: len - head,
+                    ops,
+                }));
+                s.per_thread_ops[thread as usize] += ops;
+                total_ops_counted += ops;
+                s.run_sections += 1;
+            }
+            TAG_OP_SYNC => {
+                src.read_into(off, len as usize, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let thread = b.varint_u32("an op-sync thread id")?;
+                if thread >= s.num_threads {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "op-sync section for thread {thread}, but the header declares \
+                             only {} threads",
+                            s.num_threads
+                        ),
+                    });
+                }
+                let seg = decode_segment(&mut b, &mut DeltaState::default(), version)?;
+                let op = match seg {
+                    Segment::Sync(op) => op,
+                    Segment::Block(_) => {
+                        return Err(TraceFileError::Corrupt {
+                            detail: "op-sync section does not hold a sync event".to_string(),
+                        })
+                    }
+                };
+                if b.remaining() != 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "{} excess bytes at the end of an op-sync section",
+                            b.remaining()
+                        ),
+                    });
+                }
+                s.items[thread as usize].push(StreamItem::Sync(op));
+                s.total_syncs += 1;
+            }
+            TAG_OP_META => {
+                if s.has_meta {
+                    return Err(TraceFileError::Corrupt {
+                        detail: "duplicate op-meta section".to_string(),
+                    });
+                }
+                s.has_meta = true;
+                src.read_into(off, len as usize, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let runs = b.varint("the op-meta run-section count")?;
+                let ops = b.varint("the op-meta total op count")?;
+                let syncs = b.varint("the op-meta total sync count")?;
+                let mut per_thread = Vec::with_capacity(s.num_threads as usize);
+                for _ in 0..s.num_threads {
+                    per_thread.push(b.varint("an op-meta per-thread op count")?);
+                }
+                if b.remaining() != 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "{} excess bytes at the end of the op-meta section",
+                            b.remaining()
+                        ),
+                    });
+                }
+                meta = Some((runs, ops, syncs, per_thread));
+            }
+            TAG_END => {
+                src.read_into(off, len as usize, &mut scratch)?;
+                let mut b = Bytes::new(&scratch);
+                let declared = b.varint("the end-section segment count")?;
+                if b.remaining() != 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "{} excess bytes at the end of the end section",
+                            b.remaining()
+                        ),
+                    });
+                }
+                if declared != s.segments {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "trace declares {declared} segments, but its sections carry {}",
+                            s.segments
+                        ),
+                    });
+                }
+                seen_end = true;
+            }
+            _ => {
+                return Err(TraceFileError::Corrupt {
+                    detail: format!("unknown section tag {tag}"),
+                })
+            }
+        }
+    }
+    if pos != file_bytes {
+        return Err(TraceFileError::Corrupt {
+            detail: format!("{} trailing bytes after the end section", file_bytes - pos),
+        });
+    }
+    if let Some((runs, ops, syncs, per_thread)) = meta {
+        if runs != s.run_sections
+            || ops != total_ops_counted
+            || syncs != s.total_syncs
+            || per_thread != s.per_thread_ops
+        {
+            return Err(TraceFileError::Corrupt {
+                detail: format!(
+                    "op-meta section disagrees with the op sections (meta: {runs} runs / \
+                     {ops} ops / {syncs} syncs; sections: {} runs / {total_ops_counted} ops / \
+                     {} syncs)",
+                    s.run_sections, s.total_syncs
+                ),
+            });
+        }
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Program decode from the section index (parallel for version 3)
+
+fn decode_prog_sections(
+    src: &SectionSource,
+    s: &Scan,
+    jobs: usize,
+) -> Result<Program, TraceFileError> {
+    debug_assert!(s.version >= OPS_MIN_VERSION);
+    let n = s.prog_sections.len();
+    let decoded = parallel_map(jobs, n, |i| {
+        let r = s.prog_sections[i];
+        let mut owned = Vec::new();
+        let bytes = match src.slice(r.off, r.len as usize) {
+            Some(b) => b,
+            None => {
+                src.read_into(r.off, r.len as usize, &mut owned)?;
+                owned.as_slice()
+            }
+        };
+        let mut b = Bytes::new(bytes);
+        b.pos = r.head;
+        let mut d = DeltaState::default();
+        let mut segs = Vec::with_capacity(r.count.min(SECTION_SEGMENTS) as usize);
+        for _ in 0..r.count {
+            segs.push(decode_segment(&mut b, &mut d, s.version)?);
+        }
+        if b.remaining() != 0 {
+            return Err(TraceFileError::Corrupt {
+                detail: format!(
+                    "{} excess bytes at the end of an ops section",
+                    b.remaining()
+                ),
+            });
+        }
+        Ok(segs)
+    });
+    let mut program = Program::new(s.name.clone(), s.num_threads as usize);
+    for (i, segs) in decoded.into_iter().enumerate() {
+        let thread = s.prog_sections[i].thread as usize;
+        program.threads[thread].segments.extend(segs?);
+    }
+    program.validate().map_err(TraceFileError::InvalidProgram)?;
+    Ok(program)
+}
+
+/// Reads just the program from an `RPT1` file, decoding the program
+/// sections of a version-3 container **in parallel** across `jobs` threads
+/// (version-3 sections restart their delta chains, so each decodes
+/// independently). Version-1/2 containers fall back to the sequential
+/// streaming reader.
+///
+/// # Errors
+///
+/// The same failure modes as [`read_program_binary`].
+pub fn read_program_sections(
+    path: impl AsRef<Path>,
+    jobs: usize,
+) -> Result<Program, TraceFileError> {
+    let path = path.as_ref();
+    let src = SectionSource::open(path, true)?;
+    let s = scan(&src)?;
+    if s.version < OPS_MIN_VERSION {
+        drop(src);
+        return read_program_binary(path);
+    }
+    decode_prog_sections(&src, &s, jobs)
+}
+
+// ---------------------------------------------------------------------------
+// Container inspection
+
+/// Per-tag summary of an `RPT1` container's sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionSummary {
+    /// Section tag value.
+    pub tag: u64,
+    /// Human-readable tag name (`"header"`, `"segments"`, `"op-run"`, ...).
+    pub label: &'static str,
+    /// Number of sections carrying this tag.
+    pub count: u64,
+    /// Total payload bytes across those sections (headers excluded).
+    pub bytes: u64,
+}
+
+/// What `rppm trace-info` prints: the structural inventory of one `RPT1`
+/// container, gathered by a scan that never decodes op or segment payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Container format version (1–3).
+    pub version: u32,
+    /// Workload name from the header.
+    pub name: String,
+    /// Thread count from the header.
+    pub num_threads: u32,
+    /// Size of the file in bytes.
+    pub file_bytes: u64,
+    /// Per-tag section summaries, in tag order (absent tags omitted).
+    pub sections: Vec<SectionSummary>,
+    /// Total program segments across the tag-2 sections.
+    pub segments: u64,
+    /// Total recorded micro-ops across the op-run sections.
+    pub recorded_ops: u64,
+    /// Total recorded sync events across the op-sync sections.
+    pub recorded_syncs: u64,
+    /// Whether the container carries a recorded op stream ([`OpReplay`]
+    /// can open it).
+    pub has_op_stream: bool,
+}
+
+fn tag_label(tag: u64) -> &'static str {
+    match tag {
+        TAG_HEADER => "header",
+        TAG_OPS => "segments",
+        TAG_END => "end",
+        TAG_OP_RUN => "op-run",
+        TAG_OP_SYNC => "op-sync",
+        TAG_OP_META => "op-meta",
+        _ => "unknown",
+    }
+}
+
+/// Scans the `RPT1` container at `path` and reports its structure without
+/// decoding any program or op payloads. Works on every container version.
+///
+/// # Errors
+///
+/// [`TraceFileError::Io`] if the file cannot be opened, and the scan's
+/// typed errors ([`TraceFileError::BadMagic`],
+/// [`TraceFileError::UnsupportedVersion`], [`TraceFileError::Truncated`],
+/// [`TraceFileError::Corrupt`], ...) on malformed containers.
+pub fn container_info(path: impl AsRef<Path>) -> Result<ContainerInfo, TraceFileError> {
+    let src = SectionSource::open(path.as_ref(), true)?;
+    let s = scan(&src)?;
+    let sections = s
+        .tag_stats
+        .iter()
+        .enumerate()
+        .filter(|(_, &(count, _))| count > 0)
+        .map(|(i, &(count, bytes))| SectionSummary {
+            tag: i as u64 + 1,
+            label: tag_label(i as u64 + 1),
+            count,
+            bytes,
+        })
+        .collect();
+    let recorded_ops = s.per_thread_ops.iter().sum();
+    Ok(ContainerInfo {
+        version: s.version,
+        name: s.name,
+        num_threads: s.num_threads,
+        file_bytes: s.file_bytes,
+        sections,
+        segments: s.segments,
+        recorded_ops,
+        recorded_syncs: s.total_syncs,
+        has_op_stream: s.has_meta || s.run_sections > 0 || s.total_syncs > 0,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chunk pool
+
+/// Recycles decode buffers under a byte budget, so replay memory stays
+/// bounded no matter how many sections stream through.
+#[derive(Debug)]
+struct ChunkPool {
+    cap: usize,
+    slots: Mutex<PoolState>,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    bufs: Vec<Vec<u8>>,
+    held: usize,
+}
+
+impl ChunkPool {
+    fn new(cap: usize) -> Self {
+        ChunkPool {
+            cap,
+            slots: Mutex::new(PoolState::default()),
+        }
+    }
+
+    fn take(&self) -> Vec<u8> {
+        let mut s = self.slots.lock().unwrap();
+        match s.bufs.pop() {
+            Some(b) => {
+                s.held -= b.capacity();
+                b
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn put(&self, b: Vec<u8>) {
+        if b.capacity() == 0 {
+            return;
+        }
+        let mut s = self.slots.lock().unwrap();
+        if s.held + b.capacity() <= self.cap {
+            s.held += b.capacity();
+            s.bufs.push(b);
+        }
+        // Over budget: drop the buffer, releasing its memory.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming replay
+
+/// Knobs for [`OpReplay::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Micro-ops decoded per cursor refill (the replay analog of the
+    /// expansion chunk). Smaller values bound peak memory tighter at the
+    /// cost of more refills; `0` is treated as `1`.
+    pub chunk_ops: usize,
+    /// Byte budget of the shared decode-buffer pool used when the file is
+    /// not memory-mapped. Buffers beyond the budget are freed instead of
+    /// recycled.
+    pub pool_bytes: usize,
+    /// Memory-map the container when the platform allows it (zero-copy
+    /// section access). When `false` — or when mapping fails — sections are
+    /// `pread` into pooled buffers instead.
+    pub mmap: bool,
+    /// Worker threads for the open-time parallel scan/verify and for
+    /// section-parallel program decode.
+    pub jobs: usize,
+    /// Decode-validate every op section at open (parallel, without
+    /// retaining the ops), so corruption surfaces as a typed error here
+    /// rather than mid-replay.
+    pub verify: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            chunk_ops: EXPAND_CHUNK,
+            pool_bytes: 4 << 20,
+            mmap: true,
+            jobs: default_jobs(),
+            verify: true,
+        }
+    }
+}
+
+/// A recorded micro-op stream opened for out-of-core replay.
+///
+/// `OpReplay` holds the decoded [`Program`] (for validation, sync-event
+/// queries and metadata) plus a section index over the op-stream sections
+/// of the version-3 container; the op payloads themselves stay on disk and
+/// are decoded chunk-by-chunk as cursors traverse them. It implements
+/// [`ExecSource`], so `rppm-profiler` and both `rppm-sim` engines consume
+/// replayed traces through the exact cursor API they use for expansion —
+/// the differential suites pin the two paths bit-identical.
+///
+/// Opening verifies the container structurally (and, by default, decodes
+/// every op section once in parallel), so replay itself cannot fail with
+/// a typed error; if the file is modified on disk *after* open, a
+/// mid-replay decode panics rather than returning garbage.
+#[derive(Debug)]
+pub struct OpReplay {
+    program: Program,
+    source: SectionSource,
+    items: Vec<Vec<StreamItem>>,
+    per_thread_ops: Vec<u64>,
+    total_syncs: u64,
+    options: StreamOptions,
+    pool: ChunkPool,
+    version: u32,
+}
+
+impl OpReplay {
+    /// Opens the container at `path` with default [`StreamOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::NoOpStream`] if the container carries no recorded
+    /// op stream, plus every scan / program-decode / verify failure mode.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        Self::open_with(path, StreamOptions::default())
+    }
+
+    /// Opens the container at `path` with explicit [`StreamOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`OpReplay::open`].
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        options: StreamOptions,
+    ) -> Result<Self, TraceFileError> {
+        let src = SectionSource::open(path.as_ref(), options.mmap)?;
+        let s = scan(&src)?;
+        if !(s.has_meta || s.run_sections > 0 || s.total_syncs > 0) {
+            return Err(TraceFileError::NoOpStream {
+                detail: format!(
+                    "container version {} holding {} program segments and no op sections",
+                    s.version, s.segments
+                ),
+            });
+        }
+        let program = decode_prog_sections(&src, &s, options.jobs)?;
+        let replay = OpReplay {
+            program,
+            source: src,
+            items: s.items,
+            per_thread_ops: s.per_thread_ops,
+            total_syncs: s.total_syncs,
+            options,
+            pool: ChunkPool::new(options.pool_bytes.max(1)),
+            version: s.version,
+        };
+        replay.check_against_program()?;
+        if options.verify {
+            replay.verify_sections(options.jobs)?;
+        }
+        Ok(replay)
+    }
+
+    /// The decoded program carried alongside the op stream.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Container format version (always ≥ 3 for a successfully opened
+    /// replay).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Total recorded micro-ops across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.per_thread_ops.iter().sum()
+    }
+
+    /// Total recorded sync events across all threads.
+    pub fn total_syncs(&self) -> u64 {
+        self.total_syncs
+    }
+
+    /// Opens a replay cursor over `thread`'s recorded stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not exist.
+    pub fn cursor(&self, thread: usize) -> ThreadCursor<'_> {
+        ThreadCursor::from_replay(ReplayCursor::new(self, thread))
+    }
+
+    /// Checks the recorded stream against the program sections: per-thread
+    /// op totals must match what expansion would produce, and the recorded
+    /// sync sequence must equal the script's.
+    fn check_against_program(&self) -> Result<(), TraceFileError> {
+        for (t, script) in self.program.threads.iter().enumerate() {
+            let expected = script.total_ops();
+            let recorded = self.per_thread_ops[t];
+            if recorded != expected {
+                return Err(TraceFileError::Corrupt {
+                    detail: format!(
+                        "thread {t}: op stream records {recorded} ops, but the program \
+                         sections expand to {expected}"
+                    ),
+                });
+            }
+            let recorded_syncs: Vec<SyncOp> = self.items[t]
+                .iter()
+                .filter_map(|i| match i {
+                    StreamItem::Sync(op) => Some(*op),
+                    StreamItem::Run(_) => None,
+                })
+                .collect();
+            let script_syncs: Vec<SyncOp> = script.sync_ops().copied().collect();
+            if recorded_syncs != script_syncs {
+                return Err(TraceFileError::Corrupt {
+                    detail: format!(
+                        "thread {t}: recorded sync sequence ({} events) does not match the \
+                         program's ({} events)",
+                        recorded_syncs.len(),
+                        script_syncs.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode-validates every op-run section in parallel without retaining
+    /// the decoded ops — bounded memory, typed errors at open time.
+    fn verify_sections(&self, jobs: usize) -> Result<(), TraceFileError> {
+        let runs: Vec<RunRef> = self
+            .items
+            .iter()
+            .flat_map(|items| {
+                items.iter().filter_map(|i| match i {
+                    StreamItem::Run(r) => Some(*r),
+                    StreamItem::Sync(_) => None,
+                })
+            })
+            .collect();
+        let first_err: Mutex<Option<TraceFileError>> = Mutex::new(None);
+        parallel_for(jobs, runs.len(), |i| {
+            if first_err.lock().unwrap().is_some() {
+                return;
+            }
+            let r = runs[i];
+            let mut owned = Vec::new();
+            let res = (|| {
+                let bytes = match self.source.slice(r.off, r.len as usize) {
+                    Some(b) => b,
+                    None => {
+                        self.source.read_into(r.off, r.len as usize, &mut owned)?;
+                        owned.as_slice()
+                    }
+                };
+                let mut b = Bytes::new(bytes);
+                let mut d = OpDelta::default();
+                for _ in 0..r.ops {
+                    decode_op(&mut b, &mut d)?;
+                }
+                if b.remaining() != 0 {
+                    return Err(TraceFileError::Corrupt {
+                        detail: format!(
+                            "{} excess bytes at the end of an op-run section",
+                            b.remaining()
+                        ),
+                    });
+                }
+                Ok(())
+            })();
+            if let Err(e) = res {
+                let mut slot = first_err.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        });
+        match first_err.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl ExecSource for OpReplay {
+    fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    fn num_threads(&self) -> usize {
+        self.program.num_threads()
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        self.program.validate()
+    }
+
+    fn cursor(&self, thread: usize) -> ThreadCursor<'_> {
+        OpReplay::cursor(self, thread)
+    }
+
+    fn sync_ops(&self, thread: usize) -> Vec<SyncOp> {
+        self.program.threads[thread].sync_ops().copied().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay cursor
+
+/// Raw bytes of the op-run section a cursor is currently decoding.
+#[derive(Debug)]
+enum RawBytes<'p> {
+    /// No section loaded.
+    None,
+    /// Zero-copy view into the memory-mapped file.
+    Borrowed(&'p [u8]),
+    /// Pooled buffer filled by positional reads.
+    Owned(Vec<u8>),
+}
+
+/// Streaming cursor over one thread's *recorded* op stream.
+///
+/// Mirrors the eager-advance semantics of the expansion-backed cursor
+/// exactly (an `Ops` peek is never empty; draining the final chunk of a
+/// run advances to the next item so a following `Sync` peek works), which
+/// is what lets [`crate::cursor::ThreadCursor`] dispatch over both without
+/// consumers noticing.
+#[derive(Debug)]
+pub(crate) struct ReplayCursor<'p> {
+    replay: &'p OpReplay,
+    items: &'p [StreamItem],
+    item: usize,
+    raw: RawBytes<'p>,
+    /// Byte position inside the current section payload.
+    pos: usize,
+    /// Ops of the current run not yet decoded into `buf`.
+    run_left: u64,
+    delta: OpDelta,
+    buf: Vec<MicroOp>,
+    buf_pos: usize,
+    /// Whether `buf` holds an unconsumed chunk of the current run.
+    filled: bool,
+    ops_consumed: u64,
+}
+
+impl<'p> ReplayCursor<'p> {
+    fn new(replay: &'p OpReplay, thread: usize) -> Self {
+        ReplayCursor {
+            replay,
+            items: &replay.items[thread],
+            item: 0,
+            raw: RawBytes::None,
+            pos: 0,
+            run_left: 0,
+            delta: OpDelta::default(),
+            buf: Vec::new(),
+            buf_pos: 0,
+            filled: false,
+            ops_consumed: 0,
+        }
+    }
+
+    /// Loads the current run's section bytes and decodes the next chunk
+    /// into `buf` if needed.
+    fn ensure(&mut self) {
+        let r = match self.items.get(self.item) {
+            Some(StreamItem::Run(r)) => *r,
+            Some(StreamItem::Sync(_)) | None => return,
+        };
+        if matches!(self.raw, RawBytes::None) {
+            self.raw = match self.replay.source.slice(r.off, r.len as usize) {
+                Some(b) => RawBytes::Borrowed(b),
+                None => {
+                    let mut v = self.replay.pool.take();
+                    self.replay
+                        .source
+                        .read_into(r.off, r.len as usize, &mut v)
+                        .unwrap_or_else(|e| {
+                            panic!("op-run section unreadable mid-replay ({e}); was the trace file modified on disk?")
+                        });
+                    RawBytes::Owned(v)
+                }
+            };
+            self.pos = 0;
+            self.run_left = r.ops;
+            self.delta = OpDelta::default();
+        }
+        if !self.filled {
+            let take = self
+                .run_left
+                .min(self.replay.options.chunk_ops.max(1) as u64) as usize;
+            self.buf.clear();
+            self.buf_pos = 0;
+            let bytes = match &self.raw {
+                RawBytes::Borrowed(b) => *b,
+                RawBytes::Owned(v) => v.as_slice(),
+                RawBytes::None => unreachable!(),
+            };
+            let mut b = Bytes::new(bytes);
+            b.pos = self.pos;
+            for _ in 0..take {
+                self.buf.push(decode_op_verified(&mut b, &mut self.delta));
+            }
+            self.pos = b.pos;
+            self.run_left -= take as u64;
+            self.filled = true;
+        }
+    }
+
+    /// Releases the current section (returning pooled buffers) and moves
+    /// to the next stream item.
+    fn finish_run(&mut self) {
+        if let RawBytes::Owned(v) = std::mem::replace(&mut self.raw, RawBytes::None) {
+            self.replay.pool.put(v);
+        }
+        self.pos = 0;
+        self.item += 1;
+    }
+
+    pub(crate) fn peek_block(&mut self) -> Option<BlockItem<'_>> {
+        self.ensure();
+        match self.items.get(self.item) {
+            Some(StreamItem::Run(_)) => Some(BlockItem::Ops(&self.buf[self.buf_pos..])),
+            Some(StreamItem::Sync(op)) => Some(BlockItem::Sync(*op)),
+            None => None,
+        }
+    }
+
+    pub(crate) fn consume_ops(&mut self, n: usize) {
+        debug_assert!(
+            self.filled && self.buf_pos + n <= self.buf.len(),
+            "consume_ops({n}) without a matching peek_block"
+        );
+        self.ops_consumed += n as u64;
+        self.buf_pos += n;
+        if self.buf_pos >= self.buf.len() {
+            self.filled = false;
+            // Advance to the next item only once the run is fully decoded;
+            // otherwise the next ensure() refills with the run's next chunk.
+            if self.run_left == 0 {
+                self.finish_run();
+            }
+        }
+    }
+
+    pub(crate) fn consume_sync(&mut self) {
+        debug_assert!(
+            matches!(self.items.get(self.item), Some(StreamItem::Sync(_))),
+            "consume_sync without a pending sync event"
+        );
+        self.item += 1;
+        self.filled = false;
+    }
+
+    pub(crate) fn at_end(&mut self) -> bool {
+        self.ensure();
+        self.item >= self.items.len()
+    }
+
+    pub(crate) fn ops_consumed(&self) -> u64 {
+        self.ops_consumed
+    }
+
+    pub(crate) fn take_block(&mut self) -> &[MicroOp] {
+        self.ensure();
+        match self.items.get(self.item) {
+            Some(StreamItem::Run(_)) => {
+                let start = self.buf_pos;
+                if self.run_left > 0 {
+                    let bytes = match &self.raw {
+                        RawBytes::Borrowed(b) => *b,
+                        RawBytes::Owned(v) => v.as_slice(),
+                        RawBytes::None => unreachable!(),
+                    };
+                    let mut b = Bytes::new(bytes);
+                    b.pos = self.pos;
+                    for _ in 0..self.run_left {
+                        self.buf.push(decode_op_verified(&mut b, &mut self.delta));
+                    }
+                    self.pos = b.pos;
+                    self.run_left = 0;
+                }
+                let len = self.buf.len() - start;
+                self.ops_consumed += len as u64;
+                self.buf_pos = self.buf.len();
+                self.filled = false;
+                self.finish_run();
+                &self.buf[start..]
+            }
+            _ => &[],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::write_program_binary;
+    use crate::block::BlockSpec;
+    use crate::cursor::CursorItem;
+    use crate::file::program_fingerprint;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rppm-ops-{}-{tag}-{n}.rpt", std::process::id()))
+    }
+
+    fn demo_program() -> Program {
+        let mut p = Program::new("ops-demo", 2);
+        p.threads[0]
+            .segments
+            .push(Segment::Sync(SyncOp::Create { child: 1.into() }));
+        for k in 0..5u64 {
+            let mut b0 = BlockSpec::new(1500, 11 + k)
+                .loads(0.25)
+                .stores(0.05)
+                .branches(0.1);
+            b0.code_base = k * 977;
+            p.threads[0].segments.push(Segment::Block(b0));
+            p.threads[1].segments.push(Segment::Block(
+                BlockSpec::new(900, 23 + k).deps(0.4, 3.0).branches(0.2),
+            ));
+        }
+        p.threads[0]
+            .segments
+            .push(Segment::Sync(SyncOp::Join { child: 1.into() }));
+        p.validate().unwrap();
+        p
+    }
+
+    fn collect_items(cur: &mut ThreadCursor<'_>) -> Vec<CursorItem> {
+        let mut out = Vec::new();
+        while let Some(item) = cur.item() {
+            out.push(item);
+            cur.advance();
+        }
+        out
+    }
+
+    #[test]
+    fn record_replay_streams_bit_identical() {
+        let p = demo_program();
+        let path = tmp_path("roundtrip");
+        write_program_ops(&p, &path).unwrap();
+        let replay = OpReplay::open(&path).unwrap();
+        assert_eq!(replay.total_ops(), p.total_ops());
+        assert_eq!(replay.program(), &p);
+        for t in 0..p.num_threads() {
+            let expanded = collect_items(&mut ThreadCursor::new(&p.threads[t]));
+            let replayed = collect_items(&mut replay.cursor(t));
+            assert_eq!(expanded, replayed, "thread {t} streams diverge");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tiny_chunk_and_pool_budget_replays_identically() {
+        let p = demo_program();
+        let path = tmp_path("tiny");
+        write_program_ops(&p, &path).unwrap();
+        let opts = StreamOptions {
+            chunk_ops: 3,
+            pool_bytes: 64,
+            mmap: false,
+            jobs: 1,
+            verify: true,
+        };
+        let replay = OpReplay::open_with(&path, opts).unwrap();
+        for t in 0..p.num_threads() {
+            let expanded = collect_items(&mut ThreadCursor::new(&p.threads[t]));
+            let replayed = collect_items(&mut replay.cursor(t));
+            assert_eq!(expanded, replayed, "thread {t} streams diverge");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn take_block_covers_the_same_ops() {
+        let p = demo_program();
+        let path = tmp_path("takeblock");
+        write_program_ops(&p, &path).unwrap();
+        let replay = OpReplay::open(&path).unwrap();
+        for t in 0..p.num_threads() {
+            let flatten = |cur: &mut ThreadCursor<'_>| {
+                let mut ops = Vec::new();
+                let mut syncs = Vec::new();
+                loop {
+                    enum Kind {
+                        Ops,
+                        Sync(SyncOp),
+                        End,
+                    }
+                    let kind = match cur.peek_block() {
+                        Some(BlockItem::Ops(_)) => Kind::Ops,
+                        Some(BlockItem::Sync(op)) => Kind::Sync(op),
+                        None => Kind::End,
+                    };
+                    match kind {
+                        Kind::Ops => ops.extend_from_slice(cur.take_block()),
+                        Kind::Sync(op) => {
+                            syncs.push(op);
+                            cur.consume_sync();
+                        }
+                        Kind::End => break,
+                    }
+                }
+                (ops, syncs)
+            };
+            let a = flatten(&mut ThreadCursor::new(&p.threads[t]));
+            let b = flatten(&mut replay.cursor(t));
+            assert_eq!(a, b, "thread {t} take_block streams diverge");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn plain_binary_has_no_op_stream() {
+        let p = demo_program();
+        let path = tmp_path("plain");
+        write_program_binary(&p, &path).unwrap();
+        let err = OpReplay::open(&path).unwrap_err();
+        assert!(
+            matches!(err, TraceFileError::NoOpStream { .. }),
+            "expected NoOpStream, got {err:?}"
+        );
+        let info = container_info(&path).unwrap();
+        assert!(!info.has_op_stream);
+        assert_eq!(info.recorded_ops, 0);
+        assert_eq!(info.version, p.format_version());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn container_info_reports_op_sections() {
+        let p = demo_program();
+        let path = tmp_path("info");
+        write_program_ops(&p, &path).unwrap();
+        let info = container_info(&path).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.name, "ops-demo");
+        assert_eq!(info.num_threads, 2);
+        assert!(info.has_op_stream);
+        assert_eq!(info.recorded_ops, p.total_ops());
+        assert_eq!(info.recorded_syncs, 2);
+        assert_eq!(info.file_bytes, std::fs::metadata(&path).unwrap().len());
+        let tags: Vec<u64> = info.sections.iter().map(|s| s.tag).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6]);
+        assert!(info.sections.iter().all(|s| s.count > 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_program_sections_round_trips() {
+        let p = demo_program();
+        let ops_path = tmp_path("sections-v3");
+        write_program_ops(&p, &ops_path).unwrap();
+        let q = read_program_sections(&ops_path, 4).unwrap();
+        assert_eq!(program_fingerprint(&q), program_fingerprint(&p));
+        std::fs::remove_file(&ops_path).unwrap();
+
+        let bin_path = tmp_path("sections-v1");
+        write_program_binary(&p, &bin_path).unwrap();
+        let q = read_program_sections(&bin_path, 4).unwrap();
+        assert_eq!(program_fingerprint(&q), program_fingerprint(&p));
+        std::fs::remove_file(&bin_path).unwrap();
+    }
+
+    #[test]
+    fn empty_op_run_section_is_corrupt() {
+        let mut w = TraceWriter::with_version(Vec::new(), "x", 1, 3).unwrap();
+        let mut payload = Vec::new();
+        push_varint(&mut payload, 0); // thread
+        push_varint(&mut payload, 0); // zero ops
+        w.write_raw_section(TAG_OP_RUN, &payload).unwrap();
+        let bytes = w.finish().unwrap();
+        let path = tmp_path("emptyrun");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = container_info(&path).unwrap_err();
+        assert!(
+            matches!(&err, TraceFileError::Corrupt { detail } if detail.contains("empty op-run")),
+            "expected empty-op-run Corrupt, got {err:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
